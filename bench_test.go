@@ -1,0 +1,550 @@
+// Package repro_test is the benchmark harness regenerating every
+// experimental result in the paper's §5 plus the design-choice ablations
+// called out in DESIGN.md. Each benchmark maps to a row of EXPERIMENTS.md:
+//
+//	E1  BenchmarkMigrationUntrusted     — 1 MB-heap migration with FIR
+//	                                      re-compilation at the target
+//	E2  BenchmarkMigrationBinary        — trusted binary migration
+//	E3a BenchmarkSpeculateEntry         — speculation entry cost
+//	E3b BenchmarkSpeculationAbort/p=N   — abort cost vs heap mutation %
+//	E3c BenchmarkSpeculationCommit/p=N  — commit cost vs heap mutation %
+//	E4  BenchmarkContextSwitch          — scheduler context-switch yardstick
+//	F2  BenchmarkGridFailureFree,
+//	    BenchmarkGridRecovery           — grid run, failure and recovery
+//	A1  BenchmarkRollbackSpecVsCheckpoint — COW rollback vs checkpoint-file
+//	                                      restore
+//	A2  BenchmarkCheckpointInterval/k=N — checkpoint-interval trade-off
+//	A3  BenchmarkPointerTableChecks     — safety-check overhead
+//	A4  BenchmarkGCCompactionLocality   — sliding vs breadth-first copying
+package repro_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fir"
+	"repro/internal/grid"
+	"repro/internal/heap"
+	"repro/internal/lang"
+	"repro/internal/migrate"
+	"repro/internal/risc"
+	"repro/internal/rt"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// E1/E2 — process migration. The paper: 4 s untrusted (10% network) and
+// <1 s binary (30% network) for a 1 MB heap on a 100 Mbps link.
+
+// buildMigratingProcess creates a VM process whose heap holds ~words live
+// words in 64-word blocks, positioned just before a migrate instruction.
+func buildMigratingProcess(b testing.TB, words int, target string) *vm.Process {
+	b.Helper()
+	// Build the heap directly (faster than interpreting an init loop) and
+	// construct a minimal FIR program that migrates and halts. The heap
+	// contents come from a directory block so everything is reachable.
+	nBlocks := words / 64
+	mb := fir.NewBuilder()
+	mb.Extern("dir", fir.TyPtr, "build_heap")
+	mb.Extern("tgt", fir.TyPtr, "mig_target")
+	mainF := fir.Fn("main", nil, mb.Migrate(1, fir.V("tgt"), fir.I(0), "after", fir.V("dir")))
+	ab := fir.NewBuilder()
+	ab.Let("blk", fir.TyPtr, fir.OpLoad, fir.V("dir"), fir.I(0))
+	ab.Let("x", fir.TyInt, fir.OpLoad, fir.V("blk"), fir.I(0))
+	afterF := fir.Fn("after", fir.Ps("dir", fir.TyPtr), ab.Halt(fir.V("x")))
+	prog := fir.NewProgram("main", mainF, afterF)
+	// Pad the program to a realistic application size (the paper migrated
+	// a real application, not a two-function stub): the whole code body is
+	// shipped, verified and recompiled at the destination.
+	for i := 0; i < 400; i++ {
+		pb := fir.NewBuilder()
+		cur := fir.Atom(fir.V("a"))
+		for j := 0; j < 20; j++ {
+			d := pb.Fresh("t")
+			pb.Let(d, fir.TyInt, fir.OpAdd, cur, fir.I(int64(j)))
+			cur = fir.V(d)
+		}
+		prog.AddFunc(fir.Fn(fmt.Sprintf("pad%d", i), fir.Ps("a", fir.TyInt), pb.Halt(cur)))
+	}
+
+	p := vm.NewProcess(prog, vm.Config{
+		Fuel: 100_000_000,
+		Heap: heap.Config{InitialWords: words + words/4, MaxWords: 8 * words},
+	})
+	p.RegisterExtern("mig_target", fir.ExternSig{Result: fir.TyPtr},
+		func(r rt.Runtime, a []heap.Value) (heap.Value, error) {
+			return r.Heap().AllocString(target)
+		})
+	p.RegisterExtern("build_heap", fir.ExternSig{Result: fir.TyPtr},
+		func(r rt.Runtime, a []heap.Value) (heap.Value, error) {
+			h := r.Heap()
+			dir, err := h.Alloc(int64(nBlocks))
+			if err != nil {
+				return heap.Value{}, err
+			}
+			r.Pin(dir)
+			for i := 0; i < nBlocks; i++ {
+				blk, err := h.Alloc(64)
+				if err != nil {
+					return heap.Value{}, err
+				}
+				for j := int64(0); j < 64; j++ {
+					if err := h.Store(blk, j, heap.IntVal(int64(i)*64+j)); err != nil {
+						return heap.Value{}, err
+					}
+				}
+				if err := h.Store(dir, int64(i), blk); err != nil {
+					return heap.Value{}, err
+				}
+			}
+			return dir, nil
+		})
+	if err := p.Start(); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// migServerExterns are the externs the server must know to re-typecheck.
+func migServerExterns() rt.Registry {
+	return rt.Registry{
+		"mig_target": {Sig: fir.ExternSig{Result: fir.TyPtr},
+			Fn: func(r rt.Runtime, a []heap.Value) (heap.Value, error) {
+				return r.Heap().AllocString("unused://x")
+			}},
+		"build_heap": {Sig: fir.ExternSig{Result: fir.TyPtr},
+			Fn: func(r rt.Runtime, a []heap.Value) (heap.Value, error) {
+				return heap.Null(), nil
+			}},
+	}
+}
+
+func benchMigration(b *testing.B, binary bool, backend migrate.Backend, throttleBps int64) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	resumed := make(chan rt.Proc, 16)
+	srv := migrate.NewServer(l, migrate.ServerConfig{
+		Backend:     backend,
+		Externs:     migServerExterns(),
+		AllowBinary: true,
+		Config:      migrate.ProcessConfig{Fuel: 1_000_000},
+		OnResume:    func(p rt.Proc) { resumed <- p },
+	})
+	go func() { _ = srv.Serve() }()
+	defer srv.Close()
+
+	scheme := "migrate"
+	if binary {
+		scheme = "migrate-bin"
+	}
+	target := scheme + "://" + l.Addr().String()
+	const heapWords = 128 * 1024 // 1 MiB at 8 bytes/word
+
+	var packTotal, xferTotal time.Duration
+	var bytesTotal int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := buildMigratingProcess(b, heapWords, target)
+		mig := &migrate.Migrator{Dial: cluster.ThrottledDialer(throttleBps)}
+		p.SetMigrateHandler(mig.Handle)
+		b.StartTimer()
+
+		st, err := p.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st != rt.StatusMigrated {
+			b.Fatalf("status = %s", st)
+		}
+		// Wait for the server side to finish resuming.
+		select {
+		case rp := <-resumed:
+			if _, err := rp.Run(); err != nil {
+				b.Fatal(err)
+			}
+		case <-time.After(60 * time.Second):
+			b.Fatal("server never resumed the process")
+		}
+		tm := mig.LastTimings()
+		packTotal += tm.Pack
+		xferTotal += tm.Transfer
+		bytesTotal += tm.Bytes
+	}
+	b.StopTimer()
+	un := srv.Stats().LastUnpack
+	b.ReportMetric(float64(packTotal.Nanoseconds())/float64(b.N), "pack-ns/op")
+	b.ReportMetric(float64(xferTotal.Nanoseconds())/float64(b.N), "transfer-ns/op")
+	b.ReportMetric(float64(un.Check.Nanoseconds()), "check-ns/last")
+	b.ReportMetric(float64(un.Compile.Nanoseconds()), "recompile-ns/last")
+	b.ReportMetric(float64(un.Restore.Nanoseconds()), "restore-ns/last")
+	b.ReportMetric(float64(bytesTotal)/float64(b.N), "bytes/op")
+}
+
+func BenchmarkMigrationUntrusted(b *testing.B) {
+	// Untrusted: the server type-checks and recompiles the FIR for the
+	// RISC target. 100 Mbps link, as in the paper.
+	benchMigration(b, false, migrate.BackendRISC, 100_000_000)
+}
+
+func BenchmarkMigrationBinary(b *testing.B) {
+	// Trusted binary protocol: no verification, no recompilation,
+	// interpreter target. Same 100 Mbps link.
+	benchMigration(b, true, migrate.BackendVM, 100_000_000)
+}
+
+// ---------------------------------------------------------------------------
+// E3 — speculation costs vs heap mutation percentile. Paper (200 KB heap):
+// entry ≈40 µs flat; abort 120→135 µs; commit 81→87 µs for 10%→100%.
+
+const (
+	specBlocks    = 400
+	specBlockSize = 64 // 400×64 words ≈ 200 KiB at 8 bytes/word
+)
+
+func buildRegion(b *testing.B) (*core.Region, []core.Ref) {
+	b.Helper()
+	r := core.NewRegion(heap.Config{InitialWords: 4 * specBlocks * specBlockSize})
+	refs := make([]core.Ref, specBlocks)
+	for i := range refs {
+		ref, err := r.Alloc(specBlockSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Pin(ref)
+		refs[i] = ref
+	}
+	return r, refs
+}
+
+func mutate(b *testing.B, r *core.Region, refs []core.Ref, percent int) {
+	b.Helper()
+	n := len(refs) * percent / 100
+	for i := 0; i < n; i++ {
+		if err := r.SetInt(refs[i], 0, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpeculateEntry(b *testing.B) {
+	r, _ := buildRegion(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := r.Speculate()
+		b.StopTimer()
+		if err := r.Commit(id); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkSpeculationAbort(b *testing.B) {
+	for _, p := range []int{10, 25, 50, 75, 100} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			r, refs := buildRegion(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				id := r.Speculate()
+				mutate(b, r, refs, p)
+				b.StartTimer()
+				if err := r.Abort(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSpeculationCommit(b *testing.B) {
+	for _, p := range []int{10, 25, 50, 75, 100} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			r, refs := buildRegion(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				id := r.Speculate()
+				mutate(b, r, refs, p)
+				b.StartTimer()
+				if err := r.Commit(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E4 — context-switch yardstick: two VM processes with ≈200 KB heaps under
+// the step scheduler. The paper measured ≈300 µs on its hardware; the
+// shape requirement is speculation ops ≪ context switch + compute quantum.
+
+func spinProcess(b *testing.B) *vm.Process {
+	b.Helper()
+	src := `
+int main() {
+	ptr block = alloc(25000); // ~200 KB resident heap
+	int i = 0;
+	while (1 == 1) {
+		block[i % 25000] = i;
+		i += 1;
+	}
+	return 0;
+}`
+	prog, err := lang.Compile(src, rt.StdExterns().Sigs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := vm.NewProcess(prog, vm.Config{
+		Heap: heap.Config{InitialWords: 64 * 1024, MaxWords: 1 << 22},
+	})
+	if err := p.Start(); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkContextSwitch(b *testing.B) {
+	s := vm.NewScheduler(100) // 100-step quantum per turn
+	if err := s.Add(spinProcess(b)); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Add(spinProcess(b)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Turn() // two quanta + two context switches
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(s.Switches()), "ns/switch")
+}
+
+// ---------------------------------------------------------------------------
+// F2 — the grid application: failure-free baseline and recovery run.
+
+func benchGrid(b *testing.B, fail *grid.FailurePlan, ck int) {
+	p := grid.Params{Nodes: 3, RowsPerNode: 4, Cols: 8, Steps: 16, CheckpointInterval: ck}
+	prog, err := grid.CompileProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := grid.Reference(p)
+	var rollbacks uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := grid.RunProgram(prog, p, fail, 2*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for n := range want {
+			if res.Checksums[n] != want[n] {
+				b.Fatalf("node %d checksum %d, want %d", n, res.Checksums[n], want[n])
+			}
+		}
+		rollbacks += res.Rollbacks
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rollbacks)/float64(b.N), "rollbacks/op")
+}
+
+func BenchmarkGridFailureFree(b *testing.B) { benchGrid(b, nil, 4) }
+
+func BenchmarkGridRecovery(b *testing.B) {
+	benchGrid(b, &grid.FailurePlan{Node: 1, AfterCheckpoints: 1, RestartDelay: 10 * time.Millisecond}, 4)
+}
+
+// ---------------------------------------------------------------------------
+// A1 — rollback via speculation (COW) vs rollback via checkpoint file.
+// The paper: restoring from a checkpoint "can be very expensive" because
+// the whole state is written/reconstructed and the program recompiled.
+
+func BenchmarkRollbackSpecVsCheckpoint(b *testing.B) {
+	b.Run("speculation", func(b *testing.B) {
+		r, refs := buildRegion(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			id := r.Speculate()
+			mutate(b, r, refs, 10)
+			b.StartTimer()
+			if err := r.Abort(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("checkpointFile", func(b *testing.B) {
+		// The checkpoint path: serialize the full image (pack), then
+		// decode + type-check + recompile + rebuild the heap (unpack) —
+		// what rollback costs when implemented with migration (§4.3).
+		target := "checkpoint://ck"
+		p := buildMigratingProcess(b, specBlocks*specBlockSize, target)
+		store := cluster.NewMemStore()
+		mig := &migrate.Migrator{Store: store}
+		p.SetMigrateHandler(mig.Handle)
+		// Run to the migrate instruction: writes the checkpoint.
+		if _, err := p.Run(); err != nil {
+			b.Fatal(err)
+		}
+		data, err := store.Get("ck")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			img, err := wire.DecodeImage(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := migrate.Unpack(img, migrate.Options{
+				Backend: migrate.BackendRISC,
+				Externs: migServerExterns(),
+				Config:  vm.Config{Fuel: 1000},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// A2 — the checkpoint_interval trade-off under a failure (total run time
+// including recovery, as a function of the interval).
+
+func BenchmarkCheckpointInterval(b *testing.B) {
+	for _, ck := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("k=%d", ck), func(b *testing.B) {
+			benchGrid(b, &grid.FailurePlan{Node: 1, AfterCheckpoints: 1, RestartDelay: 10 * time.Millisecond}, ck)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A3 — pointer-table safety-check overhead (§4.1.1: "this level of
+// transparency has a cost").
+
+func BenchmarkPointerTableChecks(b *testing.B) {
+	run := func(b *testing.B, disable bool) {
+		h := heap.New(heap.Config{InitialWords: 1 << 16, DisableChecks: disable})
+		ptr, err := h.Alloc(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := int64(i) & 1023
+			if err := h.Store(ptr, off, heap.IntVal(int64(i))); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := h.Load(ptr, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("checked", func(b *testing.B) { run(b, false) })
+	b.Run("unchecked", func(b *testing.B) { run(b, true) })
+}
+
+// ---------------------------------------------------------------------------
+// A4 — compaction order: sliding (allocation order, preserves temporal
+// locality) vs breadth-first copying (the paper's comparison, §4).
+
+func BenchmarkGCCompactionLocality(b *testing.B) {
+	build := func() *heap.Heap {
+		h := heap.New(heap.Config{InitialWords: 1 << 18, MaxWords: 1 << 22})
+		var pins []heap.Value
+		h.AddRoots(func(yield func(heap.Value)) {
+			for _, v := range pins {
+				yield(v)
+			}
+		})
+		// Depth-first tree: allocation order diverges from BFS order.
+		var mk func(depth int) heap.Value
+		mk = func(depth int) heap.Value {
+			n, err := h.Alloc(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pins = append(pins, n)
+			if depth > 0 {
+				l := mk(depth - 1)
+				r := mk(depth - 1)
+				_ = h.Store(n, 1, l)
+				_ = h.Store(n, 2, r)
+			}
+			pins = pins[:len(pins)-1]
+			return n
+		}
+		root := mk(10)
+		pins = []heap.Value{root}
+		return h
+	}
+	b.Run("sliding", func(b *testing.B) {
+		var score float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			h := build()
+			b.StartTimer()
+			h.CollectMajor()
+			score = h.TemporalLocalityScore()
+		}
+		b.ReportMetric(score, "locality-gap")
+	})
+	b.Run("bfsCopy", func(b *testing.B) {
+		var score float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			h := build()
+			b.StartTimer()
+			h.CollectMajorBFS()
+			score = h.TemporalLocalityScore()
+		}
+		b.ReportMetric(score, "locality-gap")
+	})
+}
+
+// ---------------------------------------------------------------------------
+// A5 — the FIR optimizer's effect on the grid program: interpreter steps
+// and compiled code size, optimized vs. unoptimized.
+
+func BenchmarkOptimizerEffect(b *testing.B) {
+	run := func(b *testing.B, optimize bool) {
+		prog, err := lang.Compile(grid.Source, grid.ExternSigs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if optimize {
+			fir.Optimize(prog)
+		}
+		mod, err := risc.Compile(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(mod.Code)), "risc-instrs")
+		p := grid.Params{Nodes: 1, RowsPerNode: 4, Cols: 8, Steps: 8, CheckpointInterval: 4}
+		var steps uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := grid.RunProgram(prog, p, nil, time.Minute)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want := grid.Reference(p)
+			if res.Checksums[0] != want[0] {
+				b.Fatalf("checksum %d, want %d", res.Checksums[0], want[0])
+			}
+			steps += uint64(res.Elapsed.Nanoseconds())
+		}
+	}
+	b.Run("plain", func(b *testing.B) { run(b, false) })
+	b.Run("optimized", func(b *testing.B) { run(b, true) })
+}

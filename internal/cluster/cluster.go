@@ -1,0 +1,414 @@
+// Package cluster simulates the paper's test bed: a set of compute nodes
+// running MCC processes, connected by the message-passing router, with a
+// shared reliable checkpoint store (the paper's NFS mount), per-node
+// failure injection, resurrection of failed processes from checkpoint
+// files, and a bandwidth-throttled network that models the 100 Mbps link
+// of §5 for the migration experiments.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fir"
+	"repro/internal/heap"
+	"repro/internal/migrate"
+	"repro/internal/msg"
+	"repro/internal/rt"
+	"repro/internal/vm"
+)
+
+// MemStore is an in-memory migrate.Store: the degenerate "reliable
+// distributed storage medium" for single-process simulations and tests.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// Put stores a checkpoint.
+func (s *MemStore) Put(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.m[name] = cp
+	return nil
+}
+
+// Get retrieves a checkpoint.
+func (s *MemStore) Get(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.m[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: checkpoint %q not found", name)
+	}
+	out := make([]byte, len(d))
+	copy(out, d)
+	return out, nil
+}
+
+// List enumerates checkpoint names, sorted.
+func (s *MemStore) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k := range s.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DirStore is a directory-backed migrate.Store — checkpoint files are real
+// executables-with-header on disk, visible to every "node" like the
+// paper's NFS mount.
+type DirStore struct{ Dir string }
+
+// NewDirStore creates the directory if needed.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{Dir: dir}, nil
+}
+
+func (s *DirStore) path(name string) (string, error) {
+	if strings.ContainsAny(name, "/\\") || name == "" || name == "." || name == ".." {
+		return "", fmt.Errorf("cluster: invalid checkpoint name %q", name)
+	}
+	return filepath.Join(s.Dir, name+".mcc"), nil
+}
+
+// Put writes a checkpoint file (mode 0755: checkpoints are executables).
+func (s *DirStore) Put(name string, data []byte) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o755); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// Get reads a checkpoint file.
+func (s *DirStore) Get(name string) ([]byte, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(p)
+}
+
+// List enumerates checkpoint names, sorted.
+func (s *DirStore) List() ([]string, error) {
+	ents, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if n, ok := strings.CutSuffix(e.Name(), ".mcc"); ok {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// throttledConn rate-limits writes to model a fixed-bandwidth link. Reads
+// are left unthrottled: migration traffic is overwhelmingly one-way, and
+// the paper's transfer fraction is dominated by the state upload.
+type throttledConn struct {
+	net.Conn
+	bytesPerSec float64
+	mu          sync.Mutex
+	debt        time.Duration
+	last        time.Time
+}
+
+func (c *throttledConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 && c.bytesPerSec > 0 {
+		c.mu.Lock()
+		now := time.Now()
+		if !c.last.IsZero() {
+			// Pay down transmission debt accumulated since the last write.
+			elapsed := now.Sub(c.last)
+			if elapsed > c.debt {
+				c.debt = 0
+			} else {
+				c.debt -= elapsed
+			}
+		}
+		c.last = now
+		c.debt += time.Duration(float64(n) / c.bytesPerSec * float64(time.Second))
+		sleep := c.debt
+		c.mu.Unlock()
+		time.Sleep(sleep)
+	}
+	return n, err
+}
+
+// ThrottledDialer returns a migrate.Dialer whose connections model a link
+// of the given bandwidth in bits per second (e.g. 100_000_000 for the
+// paper's 100 Mbps network). Zero means unthrottled.
+func ThrottledDialer(bitsPerSec int64) migrate.Dialer {
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if bitsPerSec <= 0 {
+			return conn, nil
+		}
+		return &throttledConn{Conn: conn, bytesPerSec: float64(bitsPerSec) / 8}, nil
+	}
+}
+
+// ProcState is a node process's final disposition.
+type ProcState struct {
+	Node   int64
+	Status rt.Status
+	Halt   int64
+	Err    error
+	Killed bool
+	Steps  uint64
+}
+
+// Config configures a simulated cluster.
+type Config struct {
+	// Store is the shared checkpoint store (default: a fresh MemStore).
+	Store migrate.Store
+	// Stdout receives process output (default: discard).
+	Stdout io.Writer
+	// Fuel bounds each process (default 500M steps).
+	Fuel uint64
+	// Heap configures per-process heaps.
+	Heap heap.Config
+	// Quantum is the kill-check granularity in steps (default 20_000).
+	Quantum uint64
+}
+
+// Cluster is a set of simulated nodes sharing a router and a checkpoint
+// store.
+type Cluster struct {
+	cfg    Config
+	Router *msg.Router
+	Store  migrate.Store
+
+	mu     sync.Mutex
+	killed map[int64]bool
+	states map[int64]*ProcState
+	done   map[int64]chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New creates a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore()
+	}
+	if cfg.Stdout == nil {
+		cfg.Stdout = io.Discard
+	}
+	if cfg.Fuel == 0 {
+		cfg.Fuel = 500_000_000
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 20_000
+	}
+	return &Cluster{
+		cfg:    cfg,
+		Router: msg.NewRouter(),
+		Store:  cfg.Store,
+		killed: make(map[int64]bool),
+		states: make(map[int64]*ProcState),
+		done:   make(map[int64]chan struct{}),
+	}
+}
+
+// Externs returns the extern signature set a program running on this
+// cluster compiles against: the standard set plus message passing.
+func Externs() map[string]fir.ExternSig {
+	sigs := rt.StdExterns().Sigs()
+	for n, s := range msg.Sigs() {
+		sigs[n] = s
+	}
+	return sigs
+}
+
+// StartProcess launches prog as the process for `node`, wired to the
+// router (message passing) and the shared store (checkpoints). args are
+// the process arguments (getarg); extra adds application externs (the grid
+// harness registers ck_name, for example).
+func (c *Cluster) StartProcess(node int64, prog *fir.Program, args []int64, extra rt.Registry) error {
+	p := vm.NewProcess(prog, vm.Config{
+		Heap:   c.cfg.Heap,
+		Stdout: c.cfg.Stdout,
+		Fuel:   c.cfg.Fuel,
+		Name:   fmt.Sprintf("node-%d", node),
+		Args:   args,
+		Seed:   node,
+	})
+	for n, e := range c.Router.Externs(node) {
+		p.RegisterExtern(n, e.Sig, e.Fn)
+	}
+	for n, e := range extra {
+		p.RegisterExtern(n, e.Sig, e.Fn)
+	}
+	mig := &migrate.Migrator{Store: c.Store}
+	p.SetMigrateHandler(mig.Handle)
+	if err := p.Start(); err != nil {
+		return err
+	}
+	c.track(node, p)
+	return nil
+}
+
+// track runs a started process in a goroutine with kill checks between
+// quanta.
+func (c *Cluster) track(node int64, p rt.Proc) {
+	done := make(chan struct{})
+	c.mu.Lock()
+	c.states[node] = &ProcState{Node: node, Status: rt.StatusRunning}
+	c.done[node] = done
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer close(done)
+		for {
+			if c.isKilled(node) {
+				c.record(node, p, true)
+				return
+			}
+			st, _ := p.RunSteps(c.cfg.Quantum)
+			if st != rt.StatusRunning {
+				c.record(node, p, false)
+				return
+			}
+		}
+	}()
+}
+
+func (c *Cluster) isKilled(node int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed[node]
+}
+
+func (c *Cluster) record(node int64, p rt.Proc, killed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.states[node] = &ProcState{
+		Node: node, Status: p.Status(), Halt: p.HaltCode(),
+		Err: p.Err(), Killed: killed, Steps: p.Steps(),
+	}
+}
+
+// Fail kills the process on a node (it stops at its next quantum boundary
+// or pending receive) and notifies every other node through the router's
+// rollback epoch.
+func (c *Cluster) Fail(node int64) {
+	c.mu.Lock()
+	c.killed[node] = true
+	c.mu.Unlock()
+	c.Router.Fail(node)
+}
+
+// Resurrect loads a checkpoint from the shared store and revives it as the
+// process for `node` — on a "different machine", which in this simulation
+// means a fresh goroutine and heap. The router clears the node's failed
+// mark; survivors have already rolled back to the matching speculation
+// boundary.
+func (c *Cluster) Resurrect(node int64, checkpoint string, extra rt.Registry) error {
+	// Wait for the failed process's driver goroutine to observe the kill
+	// and stop; resurrecting while a zombie of the old incarnation still
+	// runs would give the node two processes.
+	c.mu.Lock()
+	done := c.done[node]
+	c.mu.Unlock()
+	if done != nil {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			return fmt.Errorf("cluster: node %d did not stop within 30s of failure", node)
+		}
+	}
+	c.mu.Lock()
+	delete(c.killed, node)
+	c.mu.Unlock()
+
+	externs := c.Router.Externs(node)
+	for n, e := range extra {
+		externs[n] = e
+	}
+	p, err := migrate.LoadCheckpoint(c.Store, checkpoint, migrate.Options{
+		Externs: externs,
+		Config: vm.Config{
+			Heap:   c.cfg.Heap,
+			Stdout: c.cfg.Stdout,
+			Fuel:   c.cfg.Fuel,
+			Name:   fmt.Sprintf("node-%d(r)", node),
+			Args:   nil, // carried by the image
+		},
+	})
+	if err != nil {
+		return err
+	}
+	mig := &migrate.Migrator{Store: c.Store}
+	p.SetMigrateHandler(mig.Handle)
+	c.Router.Restore(node)
+	c.track(node, p)
+	return nil
+}
+
+// Wait blocks until every tracked process reaches a terminal state or the
+// timeout expires; it returns the final states by node.
+func (c *Cluster) Wait(timeout time.Duration) (map[int64]*ProcState, error) {
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		c.Router.Close() // release blocked receivers
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			return c.snapshot(), errors.New("cluster: processes still running after router close")
+		}
+		return c.snapshot(), fmt.Errorf("cluster: timeout after %s", timeout)
+	}
+	return c.snapshot(), nil
+}
+
+func (c *Cluster) snapshot() map[int64]*ProcState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int64]*ProcState, len(c.states))
+	for k, v := range c.states {
+		cp := *v
+		out[k] = &cp
+	}
+	return out
+}
+
+// Close shuts the router down, releasing any blocked process.
+func (c *Cluster) Close() { c.Router.Close() }

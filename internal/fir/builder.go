@@ -1,0 +1,120 @@
+package fir
+
+import "fmt"
+
+// Builder constructs a FIR expression as a linear sequence of bindings
+// terminated by a control transfer. It exists because CPS expressions nest
+// to the right, which is awkward to write literally; the MojC frontend,
+// the core API and the test suites all build FIR through it.
+//
+//	b := fir.NewBuilder()
+//	b.Let("x", fir.TyInt, fir.OpAdd, fir.IntLit{V: 1}, fir.IntLit{V: 2})
+//	body := b.Halt(fir.Var{Name: "x"})
+type Builder struct {
+	frames []func(Expr) Expr
+	gensym int
+}
+
+// NewBuilder returns an empty expression builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Fresh returns a variable name guaranteed unique within this builder.
+func (b *Builder) Fresh(prefix string) string {
+	b.gensym++
+	return fmt.Sprintf("%s$%d", prefix, b.gensym)
+}
+
+// Let appends a primitive-operator binding.
+func (b *Builder) Let(dst string, t Type, op Op, args ...Atom) *Builder {
+	b.frames = append(b.frames, func(body Expr) Expr {
+		return Let{Dst: dst, DstType: t, Op: op, Args: args, Body: body}
+	})
+	return b
+}
+
+// Extern appends an external-call binding.
+func (b *Builder) Extern(dst string, t Type, name string, args ...Atom) *Builder {
+	b.frames = append(b.frames, func(body Expr) Expr {
+		return Extern{Dst: dst, DstType: t, Name: name, Args: args, Body: body}
+	})
+	return b
+}
+
+func (b *Builder) finish(term Expr) Expr {
+	e := term
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		e = b.frames[i](e)
+	}
+	b.frames = nil
+	return e
+}
+
+// Call terminates the sequence with a tail call.
+func (b *Builder) Call(fn Atom, args ...Atom) Expr {
+	return b.finish(Call{Fn: fn, Args: args})
+}
+
+// CallNamed terminates with a direct tail call to a named function.
+func (b *Builder) CallNamed(fn string, args ...Atom) Expr {
+	return b.Call(FunLit{Name: fn}, args...)
+}
+
+// Halt terminates the sequence with process exit.
+func (b *Builder) Halt(code Atom) Expr {
+	return b.finish(Halt{Code: code})
+}
+
+// If terminates the sequence with a conditional branch.
+func (b *Builder) If(cond Atom, then, els Expr) Expr {
+	return b.finish(If{Cond: cond, Then: then, Else: els})
+}
+
+// Speculate terminates the sequence by entering a new speculation level.
+func (b *Builder) Speculate(fn string, args ...Atom) Expr {
+	return b.finish(Speculate{Fn: FunLit{Name: fn}, Args: args})
+}
+
+// Commit terminates the sequence by committing a speculation level.
+func (b *Builder) Commit(level Atom, fn string, args ...Atom) Expr {
+	return b.finish(Commit{Level: level, Fn: FunLit{Name: fn}, Args: args})
+}
+
+// Rollback terminates the sequence by rolling back to a speculation level.
+func (b *Builder) Rollback(level, c Atom) Expr {
+	return b.finish(Rollback{Level: level, C: c})
+}
+
+// Migrate terminates the sequence with a migration pseudo-instruction.
+func (b *Builder) Migrate(label int, target, targetOff Atom, fn string, args ...Atom) Expr {
+	return b.finish(Migrate{Label: label, Target: target, TargetOff: targetOff, Fn: FunLit{Name: fn}, Args: args})
+}
+
+// Fn is a convenience constructor for a Function.
+func Fn(name string, params []Param, body Expr) *Function {
+	return &Function{Name: name, Params: params, Body: body}
+}
+
+// Ps builds a parameter list from alternating name, Type pairs.
+func Ps(pairs ...any) []Param {
+	if len(pairs)%2 != 0 {
+		panic("fir.Ps: odd argument count")
+	}
+	out := make([]Param, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		name, ok := pairs[i].(string)
+		if !ok {
+			panic(fmt.Sprintf("fir.Ps: argument %d is %T, want string", i, pairs[i]))
+		}
+		t, ok := pairs[i+1].(Type)
+		if !ok {
+			panic(fmt.Sprintf("fir.Ps: argument %d is %T, want fir.Type", i+1, pairs[i+1]))
+		}
+		out = append(out, Param{Name: name, Type: t})
+	}
+	return out
+}
+
+// I, F and V are literal/variable shorthands for building FIR in Go.
+func I(v int64) IntLit     { return IntLit{V: v} }
+func F(v float64) FloatLit { return FloatLit{V: v} }
+func V(name string) Var    { return Var{Name: name} }

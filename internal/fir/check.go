@@ -1,0 +1,359 @@
+package fir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ExternSig declares the signature of an external (runtime-provided)
+// function: argument types and a result type. Unlike FIR functions,
+// externals return a value to their caller.
+type ExternSig struct {
+	Args   []Type
+	Result Type
+}
+
+// CheckError is a type error located in a specific function.
+type CheckError struct {
+	Fn  string
+	Msg string
+}
+
+func (e *CheckError) Error() string {
+	if e.Fn == "" {
+		return "fir: " + e.Msg
+	}
+	return fmt.Sprintf("fir: in %s: %s", e.Fn, e.Msg)
+}
+
+// Check type-checks a whole program against a registry of external
+// signatures. It verifies that function names are unique, that the entry
+// point exists and takes no parameters, and that every function body is
+// well-typed: operators applied at their signatures, tail calls matching
+// callee parameter lists, speculation continuations taking an int first
+// parameter, and every control path ending in a transfer.
+//
+// This is the check a migration server runs on inbound FIR before
+// recompiling and resuming a process (§4.2.2): a process is only accepted
+// from an untrusted peer when Check passes.
+func Check(p *Program, externs map[string]ExternSig) error {
+	if p == nil {
+		return &CheckError{Msg: "nil program"}
+	}
+	seen := make(map[string]bool, len(p.Funcs))
+	for _, f := range p.Funcs {
+		if f == nil {
+			return &CheckError{Msg: "nil function"}
+		}
+		if f.Name == "" {
+			return &CheckError{Msg: "function with empty name"}
+		}
+		if seen[f.Name] {
+			return &CheckError{Fn: f.Name, Msg: "duplicate function name"}
+		}
+		seen[f.Name] = true
+	}
+	entry, _ := p.Lookup(p.Entry)
+	if entry == nil {
+		return &CheckError{Msg: fmt.Sprintf("entry function %q not found", p.Entry)}
+	}
+	if len(entry.Params) != 0 {
+		return &CheckError{Fn: entry.Name, Msg: "entry function must take no parameters"}
+	}
+	for _, f := range p.Funcs {
+		c := &checker{prog: p, externs: externs, fn: f.Name}
+		env := make(map[string]Type, len(f.Params))
+		names := make(map[string]bool, len(f.Params))
+		for _, prm := range f.Params {
+			if prm.Name == "" {
+				return &CheckError{Fn: f.Name, Msg: "parameter with empty name"}
+			}
+			if names[prm.Name] {
+				return &CheckError{Fn: f.Name, Msg: fmt.Sprintf("duplicate parameter %q", prm.Name)}
+			}
+			names[prm.Name] = true
+			env[prm.Name] = prm.Type
+		}
+		if err := c.expr(f.Body, env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	prog    *Program
+	externs map[string]ExternSig
+	fn      string
+}
+
+func (c *checker) errf(format string, args ...any) error {
+	return &CheckError{Fn: c.fn, Msg: fmt.Sprintf(format, args...)}
+}
+
+// atom returns the type of an atom under env.
+func (c *checker) atom(a Atom, env map[string]Type) (Type, error) {
+	switch a := a.(type) {
+	case Var:
+		t, ok := env[a.Name]
+		if !ok {
+			return Type{}, c.errf("unbound variable %q", a.Name)
+		}
+		return t, nil
+	case IntLit:
+		return TyInt, nil
+	case FloatLit:
+		return TyFloat, nil
+	case UnitLit:
+		return TyUnit, nil
+	case FunLit:
+		f, _ := c.prog.Lookup(a.Name)
+		if f == nil {
+			return Type{}, c.errf("reference to undefined function %q", a.Name)
+		}
+		return f.Type(), nil
+	case nil:
+		return Type{}, c.errf("nil atom")
+	default:
+		return Type{}, c.errf("unknown atom %T", a)
+	}
+}
+
+func (c *checker) want(a Atom, env map[string]Type, want Type, ctx string) error {
+	t, err := c.atom(a, env)
+	if err != nil {
+		return err
+	}
+	if !t.Equal(want) {
+		return c.errf("%s: have %s, want %s", ctx, t, want)
+	}
+	return nil
+}
+
+// callable checks that fn is a function atom whose parameters accept args
+// (optionally with extra leading parameter types, used by speculate's c).
+func (c *checker) callable(fn Atom, args []Atom, env map[string]Type, lead []Type, ctx string) error {
+	ft, err := c.atom(fn, env)
+	if err != nil {
+		return err
+	}
+	if ft.Kind != KindFun {
+		return c.errf("%s: callee has type %s, want a function", ctx, ft)
+	}
+	want := ft.Params
+	if len(want) != len(lead)+len(args) {
+		return c.errf("%s: callee takes %d arguments, given %d", ctx, len(want), len(lead)+len(args))
+	}
+	for i, lt := range lead {
+		if !want[i].Equal(lt) {
+			return c.errf("%s: implicit argument %d has type %s, callee wants %s", ctx, i, lt, want[i])
+		}
+	}
+	for i, a := range args {
+		at, err := c.atom(a, env)
+		if err != nil {
+			return err
+		}
+		if !want[len(lead)+i].Equal(at) {
+			return c.errf("%s: argument %d has type %s, callee wants %s", ctx, i, at, want[len(lead)+i])
+		}
+	}
+	return nil
+}
+
+func (c *checker) expr(e Expr, env map[string]Type) error {
+	for {
+		switch e2 := e.(type) {
+		case Let:
+			sig, ok := opSigs[e2.Op]
+			if !ok {
+				return c.errf("unknown operator %v", e2.Op)
+			}
+			if len(e2.Args) != len(sig.args) {
+				return c.errf("%s takes %d operands, given %d", e2.Op, len(sig.args), len(e2.Args))
+			}
+			var moveType Type
+			for i, wt := range sig.args {
+				at, err := c.atom(e2.Args[i], env)
+				if err != nil {
+					return err
+				}
+				if wt == nil {
+					// "any value" operand: store/move payloads. Unit is not
+					// a storable value.
+					if at.Kind == KindUnit {
+						return c.errf("%s operand %d: unit is not a storable value", e2.Op, i)
+					}
+					moveType = at
+					continue
+				}
+				if !at.Equal(*wt) {
+					return c.errf("%s operand %d: have %s, want %s", e2.Op, i, at, *wt)
+				}
+			}
+			var rt Type
+			switch {
+			case sig.result != nil:
+				rt = *sig.result
+			case e2.Op == OpMove:
+				rt = moveType
+			case e2.Op == OpLoad:
+				// Result type is declared by the binding; the runtime
+				// checks the loaded word's tag against it.
+				rt = e2.DstType
+				if rt.Kind == KindUnit {
+					return c.errf("load destination cannot be unit")
+				}
+			default:
+				return c.errf("operator %s has no result rule", e2.Op)
+			}
+			if e2.Dst == "" {
+				return c.errf("let with empty destination")
+			}
+			if !rt.Equal(e2.DstType) {
+				return c.errf("let %s: operator %s yields %s, binding declares %s", e2.Dst, e2.Op, rt, e2.DstType)
+			}
+			env = extend(env, e2.Dst, rt)
+			e = e2.Body
+
+		case Extern:
+			if c.externs == nil {
+				return c.errf("extern %q used but no extern registry supplied", e2.Name)
+			}
+			sig, ok := c.externs[e2.Name]
+			if !ok {
+				return c.errf("unknown extern %q (known: %s)", e2.Name, externNames(c.externs))
+			}
+			if len(e2.Args) != len(sig.Args) {
+				return c.errf("extern %q takes %d arguments, given %d", e2.Name, len(sig.Args), len(e2.Args))
+			}
+			for i, wt := range sig.Args {
+				if err := c.want(e2.Args[i], env, wt, fmt.Sprintf("extern %q argument %d", e2.Name, i)); err != nil {
+					return err
+				}
+			}
+			if e2.Dst == "" {
+				return c.errf("extern with empty destination")
+			}
+			if !sig.Result.Equal(e2.DstType) {
+				return c.errf("extern %q yields %s, binding declares %s", e2.Name, sig.Result, e2.DstType)
+			}
+			env = extend(env, e2.Dst, sig.Result)
+			e = e2.Body
+
+		case If:
+			if err := c.want(e2.Cond, env, TyInt, "if condition"); err != nil {
+				return err
+			}
+			if err := c.expr(e2.Then, env); err != nil {
+				return err
+			}
+			e = e2.Else
+
+		case Call:
+			return c.callable(e2.Fn, e2.Args, env, nil, "tail call")
+
+		case Halt:
+			return c.want(e2.Code, env, TyInt, "halt code")
+
+		case Migrate:
+			if e2.Label < 0 {
+				return c.errf("migrate label %d must be non-negative", e2.Label)
+			}
+			if err := c.want(e2.Target, env, TyPtr, "migrate target"); err != nil {
+				return err
+			}
+			if err := c.want(e2.TargetOff, env, TyInt, "migrate target offset"); err != nil {
+				return err
+			}
+			return c.callable(e2.Fn, e2.Args, env, nil, "migrate continuation")
+
+		case Speculate:
+			// The continuation receives the speculation status c as an
+			// implicit leading int argument (§4.3.1).
+			return c.callable(e2.Fn, e2.Args, env, []Type{TyInt}, "speculate continuation")
+
+		case Commit:
+			if err := c.want(e2.Level, env, TyInt, "commit level"); err != nil {
+				return err
+			}
+			return c.callable(e2.Fn, e2.Args, env, nil, "commit continuation")
+
+		case Rollback:
+			if err := c.want(e2.Level, env, TyInt, "rollback level"); err != nil {
+				return err
+			}
+			return c.want(e2.C, env, TyInt, "rollback c")
+
+		case nil:
+			return c.errf("nil expression (missing control transfer)")
+
+		default:
+			return c.errf("unknown expression %T", e2)
+		}
+	}
+}
+
+func extend(env map[string]Type, name string, t Type) map[string]Type {
+	// Copy-on-extend keeps sibling branches (If) independent. Bodies are
+	// typically narrow, so the copies stay small.
+	out := make(map[string]Type, len(env)+1)
+	for k, v := range env {
+		out[k] = v
+	}
+	out[name] = t
+	return out
+}
+
+func externNames(externs map[string]ExternSig) string {
+	names := make([]string, 0, len(externs))
+	for n := range externs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// MigrateLabels returns the migrate labels appearing in the program mapped
+// to the name of the function containing them, and an error when a label is
+// duplicated. The migration subsystem uses this to validate that a resume
+// label in a packed image corresponds to a real migration point.
+func MigrateLabels(p *Program) (map[int]string, error) {
+	labels := make(map[int]string)
+	var walk func(fn string, e Expr) error
+	walk = func(fn string, e Expr) error {
+		switch e2 := e.(type) {
+		case Let:
+			return walk(fn, e2.Body)
+		case Extern:
+			return walk(fn, e2.Body)
+		case If:
+			if err := walk(fn, e2.Then); err != nil {
+				return err
+			}
+			return walk(fn, e2.Else)
+		case Migrate:
+			if prev, dup := labels[e2.Label]; dup {
+				return fmt.Errorf("fir: migrate label %d duplicated (in %s and %s)", e2.Label, prev, fn)
+			}
+			labels[e2.Label] = fn
+		}
+		return nil
+	}
+	for _, f := range p.Funcs {
+		if err := walk(f.Name, f.Body); err != nil {
+			return nil, err
+		}
+	}
+	return labels, nil
+}

@@ -1,0 +1,439 @@
+package fir
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// The canonical binary encoding of FIR programs. Migration never ships
+// machine code; it ships this encoding, which the target decodes,
+// type-checks and recompiles (§4.2.2). The format is self-delimiting,
+// byte-order independent (everything is explicit little-ended varints or
+// big-endian fixed words) and integrity-checked with a trailing CRC-32.
+
+const (
+	firMagic   = "MCCFIR"
+	firVersion = 1
+)
+
+// Expression tag bytes.
+const (
+	tagLet byte = iota + 1
+	tagExtern
+	tagIf
+	tagCall
+	tagHalt
+	tagMigrate
+	tagSpeculate
+	tagCommit
+	tagRollback
+)
+
+// Atom tag bytes.
+const (
+	atomVar byte = iota + 1
+	atomInt
+	atomFloat
+	atomFun
+	atomUnit
+)
+
+// EncodeProgram serializes a program to its canonical binary form.
+func EncodeProgram(p *Program) []byte {
+	e := &encoder{}
+	e.buf.WriteString(firMagic)
+	e.buf.WriteByte(firVersion)
+	e.str(p.Entry)
+	e.uvarint(uint64(len(p.Funcs)))
+	for _, f := range p.Funcs {
+		e.str(f.Name)
+		e.uvarint(uint64(len(f.Params)))
+		for _, prm := range f.Params {
+			e.str(prm.Name)
+			e.typ(prm.Type)
+		}
+		e.expr(f.Body)
+	}
+	sum := crc32.ChecksumIEEE(e.buf.Bytes())
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], sum)
+	e.buf.Write(tail[:])
+	return e.buf.Bytes()
+}
+
+// DecodeProgram parses the canonical binary form, verifying the checksum.
+// It performs structural validation only; callers that received the bytes
+// from an untrusted peer must still run Check before executing the result.
+func DecodeProgram(data []byte) (*Program, error) {
+	if len(data) < len(firMagic)+1+4 {
+		return nil, fmt.Errorf("fir: encoded program too short (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return nil, fmt.Errorf("fir: program checksum mismatch")
+	}
+	d := &decoder{data: body}
+	if string(d.take(len(firMagic))) != firMagic {
+		return nil, fmt.Errorf("fir: bad magic")
+	}
+	if v := d.byte(); v != firVersion {
+		return nil, fmt.Errorf("fir: unsupported version %d", v)
+	}
+	entry := d.str()
+	n := d.uvarint()
+	if n > uint64(len(body)) {
+		return nil, fmt.Errorf("fir: implausible function count %d", n)
+	}
+	p := &Program{Entry: entry}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		f := &Function{Name: d.str()}
+		np := d.uvarint()
+		if np > uint64(len(body)) {
+			return nil, fmt.Errorf("fir: implausible parameter count %d", np)
+		}
+		for j := uint64(0); j < np && d.err == nil; j++ {
+			name := d.str()
+			t := d.typ()
+			f.Params = append(f.Params, Param{Name: name, Type: t})
+		}
+		f.Body = d.expr(0)
+		p.AddFunc(f)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(d.data) {
+		return nil, fmt.Errorf("fir: %d trailing bytes after program", len(d.data)-d.pos)
+	}
+	p.reindex()
+	return p, nil
+}
+
+type encoder struct {
+	buf bytes.Buffer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (e *encoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.tmp[:], v)
+	e.buf.Write(e.tmp[:n])
+}
+
+func (e *encoder) varint(v int64) {
+	n := binary.PutVarint(e.tmp[:], v)
+	e.buf.Write(e.tmp[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf.WriteString(s)
+}
+
+func (e *encoder) f64(f float64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(f))
+	e.buf.Write(b[:])
+}
+
+func (e *encoder) typ(t Type) {
+	e.buf.WriteByte(byte(t.Kind))
+	if t.Kind == KindFun {
+		e.uvarint(uint64(len(t.Params)))
+		for _, p := range t.Params {
+			e.typ(p)
+		}
+	}
+}
+
+func (e *encoder) atom(a Atom) {
+	switch a := a.(type) {
+	case Var:
+		e.buf.WriteByte(atomVar)
+		e.str(a.Name)
+	case IntLit:
+		e.buf.WriteByte(atomInt)
+		e.varint(a.V)
+	case FloatLit:
+		e.buf.WriteByte(atomFloat)
+		e.f64(a.V)
+	case FunLit:
+		e.buf.WriteByte(atomFun)
+		e.str(a.Name)
+	case UnitLit:
+		e.buf.WriteByte(atomUnit)
+	default:
+		// Unknown atoms indicate a corrupted in-memory program; encode a
+		// unit so decoding fails type-checking rather than panicking here.
+		e.buf.WriteByte(atomUnit)
+	}
+}
+
+func (e *encoder) atoms(as []Atom) {
+	e.uvarint(uint64(len(as)))
+	for _, a := range as {
+		e.atom(a)
+	}
+}
+
+func (e *encoder) expr(x Expr) {
+	for {
+		switch x2 := x.(type) {
+		case Let:
+			e.buf.WriteByte(tagLet)
+			e.str(x2.Dst)
+			e.typ(x2.DstType)
+			e.buf.WriteByte(byte(x2.Op))
+			e.atoms(x2.Args)
+			x = x2.Body
+		case Extern:
+			e.buf.WriteByte(tagExtern)
+			e.str(x2.Dst)
+			e.typ(x2.DstType)
+			e.str(x2.Name)
+			e.atoms(x2.Args)
+			x = x2.Body
+		case If:
+			e.buf.WriteByte(tagIf)
+			e.atom(x2.Cond)
+			e.expr(x2.Then)
+			x = x2.Else
+		case Call:
+			e.buf.WriteByte(tagCall)
+			e.atom(x2.Fn)
+			e.atoms(x2.Args)
+			return
+		case Halt:
+			e.buf.WriteByte(tagHalt)
+			e.atom(x2.Code)
+			return
+		case Migrate:
+			e.buf.WriteByte(tagMigrate)
+			e.uvarint(uint64(x2.Label))
+			e.atom(x2.Target)
+			e.atom(x2.TargetOff)
+			e.atom(x2.Fn)
+			e.atoms(x2.Args)
+			return
+		case Speculate:
+			e.buf.WriteByte(tagSpeculate)
+			e.atom(x2.Fn)
+			e.atoms(x2.Args)
+			return
+		case Commit:
+			e.buf.WriteByte(tagCommit)
+			e.atom(x2.Level)
+			e.atom(x2.Fn)
+			e.atoms(x2.Args)
+			return
+		case Rollback:
+			e.buf.WriteByte(tagRollback)
+			e.atom(x2.Level)
+			e.atom(x2.C)
+			return
+		default:
+			// A nil or unknown terminator; emit halt 255 so the decoded
+			// program is structurally complete and fails loudly if run.
+			e.buf.WriteByte(tagHalt)
+			e.atom(IntLit{V: 255})
+			return
+		}
+	}
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("fir: decode at offset %d: %s", d.pos, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.pos+n > len(d.data) {
+		d.fail("truncated (need %d bytes)", n)
+		return nil
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+func (d *decoder) byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if n > uint64(len(d.data)) {
+		d.fail("implausible string length %d", n)
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+func (d *decoder) f64() float64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+const maxTypeDepth = 64
+
+func (d *decoder) typDepth(depth int) Type {
+	if depth > maxTypeDepth {
+		d.fail("type nesting exceeds %d", maxTypeDepth)
+		return Type{}
+	}
+	k := Kind(d.byte())
+	switch k {
+	case KindUnit, KindInt, KindFloat, KindPtr:
+		return Type{Kind: k}
+	case KindFun:
+		n := d.uvarint()
+		if n > uint64(len(d.data)) {
+			d.fail("implausible param count %d", n)
+			return Type{}
+		}
+		t := Type{Kind: KindFun, Params: make([]Type, 0, n)}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			t.Params = append(t.Params, d.typDepth(depth+1))
+		}
+		return t
+	default:
+		d.fail("unknown type kind %d", k)
+		return Type{}
+	}
+}
+
+func (d *decoder) typ() Type { return d.typDepth(0) }
+
+func (d *decoder) atom() Atom {
+	switch t := d.byte(); t {
+	case atomVar:
+		return Var{Name: d.str()}
+	case atomInt:
+		return IntLit{V: d.varint()}
+	case atomFloat:
+		return FloatLit{V: d.f64()}
+	case atomFun:
+		return FunLit{Name: d.str()}
+	case atomUnit:
+		return UnitLit{}
+	default:
+		d.fail("unknown atom tag %d", t)
+		return UnitLit{}
+	}
+}
+
+func (d *decoder) atoms() []Atom {
+	n := d.uvarint()
+	if n > uint64(len(d.data)) {
+		d.fail("implausible atom count %d", n)
+		return nil
+	}
+	as := make([]Atom, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		as = append(as, d.atom())
+	}
+	return as
+}
+
+const maxExprDepth = 100000
+
+func (d *decoder) expr(depth int) Expr {
+	if depth > maxExprDepth {
+		d.fail("expression nesting exceeds %d", maxExprDepth)
+		return Halt{Code: IntLit{V: 255}}
+	}
+	if d.err != nil {
+		return Halt{Code: IntLit{V: 255}}
+	}
+	switch t := d.byte(); t {
+	case tagLet:
+		dst := d.str()
+		dt := d.typ()
+		op := Op(d.byte())
+		args := d.atoms()
+		return Let{Dst: dst, DstType: dt, Op: op, Args: args, Body: d.expr(depth + 1)}
+	case tagExtern:
+		dst := d.str()
+		dt := d.typ()
+		name := d.str()
+		args := d.atoms()
+		return Extern{Dst: dst, DstType: dt, Name: name, Args: args, Body: d.expr(depth + 1)}
+	case tagIf:
+		cond := d.atom()
+		then := d.expr(depth + 1)
+		els := d.expr(depth + 1)
+		return If{Cond: cond, Then: then, Else: els}
+	case tagCall:
+		fn := d.atom()
+		return Call{Fn: fn, Args: d.atoms()}
+	case tagHalt:
+		return Halt{Code: d.atom()}
+	case tagMigrate:
+		label := d.uvarint()
+		if label > math.MaxInt32 {
+			d.fail("implausible migrate label %d", label)
+		}
+		target := d.atom()
+		off := d.atom()
+		fn := d.atom()
+		return Migrate{Label: int(label), Target: target, TargetOff: off, Fn: fn, Args: d.atoms()}
+	case tagSpeculate:
+		fn := d.atom()
+		return Speculate{Fn: fn, Args: d.atoms()}
+	case tagCommit:
+		lvl := d.atom()
+		fn := d.atom()
+		return Commit{Level: lvl, Fn: fn, Args: d.atoms()}
+	case tagRollback:
+		lvl := d.atom()
+		return Rollback{Level: lvl, C: d.atom()}
+	default:
+		d.fail("unknown expression tag %d", t)
+		return Halt{Code: IntLit{V: 255}}
+	}
+}

@@ -1,0 +1,385 @@
+package fir
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// testExterns is a small registry for checker tests.
+var testExterns = map[string]ExternSig{
+	"print_int": {Args: []Type{TyInt}, Result: TyUnit},
+	"getarg":    {Args: []Type{TyInt}, Result: TyInt},
+}
+
+// loopProgram is a canonical well-typed program: sums 0..9 with a
+// recursive function (FIR expresses loops as recursion).
+func loopProgram() *Program {
+	b := NewBuilder()
+	b.Let("done", TyInt, OpGe, V("i"), I(10))
+	loopBody := b.If(V("done"),
+		Halt{Code: V("acc")},
+		func() Expr {
+			b2 := NewBuilder()
+			b2.Let("acc2", TyInt, OpAdd, V("acc"), V("i"))
+			b2.Let("i2", TyInt, OpAdd, V("i"), I(1))
+			return b2.CallNamed("loop", V("i2"), V("acc2"))
+		}(),
+	)
+	loop := Fn("loop", Ps("i", TyInt, "acc", TyInt), loopBody)
+	main := Fn("main", nil, NewBuilder().CallNamed("loop", I(0), I(0)))
+	return NewProgram("main", main, loop)
+}
+
+func TestCheckAcceptsLoopProgram(t *testing.T) {
+	if err := Check(loopProgram(), testExterns); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *Program
+		want string
+	}{
+		{
+			"missing entry",
+			NewProgram("nope", Fn("main", nil, Halt{Code: I(0)})),
+			"entry function",
+		},
+		{
+			"entry with params",
+			NewProgram("main", Fn("main", Ps("x", TyInt), Halt{Code: I(0)})),
+			"no parameters",
+		},
+		{
+			"duplicate function",
+			NewProgram("main", Fn("main", nil, Halt{Code: I(0)}), Fn("main", nil, Halt{Code: I(0)})),
+			"duplicate function",
+		},
+		{
+			"unbound variable",
+			NewProgram("main", Fn("main", nil, Halt{Code: V("ghost")})),
+			"unbound variable",
+		},
+		{
+			"operand type mismatch",
+			NewProgram("main", Fn("main", nil,
+				Let{Dst: "x", DstType: TyInt, Op: OpAdd, Args: []Atom{I(1), F(2.0)}, Body: Halt{Code: V("x")}})),
+			"operand 1",
+		},
+		{
+			"result type mismatch",
+			NewProgram("main", Fn("main", nil,
+				Let{Dst: "x", DstType: TyFloat, Op: OpAdd, Args: []Atom{I(1), I(2)}, Body: Halt{Code: I(0)}})),
+			"yields int",
+		},
+		{
+			"call arity",
+			NewProgram("main",
+				Fn("main", nil, Call{Fn: FunLit{Name: "f"}, Args: []Atom{I(1)}}),
+				Fn("f", Ps("a", TyInt, "b", TyInt), Halt{Code: I(0)})),
+			"takes 2 arguments",
+		},
+		{
+			"call arg type",
+			NewProgram("main",
+				Fn("main", nil, Call{Fn: FunLit{Name: "f"}, Args: []Atom{F(1)}}),
+				Fn("f", Ps("a", TyInt), Halt{Code: I(0)})),
+			"argument 0",
+		},
+		{
+			"call non-function",
+			NewProgram("main", Fn("main", nil,
+				Let{Dst: "x", DstType: TyInt, Op: OpMove, Args: []Atom{I(1)}, Body: Call{Fn: V("x")}})),
+			"want a function",
+		},
+		{
+			"undefined callee",
+			NewProgram("main", Fn("main", nil, Call{Fn: FunLit{Name: "ghost"}})),
+			"undefined function",
+		},
+		{
+			"halt code not int",
+			NewProgram("main", Fn("main", nil, Halt{Code: F(1)})),
+			"halt code",
+		},
+		{
+			"if condition not int",
+			NewProgram("main", Fn("main", nil, If{Cond: F(1), Then: Halt{Code: I(0)}, Else: Halt{Code: I(0)}})),
+			"if condition",
+		},
+		{
+			"unknown extern",
+			NewProgram("main", Fn("main", nil,
+				Extern{Dst: "x", DstType: TyInt, Name: "ghost", Body: Halt{Code: V("x")}})),
+			"unknown extern",
+		},
+		{
+			"extern result mismatch",
+			NewProgram("main", Fn("main", nil,
+				Extern{Dst: "x", DstType: TyFloat, Name: "getarg", Args: []Atom{I(0)}, Body: Halt{Code: I(0)}})),
+			"yields int",
+		},
+		{
+			"speculate continuation missing c",
+			NewProgram("main",
+				Fn("main", nil, Speculate{Fn: FunLit{Name: "k"}, Args: nil}),
+				Fn("k", nil, Halt{Code: I(0)})),
+			"takes 0 arguments",
+		},
+		{
+			"speculate c wrong type",
+			NewProgram("main",
+				Fn("main", nil, Speculate{Fn: FunLit{Name: "k"}, Args: nil}),
+				Fn("k", Ps("c", TyFloat), Halt{Code: I(0)})),
+			"implicit argument",
+		},
+		{
+			"rollback c not int",
+			NewProgram("main", Fn("main", nil, Rollback{Level: I(1), C: F(0)})),
+			"rollback c",
+		},
+		{
+			"migrate label negative",
+			NewProgram("main",
+				Fn("main", nil,
+					Let{Dst: "p", DstType: TyPtr, Op: OpAlloc, Args: []Atom{I(4)},
+						Body: Migrate{Label: -1, Target: V("p"), TargetOff: I(0), Fn: FunLit{Name: "k"}}}),
+				Fn("k", nil, Halt{Code: I(0)})),
+			"label",
+		},
+		{
+			"store unit",
+			NewProgram("main", Fn("main", nil,
+				Let{Dst: "p", DstType: TyPtr, Op: OpAlloc, Args: []Atom{I(1)},
+					Body: Let{Dst: "u", DstType: TyUnit, Op: OpStore, Args: []Atom{V("p"), I(0), UnitLit{}},
+						Body: Halt{Code: I(0)}}})),
+			"not a storable value",
+		},
+		{
+			"nil body",
+			NewProgram("main", Fn("main", nil, nil)),
+			"nil expression",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Check(tc.prog, testExterns)
+			if err == nil {
+				t.Fatalf("Check accepted bad program")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckSpeculationPrimitives(t *testing.T) {
+	// speculate k(c; x) where k(c: int, x: ptr); commit [l] f(); rollback.
+	b := NewBuilder()
+	b.Let("p", TyPtr, OpAlloc, I(4))
+	main := Fn("main", nil, b.Speculate("body", V("p")))
+
+	bb := NewBuilder()
+	bb.Let("rolled", TyInt, OpNe, V("c"), I(0))
+	body := Fn("body", Ps("c", TyInt, "p", TyPtr),
+		bb.If(V("rolled"),
+			Halt{Code: I(1)},
+			NewBuilder().Commit(I(1), "done")))
+	done := Fn("done", nil, Halt{Code: I(0)})
+	p := NewProgram("main", main, body, done)
+	if err := Check(p, testExterns); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestTypeEqualAndString(t *testing.T) {
+	if !TyFun(TyInt, TyPtr).Equal(TyFun(TyInt, TyPtr)) {
+		t.Fatal("identical fun types not equal")
+	}
+	if TyFun(TyInt).Equal(TyFun(TyFloat)) {
+		t.Fatal("different fun types equal")
+	}
+	if TyFun(TyInt).Equal(TyFun(TyInt, TyInt)) {
+		t.Fatal("different arity fun types equal")
+	}
+	if TyInt.Equal(TyFloat) {
+		t.Fatal("int equal to float")
+	}
+	if got := TyFun(TyInt, TyFun(TyPtr)).String(); got != "fun(int, fun(ptr))" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func specProgram() *Program {
+	b := NewBuilder()
+	b.Let("p", TyPtr, OpAlloc, I(8))
+	b.Let("u", TyUnit, OpStore, V("p"), I(0), F(3.14))
+	main := Fn("main", nil, b.Speculate("k", V("p")))
+	kb := NewBuilder()
+	kb.Let("x", TyFloat, OpLoad, V("p"), I(0))
+	kb.Extern("u", TyUnit, "print_int", V("c"))
+	k := Fn("k", Ps("c", TyInt, "p", TyPtr),
+		kb.If(V("c"),
+			NewBuilder().Rollback(I(1), I(3)),
+			NewBuilder().Commit(I(1), "end")))
+	end := Fn("end", nil, NewBuilder().Migrate(7, V("tgt"), I(0), "fin"))
+	_ = end
+	endB := NewBuilder()
+	endB.Let("tgt", TyPtr, OpAlloc, I(4))
+	end2 := Fn("end", nil, endB.Migrate(7, V("tgt"), I(0), "fin"))
+	fin := Fn("fin", nil, Halt{Code: I(0)})
+	return NewProgram("main", main, k, end2, fin)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, p := range []*Program{loopProgram(), specProgram()} {
+		data := EncodeProgram(p)
+		q, err := DecodeProgram(data)
+		if err != nil {
+			t.Fatalf("DecodeProgram: %v", err)
+		}
+		if Format(p) != Format(q) {
+			t.Fatalf("round trip changed program:\n-- original --\n%s\n-- decoded --\n%s", Format(p), Format(q))
+		}
+		// Decoded program must still type-check identically.
+		if err := Check(q, testExterns); err != nil {
+			t.Fatalf("decoded program fails Check: %v", err)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data := EncodeProgram(loopProgram())
+	for i := 0; i < len(data); i += 7 {
+		bad := make([]byte, len(data))
+		copy(bad, data)
+		bad[i] ^= 0x55
+		if _, err := DecodeProgram(bad); err == nil {
+			// A flip may survive only if it produced an identical checksum,
+			// which CRC-32 makes impossible for single-byte changes.
+			t.Fatalf("corruption at byte %d went undetected", i)
+		}
+	}
+	if _, err := DecodeProgram(data[:4]); err == nil {
+		t.Fatal("truncated program accepted")
+	}
+	if _, err := DecodeProgram(append(data, 0, 0, 0, 0)); err == nil {
+		t.Fatal("extended program accepted")
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	// Property: any program built from random atoms survives the round
+	// trip with identical formatting.
+	f := func(name string, ints []int64, fs []float64) bool {
+		if name == "" {
+			name = "x"
+		}
+		name = sanitize(name)
+		b := NewBuilder()
+		prev := Atom(I(1))
+		for i, v := range ints {
+			dst := b.Fresh("i")
+			b.Let(dst, TyInt, OpAdd, prev, I(v))
+			prev = V(dst)
+			if i > 8 {
+				break
+			}
+		}
+		fprev := Atom(F(1))
+		for i, v := range fs {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			dst := b.Fresh("f")
+			b.Let(dst, TyFloat, OpFAdd, fprev, F(v))
+			fprev = V(dst)
+			if i > 8 {
+				break
+			}
+		}
+		p := NewProgram("main", Fn("main", nil, b.Halt(I(0))), Fn(name+"_aux", nil, Halt{Code: I(1)}))
+		q, err := DecodeProgram(EncodeProgram(p))
+		if err != nil {
+			return false
+		}
+		return Format(p) == Format(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "x"
+	}
+	return b.String()
+}
+
+func TestMigrateLabels(t *testing.T) {
+	p := specProgram()
+	labels, err := MigrateLabels(p)
+	if err != nil {
+		t.Fatalf("MigrateLabels: %v", err)
+	}
+	if fn, ok := labels[7]; !ok || fn != "end" {
+		t.Fatalf("labels = %v, want {7: end}", labels)
+	}
+
+	dup := NewProgram("main",
+		Fn("main", nil,
+			Let{Dst: "p", DstType: TyPtr, Op: OpAlloc, Args: []Atom{I(1)},
+				Body: Migrate{Label: 3, Target: V("p"), TargetOff: I(0), Fn: FunLit{Name: "main"}}}),
+		Fn("aux", nil,
+			Let{Dst: "p", DstType: TyPtr, Op: OpAlloc, Args: []Atom{I(1)},
+				Body: Migrate{Label: 3, Target: V("p"), TargetOff: I(0), Fn: FunLit{Name: "aux"}}}))
+	if _, err := MigrateLabels(dup); err == nil {
+		t.Fatal("duplicate migrate label accepted")
+	}
+}
+
+func TestFormatStable(t *testing.T) {
+	s := Format(loopProgram())
+	for _, want := range []string{"program entry=main", "fun main()", "fun loop(i: int, acc: int)", "halt acc", "loop(i2, acc2)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Format output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestProgramLookup(t *testing.T) {
+	p := loopProgram()
+	f, idx := p.Lookup("loop")
+	if f == nil || f.Name != "loop" {
+		t.Fatalf("Lookup(loop) = %v", f)
+	}
+	if g, err := p.FuncByIndex(idx); err != nil || g != f {
+		t.Fatalf("FuncByIndex(%d) = %v, %v", idx, g, err)
+	}
+	if f, idx := p.Lookup("ghost"); f != nil || idx != -1 {
+		t.Fatal("Lookup(ghost) found something")
+	}
+	if _, err := p.FuncByIndex(99); err == nil {
+		t.Fatal("FuncByIndex(99) accepted")
+	}
+}
+
+func TestBuilderFresh(t *testing.T) {
+	b := NewBuilder()
+	a, c := b.Fresh("t"), b.Fresh("t")
+	if a == c {
+		t.Fatalf("Fresh returned duplicate %q", a)
+	}
+}

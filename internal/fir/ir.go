@@ -1,0 +1,248 @@
+package fir
+
+import "fmt"
+
+// Atom is an atomic FIR value expression: a variable reference or a
+// literal. Atoms are the only operands instructions accept; compound
+// expressions are flattened by the frontend into Let chains.
+type Atom interface {
+	isAtom()
+	String() string
+}
+
+// Var references an immutable FIR variable bound by a parameter, a Let, or
+// an Extern.
+type Var struct{ Name string }
+
+// IntLit is an integer literal (also used for booleans: 0/1).
+type IntLit struct{ V int64 }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ V float64 }
+
+// FunLit references a top-level function by name; at runtime it denotes an
+// index into the function table.
+type FunLit struct{ Name string }
+
+// UnitLit is the unit value.
+type UnitLit struct{}
+
+func (Var) isAtom()      {}
+func (IntLit) isAtom()   {}
+func (FloatLit) isAtom() {}
+func (FunLit) isAtom()   {}
+func (UnitLit) isAtom()  {}
+
+func (a Var) String() string      { return a.Name }
+func (a IntLit) String() string   { return fmt.Sprintf("%d", a.V) }
+func (a FloatLit) String() string { return fmt.Sprintf("%g", a.V) }
+func (a FunLit) String() string   { return "@" + a.Name }
+func (UnitLit) String() string    { return "()" }
+
+// Expr is a FIR expression. Because FIR is in continuation-passing style,
+// an expression is a straight-line sequence of Let/Extern bindings ending
+// in exactly one control transfer (Call, If, Halt, or one of the
+// migration/speculation pseudo-instructions).
+type Expr interface {
+	isExpr()
+}
+
+// Let binds Dst to the result of applying Op to Args, then continues with
+// Body. FIR variables are immutable: Dst must be a fresh name.
+type Let struct {
+	Dst     string
+	DstType Type
+	Op      Op
+	Args    []Atom
+	Body    Expr
+}
+
+// Extern invokes a named external (runtime-provided) function, binds its
+// result to Dst, and continues with Body. Externals are the FFI boundary:
+// printing, messaging, random sources and clocks live here. They are the
+// only non-tail calls in FIR.
+type Extern struct {
+	Dst     string
+	DstType Type
+	Name    string
+	Args    []Atom
+	Body    Expr
+}
+
+// If transfers control to Then when Cond (an int) is non-zero and to Else
+// otherwise.
+type If struct {
+	Cond Atom
+	Then Expr
+	Else Expr
+}
+
+// Call is a tail call. Fn is either a FunLit (direct call) or a Var of
+// function type (indirect call through the function table). Call never
+// returns.
+type Call struct {
+	Fn   Atom
+	Args []Atom
+}
+
+// Halt terminates the process with the given integer exit code.
+type Halt struct{ Code Atom }
+
+// MigrateProtocol selects how a migrate pseudo-instruction disposes of the
+// packed process image (paper §4.2.1).
+type MigrateProtocol uint8
+
+const (
+	// ProtoMigrate ships the process to a remote migration server for
+	// immediate execution and terminates the local copy on success. On
+	// failure the process continues locally, indifferent to the outcome.
+	ProtoMigrate MigrateProtocol = iota
+	// ProtoSuspend writes the process image to a file and terminates the
+	// process if the write succeeded.
+	ProtoSuspend
+	// ProtoCheckpoint writes the process image to a file and continues
+	// running regardless.
+	ProtoCheckpoint
+)
+
+func (p MigrateProtocol) String() string {
+	switch p {
+	case ProtoMigrate:
+		return "migrate"
+	case ProtoSuspend:
+		return "suspend"
+	case ProtoCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("protocol(%d)", uint8(p))
+	}
+}
+
+// Migrate is the migration pseudo-instruction
+//
+//	migrate [i, a_ptr, a_off] f(a_1, …, a_n)
+//
+// Label is the unique integer i identifying this migration point; the
+// backend uses it to correlate the runtime execution point with the FIR
+// when execution resumes on the target. (Target, TargetOff) is a pointer
+// (block + offset) to a heap string naming the migration target; the string
+// encodes the protocol, e.g. "migrate://host:port", "checkpoint://name" or
+// "suspend://name". Fn/Args form the continuation invoked after the
+// migration completes (on whichever machine the process ends up on).
+type Migrate struct {
+	Label     int
+	Target    Atom
+	TargetOff Atom
+	Fn        Atom
+	Args      []Atom
+}
+
+// Speculate is the pseudo-instruction speculate f(c, a_1, …, a_n): enter a
+// new speculation level and invoke Fn with an integer first argument c and
+// Args after it. On the initial entry c is 0; if the level is later rolled
+// back, Fn is re-invoked with the same Args but the rollback's new value of
+// c — the only way state crosses a rollback (paper §4.3.1).
+type Speculate struct {
+	Fn   Atom
+	Args []Atom
+}
+
+// Commit is the pseudo-instruction commit [l] f(a_1, …, a_n): fold all
+// changes of speculation level l into the level below it (commits may occur
+// out of order), then invoke the continuation.
+type Commit struct {
+	Level Atom
+	Fn    Atom
+	Args  []Atom
+}
+
+// Rollback is the pseudo-instruction rollback [l, c]: revert every change
+// made in level l and all later levels, then re-enter level l by
+// re-invoking its saved continuation with the new value of c (the retry
+// semantics of §4.3.1).
+type Rollback struct {
+	Level Atom
+	C     Atom
+}
+
+func (Let) isExpr()       {}
+func (Extern) isExpr()    {}
+func (If) isExpr()        {}
+func (Call) isExpr()      {}
+func (Halt) isExpr()      {}
+func (Migrate) isExpr()   {}
+func (Speculate) isExpr() {}
+func (Commit) isExpr()    {}
+func (Rollback) isExpr()  {}
+
+// Function is a top-level FIR function. Functions never return; the body
+// ends in a control transfer.
+type Function struct {
+	Name   string
+	Params []Param
+	Body   Expr
+}
+
+// Type returns the function type of f.
+func (f *Function) Type() Type {
+	ps := make([]Type, len(f.Params))
+	for i, p := range f.Params {
+		ps[i] = p.Type
+	}
+	return TyFun(ps...)
+}
+
+// Program is a complete FIR program: an ordered list of functions and the
+// name of the entry function. Function order is significant — the function
+// table index of a function is its position in Funcs, and migration
+// preserves order so indices stored in the heap stay valid (§4.2.2).
+type Program struct {
+	Funcs []*Function
+	Entry string
+
+	index map[string]int
+}
+
+// NewProgram assembles a program from functions and an entry point name.
+func NewProgram(entry string, funcs ...*Function) *Program {
+	p := &Program{Funcs: funcs, Entry: entry}
+	p.reindex()
+	return p
+}
+
+func (p *Program) reindex() {
+	p.index = make(map[string]int, len(p.Funcs))
+	for i, f := range p.Funcs {
+		p.index[f.Name] = i
+	}
+}
+
+// AddFunc appends a function to the program.
+func (p *Program) AddFunc(f *Function) {
+	p.Funcs = append(p.Funcs, f)
+	if p.index == nil {
+		p.index = make(map[string]int)
+	}
+	p.index[f.Name] = len(p.Funcs) - 1
+}
+
+// Lookup returns the function with the given name and its function-table
+// index, or nil and -1 when absent.
+func (p *Program) Lookup(name string) (*Function, int) {
+	if p.index == nil {
+		p.reindex()
+	}
+	i, ok := p.index[name]
+	if !ok {
+		return nil, -1
+	}
+	return p.Funcs[i], i
+}
+
+// FuncByIndex returns the function at a function-table index.
+func (p *Program) FuncByIndex(i int) (*Function, error) {
+	if i < 0 || i >= len(p.Funcs) {
+		return nil, fmt.Errorf("fir: function index %d out of range [0,%d)", i, len(p.Funcs))
+	}
+	return p.Funcs[i], nil
+}

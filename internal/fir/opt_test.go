@@ -1,0 +1,99 @@
+package fir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptimizeFoldsConstants(t *testing.T) {
+	b := NewBuilder()
+	b.Let("a", TyInt, OpAdd, I(2), I(3))
+	b.Let("c", TyInt, OpMul, V("a"), I(4))
+	p := NewProgram("main", Fn("main", nil, b.Halt(V("c"))))
+	st := Optimize(p)
+	if st.Folded < 2 {
+		t.Fatalf("Folded = %d, want >= 2", st.Folded)
+	}
+	out := Format(p)
+	if !strings.Contains(out, "halt 20") {
+		t.Fatalf("folding did not reach the halt:\n%s", out)
+	}
+	if err := Check(p, nil); err != nil {
+		t.Fatalf("optimized program fails Check: %v", err)
+	}
+}
+
+func TestOptimizeCopyPropagationAndDeadLets(t *testing.T) {
+	b := NewBuilder()
+	b.Let("x", TyInt, OpMove, I(7))
+	b.Let("unused", TyInt, OpAdd, V("x"), I(1))
+	p := NewProgram("main", Fn("main", nil, b.Halt(V("x"))))
+	st := Optimize(p)
+	if st.CopiesProp == 0 {
+		t.Fatal("no copies propagated")
+	}
+	out := Format(p)
+	if !strings.Contains(out, "halt 7") {
+		t.Fatalf("move not propagated:\n%s", out)
+	}
+	if strings.Contains(out, "unused") {
+		t.Fatalf("dead binding survived:\n%s", out)
+	}
+}
+
+func TestOptimizeFoldsBranches(t *testing.T) {
+	b := NewBuilder()
+	b.Let("c", TyInt, OpLt, I(1), I(2))
+	body := b.If(V("c"), Halt{Code: I(10)}, Halt{Code: I(20)})
+	p := NewProgram("main", Fn("main", nil, body))
+	st := Optimize(p)
+	if st.IfsFolded != 1 {
+		t.Fatalf("IfsFolded = %d", st.IfsFolded)
+	}
+	if !strings.Contains(Format(p), "halt 10") || strings.Contains(Format(p), "halt 20") {
+		t.Fatalf("branch not folded:\n%s", Format(p))
+	}
+}
+
+func TestOptimizePreservesTraps(t *testing.T) {
+	// Division by a zero literal must NOT fold — the trap is observable.
+	b := NewBuilder()
+	b.Let("d", TyInt, OpDiv, I(1), I(0))
+	p := NewProgram("main", Fn("main", nil, b.Halt(I(0))))
+	Optimize(p)
+	out := Format(p)
+	if !strings.Contains(out, "div") {
+		t.Fatalf("div-by-zero was folded or dropped:\n%s", out)
+	}
+	// Loads are never dropped even when unused (they can trap).
+	b2 := NewBuilder()
+	b2.Let("p", TyPtr, OpAlloc, I(1))
+	b2.Let("x", TyInt, OpLoad, V("p"), I(5))
+	p2 := NewProgram("main", Fn("main", nil, b2.Halt(I(0))))
+	Optimize(p2)
+	if !strings.Contains(Format(p2), "load") {
+		t.Fatalf("trapping load dropped:\n%s", Format(p2))
+	}
+}
+
+func TestOptimizeBranchEnvIsolation(t *testing.T) {
+	// A copy propagated inside one branch must not leak into the other.
+	b := NewBuilder()
+	b.Let("p", TyPtr, OpAlloc, I(2))
+	b.Let("c", TyInt, OpLoad, V("p"), I(0)) // opaque condition
+	thenB := NewBuilder()
+	thenB.Let("t", TyInt, OpMove, I(1))
+	then := thenB.Halt(V("t"))
+	elseB := NewBuilder()
+	elseB.Let("t", TyInt, OpMove, I(2))
+	els := elseB.Halt(V("t"))
+	p := NewProgram("main", Fn("main", nil, b.If(V("c"), then, els)))
+	Optimize(p)
+	out := Format(p)
+	if !strings.Contains(out, "halt 1") || !strings.Contains(out, "halt 2") {
+		t.Fatalf("branch environments leaked:\n%s", out)
+	}
+	if err := Check(p, nil); err != nil {
+		t.Fatalf("Check after optimize: %v", err)
+	}
+}

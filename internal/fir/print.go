@@ -1,0 +1,94 @@
+package fir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program in a readable textual form, used by `mcc -emit
+// fir` and by test failure output. The format is stable but not parsed
+// back; the canonical interchange form is the binary encoding.
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program entry=%s\n", p.Entry)
+	for _, f := range p.Funcs {
+		b.WriteString(FormatFunc(f))
+	}
+	return b.String()
+}
+
+// FormatFunc renders a single function.
+func FormatFunc(f *Function) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fun %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %s", p.Name, p.Type)
+	}
+	b.WriteString(") =\n")
+	writeExpr(&b, f.Body, 1)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e Expr, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for {
+		switch e2 := e.(type) {
+		case Let:
+			fmt.Fprintf(b, "%slet %s: %s = %s%s\n", ind, e2.Dst, e2.DstType, e2.Op, atomList(e2.Args, "(", ")"))
+			e = e2.Body
+		case Extern:
+			fmt.Fprintf(b, "%slet %s: %s = extern %q%s\n", ind, e2.Dst, e2.DstType, e2.Name, atomList(e2.Args, "(", ")"))
+			e = e2.Body
+		case If:
+			fmt.Fprintf(b, "%sif %s then\n", ind, e2.Cond)
+			writeExpr(b, e2.Then, depth+1)
+			fmt.Fprintf(b, "%selse\n", ind)
+			writeExpr(b, e2.Else, depth+1)
+			return
+		case Call:
+			fmt.Fprintf(b, "%s%s%s\n", ind, e2.Fn, atomList(e2.Args, "(", ")"))
+			return
+		case Halt:
+			fmt.Fprintf(b, "%shalt %s\n", ind, e2.Code)
+			return
+		case Migrate:
+			fmt.Fprintf(b, "%smigrate [%d, %s, %s] %s%s\n", ind, e2.Label, e2.Target, e2.TargetOff, e2.Fn, atomList(e2.Args, "(", ")"))
+			return
+		case Speculate:
+			fmt.Fprintf(b, "%sspeculate %s%s\n", ind, e2.Fn, atomList(e2.Args, "(c; ", ")"))
+			return
+		case Commit:
+			fmt.Fprintf(b, "%scommit [%s] %s%s\n", ind, e2.Level, e2.Fn, atomList(e2.Args, "(", ")"))
+			return
+		case Rollback:
+			fmt.Fprintf(b, "%srollback [%s, %s]\n", ind, e2.Level, e2.C)
+			return
+		case nil:
+			fmt.Fprintf(b, "%s<nil>\n", ind)
+			return
+		default:
+			fmt.Fprintf(b, "%s<unknown %T>\n", ind, e2)
+			return
+		}
+	}
+}
+
+func atomList(args []Atom, open, close string) string {
+	var b strings.Builder
+	b.WriteString(open)
+	for i, a := range args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if a == nil {
+			b.WriteString("<nil>")
+		} else {
+			b.WriteString(a.String())
+		}
+	}
+	b.WriteString(close)
+	return b.String()
+}

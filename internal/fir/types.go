@@ -1,0 +1,110 @@
+// Package fir implements the Mojave functional intermediate representation
+// (FIR): a type-safe, semi-functional, continuation-passing-style language
+// into which every MCC source language is lowered.
+//
+// FIR variables are immutable; all mutation happens through heap blocks.
+// Functions never return — control transfers only via tail calls — so the
+// complete execution state of a process is (current function, argument
+// values, heap). That property is what makes whole-process migration and
+// speculative rollback expressible as ordinary data operations: capturing a
+// continuation is capturing a function index plus a vector of arguments.
+//
+// The package provides the instruction set (including the migrate,
+// speculate, commit and rollback pseudo-instructions of the paper's §4.2.1
+// and §4.3.1), a type checker, a validator, a pretty-printer, a canonical
+// binary encoding used by the migration subsystem, and a builder API used
+// by the MojC frontend and by tests.
+package fir
+
+import "fmt"
+
+// Kind enumerates the base kinds of FIR types.
+type Kind uint8
+
+// The FIR type kinds. Pointers are untyped at the FIR level (blocks hold
+// tagged words that the runtime checks on every access), mirroring the
+// paper's treatment of C memory. Function types carry parameter types so
+// indirect tail calls through the function table can be checked.
+const (
+	KindUnit Kind = iota
+	KindInt
+	KindFloat
+	KindPtr
+	KindFun
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUnit:
+		return "unit"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindPtr:
+		return "ptr"
+	case KindFun:
+		return "fun"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Type is a FIR type. Params is non-nil only for KindFun, in which case it
+// holds the parameter types of the function (FIR functions do not return).
+type Type struct {
+	Kind   Kind
+	Params []Type
+}
+
+// Convenient type singletons for the non-function kinds.
+var (
+	TyUnit  = Type{Kind: KindUnit}
+	TyInt   = Type{Kind: KindInt}
+	TyFloat = Type{Kind: KindFloat}
+	TyPtr   = Type{Kind: KindPtr}
+)
+
+// TyFun constructs a function type with the given parameter types.
+func TyFun(params ...Type) Type {
+	return Type{Kind: KindFun, Params: params}
+}
+
+// Equal reports whether two FIR types are structurally equal.
+func (t Type) Equal(u Type) bool {
+	if t.Kind != u.Kind {
+		return false
+	}
+	if t.Kind != KindFun {
+		return true
+	}
+	if len(t.Params) != len(u.Params) {
+		return false
+	}
+	for i := range t.Params {
+		if !t.Params[i].Equal(u.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t Type) String() string {
+	if t.Kind != KindFun {
+		return t.Kind.String()
+	}
+	s := "fun("
+	for i, p := range t.Params {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.String()
+	}
+	return s + ")"
+}
+
+// Param is a named, typed function parameter.
+type Param struct {
+	Name string
+	Type Type
+}

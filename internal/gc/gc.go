@@ -1,0 +1,87 @@
+// Package gc provides the collection policy for the MCC runtime heap. The
+// mechanism (generational mark-sweep with sliding compaction, §4 of the
+// paper) lives in internal/heap because it manipulates the heap's
+// representation invariants directly — the paper notes that "process
+// migration and speculation are tightly integrated with the garbage
+// collector". This package decides when to run a minor collection, when to
+// escalate to a major one, and records policy-level statistics.
+package gc
+
+import "repro/internal/heap"
+
+// Policy is a heap.Collector: minor-first generational collection with
+// escalation to a major (full, compacting) collection when the minor phase
+// does not recover enough space, plus a periodic forced major collection
+// to bound fragmentation and drift.
+type Policy struct {
+	// HeadroomFactor escalates to a major collection when, after a minor
+	// collection, used+need exceeds this fraction of the arena. Default
+	// 0.85.
+	HeadroomFactor float64
+	// MajorEvery forces a major collection after this many consecutive
+	// minors. Default 16. Zero disables the forcing.
+	MajorEvery int
+
+	minorsSinceMajor int
+	stats            Stats
+}
+
+// Stats counts policy decisions.
+type Stats struct {
+	MinorRuns     uint64
+	MajorRuns     uint64
+	Escalations   uint64 // minor collections that escalated to major
+	ForcedMajors  uint64 // majors forced by MajorEvery
+	WordsRecycled uint64 // arena words recovered across all collections
+}
+
+// New returns a policy with default tuning.
+func New() *Policy {
+	return &Policy{HeadroomFactor: 0.85, MajorEvery: 16}
+}
+
+// Stats returns a copy of the policy counters.
+func (p *Policy) Stats() Stats { return p.stats }
+
+// Collect implements heap.Collector.
+func (p *Policy) Collect(h *heap.Heap, need int) error {
+	headroom := p.HeadroomFactor
+	if headroom <= 0 || headroom > 1 {
+		headroom = 0.85
+	}
+	before := h.UsedWords()
+
+	forced := p.MajorEvery > 0 && p.minorsSinceMajor >= p.MajorEvery
+	if forced {
+		h.CollectMajor()
+		p.stats.MajorRuns++
+		p.stats.ForcedMajors++
+		p.minorsSinceMajor = 0
+	} else {
+		h.CollectMinor()
+		p.stats.MinorRuns++
+		p.minorsSinceMajor++
+		if float64(h.UsedWords()+need) > headroom*float64(h.ArenaWords()) {
+			h.CollectMajor()
+			p.stats.MajorRuns++
+			p.stats.Escalations++
+			p.minorsSinceMajor = 0
+		}
+	}
+	if after := h.UsedWords(); after < before {
+		p.stats.WordsRecycled += uint64(before - after)
+	}
+	return nil
+}
+
+// MajorOnly is a degenerate policy that always runs a full compacting
+// collection. It exists for ablations and for deterministic tests that
+// need every collection to be total.
+type MajorOnly struct{ Runs uint64 }
+
+// Collect implements heap.Collector.
+func (m *MajorOnly) Collect(h *heap.Heap, need int) error {
+	h.CollectMajor()
+	m.Runs++
+	return nil
+}

@@ -1,0 +1,243 @@
+// Package grid implements the paper's motivating application (§2,
+// Figure 2): a 2D grid computation (Jacobi-style heat diffusion) with
+// row-wise domain decomposition, border exchange over the message-passing
+// layer, and a speculative main loop that commits and checkpoints every
+// checkpoint_interval steps. The per-node program is written in MojC and
+// compiled by the MCC frontend — the paper's point is precisely that the
+// fault-tolerance annotations are a handful of language primitives.
+//
+// The package also provides a sequential Go reference implementation that
+// replays the identical floating-point operations, so a cluster run —
+// with or without injected failures — can be verified bit-exactly.
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fir"
+	"repro/internal/lang"
+)
+
+// Params describes one grid experiment.
+type Params struct {
+	// Nodes is the number of compute processes (row strips).
+	Nodes int
+	// RowsPerNode and Cols fix each node's local domain.
+	RowsPerNode int
+	Cols        int
+	// Steps is the number of timesteps.
+	Steps int
+	// CheckpointInterval is the paper's checkpoint_interval: commit +
+	// checkpoint every this many steps.
+	CheckpointInterval int
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Nodes < 1:
+		return fmt.Errorf("grid: need at least one node, have %d", p.Nodes)
+	case p.RowsPerNode < 1 || p.Cols < 3:
+		return fmt.Errorf("grid: local domain %dx%d too small", p.RowsPerNode, p.Cols)
+	case p.Steps < 1:
+		return fmt.Errorf("grid: need at least one step, have %d", p.Steps)
+	case p.CheckpointInterval < 1:
+		return fmt.Errorf("grid: checkpoint interval %d must be positive", p.CheckpointInterval)
+	}
+	return nil
+}
+
+// Source is the per-node MojC program: Figure 2's simplified speculative
+// main loop, complete. Arguments: getarg(0)=nodes, 1=rows, 2=cols,
+// 3=timesteps, 4=checkpoint_interval. The node id comes from node_id(),
+// the checkpoint target string from ck_name() (both externs).
+const Source = `
+// Deterministic initial condition for global row gr, column j.
+float initial(int gr, int j) {
+	return float((gr * 31 + j * 17) % 100);
+}
+
+// Fill u (including ghost rows) for this node's strip.
+void init_grid(fptr u, int rows, int cols, int me) {
+	for (int i = 0; i < rows + 2; i += 1) {
+		int gr = me * rows + i - 1;
+		for (int j = 0; j < cols; j += 1) {
+			u[i * cols + j] = initial(gr, j);
+		}
+	}
+}
+
+// Exchange border rows with the neighbours for this timestep. Returns the
+// message status: 0 ok, 1 MSG_ROLL (a failure requires rollback), 2 the
+// run is shutting down.
+int get_borders(fptr u, int rows, int cols, int me, int nodes, int step) {
+	// Sends are buffered and idempotent; post them all first.
+	if (me > 0) {
+		int s1 = msg_send(me - 1, step, u, cols, cols); // my top real row
+		if (s1 != 0) { return s1; }
+	}
+	if (me < nodes - 1) {
+		int s2 = msg_send(me + 1, step, u, rows * cols, cols); // my bottom real row
+		if (s2 != 0) { return s2; }
+	}
+	if (me > 0) {
+		int r1 = msg_recv(me - 1, step, u, 0, cols); // into top ghost row
+		if (r1 != 0) { return r1; }
+	}
+	if (me < nodes - 1) {
+		int r2 = msg_recv(me + 1, step, u, (rows + 1) * cols, cols); // bottom ghost
+		if (r2 != 0) { return r2; }
+	}
+	return 0;
+}
+
+// One Jacobi relaxation step: v gets the 4-neighbour average of u; global
+// boundary cells are held fixed.
+void do_computation(fptr u, fptr v, int rows, int cols, int me, int nodes) {
+	for (int i = 1; i <= rows; i += 1) {
+		for (int j = 0; j < cols; j += 1) {
+			int boundary = 0;
+			if (me == 0 && i == 1) { boundary = 1; }
+			if (me == nodes - 1 && i == rows) { boundary = 1; }
+			if (j == 0 || j == cols - 1) { boundary = 1; }
+			if (boundary == 1) {
+				v[i * cols + j] = u[i * cols + j];
+			} else {
+				v[i * cols + j] = 0.25 * (u[(i - 1) * cols + j] + u[(i + 1) * cols + j]
+					+ u[i * cols + j - 1] + u[i * cols + j + 1]);
+			}
+		}
+	}
+}
+
+// Checksum over the real rows, scaled to an integer exit code.
+int checksum(fptr u, int rows, int cols) {
+	float sum = 0.0;
+	for (int i = 1; i <= rows; i += 1) {
+		for (int j = 0; j < cols; j += 1) {
+			sum += u[i * cols + j];
+		}
+	}
+	return int(sum / float(rows * cols) * 1000.0);
+}
+
+int main() {
+	int nodes = getarg(0);
+	int rows = getarg(1);
+	int cols = getarg(2);
+	int timesteps = getarg(3);
+	int checkpoint_interval = getarg(4);
+	int me = node_id();
+
+	fptr u = falloc((rows + 2) * cols);
+	fptr v = falloc((rows + 2) * cols);
+	init_grid(u, rows, cols, me);
+	init_grid(v, rows, cols, me);
+
+	// Figure 2's simplified speculative main loop.
+	int specid = speculate();
+	int step = 1;
+	while (step <= timesteps) {
+		/* Get boundary values from neighbors. May have to rollback. */
+		int err = get_borders(u, rows, cols, me, nodes, step);
+		if (err == 1) {
+			retry(specid); // MSG_ROLL: roll back to the last speculation
+		}
+		if (err == 2) {
+			return -1; // shutdown
+		}
+		/* Perform the computation. */
+		do_computation(u, v, rows, cols, me, nodes);
+		fptr tmp = u;
+		u = v;
+		v = tmp;
+		/* Save a checkpoint if it's time. */
+		if (step % checkpoint_interval == 0) {
+			commit(specid);            /* Save the current speculation */
+			ptr name = ck_name();
+			migrate(name);             /* Save checkpoint to file */
+			msg_gc(step);              /* Borders before this step are dead */
+			specid = speculate();      /* Start a new speculation */
+		}
+		step += 1;
+	}
+	commit(specid);
+	return checksum(u, rows, cols);
+}
+`
+
+// ExternSigs returns the extern signatures the grid program compiles
+// against: cluster externs plus ck_name.
+func ExternSigs() map[string]fir.ExternSig {
+	sigs := cluster.Externs()
+	sigs["ck_name"] = fir.ExternSig{Result: fir.TyPtr}
+	return sigs
+}
+
+// CompileProgram compiles the grid source once; the same program runs on
+// every node (SPMD).
+func CompileProgram() (*fir.Program, error) {
+	return lang.Compile(Source, ExternSigs())
+}
+
+// NodeArgs builds the process arguments for a node.
+func (p Params) NodeArgs() []int64 {
+	return []int64{int64(p.Nodes), int64(p.RowsPerNode), int64(p.Cols), int64(p.Steps), int64(p.CheckpointInterval)}
+}
+
+// CheckpointName is the shared-store name a node checkpoints to.
+func CheckpointName(node int64) string { return fmt.Sprintf("grid-ck-%d", node) }
+
+// Reference runs the identical computation sequentially in Go, replaying
+// the same floating-point operations in the same order, and returns the
+// expected checksum (halt code) per node.
+func Reference(p Params) []int64 {
+	nodes, rows, cols := p.Nodes, p.RowsPerNode, p.Cols
+	total := nodes * rows
+	initial := func(gr, j int) float64 {
+		v := (gr*31 + j*17) % 100
+		if v < 0 {
+			v += 100 // mirror MojC % semantics for negative gr (gr=-1 ghost)
+		}
+		_ = v
+		return float64((gr*31 + j*17) % 100)
+	}
+	// Global grid with one ghost row above and below (initialised like the
+	// per-node ghosts so step-1 edge reads match).
+	u := make([][]float64, total+2)
+	v := make([][]float64, total+2)
+	for i := range u {
+		u[i] = make([]float64, cols)
+		v[i] = make([]float64, cols)
+		for j := 0; j < cols; j++ {
+			u[i][j] = initial(i-1, j)
+			v[i][j] = initial(i-1, j)
+		}
+	}
+	for step := 1; step <= p.Steps; step++ {
+		for gi := 1; gi <= total; gi++ {
+			for j := 0; j < cols; j++ {
+				boundary := gi == 1 || gi == total || j == 0 || j == cols-1
+				if boundary {
+					v[gi][j] = u[gi][j]
+				} else {
+					v[gi][j] = 0.25 * (u[gi-1][j] + u[gi+1][j] + u[gi][j-1] + u[gi][j+1])
+				}
+			}
+		}
+		u, v = v, u
+	}
+	out := make([]int64, nodes)
+	for n := 0; n < nodes; n++ {
+		sum := 0.0
+		for i := 1; i <= rows; i++ {
+			gi := n*rows + i
+			for j := 0; j < cols; j++ {
+				sum += u[gi][j]
+			}
+		}
+		out[n] = int64(sum / float64(rows*cols) * 1000.0)
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package grid
+
+import (
+	"testing"
+	"time"
+)
+
+func params(nodes, rows, cols, steps, ck int) Params {
+	return Params{Nodes: nodes, RowsPerNode: rows, Cols: cols, Steps: steps, CheckpointInterval: ck}
+}
+
+func TestValidate(t *testing.T) {
+	good := params(2, 4, 8, 10, 5)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate(%+v): %v", good, err)
+	}
+	for _, bad := range []Params{
+		params(0, 4, 8, 10, 5),
+		params(2, 0, 8, 10, 5),
+		params(2, 4, 2, 10, 5),
+		params(2, 4, 8, 0, 5),
+		params(2, 4, 8, 10, 0),
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", bad)
+		}
+	}
+}
+
+func TestCompileProgram(t *testing.T) {
+	if _, err := CompileProgram(); err != nil {
+		t.Fatalf("CompileProgram: %v", err)
+	}
+}
+
+func TestSingleNodeMatchesReference(t *testing.T) {
+	p := params(1, 6, 8, 12, 4)
+	res, err := Run(p, nil, 60*time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := Reference(p)
+	if res.Checksums[0] != want[0] {
+		t.Fatalf("checksum = %d, want %d", res.Checksums[0], want[0])
+	}
+}
+
+func TestMultiNodeMatchesReference(t *testing.T) {
+	p := params(3, 4, 8, 12, 4)
+	res, err := Run(p, nil, 120*time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := Reference(p)
+	for n := range want {
+		if res.Checksums[n] != want[n] {
+			t.Fatalf("node %d checksum = %d, want %d (all: got %v want %v)",
+				n, res.Checksums[n], want[n], res.Checksums, want)
+		}
+	}
+}
+
+func TestFourNodesLongerRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long grid run")
+	}
+	p := params(4, 5, 10, 24, 6)
+	res, err := Run(p, nil, 120*time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := Reference(p)
+	for n := range want {
+		if res.Checksums[n] != want[n] {
+			t.Fatalf("node %d checksum = %d, want %d", n, res.Checksums[n], want[n])
+		}
+	}
+}
+
+// TestFailureRecoveryMatchesReference is the paper's headline behaviour
+// (Figure 2): kill a node mid-run, resurrect it from its checkpoint on
+// another (virtual) machine, survivors roll back their last speculation —
+// and the final answer is bit-identical to the failure-free run.
+func TestFailureRecoveryMatchesReference(t *testing.T) {
+	p := params(3, 4, 8, 20, 4)
+	fail := &FailurePlan{Node: 1, AfterCheckpoints: 2, RestartDelay: 30 * time.Millisecond}
+	res, err := Run(p, fail, 120*time.Second)
+	if err != nil {
+		t.Fatalf("Run with failure: %v", err)
+	}
+	want := Reference(p)
+	for n := range want {
+		if res.Checksums[n] != want[n] {
+			t.Fatalf("node %d checksum = %d, want %d (failure corrupted the computation)",
+				n, res.Checksums[n], want[n])
+		}
+	}
+	if res.Resurrections != 1 {
+		t.Fatalf("resurrections = %d, want 1", res.Resurrections)
+	}
+	if res.Rollbacks == 0 {
+		t.Fatal("no MSG_ROLL deliveries: survivors never rolled back")
+	}
+}
+
+func TestFailureOfEdgeNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long grid run")
+	}
+	p := params(3, 4, 8, 16, 4)
+	fail := &FailurePlan{Node: 0, AfterCheckpoints: 1, RestartDelay: 20 * time.Millisecond}
+	res, err := Run(p, fail, 120*time.Second)
+	if err != nil {
+		t.Fatalf("Run with failure: %v", err)
+	}
+	want := Reference(p)
+	for n := range want {
+		if res.Checksums[n] != want[n] {
+			t.Fatalf("node %d checksum = %d, want %d", n, res.Checksums[n], want[n])
+		}
+	}
+}
+
+func TestReferenceDeterministic(t *testing.T) {
+	p := params(2, 4, 6, 10, 5)
+	a := Reference(p)
+	b := Reference(p)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reference not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestCheckpointNameDistinct(t *testing.T) {
+	if CheckpointName(0) == CheckpointName(1) {
+		t.Fatal("checkpoint names collide")
+	}
+}

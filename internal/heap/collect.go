@@ -1,0 +1,425 @@
+package heap
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the collection *mechanism*: generational mark-sweep
+// with sliding compaction (the paper's minor/major phases, §4), plus a
+// breadth-first copying order used as the ablation baseline for the
+// temporal-locality claim. The collection *policy* — when to run which
+// phase — lives in internal/gc, which drives these methods through the
+// Collector interface.
+//
+// The paper's claim reproduced here: sliding compaction preserves temporal
+// allocation order, so blocks allocated near each other in time stay near
+// each other in memory, unlike breadth-first copying collectors.
+
+// gatherRoots yields every root value from the registered providers.
+func (h *Heap) gatherRoots(yield func(Value)) {
+	for _, fn := range h.roots {
+		fn(yield)
+	}
+}
+
+// validLive reports whether idx names a live (non-free) table entry.
+func (h *Heap) validLive(idx int64) bool {
+	return idx >= 0 && idx < int64(len(h.table)) && h.table[idx].Addr >= 0
+}
+
+// markFrom marks entries transitively reachable from idx. When youngOnly is
+// set, traversal stops at old-generation entries (minor collection relies
+// on the remembered set and pinning to cover old→young edges).
+func (h *Heap) markFrom(idx int64, youngOnly bool, stack *[]int64) {
+	if !h.validLive(idx) || h.table[idx].Mark {
+		return
+	}
+	if youngOnly && h.table[idx].Gen == genOld {
+		return
+	}
+	h.table[idx].Mark = true
+	*stack = append(*stack, idx)
+}
+
+// scanRun pushes every pointer word in an arena run onto the mark stack.
+func (h *Heap) scanRun(addr, size int, youngOnly bool, stack *[]int64) {
+	for i := addr; i < addr+size; i++ {
+		if w := h.arena[i]; w.Kind == KPtr && w.I >= 0 {
+			h.markFrom(w.I, youngOnly, stack)
+		}
+	}
+}
+
+func (h *Heap) drainMarkStack(youngOnly bool, stack *[]int64) {
+	for len(*stack) > 0 {
+		idx := (*stack)[len(*stack)-1]
+		*stack = (*stack)[:len(*stack)-1]
+		e := &h.table[idx]
+		h.scanRun(e.Addr, e.Size, youngOnly, stack)
+	}
+}
+
+// run is a contiguous live region of the arena due to be relocated:
+// either an entry's current copy or a shadow's preserved original.
+type run struct {
+	addr, size int
+	entry      int64 // table index when >= 0
+	levelPos   int   // shadow owner when entry < 0
+	shadowPos  int
+}
+
+// liveRuns collects every live run at or above the floor address, sorted by
+// address. Runs never overlap: every run is a distinct allocation.
+func (h *Heap) liveRuns(floor int) []run {
+	var runs []run
+	for i := range h.table {
+		e := &h.table[i]
+		if e.Addr >= floor && e.Mark {
+			runs = append(runs, run{addr: e.Addr, size: e.Size, entry: int64(i)})
+		}
+	}
+	for lp := range h.levels {
+		for sp := range h.levels[lp].shadows {
+			s := &h.levels[lp].shadows[sp]
+			if s.OldAddr >= floor {
+				runs = append(runs, run{addr: s.OldAddr, size: s.OldSize, entry: -1, levelPos: lp, shadowPos: sp})
+			}
+		}
+	}
+	sort.Slice(runs, func(a, b int) bool { return runs[a].addr < runs[b].addr })
+	return runs
+}
+
+// relocate moves a run to dst and updates its owner's address.
+func (h *Heap) relocate(r run, dst int) {
+	if dst != r.addr {
+		copy(h.arena[dst:dst+r.size], h.arena[r.addr:r.addr+r.size])
+		h.stats.WordsMoved += uint64(r.size)
+	}
+	if r.entry >= 0 {
+		h.table[r.entry].Addr = dst
+	} else {
+		h.levels[r.levelPos].shadows[r.shadowPos].OldAddr = dst
+	}
+}
+
+// markMajor runs a full mark phase: roots, speculation continuations (via
+// root providers), and all checkpoint records. Shadowed entries and their
+// preserved originals are pinned — they are the "valid blocks in the heap
+// whose pointer table entry refers to a different block" of §4.1.
+func (h *Heap) markMajor() {
+	var stack []int64
+	h.gatherRoots(func(v Value) {
+		if v.Kind == KPtr && v.I >= 0 {
+			h.markFrom(v.I, false, &stack)
+		}
+	})
+	h.drainMarkStack(false, &stack)
+	for lp := range h.levels {
+		lv := &h.levels[lp]
+		for sp := range lv.shadows {
+			s := &lv.shadows[sp]
+			h.markFrom(s.Idx, false, &stack)
+			h.drainMarkStack(false, &stack)
+			h.scanRun(s.OldAddr, s.OldSize, false, &stack)
+			h.drainMarkStack(false, &stack)
+		}
+		// Blocks owned by open levels are pinned conservatively: the saved
+		// continuation may be the only path back to them after a rollback.
+		for _, r := range lv.owned {
+			if h.refValid(r) {
+				h.markFrom(r.idx, false, &stack)
+				h.drainMarkStack(false, &stack)
+			}
+		}
+	}
+}
+
+// sweepUnmarked frees every live-but-unmarked entry (minYoung restricts the
+// sweep to the young generation for minor collections).
+func (h *Heap) sweepUnmarked(youngOnly bool) {
+	for i := range h.table {
+		e := &h.table[i]
+		if e.Addr < 0 {
+			continue
+		}
+		if youngOnly && e.Gen == genOld {
+			continue
+		}
+		if !e.Mark {
+			h.freeEntry(int64(i))
+		}
+	}
+}
+
+func (h *Heap) clearMarks() {
+	for i := range h.table {
+		h.table[i].Mark = false
+	}
+}
+
+// promoteAll moves every surviving entry and shadow into the old
+// generation and resets the young-region watermark to the allocation
+// frontier.
+func (h *Heap) promoteAll() {
+	for i := range h.table {
+		if h.table[i].Addr >= 0 {
+			h.table[i].Gen = genOld
+		}
+	}
+	for lp := range h.levels {
+		for sp := range h.levels[lp].shadows {
+			h.levels[lp].shadows[sp].OldGen = genOld
+		}
+	}
+	h.watermark = h.allocPtr
+	h.remembered = make(map[int64]bool)
+}
+
+// CollectMajor performs a full mark-sweep-compact collection: mark from
+// all roots and checkpoint records, free unmarked entries, then slide
+// every live run downward preserving allocation (temporal) order.
+func (h *Heap) CollectMajor() {
+	h.markMajor()
+	h.sweepUnmarked(false)
+	runs := h.liveRuns(0)
+	dst := 0
+	for _, r := range runs {
+		h.relocate(r, dst)
+		dst += r.size
+	}
+	h.allocPtr = dst
+	h.clearMarks()
+	h.promoteAll()
+	h.stats.MajorGCs++
+}
+
+// CollectMinor performs a young-generation collection: mark young entries
+// reachable from roots, the remembered set, speculation-owned blocks and
+// checkpoint records; free dead young entries; slide surviving young runs
+// down to the watermark; promote survivors.
+func (h *Heap) CollectMinor() {
+	var stack []int64
+	h.gatherRoots(func(v Value) {
+		if v.Kind == KPtr && v.I >= 0 {
+			h.markFrom(v.I, true, &stack)
+		}
+	})
+	h.drainMarkStack(true, &stack)
+	// Remembered old entries may hold the only references to young blocks.
+	for idx := range h.remembered {
+		if h.validLive(idx) {
+			e := &h.table[idx]
+			h.scanRun(e.Addr, e.Size, true, &stack)
+		}
+	}
+	h.drainMarkStack(true, &stack)
+	// Checkpoint records pin their entries and their preserved copies may
+	// reference young blocks regardless of the record's own region.
+	for lp := range h.levels {
+		lv := &h.levels[lp]
+		for sp := range lv.shadows {
+			s := &lv.shadows[sp]
+			h.markFrom(s.Idx, true, &stack)
+			h.drainMarkStack(true, &stack)
+			h.scanRun(s.OldAddr, s.OldSize, true, &stack)
+			h.drainMarkStack(true, &stack)
+		}
+		for _, r := range lv.owned {
+			if h.refValid(r) {
+				h.markFrom(r.idx, true, &stack)
+				h.drainMarkStack(true, &stack)
+			}
+		}
+	}
+	h.sweepUnmarked(true)
+	// Slide live young runs down onto the watermark, preserving temporal
+	// order within the nursery.
+	runs := h.liveRuns(h.watermark)
+	dst := h.watermark
+	for _, r := range runs {
+		h.relocate(r, dst)
+		dst += r.size
+	}
+	h.allocPtr = dst
+	h.clearMarks()
+	h.promoteAll()
+	h.stats.MinorGCs++
+}
+
+// CollectMajorBFS is the ablation baseline for experiment A4: a full
+// collection that relocates live runs in breadth-first reachability order
+// from the roots (the order a Cheney-style copying collector produces)
+// instead of sliding in allocation order. It is correct but destroys
+// temporal locality, which BenchmarkGCCompactionLocality quantifies.
+func (h *Heap) CollectMajorBFS() {
+	h.markMajor()
+	h.sweepUnmarked(false)
+
+	// Determine BFS order over entries.
+	order := make([]int64, 0, len(h.table))
+	seen := make(map[int64]bool)
+	var queue []int64
+	enqueue := func(idx int64) {
+		if h.validLive(idx) && !seen[idx] {
+			seen[idx] = true
+			queue = append(queue, idx)
+		}
+	}
+	h.gatherRoots(func(v Value) {
+		if v.Kind == KPtr && v.I >= 0 {
+			enqueue(v.I)
+		}
+	})
+	for len(queue) > 0 {
+		idx := queue[0]
+		queue = queue[1:]
+		order = append(order, idx)
+		e := &h.table[idx]
+		for i := e.Addr; i < e.Addr+e.Size; i++ {
+			if w := h.arena[i]; w.Kind == KPtr && w.I >= 0 {
+				enqueue(w.I)
+			}
+		}
+	}
+	// Entries live but unreached by BFS (pinned by checkpoint records)
+	// go after the reachable ones, in table order.
+	for i := range h.table {
+		if h.table[i].Addr >= 0 && h.table[i].Mark && !seen[int64(i)] {
+			order = append(order, int64(i))
+		}
+	}
+
+	// Copy into a fresh semispace in BFS order; shadows follow at the end.
+	to := make([]Value, len(h.arena))
+	dst := 0
+	for _, idx := range order {
+		e := &h.table[idx]
+		copy(to[dst:dst+e.Size], h.arena[e.Addr:e.Addr+e.Size])
+		h.stats.WordsMoved += uint64(e.Size)
+		e.Addr = dst
+		dst += e.Size
+	}
+	for lp := range h.levels {
+		for sp := range h.levels[lp].shadows {
+			s := &h.levels[lp].shadows[sp]
+			copy(to[dst:dst+s.OldSize], h.arena[s.OldAddr:s.OldAddr+s.OldSize])
+			s.OldAddr = dst
+			dst += s.OldSize
+		}
+	}
+	h.arena = to
+	h.allocPtr = dst
+	h.clearMarks()
+	h.promoteAll()
+	h.stats.MajorGCs++
+}
+
+// TemporalLocalityScore measures how well the arena layout preserves
+// temporal allocation order: the mean absolute arena distance between the
+// current copies of consecutively-allocated live blocks. Lower is better;
+// sliding compaction keeps it low, breadth-first copying inflates it.
+func (h *Heap) TemporalLocalityScore() float64 {
+	type sb struct {
+		seq  uint64
+		addr int
+	}
+	var blocks []sb
+	for i := range h.table {
+		if h.table[i].Addr >= 0 {
+			blocks = append(blocks, sb{seq: h.table[i].Seq, addr: h.table[i].Addr})
+		}
+	}
+	if len(blocks) < 2 {
+		return 0
+	}
+	sort.Slice(blocks, func(a, b int) bool { return blocks[a].seq < blocks[b].seq })
+	total := 0.0
+	for i := 1; i < len(blocks); i++ {
+		d := blocks[i].addr - blocks[i-1].addr
+		if d < 0 {
+			d = -d
+		}
+		total += float64(d)
+	}
+	return total / float64(len(blocks)-1)
+}
+
+// CheckInvariants verifies the heap's representation invariants. It is
+// called from property-based tests after randomized operation sequences;
+// any violation is a bug in the heap, the collector or the speculation
+// machinery.
+func (h *Heap) CheckInvariants() error {
+	if h.allocPtr < 0 || h.allocPtr > len(h.arena) {
+		return fmt.Errorf("allocPtr %d outside arena [0,%d]", h.allocPtr, len(h.arena))
+	}
+	if h.watermark < 0 || h.watermark > h.allocPtr {
+		return fmt.Errorf("watermark %d outside [0,%d]", h.watermark, h.allocPtr)
+	}
+	free := make(map[int64]bool, len(h.freeList))
+	for _, idx := range h.freeList {
+		if idx < 0 || idx >= int64(len(h.table)) {
+			return fmt.Errorf("free-list index %d out of table range", idx)
+		}
+		if free[idx] {
+			return fmt.Errorf("free-list index %d duplicated", idx)
+		}
+		free[idx] = true
+	}
+	type span struct{ lo, hi int }
+	var spans []span
+	for i := range h.table {
+		e := &h.table[i]
+		if e.Addr < 0 {
+			if !free[int64(i)] {
+				return fmt.Errorf("entry %d is free but not on the free list", i)
+			}
+			continue
+		}
+		if free[int64(i)] {
+			return fmt.Errorf("entry %d is live but on the free list", i)
+		}
+		if e.Addr+e.Size > h.allocPtr {
+			return fmt.Errorf("entry %d run [%d,%d) beyond allocPtr %d", i, e.Addr, e.Addr+e.Size, h.allocPtr)
+		}
+		if e.Gen == genYoung && e.Addr < h.watermark {
+			return fmt.Errorf("young entry %d below watermark (%d < %d)", i, e.Addr, h.watermark)
+		}
+		if e.Gen == genOld && e.Addr >= h.watermark && e.Size > 0 {
+			return fmt.Errorf("old entry %d above watermark (%d >= %d)", i, e.Addr, h.watermark)
+		}
+		spans = append(spans, span{e.Addr, e.Addr + e.Size})
+	}
+	for lp := range h.levels {
+		for sp := range h.levels[lp].shadows {
+			s := &h.levels[lp].shadows[sp]
+			if !h.validLive(s.Idx) {
+				return fmt.Errorf("shadow at level %d refers to free entry %d", lp+1, s.Idx)
+			}
+			if s.OldAddr < 0 || s.OldAddr+s.OldSize > h.allocPtr {
+				return fmt.Errorf("shadow run [%d,%d) beyond allocPtr %d", s.OldAddr, s.OldAddr+s.OldSize, h.allocPtr)
+			}
+			spans = append(spans, span{s.OldAddr, s.OldAddr + s.OldSize})
+		}
+	}
+	sort.Slice(spans, func(a, b int) bool { return spans[a].lo < spans[b].lo })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			return fmt.Errorf("overlapping runs [%d,%d) and [%d,%d)", spans[i-1].lo, spans[i-1].hi, spans[i].lo, spans[i].hi)
+		}
+	}
+	// No live run may contain a dangling pointer word.
+	for i := range h.table {
+		e := &h.table[i]
+		if e.Addr < 0 {
+			continue
+		}
+		for j := e.Addr; j < e.Addr+e.Size; j++ {
+			if w := h.arena[j]; w.Kind == KPtr && w.I >= 0 && !h.validLive(w.I) {
+				return fmt.Errorf("entry %d word %d holds dangling pointer to %d", i, j-e.Addr, w.I)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,538 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Generation tags for the generational collector.
+const (
+	genYoung uint8 = 0
+	genOld   uint8 = 1
+)
+
+// Errors reported by the runtime safety checks (§4.1.1). These are the
+// checks the compiler promises: a process can never read or write outside a
+// valid block, use a freed table entry, or treat a word as the wrong type.
+var (
+	ErrNotPointer   = errors.New("heap: value is not a pointer")
+	ErrNullPointer  = errors.New("heap: null pointer dereference")
+	ErrBadIndex     = errors.New("heap: pointer-table index out of range")
+	ErrFreeEntry    = errors.New("heap: pointer refers to a free table entry")
+	ErrBounds       = errors.New("heap: offset outside block bounds")
+	ErrBadStore     = errors.New("heap: unit is not a storable value")
+	ErrOutOfMemory  = errors.New("heap: out of memory")
+	ErrBadLevel     = errors.New("heap: no such speculation level")
+	ErrNoSpec       = errors.New("heap: no speculation in progress")
+	ErrBadAllocSize = errors.New("heap: invalid allocation size")
+)
+
+// Collector is the policy hook invoked when an allocation cannot be
+// satisfied. Implementations (internal/gc) decide whether to run a minor or
+// major collection using the mechanism methods CollectMinor/CollectMajor.
+// need is the number of words the failed allocation requires.
+type Collector interface {
+	Collect(h *Heap, need int) error
+}
+
+// Config configures a heap instance.
+type Config struct {
+	// InitialWords is the starting arena capacity in words (default 4096).
+	InitialWords int
+	// MaxWords caps arena growth (default 1<<24 words).
+	MaxWords int
+	// DisableChecks turns off the pointer-table safety checks, for
+	// measuring their cost (ablation A3). Never set in production use.
+	DisableChecks bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialWords <= 0 {
+		c.InitialWords = 4096
+	}
+	if c.MaxWords <= 0 {
+		c.MaxWords = 1 << 24
+	}
+	if c.MaxWords < c.InitialWords {
+		c.MaxWords = c.InitialWords
+	}
+	return c
+}
+
+// entry is a pointer-table entry: the block header of §4.1.1. Addr is the
+// word offset of the block's current copy in the arena (-1 when the slot is
+// free). Level is the ID of the speculation level that created the current
+// copy (0 = committed state). Version increments whenever the slot is
+// freed, protecting stale index references held by speculation bookkeeping.
+type entry struct {
+	Addr    int
+	Size    int
+	Gen     uint8
+	Mark    bool
+	Level   int64
+	Version uint32
+	Seq     uint64
+}
+
+// Shadow is a checkpoint record (§4.1): it preserves the pre-modification
+// copy of a block that was cloned by copy-on-write inside a speculation
+// level. The pointer-table entry for Idx currently refers to the clone; the
+// shadow keeps the original alive so rollback can restore it.
+type Shadow struct {
+	Idx      int64
+	OldAddr  int
+	OldSize  int
+	OldGen   uint8
+	OldLevel int64
+}
+
+// ref is a versioned reference to a table slot, immune to slot reuse.
+type ref struct {
+	idx int64
+	ver uint32
+}
+
+// level is one speculation level's heap-side state: its checkpoint records,
+// the blocks allocated while it was the current level, and the set of
+// blocks whose current copy it owns.
+type level struct {
+	id      int64
+	shadows []Shadow
+	allocs  []ref
+	owned   []ref
+}
+
+// Stats counts heap activity for the benchmark harness.
+type Stats struct {
+	Allocs          uint64 // blocks allocated
+	AllocWords      uint64 // words allocated (incl. clones)
+	Clones          uint64 // copy-on-write clones
+	CloneWords      uint64
+	Checks          uint64 // pointer-table safety checks executed
+	MinorGCs        uint64
+	MajorGCs        uint64
+	WordsMoved      uint64 // words moved by compaction
+	EntriesFreed    uint64
+	Grows           uint64
+	ShadowsCreated  uint64
+	ShadowsRestored uint64
+	ShadowsDropped  uint64
+}
+
+// Heap is a runtime heap instance: one per process context.
+type Heap struct {
+	cfg       Config
+	arena     []Value
+	allocPtr  int
+	watermark int // start of the young region; everything below is old gen
+	table     []entry
+	freeList  []int64
+	levels    []level
+	nextLevel int64
+	seq       uint64
+
+	remembered map[int64]bool // old entries that may hold young pointers
+
+	collector Collector
+	roots     []func(yield func(Value))
+
+	stats Stats
+}
+
+// New creates a heap with the given configuration.
+func New(cfg Config) *Heap {
+	cfg = cfg.withDefaults()
+	return &Heap{
+		cfg:        cfg,
+		arena:      make([]Value, cfg.InitialWords),
+		nextLevel:  1,
+		remembered: make(map[int64]bool),
+	}
+}
+
+// SetCollector installs the collection policy invoked on allocation
+// pressure. A nil collector means the heap only ever grows.
+func (h *Heap) SetCollector(c Collector) { h.collector = c }
+
+// AddRoots registers a root provider. Collections call every provider and
+// treat each yielded value as a GC root. The VM registers its live
+// registers; the speculation manager registers saved continuation
+// arguments.
+func (h *Heap) AddRoots(fn func(yield func(Value))) {
+	h.roots = append(h.roots, fn)
+}
+
+// Stats returns a copy of the activity counters.
+func (h *Heap) Stats() Stats { return h.stats }
+
+// ArenaWords returns current arena capacity in words.
+func (h *Heap) ArenaWords() int { return len(h.arena) }
+
+// UsedWords returns the number of arena words currently allocated
+// (including garbage not yet collected).
+func (h *Heap) UsedWords() int { return h.allocPtr }
+
+// TableLen returns the pointer-table size (§4.1.1: indices are validated
+// against this bound on every dereference).
+func (h *Heap) TableLen() int { return len(h.table) }
+
+// LiveBlocks returns the number of non-free pointer-table entries.
+func (h *Heap) LiveBlocks() int { return len(h.table) - len(h.freeList) }
+
+// curLevelID returns the ID of the innermost speculation level, or 0 when
+// no speculation is active.
+func (h *Heap) curLevelID() int64 {
+	if len(h.levels) == 0 {
+		return 0
+	}
+	return h.levels[len(h.levels)-1].id
+}
+
+// LevelCount returns the number of open speculation levels (the paper's N).
+func (h *Heap) LevelCount() int { return len(h.levels) }
+
+// Alloc allocates a block of size words, zero-initialized to integer 0,
+// and returns a pointer value to it. The block is tagged with the current
+// speculation level: blocks allocated inside a level vanish when the level
+// rolls back.
+func (h *Heap) Alloc(size int64) (Value, error) {
+	if size < 0 {
+		return Value{}, fmt.Errorf("%w: %d", ErrBadAllocSize, size)
+	}
+	if size > int64(h.cfg.MaxWords) {
+		return Value{}, fmt.Errorf("%w: block of %d words exceeds cap %d", ErrOutOfMemory, size, h.cfg.MaxWords)
+	}
+	addr, err := h.allocRun(int(size))
+	if err != nil {
+		return Value{}, err
+	}
+	zero := IntVal(0)
+	for i := 0; i < int(size); i++ {
+		h.arena[addr+i] = zero
+	}
+	idx := h.allocEntry()
+	h.seq++
+	e := &h.table[idx]
+	e.Addr = addr
+	e.Size = int(size)
+	e.Gen = genYoung
+	e.Level = h.curLevelID()
+	e.Seq = h.seq
+	if n := len(h.levels); n > 0 {
+		lv := &h.levels[n-1]
+		lv.allocs = append(lv.allocs, ref{idx: idx, ver: e.Version})
+		lv.owned = append(lv.owned, ref{idx: idx, ver: e.Version})
+	}
+	h.stats.Allocs++
+	h.stats.AllocWords += uint64(size)
+	return PtrVal(idx, 0), nil
+}
+
+// allocRun reserves size words at the arena tail, collecting or growing as
+// needed.
+func (h *Heap) allocRun(size int) (int, error) {
+	if h.allocPtr+size <= len(h.arena) {
+		a := h.allocPtr
+		h.allocPtr += size
+		return a, nil
+	}
+	if h.collector != nil {
+		if err := h.collector.Collect(h, size); err != nil {
+			return 0, err
+		}
+		if h.allocPtr+size <= len(h.arena) {
+			a := h.allocPtr
+			h.allocPtr += size
+			return a, nil
+		}
+	}
+	// Grow: double until it fits, capped at MaxWords.
+	want := h.allocPtr + size
+	if want > h.cfg.MaxWords {
+		return 0, fmt.Errorf("%w: need %d words, cap %d", ErrOutOfMemory, want, h.cfg.MaxWords)
+	}
+	newCap := len(h.arena)
+	if newCap == 0 {
+		newCap = 1
+	}
+	for newCap < want {
+		newCap *= 2
+	}
+	if newCap > h.cfg.MaxWords {
+		newCap = h.cfg.MaxWords
+	}
+	na := make([]Value, newCap)
+	copy(na, h.arena[:h.allocPtr])
+	h.arena = na
+	h.stats.Grows++
+	a := h.allocPtr
+	h.allocPtr += size
+	return a, nil
+}
+
+// allocEntry takes a pointer-table slot from the free list or extends the
+// table.
+func (h *Heap) allocEntry() int64 {
+	if n := len(h.freeList); n > 0 {
+		idx := h.freeList[n-1]
+		h.freeList = h.freeList[:n-1]
+		return idx
+	}
+	h.table = append(h.table, entry{Addr: -1})
+	return int64(len(h.table) - 1)
+}
+
+// freeEntry releases a table slot and bumps its version so stale refs are
+// detectable.
+func (h *Heap) freeEntry(idx int64) {
+	e := &h.table[idx]
+	e.Addr = -1
+	e.Size = 0
+	e.Mark = false
+	e.Level = 0
+	e.Version++
+	h.freeList = append(h.freeList, idx)
+	delete(h.remembered, idx)
+	h.stats.EntriesFreed++
+}
+
+// check validates a pointer value and an effective offset against the
+// pointer table, returning the entry index. These are the per-access
+// safety checks of §4.1.1.
+func (h *Heap) check(ptr Value, off int64) (int64, error) {
+	if !h.cfg.DisableChecks {
+		h.stats.Checks++
+		if ptr.Kind != KPtr {
+			return 0, fmt.Errorf("%w: %s", ErrNotPointer, ptr)
+		}
+		if ptr.I < 0 {
+			return 0, ErrNullPointer
+		}
+		if ptr.I >= int64(len(h.table)) {
+			return 0, fmt.Errorf("%w: %d >= %d", ErrBadIndex, ptr.I, len(h.table))
+		}
+	}
+	e := &h.table[ptr.I]
+	if !h.cfg.DisableChecks {
+		if e.Addr < 0 {
+			return 0, fmt.Errorf("%w: index %d", ErrFreeEntry, ptr.I)
+		}
+		eff := ptr.Off + off
+		if eff < 0 || eff >= int64(e.Size) {
+			return 0, fmt.Errorf("%w: offset %d, block size %d (index %d)", ErrBounds, eff, e.Size, ptr.I)
+		}
+	}
+	return ptr.I, nil
+}
+
+// Load reads the word at ptr.Off+off in the block ptr refers to.
+func (h *Heap) Load(ptr Value, off int64) (Value, error) {
+	idx, err := h.check(ptr, off)
+	if err != nil {
+		return Value{}, err
+	}
+	e := &h.table[idx]
+	return h.arena[e.Addr+int(ptr.Off+off)], nil
+}
+
+// Store writes v at ptr.Off+off in the block ptr refers to, applying
+// copy-on-write when the block's current copy belongs to an older
+// speculation level (§4.3: "when a block in the heap is modified, the block
+// is cloned and the pointer table updated to point to the new copy").
+func (h *Heap) Store(ptr Value, off int64, v Value) error {
+	idx, err := h.check(ptr, off)
+	if err != nil {
+		return err
+	}
+	if v.Kind == KUnit {
+		return ErrBadStore
+	}
+	cur := h.curLevelID()
+	if h.table[idx].Level < cur {
+		if err := h.cowClone(idx); err != nil {
+			return err
+		}
+	}
+	e := &h.table[idx]
+	// Generational write barrier: an old block may now reference a young
+	// one; remember it so minor collections can find the young block.
+	if v.Kind == KPtr && v.I >= 0 && e.Gen == genOld {
+		h.remembered[idx] = true
+	}
+	h.arena[e.Addr+int(ptr.Off+off)] = v
+	return nil
+}
+
+// cowClone clones the current copy of entry idx into the current
+// speculation level, recording a checkpoint record (shadow) that preserves
+// the original for rollback.
+func (h *Heap) cowClone(idx int64) error {
+	size := h.table[idx].Size
+	newAddr, err := h.allocRun(size)
+	if err != nil {
+		return err
+	}
+	// allocRun may have compacted the arena; re-read the entry after it.
+	e := &h.table[idx]
+	copy(h.arena[newAddr:newAddr+size], h.arena[e.Addr:e.Addr+size])
+	lv := &h.levels[len(h.levels)-1]
+	lv.shadows = append(lv.shadows, Shadow{
+		Idx:      idx,
+		OldAddr:  e.Addr,
+		OldSize:  e.Size,
+		OldGen:   e.Gen,
+		OldLevel: e.Level,
+	})
+	lv.owned = append(lv.owned, ref{idx: idx, ver: e.Version})
+	e.Addr = newAddr
+	e.Gen = genYoung // the clone lives in the young region at the tail
+	e.Level = lv.id
+	h.stats.Clones++
+	h.stats.CloneWords += uint64(size)
+	h.stats.ShadowsCreated++
+	return nil
+}
+
+// BlockSize returns the size in words of the block ptr refers to.
+func (h *Heap) BlockSize(ptr Value) (int64, error) {
+	if ptr.Kind != KPtr {
+		return 0, fmt.Errorf("%w: %s", ErrNotPointer, ptr)
+	}
+	if ptr.I < 0 {
+		return 0, ErrNullPointer
+	}
+	if ptr.I >= int64(len(h.table)) {
+		return 0, fmt.Errorf("%w: %d >= %d", ErrBadIndex, ptr.I, len(h.table))
+	}
+	e := &h.table[ptr.I]
+	if e.Addr < 0 {
+		return 0, fmt.Errorf("%w: index %d", ErrFreeEntry, ptr.I)
+	}
+	return int64(e.Size), nil
+}
+
+// EnterLevel starts a new speculation level nested inside the current one
+// and returns its ordinal (1-based; the paper numbers levels 1..N).
+func (h *Heap) EnterLevel() int {
+	id := h.nextLevel
+	h.nextLevel++
+	h.levels = append(h.levels, level{id: id})
+	return len(h.levels)
+}
+
+// ordinalToPos validates a 1-based level ordinal.
+func (h *Heap) ordinalToPos(n int) (int, error) {
+	if n < 1 || n > len(h.levels) {
+		return 0, fmt.Errorf("%w: %d (have %d levels)", ErrBadLevel, n, len(h.levels))
+	}
+	return n - 1, nil
+}
+
+// CommitLevel commits level n (1-based ordinal), folding all changes from
+// that level into the level below it (§4.3.1). Commits may occur out of
+// order: n need not be the innermost level.
+func (h *Heap) CommitLevel(n int) error {
+	pos, err := h.ordinalToPos(n)
+	if err != nil {
+		return err
+	}
+	lv := h.levels[pos]
+	if pos == 0 {
+		// Fold into committed state (level 0): the speculation's changes
+		// become permanent. Shadows are discarded; their old copies become
+		// garbage for the collector to reclaim.
+		for _, s := range lv.shadows {
+			_ = s
+			h.stats.ShadowsDropped++
+		}
+		for _, r := range lv.owned {
+			if h.refValid(r) && h.table[r.idx].Level == lv.id {
+				h.table[r.idx].Level = 0
+			}
+		}
+	} else {
+		below := &h.levels[pos-1]
+		// An entry already shadowed by the level below keeps that (older)
+		// shadow; this level's shadow preserved state-at-entry-of-n, which
+		// is no longer a rollback point once n commits.
+		shadowed := make(map[int64]bool, len(below.shadows))
+		for _, s := range below.shadows {
+			shadowed[s.Idx] = true
+		}
+		for _, s := range lv.shadows {
+			if shadowed[s.Idx] {
+				h.stats.ShadowsDropped++
+				continue
+			}
+			below.shadows = append(below.shadows, s)
+			shadowed[s.Idx] = true
+		}
+		for _, r := range lv.owned {
+			if h.refValid(r) && h.table[r.idx].Level == lv.id {
+				h.table[r.idx].Level = below.id
+			}
+		}
+		below.allocs = append(below.allocs, lv.allocs...)
+		below.owned = append(below.owned, lv.owned...)
+	}
+	h.levels = append(h.levels[:pos], h.levels[pos+1:]...)
+	return nil
+}
+
+// RollbackLevel reverts every change made in level n (1-based ordinal) and
+// all later levels, restoring the heap to its state at entry into level n.
+// The level stack is left at n-1 levels; the caller (the speculation
+// manager) re-enters the level to implement the paper's retry semantics.
+func (h *Heap) RollbackLevel(n int) error {
+	pos, err := h.ordinalToPos(n)
+	if err != nil {
+		return err
+	}
+	for p := len(h.levels) - 1; p >= pos; p-- {
+		lv := &h.levels[p]
+		// Restore shadows in reverse creation order.
+		for i := len(lv.shadows) - 1; i >= 0; i-- {
+			s := lv.shadows[i]
+			e := &h.table[s.Idx]
+			e.Addr = s.OldAddr
+			e.Size = s.OldSize
+			e.Gen = s.OldGen
+			e.Level = s.OldLevel
+			h.stats.ShadowsRestored++
+		}
+		// Blocks allocated inside the level never existed at the rollback
+		// point: free their table entries.
+		for i := len(lv.allocs) - 1; i >= 0; i-- {
+			r := lv.allocs[i]
+			if h.refValid(r) {
+				h.freeEntry(r.idx)
+			}
+		}
+	}
+	h.levels = h.levels[:pos]
+	return nil
+}
+
+// refValid reports whether a versioned slot reference still refers to the
+// same allocation (the slot may have been freed and reused by the GC).
+func (h *Heap) refValid(r ref) bool {
+	return r.idx >= 0 && r.idx < int64(len(h.table)) &&
+		h.table[r.idx].Version == r.ver && h.table[r.idx].Addr >= 0
+}
+
+// MutateFraction returns the fraction of live blocks whose current copy is
+// owned by an open speculation level — the paper's "mutation percentile of
+// the heap during the life of the speculation" (§5).
+func (h *Heap) MutateFraction() float64 {
+	live := h.LiveBlocks()
+	if live == 0 {
+		return 0
+	}
+	owned := 0
+	for i := range h.table {
+		if h.table[i].Addr >= 0 && h.table[i].Level != 0 {
+			owned++
+		}
+	}
+	return float64(owned) / float64(live)
+}

@@ -1,0 +1,232 @@
+package heap
+
+import "fmt"
+
+// Snapshot is the architecture-independent image of a heap used by the
+// pack/unpack operations of process migration (§4.2.2). It preserves
+// pointer-table order (indices in heap data stay valid), block contents,
+// and the full speculation-level structure including checkpoint records,
+// so a process can be migrated even while speculations are open.
+type Snapshot struct {
+	// TableLen is the pointer-table size; entry indices are preserved
+	// exactly ("migration must be careful to preserve order in the pointer
+	// and function tables").
+	TableLen int
+	// Entries holds the live blocks in index order. Level is the 1-based
+	// ordinal of the speculation level owning the current copy, 0 when
+	// committed.
+	Entries []EntrySnap
+	// Levels holds the open speculation levels, outermost first.
+	Levels []LevelSnap
+}
+
+// EntrySnap is one live block in a snapshot.
+type EntrySnap struct {
+	Idx   int64
+	Level int
+	Words []Value
+}
+
+// LevelSnap is one speculation level in a snapshot.
+type LevelSnap struct {
+	Shadows []ShadowSnap
+	Allocs  []int64
+}
+
+// ShadowSnap is one checkpoint record in a snapshot.
+type ShadowSnap struct {
+	Idx      int64
+	OldLevel int
+	Words    []Value
+}
+
+// Snapshot captures the current heap state. Callers normally run a major
+// collection first (the paper's pack operation begins with one), producing
+// a minimal image.
+func (h *Heap) Snapshot() *Snapshot {
+	idToOrdinal := make(map[int64]int, len(h.levels))
+	for i, lv := range h.levels {
+		idToOrdinal[lv.id] = i + 1
+	}
+	ord := func(id int64) int {
+		// IDs of committed (destroyed) levels map to 0: their ownership is
+		// semantically "committed" for every future comparison.
+		return idToOrdinal[id]
+	}
+	s := &Snapshot{TableLen: len(h.table)}
+	for i := range h.table {
+		e := &h.table[i]
+		if e.Addr < 0 {
+			continue
+		}
+		words := make([]Value, e.Size)
+		copy(words, h.arena[e.Addr:e.Addr+e.Size])
+		s.Entries = append(s.Entries, EntrySnap{Idx: int64(i), Level: ord(e.Level), Words: words})
+	}
+	for _, lv := range h.levels {
+		ls := LevelSnap{}
+		for _, sh := range lv.shadows {
+			words := make([]Value, sh.OldSize)
+			copy(words, h.arena[sh.OldAddr:sh.OldAddr+sh.OldSize])
+			ls.Shadows = append(ls.Shadows, ShadowSnap{Idx: sh.Idx, OldLevel: ord(sh.OldLevel), Words: words})
+		}
+		for _, r := range lv.allocs {
+			if h.refValid(r) {
+				ls.Allocs = append(ls.Allocs, r.idx)
+			}
+		}
+		s.Levels = append(s.Levels, ls)
+	}
+	return s
+}
+
+// Restore builds a fresh heap from a snapshot. This is the unpack
+// operation: block data is laid out in a new arena (entry order), the
+// pointer table is rebuilt at the original size with original indices, and
+// the speculation-level stack is reconstructed with fresh level IDs.
+func Restore(s *Snapshot, cfg Config) (*Heap, error) {
+	cfg = cfg.withDefaults()
+	need := 0
+	for _, e := range s.Entries {
+		need += len(e.Words)
+	}
+	for _, lv := range s.Levels {
+		for _, sh := range lv.Shadows {
+			need += len(sh.Words)
+		}
+	}
+	if cfg.InitialWords < need {
+		cfg.InitialWords = need
+	}
+	if cfg.MaxWords < cfg.InitialWords {
+		cfg.MaxWords = cfg.InitialWords
+	}
+	h := New(cfg)
+	h.table = make([]entry, s.TableLen)
+	for i := range h.table {
+		h.table[i].Addr = -1
+	}
+
+	// Fresh level IDs 1..N for the restored stack; ordinal 0 maps to
+	// committed state.
+	ordinalID := make([]int64, len(s.Levels)+1)
+	for i := 1; i <= len(s.Levels); i++ {
+		ordinalID[i] = int64(i)
+	}
+	h.nextLevel = int64(len(s.Levels)) + 1
+
+	for _, es := range s.Entries {
+		if es.Idx < 0 || es.Idx >= int64(s.TableLen) {
+			return nil, fmt.Errorf("heap: snapshot entry index %d outside table of %d", es.Idx, s.TableLen)
+		}
+		if h.table[es.Idx].Addr >= 0 {
+			return nil, fmt.Errorf("heap: snapshot entry index %d duplicated", es.Idx)
+		}
+		if es.Level < 0 || es.Level > len(s.Levels) {
+			return nil, fmt.Errorf("heap: snapshot entry %d has level %d of %d", es.Idx, es.Level, len(s.Levels))
+		}
+		addr, err := h.allocRun(len(es.Words))
+		if err != nil {
+			return nil, err
+		}
+		copy(h.arena[addr:addr+len(es.Words)], es.Words)
+		h.seq++
+		e := &h.table[es.Idx]
+		e.Addr = addr
+		e.Size = len(es.Words)
+		e.Gen = genOld
+		e.Level = ordinalID[es.Level]
+		e.Seq = h.seq
+	}
+	// Rebuild the free list for slots with no live entry.
+	for i := range h.table {
+		if h.table[i].Addr < 0 {
+			h.freeList = append(h.freeList, int64(i))
+		}
+	}
+
+	for li, ls := range s.Levels {
+		lv := level{id: ordinalID[li+1]}
+		for _, sh := range ls.Shadows {
+			if sh.Idx < 0 || sh.Idx >= int64(s.TableLen) || h.table[sh.Idx].Addr < 0 {
+				return nil, fmt.Errorf("heap: snapshot shadow refers to missing entry %d", sh.Idx)
+			}
+			if sh.OldLevel < 0 || sh.OldLevel > len(s.Levels) {
+				return nil, fmt.Errorf("heap: snapshot shadow has level %d of %d", sh.OldLevel, len(s.Levels))
+			}
+			addr, err := h.allocRun(len(sh.Words))
+			if err != nil {
+				return nil, err
+			}
+			copy(h.arena[addr:addr+len(sh.Words)], sh.Words)
+			lv.shadows = append(lv.shadows, Shadow{
+				Idx:      sh.Idx,
+				OldAddr:  addr,
+				OldSize:  len(sh.Words),
+				OldGen:   genOld,
+				OldLevel: ordinalID[sh.OldLevel],
+			})
+		}
+		for _, idx := range ls.Allocs {
+			if idx < 0 || idx >= int64(s.TableLen) {
+				return nil, fmt.Errorf("heap: snapshot alloc list refers to index %d outside table", idx)
+			}
+			if h.table[idx].Addr >= 0 {
+				lv.allocs = append(lv.allocs, ref{idx: idx, ver: h.table[idx].Version})
+			}
+		}
+		// Ownership is reconstructible: a level owns its in-level
+		// allocations plus every entry whose current copy it created.
+		for i := range h.table {
+			if h.table[i].Addr >= 0 && h.table[i].Level == lv.id {
+				lv.owned = append(lv.owned, ref{idx: int64(i), ver: h.table[i].Version})
+			}
+		}
+		h.levels = append(h.levels, lv)
+	}
+	// Everything restored is old generation.
+	h.watermark = h.allocPtr
+	return h, nil
+}
+
+// Equal reports whether two snapshots describe identical heap states.
+// Used by tests to verify pack/unpack and speculation rollback fidelity.
+func (s *Snapshot) Equal(t *Snapshot) bool {
+	if s.TableLen != t.TableLen || len(s.Entries) != len(t.Entries) || len(s.Levels) != len(t.Levels) {
+		return false
+	}
+	for i := range s.Entries {
+		a, b := s.Entries[i], t.Entries[i]
+		if a.Idx != b.Idx || a.Level != b.Level || len(a.Words) != len(b.Words) {
+			return false
+		}
+		for j := range a.Words {
+			if !a.Words[j].Equal(b.Words[j]) {
+				return false
+			}
+		}
+	}
+	for i := range s.Levels {
+		la, lb := s.Levels[i], t.Levels[i]
+		if len(la.Shadows) != len(lb.Shadows) || len(la.Allocs) != len(lb.Allocs) {
+			return false
+		}
+		for j := range la.Shadows {
+			a, b := la.Shadows[j], lb.Shadows[j]
+			if a.Idx != b.Idx || a.OldLevel != b.OldLevel || len(a.Words) != len(b.Words) {
+				return false
+			}
+			for k := range a.Words {
+				if !a.Words[k].Equal(b.Words[k]) {
+					return false
+				}
+			}
+		}
+		for j := range la.Allocs {
+			if la.Allocs[j] != lb.Allocs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,57 @@
+package heap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Strings in the MCC runtime are heap blocks of character words terminated
+// by a zero word, the representation the migration target string of §4.2.1
+// uses ("a string describing the migration target"). One character per
+// word is deliberately simple and, critically, architecture-independent:
+// there is no byte-order or alignment question to answer when the block
+// crosses machines.
+
+// AllocString allocates a NUL-terminated string block and returns a
+// pointer to it.
+func (h *Heap) AllocString(s string) (Value, error) {
+	runes := []rune(s)
+	ptr, err := h.Alloc(int64(len(runes)) + 1)
+	if err != nil {
+		return Value{}, err
+	}
+	for i, r := range runes {
+		if err := h.Store(ptr, int64(i), IntVal(int64(r))); err != nil {
+			return Value{}, err
+		}
+	}
+	if err := h.Store(ptr, int64(len(runes)), IntVal(0)); err != nil {
+		return Value{}, err
+	}
+	return ptr, nil
+}
+
+// LoadString reads a NUL-terminated string starting at ptr (honouring the
+// pointer's offset component). Reading stops at the first zero word or the
+// end of the block.
+func (h *Heap) LoadString(ptr Value) (string, error) {
+	size, err := h.BlockSize(ptr)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i := int64(0); ptr.Off+i < size; i++ {
+		w, err := h.Load(ptr, i)
+		if err != nil {
+			return "", err
+		}
+		if w.Kind != KInt {
+			return "", fmt.Errorf("heap: string block holds %s word at offset %d", w.Kind, ptr.Off+i)
+		}
+		if w.I == 0 {
+			return b.String(), nil
+		}
+		b.WriteRune(rune(w.I))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,220 @@
+package lang
+
+// Type is a MojC source type.
+type Type int
+
+const (
+	// TVoid is only valid as a function return type.
+	TVoid Type = iota
+	// TInt is a 64-bit signed integer (also booleans and characters).
+	TInt
+	// TFloat is a 64-bit float.
+	TFloat
+	// TPtr points to a block of integer words (C-style buffers, strings).
+	TPtr
+	// TFptr points to a block of float words (numeric arrays).
+	TFptr
+)
+
+func (t Type) String() string {
+	switch t {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TPtr:
+		return "ptr"
+	case TFptr:
+		return "fptr"
+	default:
+		return "type?"
+	}
+}
+
+// pointer reports whether t is one of the pointer types.
+func (t Type) pointer() bool { return t == TPtr || t == TFptr }
+
+// elem returns the element type of a pointer type.
+func (t Type) elem() Type {
+	if t == TFptr {
+		return TFloat
+	}
+	return TInt
+}
+
+// Node positions help diagnostics.
+type pos struct{ Line, Col int }
+
+// Expressions.
+
+type Expr interface{ exprPos() pos }
+
+// IntLit / FloatLit / StrLit are literals.
+type IntLit struct {
+	P pos
+	V int64
+}
+
+type FloatLit struct {
+	P pos
+	V float64
+}
+
+type StrLit struct {
+	P pos
+	V string
+}
+
+// Ident references a variable.
+type Ident struct {
+	P    pos
+	Name string
+}
+
+// Unary is !x or -x.
+type Unary struct {
+	P  pos
+	Op string
+	X  Expr
+}
+
+// Binary is x op y (arithmetic, comparison, logical, bitwise).
+type Binary struct {
+	P    pos
+	Op   string
+	L, R Expr
+}
+
+// Index is p[i].
+type Index struct {
+	P    pos
+	Base Expr
+	Idx  Expr
+}
+
+// Call invokes a user function, builtin, or extern.
+type Call struct {
+	P    pos
+	Name string
+	Args []Expr
+}
+
+func (e *IntLit) exprPos() pos   { return e.P }
+func (e *FloatLit) exprPos() pos { return e.P }
+func (e *StrLit) exprPos() pos   { return e.P }
+func (e *Ident) exprPos() pos    { return e.P }
+func (e *Unary) exprPos() pos    { return e.P }
+func (e *Binary) exprPos() pos   { return e.P }
+func (e *Index) exprPos() pos    { return e.P }
+func (e *Call) exprPos() pos     { return e.P }
+
+// Statements.
+
+type Stmt interface{ stmtPos() pos }
+
+// DeclStmt declares a local: `int x = e;` (Init may be nil → zero value).
+type DeclStmt struct {
+	P    pos
+	Type Type
+	Name string
+	Init Expr
+}
+
+// AssignStmt is `x = e;` (Op empty) or compound `x += e;`.
+type AssignStmt struct {
+	P    pos
+	Name string
+	Op   string // "", "+", "-", "*", "/", "%"
+	Val  Expr
+}
+
+// StoreStmt is `p[i] = e;` or compound `p[i] += e;`.
+type StoreStmt struct {
+	P    pos
+	Base Expr
+	Idx  Expr
+	Op   string
+	Val  Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	P    pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil when absent
+}
+
+// WhileStmt loops while Cond is non-zero.
+type WhileStmt struct {
+	P    pos
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt is C-style for.
+type ForStmt struct {
+	P    pos
+	Init Stmt // nil, DeclStmt, AssignStmt or ExprStmt
+	Cond Expr // nil = true
+	Post Stmt // nil, AssignStmt or ExprStmt
+	Body []Stmt
+}
+
+// ReturnStmt exits the function.
+type ReturnStmt struct {
+	P   pos
+	Val Expr // nil for void
+}
+
+// BreakStmt / ContinueStmt control loops.
+type BreakStmt struct{ P pos }
+type ContinueStmt struct{ P pos }
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	P pos
+	X Expr
+}
+
+// BlockStmt is a nested scope.
+type BlockStmt struct {
+	P    pos
+	Body []Stmt
+}
+
+func (s *DeclStmt) stmtPos() pos     { return s.P }
+func (s *AssignStmt) stmtPos() pos   { return s.P }
+func (s *StoreStmt) stmtPos() pos    { return s.P }
+func (s *IfStmt) stmtPos() pos       { return s.P }
+func (s *WhileStmt) stmtPos() pos    { return s.P }
+func (s *ForStmt) stmtPos() pos      { return s.P }
+func (s *ReturnStmt) stmtPos() pos   { return s.P }
+func (s *BreakStmt) stmtPos() pos    { return s.P }
+func (s *ContinueStmt) stmtPos() pos { return s.P }
+func (s *ExprStmt) stmtPos() pos     { return s.P }
+func (s *BlockStmt) stmtPos() pos    { return s.P }
+
+// Declarations.
+
+// Param is a function parameter.
+type Param struct {
+	Type Type
+	Name string
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	P      pos
+	Ret    Type
+	Name   string
+	Params []Param
+	Body   []Stmt
+}
+
+// Program is a parsed MojC compilation unit.
+type Program struct {
+	Funcs []*FuncDecl
+}

@@ -1,0 +1,30 @@
+package lang
+
+import "repro/internal/fir"
+
+// Compile translates MojC source into a type-checked FIR program. externs
+// declares the external functions the target runtime provides (pass
+// rt.StdExterns().Sigs(), plus any message-passing or application externs);
+// extern calls are type-checked against these signatures both here and
+// again by fir.Check on the result.
+func Compile(src string, externs map[string]fir.ExternSig) (*fir.Program, error) {
+	ast, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := analyze(ast, externs)
+	if err != nil {
+		return nil, err
+	}
+	p, err := lower(ast, sm)
+	if err != nil {
+		return nil, err
+	}
+	// The lowering must always produce well-typed FIR; checking here turns
+	// any lowering bug into a compile-time failure instead of a runtime
+	// surprise.
+	if err := fir.Check(p, externs); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

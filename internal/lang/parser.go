@@ -1,0 +1,504 @@
+package lang
+
+import "fmt"
+
+// parser is a recursive-descent parser for MojC.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TokEOF, "") {
+		fn, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	want := text
+	if want == "" {
+		switch kind {
+		case TokIdent:
+			want = "identifier"
+		case TokEOF:
+			want = "end of file"
+		default:
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+	} else {
+		want = fmt.Sprintf("%q", want)
+	}
+	return t, errf(t.Line, t.Col, "expected %s, found %s", want, t)
+}
+
+func (p *parser) typeName() (Type, bool) {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return 0, false
+	}
+	switch t.Text {
+	case "int":
+		return TInt, true
+	case "float":
+		return TFloat, true
+	case "ptr":
+		return TPtr, true
+	case "fptr":
+		return TFptr, true
+	case "void":
+		return TVoid, true
+	}
+	return 0, false
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	t := p.cur()
+	ret, ok := p.typeName()
+	if !ok {
+		return nil, errf(t.Line, t.Col, "expected return type, found %s", t)
+	}
+	p.next()
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{P: pos{t.Line, t.Col}, Ret: ret, Name: name.Text}
+	if !p.accept(TokPunct, ")") {
+		for {
+			pt := p.cur()
+			ptype, ok := p.typeName()
+			if !ok || ptype == TVoid {
+				return nil, errf(pt.Line, pt.Col, "expected parameter type, found %s", pt)
+			}
+			p.next()
+			pname, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, Param{Type: ptype, Name: pname.Text})
+			if p.accept(TokPunct, ")") {
+				break
+			}
+			if _, err := p.expect(TokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.accept(TokPunct, "}") {
+		if p.at(TokEOF, "") {
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "unexpected end of file inside block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(TokPunct, "{"):
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &BlockStmt{P: pos{t.Line, t.Col}, Body: body}, nil
+
+	case p.at(TokKeyword, "if"):
+		return p.ifStmt()
+
+	case p.at(TokKeyword, "while"):
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{P: pos{t.Line, t.Col}, Cond: cond, Body: body}, nil
+
+	case p.at(TokKeyword, "for"):
+		return p.forStmt()
+
+	case p.at(TokKeyword, "return"):
+		p.next()
+		if p.accept(TokPunct, ";") {
+			return &ReturnStmt{P: pos{t.Line, t.Col}}, nil
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{P: pos{t.Line, t.Col}, Val: v}, nil
+
+	case p.at(TokKeyword, "break"):
+		p.next()
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{P: pos{t.Line, t.Col}}, nil
+
+	case p.at(TokKeyword, "continue"):
+		p.next()
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{P: pos{t.Line, t.Col}}, nil
+
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{P: pos{t.Line, t.Col}, Cond: cond, Then: then}
+	if p.accept(TokKeyword, "else") {
+		if p.at(TokKeyword, "if") {
+			nested, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = []Stmt{nested}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{P: pos{t.Line, t.Col}}
+	if !p.accept(TokPunct, ";") {
+		init, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Init = init
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+	}
+	if !p.accept(TokPunct, ";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+	}
+	if !p.accept(TokPunct, ")") {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// simpleStmt parses declarations, assignments, stores, and expression
+// statements (no trailing semicolon).
+func (p *parser) simpleStmt() (Stmt, error) {
+	t := p.cur()
+	if ty, ok := p.typeName(); ok {
+		if ty == TVoid {
+			return nil, errf(t.Line, t.Col, "void is not a variable type")
+		}
+		p.next()
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		st := &DeclStmt{P: pos{t.Line, t.Col}, Type: ty, Name: name.Text}
+		if p.accept(TokPunct, "=") {
+			init, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+		}
+		return st, nil
+	}
+
+	// Could be assignment `x = e`, compound `x += e`, store `p[i] = e`, or
+	// an expression statement (a call).
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	compound := ""
+	switch {
+	case p.at(TokPunct, "="):
+	case p.at(TokPunct, "+="):
+		compound = "+"
+	case p.at(TokPunct, "-="):
+		compound = "-"
+	case p.at(TokPunct, "*="):
+		compound = "*"
+	case p.at(TokPunct, "/="):
+		compound = "/"
+	case p.at(TokPunct, "%="):
+		compound = "%"
+	default:
+		return &ExprStmt{P: pos{t.Line, t.Col}, X: x}, nil
+	}
+	p.next()
+	val, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	switch lhs := x.(type) {
+	case *Ident:
+		return &AssignStmt{P: pos{t.Line, t.Col}, Name: lhs.Name, Op: compound, Val: val}, nil
+	case *Index:
+		return &StoreStmt{P: pos{t.Line, t.Col}, Base: lhs.Base, Idx: lhs.Idx, Op: compound, Val: val}, nil
+	default:
+		return nil, errf(t.Line, t.Col, "left side of assignment must be a variable or p[i]")
+	}
+}
+
+// Expression parsing with precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3, "^": 3,
+	"&":  4,
+	"==": 5, "!=": 5,
+	"<": 6, "<=": 6, ">": 6, ">=": 6,
+	"+": 7, "-": 7,
+	"*": 8, "/": 8, "%": 8,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{P: pos{t.Line, t.Col}, Op: t.Text, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if p.accept(TokPunct, "!") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{P: pos{t.Line, t.Col}, Op: "!", X: x}, nil
+	}
+	if p.accept(TokPunct, "-") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{P: pos{t.Line, t.Col}, Op: "-", X: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if p.accept(TokPunct, "[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &Index{P: pos{t.Line, t.Col}, Base: x, Idx: idx}
+			continue
+		}
+		return x, nil
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.next()
+		return &IntLit{P: pos{t.Line, t.Col}, V: t.IntVal}, nil
+	case t.Kind == TokChar:
+		p.next()
+		return &IntLit{P: pos{t.Line, t.Col}, V: t.IntVal}, nil
+	case t.Kind == TokFloat:
+		p.next()
+		return &FloatLit{P: pos{t.Line, t.Col}, V: t.FloatVal}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &StrLit{P: pos{t.Line, t.Col}, V: t.StrVal}, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.accept(TokPunct, "(") {
+			call := &Call{P: pos{t.Line, t.Col}, Name: t.Text}
+			if !p.accept(TokPunct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.accept(TokPunct, ")") {
+						break
+					}
+					if _, err := p.expect(TokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return call, nil
+		}
+		return &Ident{P: pos{t.Line, t.Col}, Name: t.Text}, nil
+	case t.Kind == TokKeyword && (t.Text == "int" || t.Text == "float"):
+		// Cast syntax: int(e), float(e) — parsed as calls.
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &Call{P: pos{t.Line, t.Col}, Name: t.Text, Args: []Expr{a}}, nil
+	case p.accept(TokPunct, "("):
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, errf(t.Line, t.Col, "expected expression, found %s", t)
+	}
+}

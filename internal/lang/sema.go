@@ -1,0 +1,506 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/fir"
+)
+
+// funcSig is a user function's signature.
+type funcSig struct {
+	ret    Type
+	params []Type
+}
+
+// builtins whose calls the lowering treats specially. speculate is only
+// legal as the sole initializer/RHS of a declaration or assignment;
+// commit/abort/retry/migrate are only legal as expression statements.
+var builtinSigs = map[string]funcSig{
+	"speculate": {ret: TInt},
+	"commit":    {ret: TVoid, params: []Type{TInt}},
+	"abort":     {ret: TVoid, params: []Type{TInt}},
+	"retry":     {ret: TVoid, params: []Type{TInt}},
+	"migrate":   {ret: TVoid, params: []Type{TPtr}},
+	"alloc":     {ret: TPtr, params: []Type{TInt}},
+	"falloc":    {ret: TFptr, params: []Type{TInt}},
+	"len":       {ret: TInt, params: []Type{TPtr}}, // accepts fptr too
+}
+
+// sema type-checks a program and annotates expression types.
+type sema struct {
+	funcs   map[string]*funcSig
+	externs map[string]funcSig
+	types   map[Expr]Type
+}
+
+func mojType(t fir.Type) (Type, error) {
+	switch t.Kind {
+	case fir.KindInt:
+		return TInt, nil
+	case fir.KindFloat:
+		return TFloat, nil
+	case fir.KindPtr:
+		return TPtr, nil
+	case fir.KindUnit:
+		return TVoid, nil
+	default:
+		return 0, fmt.Errorf("mojc: extern type %s not expressible", t)
+	}
+}
+
+func analyze(prog *Program, externs map[string]fir.ExternSig) (*sema, error) {
+	s := &sema{
+		funcs:   make(map[string]*funcSig),
+		externs: make(map[string]funcSig),
+		types:   make(map[Expr]Type),
+	}
+	for name, sig := range externs {
+		fs := funcSig{}
+		var err error
+		if fs.ret, err = mojType(sig.Result); err != nil {
+			return nil, err
+		}
+		for _, a := range sig.Args {
+			t, err := mojType(a)
+			if err != nil {
+				return nil, err
+			}
+			fs.params = append(fs.params, t)
+		}
+		s.externs[name] = fs
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := s.funcs[f.Name]; dup {
+			return nil, errf(f.P.Line, f.P.Col, "function %q redefined", f.Name)
+		}
+		if _, isB := builtinSigs[f.Name]; isB {
+			return nil, errf(f.P.Line, f.P.Col, "function %q shadows a builtin", f.Name)
+		}
+		if _, isE := s.externs[f.Name]; isE {
+			return nil, errf(f.P.Line, f.P.Col, "function %q shadows an extern", f.Name)
+		}
+		sig := &funcSig{ret: f.Ret}
+		for _, p := range f.Params {
+			sig.params = append(sig.params, p.Type)
+		}
+		s.funcs[f.Name] = sig
+	}
+	mainSig, ok := s.funcs["main"]
+	if !ok {
+		return nil, fmt.Errorf("mojc: no main function")
+	}
+	if mainSig.ret != TInt || len(mainSig.params) != 0 {
+		return nil, fmt.Errorf("mojc: main must be declared `int main()`")
+	}
+	for _, f := range prog.Funcs {
+		fc := &funcCheck{s: s, fn: f, scopes: []map[string]Type{{}}}
+		for _, p := range f.Params {
+			if err := fc.declare(p.Name, p.Type, f.P); err != nil {
+				return nil, err
+			}
+		}
+		if err := fc.stmts(f.Body, false); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+type funcCheck struct {
+	s      *sema
+	fn     *FuncDecl
+	scopes []map[string]Type
+}
+
+func (fc *funcCheck) push() { fc.scopes = append(fc.scopes, map[string]Type{}) }
+func (fc *funcCheck) pop()  { fc.scopes = fc.scopes[:len(fc.scopes)-1] }
+
+func (fc *funcCheck) declare(name string, t Type, p pos) error {
+	top := fc.scopes[len(fc.scopes)-1]
+	if _, dup := top[name]; dup {
+		return errf(p.Line, p.Col, "variable %q redeclared in this scope", name)
+	}
+	top[name] = t
+	return nil
+}
+
+func (fc *funcCheck) lookup(name string) (Type, bool) {
+	for i := len(fc.scopes) - 1; i >= 0; i-- {
+		if t, ok := fc.scopes[i][name]; ok {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+func (fc *funcCheck) stmts(list []Stmt, inLoop bool) error {
+	for _, st := range list {
+		if err := fc.stmt(st, inLoop); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fc *funcCheck) stmt(st Stmt, inLoop bool) error {
+	switch st := st.(type) {
+	case *DeclStmt:
+		if st.Init != nil {
+			t, err := fc.exprAllowSpeculate(st.Init)
+			if err != nil {
+				return err
+			}
+			if t != st.Type {
+				return errf(st.P.Line, st.P.Col, "cannot initialize %s %q with %s", st.Type, st.Name, t)
+			}
+		}
+		return fc.declare(st.Name, st.Type, st.P)
+
+	case *AssignStmt:
+		vt, ok := fc.lookup(st.Name)
+		if !ok {
+			return errf(st.P.Line, st.P.Col, "assignment to undeclared variable %q", st.Name)
+		}
+		var t Type
+		var err error
+		if st.Op == "" {
+			t, err = fc.exprAllowSpeculate(st.Val)
+		} else {
+			t, err = fc.expr(st.Val)
+		}
+		if err != nil {
+			return err
+		}
+		if t != vt {
+			return errf(st.P.Line, st.P.Col, "cannot assign %s to %s %q", t, vt, st.Name)
+		}
+		if st.Op != "" {
+			if vt != TInt && vt != TFloat {
+				return errf(st.P.Line, st.P.Col, "compound assignment needs int or float, have %s", vt)
+			}
+			if st.Op == "%" && vt != TInt {
+				return errf(st.P.Line, st.P.Col, "%%= needs int")
+			}
+		}
+		return nil
+
+	case *StoreStmt:
+		bt, err := fc.expr(st.Base)
+		if err != nil {
+			return err
+		}
+		if !bt.pointer() {
+			return errf(st.P.Line, st.P.Col, "store target must be a pointer, have %s", bt)
+		}
+		it, err := fc.expr(st.Idx)
+		if err != nil {
+			return err
+		}
+		if it != TInt {
+			return errf(st.P.Line, st.P.Col, "index must be int, have %s", it)
+		}
+		vt, err := fc.expr(st.Val)
+		if err != nil {
+			return err
+		}
+		if vt != bt.elem() {
+			return errf(st.P.Line, st.P.Col, "cannot store %s into %s element", vt, bt)
+		}
+		if st.Op == "%" && bt.elem() != TInt {
+			return errf(st.P.Line, st.P.Col, "%%= needs int elements")
+		}
+		return nil
+
+	case *IfStmt:
+		t, err := fc.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TInt {
+			return errf(st.P.Line, st.P.Col, "if condition must be int, have %s", t)
+		}
+		fc.push()
+		if err := fc.stmts(st.Then, inLoop); err != nil {
+			return err
+		}
+		fc.pop()
+		fc.push()
+		defer fc.pop()
+		return fc.stmts(st.Else, inLoop)
+
+	case *WhileStmt:
+		t, err := fc.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TInt {
+			return errf(st.P.Line, st.P.Col, "while condition must be int, have %s", t)
+		}
+		fc.push()
+		defer fc.pop()
+		return fc.stmts(st.Body, true)
+
+	case *ForStmt:
+		fc.push()
+		defer fc.pop()
+		if st.Init != nil {
+			if err := fc.stmt(st.Init, false); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			t, err := fc.expr(st.Cond)
+			if err != nil {
+				return err
+			}
+			if t != TInt {
+				return errf(st.P.Line, st.P.Col, "for condition must be int, have %s", t)
+			}
+		}
+		if st.Post != nil {
+			if err := fc.stmt(st.Post, false); err != nil {
+				return err
+			}
+		}
+		fc.push()
+		defer fc.pop()
+		return fc.stmts(st.Body, true)
+
+	case *ReturnStmt:
+		if st.Val == nil {
+			if fc.fn.Ret != TVoid {
+				return errf(st.P.Line, st.P.Col, "function %q must return %s", fc.fn.Name, fc.fn.Ret)
+			}
+			return nil
+		}
+		t, err := fc.expr(st.Val)
+		if err != nil {
+			return err
+		}
+		if fc.fn.Ret == TVoid {
+			return errf(st.P.Line, st.P.Col, "void function %q returns a value", fc.fn.Name)
+		}
+		if t != fc.fn.Ret {
+			return errf(st.P.Line, st.P.Col, "function %q returns %s, have %s", fc.fn.Name, fc.fn.Ret, t)
+		}
+		return nil
+
+	case *BreakStmt:
+		if !inLoop {
+			return errf(st.P.Line, st.P.Col, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if !inLoop {
+			return errf(st.P.Line, st.P.Col, "continue outside loop")
+		}
+		return nil
+
+	case *ExprStmt:
+		call, ok := st.X.(*Call)
+		if !ok {
+			return errf(st.P.Line, st.P.Col, "expression statement must be a call")
+		}
+		_, err := fc.callExpr(call, true)
+		return err
+
+	case *BlockStmt:
+		fc.push()
+		defer fc.pop()
+		return fc.stmts(st.Body, inLoop)
+
+	default:
+		return fmt.Errorf("mojc: unknown statement %T", st)
+	}
+}
+
+// exprAllowSpeculate types an initializer/assignment RHS, where a bare
+// speculate() call is permitted.
+func (fc *funcCheck) exprAllowSpeculate(e Expr) (Type, error) {
+	if c, ok := e.(*Call); ok && c.Name == "speculate" {
+		if len(c.Args) != 0 {
+			return 0, errf(c.P.Line, c.P.Col, "speculate takes no arguments")
+		}
+		fc.s.types[e] = TInt
+		return TInt, nil
+	}
+	return fc.expr(e)
+}
+
+func (fc *funcCheck) expr(e Expr) (Type, error) {
+	t, err := fc.exprInner(e)
+	if err != nil {
+		return 0, err
+	}
+	fc.s.types[e] = t
+	return t, nil
+}
+
+func (fc *funcCheck) exprInner(e Expr) (Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return TInt, nil
+	case *FloatLit:
+		return TFloat, nil
+	case *StrLit:
+		return TPtr, nil
+	case *Ident:
+		t, ok := fc.lookup(e.Name)
+		if !ok {
+			return 0, errf(e.P.Line, e.P.Col, "undeclared variable %q", e.Name)
+		}
+		return t, nil
+
+	case *Unary:
+		t, err := fc.expr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "!":
+			if t != TInt {
+				return 0, errf(e.P.Line, e.P.Col, "! needs int, have %s", t)
+			}
+			return TInt, nil
+		case "-":
+			if t != TInt && t != TFloat {
+				return 0, errf(e.P.Line, e.P.Col, "unary - needs int or float, have %s", t)
+			}
+			return t, nil
+		}
+		return 0, errf(e.P.Line, e.P.Col, "unknown unary %q", e.Op)
+
+	case *Binary:
+		lt, err := fc.expr(e.L)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := fc.expr(e.R)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "&&", "||", "&", "|", "^":
+			if lt != TInt || rt != TInt {
+				return 0, errf(e.P.Line, e.P.Col, "%s needs int operands, have %s and %s", e.Op, lt, rt)
+			}
+			return TInt, nil
+		case "%":
+			if lt != TInt || rt != TInt {
+				return 0, errf(e.P.Line, e.P.Col, "%% needs int operands, have %s and %s", lt, rt)
+			}
+			return TInt, nil
+		case "+", "-", "*", "/":
+			if lt != rt || (lt != TInt && lt != TFloat) {
+				return 0, errf(e.P.Line, e.P.Col, "%s needs matching numeric operands, have %s and %s (use int()/float() casts)", e.Op, lt, rt)
+			}
+			return lt, nil
+		case "==", "!=", "<", "<=", ">", ">=":
+			if lt != rt {
+				return 0, errf(e.P.Line, e.P.Col, "%s needs matching operands, have %s and %s", e.Op, lt, rt)
+			}
+			if lt.pointer() && (e.Op != "==" && e.Op != "!=") {
+				return 0, errf(e.P.Line, e.P.Col, "pointers support only == and !=")
+			}
+			return TInt, nil
+		}
+		return 0, errf(e.P.Line, e.P.Col, "unknown operator %q", e.Op)
+
+	case *Index:
+		bt, err := fc.expr(e.Base)
+		if err != nil {
+			return 0, err
+		}
+		if !bt.pointer() {
+			return 0, errf(e.P.Line, e.P.Col, "indexing needs a pointer, have %s", bt)
+		}
+		it, err := fc.expr(e.Idx)
+		if err != nil {
+			return 0, err
+		}
+		if it != TInt {
+			return 0, errf(e.P.Line, e.P.Col, "index must be int, have %s", it)
+		}
+		return bt.elem(), nil
+
+	case *Call:
+		return fc.callExpr(e, false)
+
+	default:
+		return 0, fmt.Errorf("mojc: unknown expression %T", e)
+	}
+}
+
+// callExpr types a call. asStmt is true when the call is an expression
+// statement, which is where the effectful builtins are allowed.
+func (fc *funcCheck) callExpr(e *Call, asStmt bool) (Type, error) {
+	check := func(sig funcSig, ptrFlexible bool) (Type, error) {
+		if len(e.Args) != len(sig.params) {
+			return 0, errf(e.P.Line, e.P.Col, "%s takes %d arguments, given %d", e.Name, len(sig.params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			t, err := fc.expr(a)
+			if err != nil {
+				return 0, err
+			}
+			want := sig.params[i]
+			if ptrFlexible && want == TPtr && t.pointer() {
+				continue
+			}
+			if t != want {
+				return 0, errf(e.P.Line, e.P.Col, "%s argument %d must be %s, have %s", e.Name, i+1, want, t)
+			}
+		}
+		fc.s.types[e] = sig.ret
+		return sig.ret, nil
+	}
+
+	switch e.Name {
+	case "int":
+		if len(e.Args) != 1 {
+			return 0, errf(e.P.Line, e.P.Col, "int() takes one argument")
+		}
+		t, err := fc.expr(e.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		if t != TFloat && t != TInt {
+			return 0, errf(e.P.Line, e.P.Col, "int() needs float or int, have %s", t)
+		}
+		fc.s.types[e] = TInt
+		return TInt, nil
+	case "float":
+		if len(e.Args) != 1 {
+			return 0, errf(e.P.Line, e.P.Col, "float() takes one argument")
+		}
+		t, err := fc.expr(e.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		if t != TFloat && t != TInt {
+			return 0, errf(e.P.Line, e.P.Col, "float() needs int or float, have %s", t)
+		}
+		fc.s.types[e] = TFloat
+		return TFloat, nil
+	case "speculate":
+		return 0, errf(e.P.Line, e.P.Col, "speculate() may only appear as `x = speculate();`")
+	case "commit", "abort", "retry", "migrate":
+		if !asStmt {
+			return 0, errf(e.P.Line, e.P.Col, "%s is only valid as a statement", e.Name)
+		}
+		sig := builtinSigs[e.Name]
+		return check(sig, e.Name == "migrate")
+	case "alloc", "falloc":
+		return check(builtinSigs[e.Name], false)
+	case "len":
+		return check(builtinSigs["len"], true)
+	}
+
+	if sig, ok := fc.s.funcs[e.Name]; ok {
+		return check(*sig, false)
+	}
+	if sig, ok := fc.s.externs[e.Name]; ok {
+		return check(sig, true)
+	}
+	return 0, errf(e.P.Line, e.P.Col, "call to undefined function %q", e.Name)
+}

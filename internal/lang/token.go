@@ -1,0 +1,78 @@
+// Package lang implements MojC, the C-like MCC source language with
+// first-class migration and speculation primitives (§2 of the paper). The
+// frontend comprises a lexer, a recursive-descent parser, a semantic
+// analyzer, and a CPS lowering pass that converts MojC functions — which
+// have mutable locals, loops, and returning calls — into FIR, where
+// variables are immutable, loops are recursive functions, and every call
+// is a tail call ("Function calls in the source language are converted to
+// tail-calls using continuation passing style. Loops are expressed with
+// recursive functions.", §3).
+//
+// MojC types: int (64-bit), float (64-bit), ptr (pointer to int-word
+// block), fptr (pointer to float-word block). Speculation builtins follow
+// the paper's two examples: speculate() enters a level and yields a
+// positive specid (or -c after an abort-path rollback); commit(id) folds
+// the level down; abort(id) cancels the speculation Figure-1 style
+// (speculate() then yields <= 0); retry(id) rolls back and re-runs the
+// speculative region Figure-2 style. migrate(s) packs the process to the
+// target described by the string s.
+package lang
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokChar
+	TokPunct   // operators and delimiters
+	TokKeyword // reserved words
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	// Literal payloads.
+	IntVal   int64
+	FloatVal float64
+	StrVal   string
+	// Position (1-based).
+	Line, Col int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokString:
+		return fmt.Sprintf("string %q", t.StrVal)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "float": true, "ptr": true, "fptr": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true,
+}
+
+// Error is a positioned front-end diagnostic.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("mojc:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

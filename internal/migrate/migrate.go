@@ -1,0 +1,312 @@
+// Package migrate implements whole-process migration (§4.2): the pack,
+// transmit and unpack operations, the three migration protocols (migrate,
+// suspend, checkpoint), the migration server that receives, verifies,
+// recompiles and resumes inbound processes, and checkpoint storage.
+package migrate
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/fir"
+	"repro/internal/gc"
+	"repro/internal/heap"
+	"repro/internal/risc"
+	"repro/internal/rt"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// Proto identifies a migration protocol parsed from a target string.
+type Proto int
+
+const (
+	// ProtoMigrate ships the process to a migration server for immediate
+	// execution; the server verifies and recompiles the FIR (untrusted).
+	ProtoMigrate Proto = iota
+	// ProtoMigrateBinary ships the process without verification — the
+	// paper's trusted "binary migration" (§5), which skips the type check
+	// and recompilation at the destination.
+	ProtoMigrateBinary
+	// ProtoSuspend writes the process image to storage and terminates it.
+	ProtoSuspend
+	// ProtoCheckpoint writes the process image to storage and continues.
+	ProtoCheckpoint
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ProtoMigrate:
+		return "migrate"
+	case ProtoMigrateBinary:
+		return "migrate-bin"
+	case ProtoSuspend:
+		return "suspend"
+	case ProtoCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("proto(%d)", int(p))
+	}
+}
+
+// ErrBadTarget reports an unparsable migration target string.
+var ErrBadTarget = errors.New("migrate: bad target string")
+
+// ParseTarget splits a migration target string into protocol and address.
+// The string format follows §4.2.1: "the string includes information on
+// what protocol to use to transfer state to the target". Examples:
+// "migrate://host:port", "migrate-bin://host:port", "checkpoint://name",
+// "suspend://name".
+func ParseTarget(s string) (Proto, string, error) {
+	i := strings.Index(s, "://")
+	if i < 0 {
+		return 0, "", fmt.Errorf("%w: %q (no scheme)", ErrBadTarget, s)
+	}
+	scheme, addr := s[:i], s[i+3:]
+	if addr == "" {
+		return 0, "", fmt.Errorf("%w: %q (empty address)", ErrBadTarget, s)
+	}
+	switch scheme {
+	case "migrate":
+		return ProtoMigrate, addr, nil
+	case "migrate-bin":
+		return ProtoMigrateBinary, addr, nil
+	case "suspend":
+		return ProtoSuspend, addr, nil
+	case "checkpoint":
+		return ProtoCheckpoint, addr, nil
+	default:
+		return 0, "", fmt.Errorf("%w: %q (unknown scheme %q)", ErrBadTarget, s, scheme)
+	}
+}
+
+// Store is the reliable persistent storage checkpoints are written to.
+// The paper uses an NFS mount visible across the cluster; internal/cluster
+// provides in-memory and directory-backed implementations.
+type Store interface {
+	Put(name string, data []byte) error
+	Get(name string) ([]byte, error)
+	List() ([]string, error)
+}
+
+// Pack captures the complete state of a running process as a migration
+// image (§4.2.2). It stores the continuation function and live variables
+// into a freshly allocated migrate_env block (so that no state lives
+// outside the heap), runs a full garbage collection, and snapshots the
+// heap, pointer table and speculation continuations.
+func Pack(r rt.Runtime, label int, fnIdx int64, args []heap.Value) (*wire.Image, error) {
+	h := r.Heap()
+	env, err := h.Alloc(int64(len(args)) + 1)
+	if err != nil {
+		return nil, fmt.Errorf("migrate: allocating migrate_env: %w", err)
+	}
+	r.Pin(env)
+	if err := h.Store(env, 0, heap.FunVal(fnIdx)); err != nil {
+		return nil, err
+	}
+	for i, a := range args {
+		if err := h.Store(env, int64(i)+1, a); err != nil {
+			return nil, err
+		}
+	}
+	// "The pack operation first performs garbage collection on the heap."
+	h.CollectMajor()
+	snap := h.Snapshot()
+	words := 0
+	for _, e := range snap.Entries {
+		words += len(e.Words)
+	}
+	procArgs := make([]int64, r.NArgs())
+	for i := range procArgs {
+		procArgs[i] = r.Arg(int64(i))
+	}
+	img := &wire.Image{
+		Code: wire.CodePart{
+			Name:      r.Name(),
+			Program:   fir.EncodeProgram(r.Program()),
+			Label:     label,
+			EnvIndex:  env.I,
+			TableLen:  snap.TableLen,
+			HeapWords: words,
+			Args:      procArgs,
+		},
+		State: wire.StatePart{
+			Heap:  snap,
+			Conts: r.Spec().Snapshot(),
+		},
+	}
+	return img, nil
+}
+
+// Backend selects the runtime environment an unpacked process resumes on.
+type Backend int
+
+const (
+	// BackendVM resumes on the FIR interpreter.
+	BackendVM Backend = iota
+	// BackendRISC recompiles to the RISC target and resumes there.
+	BackendRISC
+)
+
+// Options configures Unpack.
+type Options struct {
+	// Backend selects the runtime environment (default: interpreter).
+	Backend Backend
+	// Trusted skips type checking and label validation — the binary
+	// protocol. Only enable for peers inside the trust boundary.
+	Trusted bool
+	// Externs are additional externals (beyond the standard set) the
+	// resumed process may call; they participate in type checking.
+	Externs rt.Registry
+	// Config carries backend process options (stdout, fuel, name, …).
+	Config vm.Config
+}
+
+// Timings reports where unpack time went, reproducing the paper's
+// breakdown of migration cost (compilation dominates untrusted migration).
+type Timings struct {
+	Decode  time.Duration // FIR decode
+	Check   time.Duration // type check + label validation (untrusted only)
+	Compile time.Duration // RISC code generation (BackendRISC only)
+	Restore time.Duration // heap reconstruction + resume positioning
+}
+
+// Total returns the summed unpack time.
+func (t Timings) Total() time.Duration { return t.Decode + t.Check + t.Compile + t.Restore }
+
+// Unpack reconstructs a process from an image: decode the FIR, verify it
+// (unless trusted), recompile for the local backend, rebuild the heap from
+// the snapshot, restore the speculation continuations, and position the
+// process at the resume continuation read out of migrate_env with full
+// safety checks (§4.2.2).
+func Unpack(img *wire.Image, opts Options) (rt.Proc, Timings, error) {
+	var tm Timings
+
+	t0 := time.Now()
+	prog, err := fir.DecodeProgram(img.Code.Program)
+	if err != nil {
+		return nil, tm, err
+	}
+	tm.Decode = time.Since(t0)
+
+	cfg := opts.Config
+	if cfg.Name == "" {
+		cfg.Name = img.Code.Name
+	}
+	if cfg.Args == nil {
+		cfg.Args = img.Code.Args
+	}
+
+	if !opts.Trusted {
+		t0 = time.Now()
+		sigs := rt.StdExterns().Sigs()
+		for n, e := range opts.Externs {
+			sigs[n] = e.Sig
+		}
+		if err := fir.Check(prog, sigs); err != nil {
+			return nil, tm, fmt.Errorf("migrate: inbound program rejected: %w", err)
+		}
+		labels, err := fir.MigrateLabels(prog)
+		if err != nil {
+			return nil, tm, err
+		}
+		if _, ok := labels[img.Code.Label]; !ok {
+			return nil, tm, fmt.Errorf("migrate: resume label %d does not correspond to a migration point", img.Code.Label)
+		}
+		tm.Check = time.Since(t0)
+	}
+
+	var mod *risc.Module
+	if opts.Backend == BackendRISC {
+		t0 = time.Now()
+		mod, err = risc.Compile(prog)
+		if err != nil {
+			return nil, tm, err
+		}
+		tm.Compile = time.Since(t0)
+	}
+
+	t0 = time.Now()
+	h, err := heap.Restore(img.State.Heap, cfg.Heap)
+	if err != nil {
+		return nil, tm, err
+	}
+
+	// Read the resume state out of migrate_env, applying the standard
+	// safety checks as the values are read.
+	env := heap.PtrVal(img.Code.EnvIndex, 0)
+	size, err := h.BlockSize(env)
+	if err != nil {
+		return nil, tm, fmt.Errorf("migrate: migrate_env: %w", err)
+	}
+	if size < 1 {
+		return nil, tm, fmt.Errorf("migrate: migrate_env block is empty")
+	}
+	fnv, err := h.Load(env, 0)
+	if err != nil {
+		return nil, tm, err
+	}
+	if fnv.Kind != heap.KFun {
+		return nil, tm, fmt.Errorf("migrate: migrate_env word 0 is %s, want fun", fnv)
+	}
+	args := make([]heap.Value, 0, size-1)
+	for i := int64(1); i < size; i++ {
+		v, err := h.Load(env, i)
+		if err != nil {
+			return nil, tm, err
+		}
+		args = append(args, v)
+	}
+
+	var proc rt.Proc
+	switch opts.Backend {
+	case BackendRISC:
+		m, err := risc.ResumeMachine(prog, mod, h, img.State.Conts, risc.Config{
+			Collector: gc.New(), Stdout: cfg.Stdout, Fuel: cfg.Fuel,
+			TrapSpeculation: cfg.TrapSpeculation, Name: cfg.Name, Args: cfg.Args, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, tm, err
+		}
+		for n, e := range opts.Externs {
+			m.RegisterExtern(n, e.Sig, e.Fn)
+		}
+		if err := m.StartAt(fnv.I, args); err != nil {
+			return nil, tm, err
+		}
+		proc = m
+	default:
+		p, err := vm.ResumeProcess(prog, h, img.State.Conts, cfg)
+		if err != nil {
+			return nil, tm, err
+		}
+		for n, e := range opts.Externs {
+			p.RegisterExtern(n, e.Sig, e.Fn)
+		}
+		if err := p.StartAt(fnv.I, args); err != nil {
+			return nil, tm, err
+		}
+		proc = p
+	}
+	tm.Restore = time.Since(t0)
+	return proc, tm, nil
+}
+
+// LoadCheckpoint reads a checkpoint file from storage and resumes it —
+// what a resurrection daemon does when a node fails (§2). Checkpoint files
+// carry the executable header, honouring the paper's "checkpoints are
+// formatted as executable files".
+func LoadCheckpoint(store Store, name string, opts Options) (rt.Proc, error) {
+	data, err := store.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	img, err := wire.DecodeImage(data)
+	if err != nil {
+		return nil, err
+	}
+	proc, _, err := Unpack(img, opts)
+	return proc, err
+}

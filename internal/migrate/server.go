@@ -1,0 +1,403 @@
+package migrate
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/rt"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// The transmit protocol reproduces §4.2.2's two-phase shape: the source
+// first sends the code part (FIR, sizes, migrate_env index, resume label);
+// the server decodes, verifies and recompiles it, and only after a
+// successful ack does the source send the heap contents. Frames are
+// length-prefixed; the first byte of a session selects trusted ('B',
+// binary protocol) or untrusted ('U') handling.
+
+const (
+	maxFrame      = 256 << 20 // 256 MiB
+	modeUntrusted = 'U'
+	modeBinary    = 'B'
+)
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("migrate: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func sendStatus(w io.Writer, err error) error {
+	if err != nil {
+		msg := err.Error()
+		if len(msg) > 4096 {
+			msg = msg[:4096]
+		}
+		return WriteFrame(w, append([]byte("ERR "), msg...))
+	}
+	return WriteFrame(w, []byte("OK"))
+}
+
+func readStatus(r io.Reader) error {
+	f, err := ReadFrame(r)
+	if err != nil {
+		return err
+	}
+	if string(f) == "OK" {
+		return nil
+	}
+	if len(f) >= 4 && string(f[:4]) == "ERR " {
+		return fmt.Errorf("migrate: remote: %s", f[4:])
+	}
+	return fmt.Errorf("migrate: unexpected status frame %q", f)
+}
+
+// Dialer opens a connection to a migration server. The cluster layer
+// supplies dialers that model network bandwidth.
+type Dialer func(addr string) (net.Conn, error)
+
+// Migrator is the client side of process migration: an rt.MigrateHandler
+// that dispatches on the target protocol. Install it on every process that
+// executes migrate pseudo-instructions.
+type Migrator struct {
+	// Store receives checkpoint and suspend images.
+	Store Store
+	// Dial opens connections for the migrate protocols. Defaults to
+	// net.Dial("tcp", addr).
+	Dial Dialer
+	// Timeout bounds each network round trip (default 30s).
+	Timeout time.Duration
+
+	mu   sync.Mutex
+	last ClientTimings
+}
+
+// ClientTimings breaks down where the source-side migration time went,
+// reproducing §5's transfer-fraction measurements.
+type ClientTimings struct {
+	Pack     time.Duration // state capture (GC + snapshot + encode)
+	Transfer time.Duration // network transmission incl. server acks
+	Bytes    int           // bytes shipped
+}
+
+// LastTimings returns the breakdown of the most recent migration.
+func (m *Migrator) LastTimings() ClientTimings {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.last
+}
+
+// Handle implements rt.MigrateHandler.
+func (m *Migrator) Handle(req *rt.MigrationRequest) (rt.MigrateOutcome, error) {
+	proto, addr, err := ParseTarget(req.Target)
+	if err != nil {
+		return rt.OutcomeContinueLocal, err
+	}
+
+	t0 := time.Now()
+	img, err := Pack(req.Rt, req.Label, req.FnIndex, req.Args)
+	if err != nil {
+		return rt.OutcomeContinueLocal, err
+	}
+	pack := time.Since(t0)
+
+	switch proto {
+	case ProtoCheckpoint, ProtoSuspend:
+		if m.Store == nil {
+			return rt.OutcomeContinueLocal, errors.New("migrate: no checkpoint store configured")
+		}
+		data := wire.EncodeImage(img)
+		if err := m.Store.Put(addr, data); err != nil {
+			return rt.OutcomeContinueLocal, err
+		}
+		m.record(ClientTimings{Pack: pack, Bytes: len(data)})
+		if proto == ProtoSuspend {
+			return rt.OutcomeSuspended, nil
+		}
+		return rt.OutcomeContinueLocal, nil
+
+	case ProtoMigrate, ProtoMigrateBinary:
+		t1 := time.Now()
+		if err := m.ship(proto, addr, img); err != nil {
+			return rt.OutcomeContinueLocal, err
+		}
+		code := wire.EncodeCode(&img.Code)
+		state := wire.EncodeState(&img.State)
+		m.record(ClientTimings{Pack: pack, Transfer: time.Since(t1), Bytes: len(code) + len(state) + 1})
+		return rt.OutcomeMigrated, nil
+
+	default:
+		return rt.OutcomeContinueLocal, fmt.Errorf("migrate: unhandled protocol %s", proto)
+	}
+}
+
+func (m *Migrator) record(t ClientTimings) {
+	m.mu.Lock()
+	m.last = t
+	m.mu.Unlock()
+}
+
+func (m *Migrator) ship(proto Proto, addr string, img *wire.Image) error {
+	dial := m.Dial
+	if dial == nil {
+		dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	timeout := m.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+
+	mode := byte(modeUntrusted)
+	if proto == ProtoMigrateBinary {
+		mode = modeBinary
+	}
+	if _, err := conn.Write([]byte{mode}); err != nil {
+		return err
+	}
+	// Phase 1: code. The server verifies and recompiles before acking.
+	if err := WriteFrame(conn, wire.EncodeCode(&img.Code)); err != nil {
+		return err
+	}
+	if err := readStatus(conn); err != nil {
+		return err
+	}
+	// Phase 2: state (pointer table + heap contents).
+	if err := WriteFrame(conn, wire.EncodeState(&img.State)); err != nil {
+		return err
+	}
+	return readStatus(conn)
+}
+
+// ServerConfig configures a migration server ("a version of the compiler
+// that will listen for incoming migration requests, recompile any inbound
+// processes on the new machine, and reconstruct their state before
+// executing them", §4.2.1).
+type ServerConfig struct {
+	// Backend selects the runtime environment for resumed processes.
+	Backend Backend
+	// Externs are additional externals available to resumed processes.
+	Externs rt.Registry
+	// Config carries backend process options applied to resumed processes.
+	Config ProcessConfig
+	// OnResume, when set, takes ownership of the resumed process instead
+	// of the default run-to-completion goroutine. The cluster layer uses
+	// it to place processes on node schedulers.
+	OnResume func(p rt.Proc)
+	// AllowBinary permits the trusted binary protocol. A server exposed to
+	// untrusted peers must leave it off, forcing verification.
+	AllowBinary bool
+	// Migrator, when set, is installed as the migrate handler on resumed
+	// processes so they can migrate onward, checkpoint, or suspend from
+	// this node.
+	Migrator *Migrator
+}
+
+// ProcessConfig is the subset of backend configuration a server applies to
+// inbound processes.
+type ProcessConfig struct {
+	Stdout          io.Writer
+	Fuel            uint64
+	TrapSpeculation bool
+}
+
+// ServerStats counts server activity.
+type ServerStats struct {
+	Accepted   int
+	Rejected   int
+	LastUnpack Timings
+}
+
+// Server is a migration daemon listening for inbound processes.
+type Server struct {
+	cfg ServerConfig
+	l   net.Listener
+
+	mu      sync.Mutex
+	stats   ServerStats
+	procs   []rt.Proc
+	wg      sync.WaitGroup
+	closing bool
+}
+
+// NewServer wraps a listener; call Serve to accept.
+func NewServer(l net.Listener, cfg ServerConfig) *Server {
+	return &Server{cfg: cfg, l: l}
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Stats returns a copy of the counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Processes returns the processes resumed so far.
+func (s *Server) Processes() []rt.Proc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]rt.Proc, len(s.procs))
+	copy(out, s.procs)
+	return out
+}
+
+// Serve accepts migration sessions until the listener closes.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	err := s.l.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(60 * time.Second))
+
+	var mode [1]byte
+	if _, err := io.ReadFull(conn, mode[:]); err != nil {
+		return
+	}
+	trusted := mode[0] == modeBinary
+	if trusted && !s.cfg.AllowBinary {
+		_ = sendStatus(conn, errors.New("binary protocol not allowed"))
+		s.reject()
+		return
+	}
+
+	codeBytes, err := ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	code, err := wire.DecodeCode(codeBytes)
+	if err != nil {
+		_ = sendStatus(conn, err)
+		s.reject()
+		return
+	}
+	// The unpack (verify + recompile) work happens once the state arrives;
+	// phase 1 acks after a decode so a hopeless transfer stops early. The
+	// full verification still occurs before anything executes.
+	if err := sendStatus(conn, nil); err != nil {
+		return
+	}
+
+	stateBytes, err := ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	state, err := wire.DecodeState(stateBytes)
+	if err != nil {
+		_ = sendStatus(conn, err)
+		s.reject()
+		return
+	}
+
+	img := &wire.Image{Code: *code, State: *state}
+	proc, tm, err := Unpack(img, Options{
+		Backend: s.cfg.Backend,
+		Trusted: trusted,
+		Externs: s.cfg.Externs,
+		Config:  procConfig(s.cfg.Config, code.Name, code.Args),
+	})
+	if err != nil {
+		_ = sendStatus(conn, err)
+		s.reject()
+		return
+	}
+
+	if s.cfg.Migrator != nil {
+		proc.SetMigrateHandler(s.cfg.Migrator.Handle)
+	}
+
+	s.mu.Lock()
+	s.stats.Accepted++
+	s.stats.LastUnpack = tm
+	s.procs = append(s.procs, proc)
+	s.mu.Unlock()
+
+	if s.cfg.OnResume != nil {
+		s.cfg.OnResume(proc)
+	} else {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			_, _ = proc.Run()
+		}()
+	}
+	_ = sendStatus(conn, nil)
+}
+
+func (s *Server) reject() {
+	s.mu.Lock()
+	s.stats.Rejected++
+	s.mu.Unlock()
+}
+
+func procConfig(pc ProcessConfig, name string, args []int64) vm.Config {
+	return vm.Config{
+		Stdout:          pc.Stdout,
+		Fuel:            pc.Fuel,
+		TrapSpeculation: pc.TrapSpeculation,
+		Name:            name,
+		Args:            args,
+	}
+}

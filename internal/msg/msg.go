@@ -1,0 +1,270 @@
+// Package msg implements the "customized message passing interface" the
+// grid application of §2 uses for border exchange, including the rollback
+// notification (the paper's MSG_ROLL) that makes processes join a failed
+// neighbour's speculation and roll back together.
+//
+// Design notes:
+//
+//   - Messages are keyed (src, dst, tag); the grid app uses the timestep
+//     as the tag. Delivery is idempotent and non-destructive: a receiver
+//     can re-read a step's borders after rolling back, and a rolled-back
+//     sender re-sends identical values (the computation is deterministic),
+//     so replays converge.
+//   - When a node fails, the router advances a rollback epoch. Every other
+//     process observes MSG_ROLL exactly once on its next receive,
+//     mirroring the paper's "all the other processes rollback their last
+//     speculation to bring the computation to a consistent state".
+//   - Old messages are garbage-collected by msg_gc(tag), called by the
+//     application after each committed checkpoint.
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/fir"
+	"repro/internal/heap"
+	"repro/internal/rt"
+)
+
+// Receive status codes returned to MojC/FIR code.
+const (
+	// StatusOK means the payload was delivered.
+	StatusOK = 0
+	// StatusRoll is the paper's MSG_ROLL: a failure or rollback elsewhere
+	// requires this process to roll back its current speculation.
+	StatusRoll = 1
+	// StatusClosed means the router shut down (the run is over).
+	StatusClosed = 2
+)
+
+// ErrClosed is returned by operations on a closed router.
+var ErrClosed = errors.New("msg: router closed")
+
+type key struct {
+	src, dst, tag int64
+}
+
+// Router is the in-memory interconnect between the node processes of a
+// simulated cluster.
+type Router struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	box    map[key][]heap.Value
+	failed map[int64]bool
+	epoch  int64
+	seen   map[int64]int64 // node -> last rollback epoch observed
+	closed bool
+
+	stats Stats
+}
+
+// Stats counts router activity.
+type Stats struct {
+	Sends     uint64
+	Recvs     uint64
+	Rolls     uint64 // MSG_ROLL deliveries
+	Failures  uint64 // Fail calls
+	GCed      uint64 // messages dropped by msg_gc
+	WordsSent uint64
+}
+
+// NewRouter creates an empty router.
+func NewRouter() *Router {
+	r := &Router{
+		box:    make(map[key][]heap.Value),
+		failed: make(map[int64]bool),
+		seen:   make(map[int64]int64),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Stats returns a copy of the counters.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Close releases every blocked receiver with StatusClosed.
+func (r *Router) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// Fail marks a node as failed and advances the rollback epoch: every other
+// node's next receive reports MSG_ROLL once.
+func (r *Router) Fail(node int64) {
+	r.mu.Lock()
+	r.failed[node] = true
+	r.epoch++
+	r.stats.Failures++
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// Restore clears a node's failed mark (after resurrection) and marks it as
+// having already observed the current epoch — the resurrected process
+// resumes from its checkpoint, which is already the rollback point.
+func (r *Router) Restore(node int64) {
+	r.mu.Lock()
+	delete(r.failed, node)
+	r.seen[node] = r.epoch
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// Failed reports whether a node is currently failed.
+func (r *Router) Failed(node int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failed[node]
+}
+
+// Send stores a message. Sends are non-blocking and idempotent: re-sending
+// (src, dst, tag) overwrites with identical content on deterministic
+// replays.
+func (r *Router) Send(src, dst, tag int64, words []heap.Value) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	cp := make([]heap.Value, len(words))
+	copy(cp, words)
+	r.box[key{src, dst, tag}] = cp
+	r.stats.Sends++
+	r.stats.WordsSent += uint64(len(words))
+	r.cond.Broadcast()
+	return nil
+}
+
+// Recv blocks until a message (src→dst, tag) is available, a rollback
+// epoch must be observed, or the router closes. It returns the payload and
+// a status code.
+func (r *Router) Recv(dst, src, tag int64) ([]heap.Value, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.closed {
+			return nil, StatusClosed
+		}
+		// Pending rollback epoch? Deliver MSG_ROLL exactly once per epoch.
+		if r.seen[dst] < r.epoch {
+			r.seen[dst] = r.epoch
+			r.stats.Rolls++
+			return nil, StatusRoll
+		}
+		if m, ok := r.box[key{src, dst, tag}]; ok {
+			r.stats.Recvs++
+			out := make([]heap.Value, len(m))
+			copy(out, m)
+			return out, StatusOK
+		}
+		r.cond.Wait()
+	}
+}
+
+// GC drops every message addressed TO `node` with tag < below. The grid
+// app calls it after each committed checkpoint: once a node has committed
+// past a step it can never re-read that step's borders. Outbound messages
+// are deliberately retained — a neighbour that resumes from an older
+// checkpoint may still need them.
+func (r *Router) GC(node, below int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := range r.box {
+		if k.dst == node && k.tag < below {
+			delete(r.box, k)
+			r.stats.GCed++
+		}
+	}
+}
+
+// Externs returns the message-passing externals for a node process:
+//
+//	msg_send(dst, tag, p, off, n) int   — send n words of p starting at off
+//	msg_recv(src, tag, p, off, n) int   — receive into p; returns a status
+//	msg_gc(below) int                   — drop messages with tag < below
+//	node_id() int                       — this node's id
+//
+// Payload words must be scalars (int or float); pointers are process-local
+// and never cross the interconnect.
+func (r *Router) Externs(node int64) rt.Registry {
+	reg := make(rt.Registry)
+	ptrIntInt := []fir.Type{fir.TyInt, fir.TyInt, fir.TyPtr, fir.TyInt, fir.TyInt}
+
+	reg["msg_send"] = rt.Extern{
+		Sig: fir.ExternSig{Args: ptrIntInt, Result: fir.TyInt},
+		Fn: func(rtx rt.Runtime, a []heap.Value) (heap.Value, error) {
+			dst, tag, p, off, n := a[0].I, a[1].I, a[2], a[3].I, a[4].I
+			if n < 0 {
+				return heap.Value{}, fmt.Errorf("msg_send: negative length %d", n)
+			}
+			h := rtx.Heap()
+			words := make([]heap.Value, n)
+			for i := int64(0); i < n; i++ {
+				w, err := h.Load(p, off+i)
+				if err != nil {
+					return heap.Value{}, err
+				}
+				if w.Kind != heap.KInt && w.Kind != heap.KFloat {
+					return heap.Value{}, fmt.Errorf("msg_send: word %d is %s; only scalars cross the interconnect", i, w.Kind)
+				}
+				words[i] = w
+			}
+			if err := r.Send(node, dst, tag, words); err != nil {
+				return heap.IntVal(StatusClosed), nil
+			}
+			return heap.IntVal(StatusOK), nil
+		},
+	}
+
+	reg["msg_recv"] = rt.Extern{
+		Sig: fir.ExternSig{Args: ptrIntInt, Result: fir.TyInt},
+		Fn: func(rtx rt.Runtime, a []heap.Value) (heap.Value, error) {
+			src, tag, p, off, n := a[0].I, a[1].I, a[2], a[3].I, a[4].I
+			words, status := r.Recv(node, src, tag)
+			if status != StatusOK {
+				return heap.IntVal(status), nil
+			}
+			if int64(len(words)) < n {
+				n = int64(len(words))
+			}
+			h := rtx.Heap()
+			for i := int64(0); i < n; i++ {
+				if err := h.Store(p, off+i, words[i]); err != nil {
+					return heap.Value{}, err
+				}
+			}
+			return heap.IntVal(StatusOK), nil
+		},
+	}
+
+	reg["msg_gc"] = rt.Extern{
+		Sig: fir.ExternSig{Args: []fir.Type{fir.TyInt}, Result: fir.TyInt},
+		Fn: func(rtx rt.Runtime, a []heap.Value) (heap.Value, error) {
+			r.GC(node, a[0].I)
+			return heap.IntVal(0), nil
+		},
+	}
+
+	reg["node_id"] = rt.Extern{
+		Sig: fir.ExternSig{Result: fir.TyInt},
+		Fn: func(rtx rt.Runtime, a []heap.Value) (heap.Value, error) {
+			return heap.IntVal(node), nil
+		},
+	}
+	return reg
+}
+
+// Sigs returns the extern signatures without binding a node, for
+// compilation and unpack-time type checking.
+func Sigs() map[string]fir.ExternSig {
+	r := NewRouter()
+	return r.Externs(0).Sigs()
+}

@@ -1,0 +1,181 @@
+package msg
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/heap"
+)
+
+func iv(vs ...int64) []heap.Value {
+	out := make([]heap.Value, len(vs))
+	for i, v := range vs {
+		out[i] = heap.IntVal(v)
+	}
+	return out
+}
+
+func TestSendRecv(t *testing.T) {
+	r := NewRouter()
+	if err := r.Send(1, 2, 5, iv(10, 20, 30)); err != nil {
+		t.Fatal(err)
+	}
+	got, st := r.Recv(2, 1, 5)
+	if st != StatusOK {
+		t.Fatalf("status = %d", st)
+	}
+	if len(got) != 3 || got[1].I != 20 {
+		t.Fatalf("payload = %v", got)
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	r := NewRouter()
+	done := make(chan int64, 1)
+	go func() {
+		_, st := r.Recv(2, 1, 7)
+		done <- st
+	}()
+	select {
+	case st := <-done:
+		t.Fatalf("recv returned %d before send", st)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := r.Send(1, 2, 7, iv(1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case st := <-done:
+		if st != StatusOK {
+			t.Fatalf("status = %d", st)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("recv never woke")
+	}
+}
+
+func TestRecvNonDestructive(t *testing.T) {
+	r := NewRouter()
+	_ = r.Send(1, 2, 3, iv(42))
+	for i := 0; i < 3; i++ {
+		got, st := r.Recv(2, 1, 3)
+		if st != StatusOK || got[0].I != 42 {
+			t.Fatalf("read %d: %v %d", i, got, st)
+		}
+	}
+}
+
+func TestFailDeliversRollOncePerNode(t *testing.T) {
+	r := NewRouter()
+	_ = r.Send(1, 2, 1, iv(5))
+	r.Fail(3)
+	// First recv observes the epoch: MSG_ROLL.
+	if _, st := r.Recv(2, 1, 1); st != StatusRoll {
+		t.Fatalf("first recv status = %d, want MSG_ROLL", st)
+	}
+	// Second recv gets the message.
+	if _, st := r.Recv(2, 1, 1); st != StatusOK {
+		t.Fatalf("second recv status = %d, want OK", st)
+	}
+	// A different node also sees the epoch once.
+	_ = r.Send(2, 4, 1, iv(6))
+	if _, st := r.Recv(4, 2, 1); st != StatusRoll {
+		t.Fatal("node 4 missed the rollback epoch")
+	}
+	if _, st := r.Recv(4, 2, 1); st != StatusOK {
+		t.Fatal("node 4 did not recover after roll")
+	}
+}
+
+func TestRestoreSkipsEpochForResurrected(t *testing.T) {
+	r := NewRouter()
+	r.Fail(1)
+	r.Restore(1)
+	_ = r.Send(2, 1, 9, iv(7))
+	if _, st := r.Recv(1, 2, 9); st != StatusOK {
+		t.Fatalf("resurrected node got status %d, want OK (already at rollback point)", st)
+	}
+	if r.Failed(1) {
+		t.Fatal("node still marked failed after Restore")
+	}
+}
+
+func TestGCInboundOnly(t *testing.T) {
+	r := NewRouter()
+	_ = r.Send(1, 2, 3, iv(1)) // inbound to 2, old
+	_ = r.Send(1, 2, 9, iv(2)) // inbound to 2, new
+	_ = r.Send(2, 1, 3, iv(3)) // outbound from 2, old — must survive
+	r.GC(2, 5)
+	if _, st := r.Recv(1, 2, 3); st != StatusOK {
+		t.Fatal("outbound message was GCed")
+	}
+	if _, st := r.Recv(2, 1, 9); st != StatusOK {
+		t.Fatal("new inbound message was GCed")
+	}
+	done := make(chan int64, 1)
+	go func() {
+		_, st := r.Recv(2, 1, 3)
+		done <- st
+	}()
+	select {
+	case st := <-done:
+		if st != StatusClosed {
+			t.Fatalf("old inbound message still delivered (status %d)", st)
+		}
+	case <-time.After(30 * time.Millisecond):
+		r.Close()
+		if st := <-done; st != StatusClosed {
+			t.Fatalf("status = %d", st)
+		}
+	}
+}
+
+func TestCloseReleasesReceivers(t *testing.T) {
+	r := NewRouter()
+	var wg sync.WaitGroup
+	results := make(chan int64, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(n int64) {
+			defer wg.Done()
+			_, st := r.Recv(n, 99, 1)
+			results <- st
+		}(int64(i))
+	}
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	wg.Wait()
+	close(results)
+	for st := range results {
+		if st != StatusClosed {
+			t.Fatalf("status = %d, want closed", st)
+		}
+	}
+	if err := r.Send(0, 1, 1, iv(1)); err == nil {
+		t.Fatal("send on closed router accepted")
+	}
+}
+
+func TestSendOverwriteIdempotent(t *testing.T) {
+	r := NewRouter()
+	_ = r.Send(1, 2, 4, iv(1))
+	_ = r.Send(1, 2, 4, iv(1)) // deterministic re-send
+	got, st := r.Recv(2, 1, 4)
+	if st != StatusOK || got[0].I != 1 {
+		t.Fatalf("got %v %d", got, st)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	r := NewRouter()
+	_ = r.Send(1, 2, 1, iv(1, 2))
+	_, _ = r.Recv(2, 1, 1)
+	r.Fail(5)
+	_, _ = r.Recv(2, 1, 1) // MSG_ROLL
+	r.GC(2, 99)
+	s := r.Stats()
+	if s.Sends != 1 || s.Recvs != 1 || s.Rolls != 1 || s.Failures != 1 || s.GCed != 1 || s.WordsSent != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

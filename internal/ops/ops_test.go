@@ -1,0 +1,170 @@
+package ops
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fir"
+	"repro/internal/heap"
+)
+
+func ev(t *testing.T, h *heap.Heap, op fir.Op, args ...heap.Value) heap.Value {
+	t.Helper()
+	v, err := Eval(h, op, args, fir.TyInt)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", op, err)
+	}
+	return v
+}
+
+func TestIntArithmetic(t *testing.T) {
+	h := heap.New(heap.Config{})
+	cases := []struct {
+		op   fir.Op
+		a, b int64
+		want int64
+	}{
+		{fir.OpAdd, 3, 4, 7},
+		{fir.OpSub, 3, 4, -1},
+		{fir.OpMul, 3, 4, 12},
+		{fir.OpDiv, 9, 4, 2},
+		{fir.OpMod, 9, 4, 1},
+		{fir.OpAnd, 0b1100, 0b1010, 0b1000},
+		{fir.OpOr, 0b1100, 0b1010, 0b1110},
+		{fir.OpXor, 0b1100, 0b1010, 0b0110},
+		{fir.OpShl, 3, 2, 12},
+		{fir.OpShr, 12, 2, 3},
+		{fir.OpEq, 3, 3, 1},
+		{fir.OpNe, 3, 3, 0},
+		{fir.OpLt, 2, 3, 1},
+		{fir.OpLe, 3, 3, 1},
+		{fir.OpGt, 2, 3, 0},
+		{fir.OpGe, 3, 3, 1},
+	}
+	for _, tc := range cases {
+		got := ev(t, h, tc.op, heap.IntVal(tc.a), heap.IntVal(tc.b))
+		if got.Kind != heap.KInt || got.I != tc.want {
+			t.Errorf("%s(%d, %d) = %s, want %d", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestTraps(t *testing.T) {
+	h := heap.New(heap.Config{})
+	bad := []struct {
+		name string
+		op   fir.Op
+		args []heap.Value
+	}{
+		{"div by zero", fir.OpDiv, []heap.Value{heap.IntVal(1), heap.IntVal(0)}},
+		{"mod by zero", fir.OpMod, []heap.Value{heap.IntVal(1), heap.IntVal(0)}},
+		{"shift range", fir.OpShl, []heap.Value{heap.IntVal(1), heap.IntVal(64)}},
+		{"neg shift", fir.OpShr, []heap.Value{heap.IntVal(1), heap.IntVal(-1)}},
+		{"float into int op", fir.OpAdd, []heap.Value{heap.FloatVal(1), heap.IntVal(1)}},
+		{"int into float op", fir.OpFAdd, []heap.Value{heap.IntVal(1), heap.FloatVal(1)}},
+		{"ptradd non-ptr", fir.OpPtrAdd, []heap.Value{heap.IntVal(1), heap.IntVal(1)}},
+	}
+	for _, tc := range bad {
+		if _, err := Eval(h, tc.op, tc.args, fir.TyInt); err == nil {
+			t.Errorf("%s: no trap", tc.name)
+		}
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	h := heap.New(heap.Config{})
+	v, err := Eval(h, fir.OpFMul, []heap.Value{heap.FloatVal(1.5), heap.FloatVal(4)}, fir.TyFloat)
+	if err != nil || v.F != 6 {
+		t.Fatalf("fmul = %v, %v", v, err)
+	}
+	v, err = Eval(h, fir.OpFLt, []heap.Value{heap.FloatVal(1), heap.FloatVal(2)}, fir.TyInt)
+	if err != nil || v.I != 1 {
+		t.Fatalf("flt = %v, %v", v, err)
+	}
+	v, err = Eval(h, fir.OpFloatToInt, []heap.Value{heap.FloatVal(-2.9)}, fir.TyInt)
+	if err != nil || v.I != -2 {
+		t.Fatalf("ftoi = %v, %v (truncation)", v, err)
+	}
+	v, err = Eval(h, fir.OpIntToFloat, []heap.Value{heap.IntVal(3)}, fir.TyFloat)
+	if err != nil || v.F != 3 {
+		t.Fatalf("itof = %v, %v", v, err)
+	}
+}
+
+func TestHeapOps(t *testing.T) {
+	h := heap.New(heap.Config{})
+	p, err := Eval(h, fir.OpAlloc, []heap.Value{heap.IntVal(4)}, fir.TyPtr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Eval(h, fir.OpStore, []heap.Value{p, heap.IntVal(1), heap.FloatVal(2.5)}, fir.TyUnit); err != nil {
+		t.Fatal(err)
+	}
+	v, err := Eval(h, fir.OpLoad, []heap.Value{p, heap.IntVal(1)}, fir.TyFloat)
+	if err != nil || v.F != 2.5 {
+		t.Fatalf("load = %v, %v", v, err)
+	}
+	// Tag check: loading the float as int must fail.
+	if _, err := Eval(h, fir.OpLoad, []heap.Value{p, heap.IntVal(1)}, fir.TyInt); err == nil ||
+		!strings.Contains(err.Error(), "does not have type") {
+		t.Fatalf("tag check missed: %v", err)
+	}
+	n, err := Eval(h, fir.OpLen, []heap.Value{p}, fir.TyInt)
+	if err != nil || n.I != 4 {
+		t.Fatalf("len = %v, %v", n, err)
+	}
+	q, err := Eval(h, fir.OpPtrAdd, []heap.Value{p, heap.IntVal(2)}, fir.TyPtr)
+	if err != nil || q.Off != 2 {
+		t.Fatalf("ptradd = %v, %v", q, err)
+	}
+	off, err := Eval(h, fir.OpPtrOff, []heap.Value{q}, fir.TyInt)
+	if err != nil || off.I != 2 {
+		t.Fatalf("ptroff = %v, %v", off, err)
+	}
+	base, err := Eval(h, fir.OpPtrBase, []heap.Value{q}, fir.TyPtr)
+	if err != nil || base.Off != 0 {
+		t.Fatalf("ptrbase = %v, %v", base, err)
+	}
+	eq, err := Eval(h, fir.OpPtrEq, []heap.Value{p, base}, fir.TyInt)
+	if err != nil || eq.I != 1 {
+		t.Fatalf("ptreq = %v, %v", eq, err)
+	}
+	null, err := Eval(h, fir.OpPtrNull, nil, fir.TyPtr)
+	if err != nil || !null.IsNull() {
+		t.Fatalf("ptrnull = %v, %v", null, err)
+	}
+	isn, err := Eval(h, fir.OpPtrIsNil, []heap.Value{null}, fir.TyInt)
+	if err != nil || isn.I != 1 {
+		t.Fatalf("ptrisnil = %v, %v", isn, err)
+	}
+}
+
+func TestCheckKind(t *testing.T) {
+	if err := CheckKind(heap.IntVal(1), fir.TyInt); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckKind(heap.IntVal(1), fir.TyFloat); err == nil {
+		t.Fatal("int passed as float")
+	}
+	if err := CheckKind(heap.FunVal(2), fir.TyFun(fir.TyInt)); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckKind(heap.UnitVal(), fir.TyUnit); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integer comparison operators agree with Go's.
+func TestComparisonsQuick(t *testing.T) {
+	h := heap.New(heap.Config{})
+	f := func(a, b int64) bool {
+		lt, _ := Eval(h, fir.OpLt, []heap.Value{heap.IntVal(a), heap.IntVal(b)}, fir.TyInt)
+		le, _ := Eval(h, fir.OpLe, []heap.Value{heap.IntVal(a), heap.IntVal(b)}, fir.TyInt)
+		eq, _ := Eval(h, fir.OpEq, []heap.Value{heap.IntVal(a), heap.IntVal(b)}, fir.TyInt)
+		return (lt.I == 1) == (a < b) && (le.I == 1) == (a <= b) && (eq.I == 1) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,462 @@
+package risc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fir"
+	"repro/internal/heap"
+)
+
+// Compile translates a type-checked FIR program into a RISC module:
+// lowering to virtual-register code, liveness analysis, linear-scan
+// register allocation with spilling, and branch fixup. This is the work a
+// migration server performs when an inbound process arrives (§4.2.2) —
+// together with fir.Check it is the "recompilation" component of the
+// untrusted migration cost in experiment E1.
+func Compile(prog *fir.Program) (*Module, error) {
+	c := &compiler{
+		prog:      prog,
+		externIdx: make(map[string]int),
+	}
+	m := &Module{
+		FnEntry:  make([]int, len(prog.Funcs)),
+		FnParams: make([][]Loc, len(prog.Funcs)),
+		FnName:   make([]string, len(prog.Funcs)),
+	}
+	for i, f := range prog.Funcs {
+		fc := &fnCompiler{c: c, fn: f}
+		if err := fc.lower(); err != nil {
+			return nil, err
+		}
+		locs, spills := fc.allocate()
+		code, params, err := fc.finalize(locs, len(m.Code))
+		if err != nil {
+			return nil, err
+		}
+		m.FnEntry[i] = len(m.Code)
+		m.FnParams[i] = params
+		m.FnName[i] = f.Name
+		m.Code = append(m.Code, code...)
+		if spills > m.SpillSlots {
+			m.SpillSlots = spills
+		}
+	}
+	_, entryIdx := prog.Lookup(prog.Entry)
+	if entryIdx < 0 {
+		return nil, fmt.Errorf("risc: entry function %q not found", prog.Entry)
+	}
+	m.Entry = m.FnEntry[entryIdx]
+	m.Externs = c.externs
+	return m, nil
+}
+
+type compiler struct {
+	prog      *fir.Program
+	externs   []string
+	externIdx map[string]int
+}
+
+func (c *compiler) extern(name string) int {
+	if i, ok := c.externIdx[name]; ok {
+		return i
+	}
+	i := len(c.externs)
+	c.externs = append(c.externs, name)
+	c.externIdx[name] = i
+	return i
+}
+
+// vinstr is an instruction over virtual registers; -1 marks an absent
+// operand. target holds a label id for branches until fixup.
+type vinstr struct {
+	op       OpCode
+	alu      fir.Op
+	dst      int
+	a, b, cc int
+	imm      heap.Value
+	loadTy   fir.Type
+	target   int
+	args     []int
+}
+
+type fnCompiler struct {
+	c      *compiler
+	fn     *fir.Function
+	code   []vinstr
+	nv     int   // virtual register count
+	labels []int // label id -> vcode position
+	params []int // param vregs
+}
+
+func (fc *fnCompiler) newVreg() int {
+	v := fc.nv
+	fc.nv++
+	return v
+}
+
+func (fc *fnCompiler) newLabel() int {
+	fc.labels = append(fc.labels, -1)
+	return len(fc.labels) - 1
+}
+
+func (fc *fnCompiler) place(label int) {
+	fc.labels[label] = len(fc.code)
+}
+
+func (fc *fnCompiler) emit(in vinstr) {
+	fc.code = append(fc.code, in)
+}
+
+// atom lowers an atom to a vreg, emitting OLdi for literals.
+func (fc *fnCompiler) atom(a fir.Atom, env map[string]int) (int, error) {
+	switch a := a.(type) {
+	case fir.Var:
+		v, ok := env[a.Name]
+		if !ok {
+			return 0, fmt.Errorf("risc: unbound variable %q in %s", a.Name, fc.fn.Name)
+		}
+		return v, nil
+	case fir.IntLit:
+		v := fc.newVreg()
+		fc.emit(vinstr{op: OLdi, dst: v, a: -1, b: -1, cc: -1, imm: heap.IntVal(a.V)})
+		return v, nil
+	case fir.FloatLit:
+		v := fc.newVreg()
+		fc.emit(vinstr{op: OLdi, dst: v, a: -1, b: -1, cc: -1, imm: heap.FloatVal(a.V)})
+		return v, nil
+	case fir.FunLit:
+		_, idx := fc.c.prog.Lookup(a.Name)
+		if idx < 0 {
+			return 0, fmt.Errorf("risc: undefined function %q in %s", a.Name, fc.fn.Name)
+		}
+		v := fc.newVreg()
+		fc.emit(vinstr{op: OLdi, dst: v, a: -1, b: -1, cc: -1, imm: heap.FunVal(int64(idx))})
+		return v, nil
+	case fir.UnitLit:
+		v := fc.newVreg()
+		fc.emit(vinstr{op: OLdi, dst: v, a: -1, b: -1, cc: -1, imm: heap.UnitVal()})
+		return v, nil
+	default:
+		return 0, fmt.Errorf("risc: unknown atom %T in %s", a, fc.fn.Name)
+	}
+}
+
+func (fc *fnCompiler) atoms(as []fir.Atom, env map[string]int) ([]int, error) {
+	out := make([]int, len(as))
+	for i, a := range as {
+		v, err := fc.atom(a, env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// lower generates virtual-register code for the function body.
+func (fc *fnCompiler) lower() error {
+	env := make(map[string]int, len(fc.fn.Params))
+	for _, p := range fc.fn.Params {
+		v := fc.newVreg()
+		fc.params = append(fc.params, v)
+		env[p.Name] = v
+	}
+	return fc.expr(fc.fn.Body, env)
+}
+
+func (fc *fnCompiler) expr(e fir.Expr, env map[string]int) error {
+	for {
+		switch e2 := e.(type) {
+		case fir.Let:
+			args, err := fc.atoms(e2.Args, env)
+			if err != nil {
+				return err
+			}
+			dst := fc.newVreg()
+			in := vinstr{op: OAlu, alu: e2.Op, dst: dst, a: -1, b: -1, cc: -1, loadTy: e2.DstType}
+			if e2.Op == fir.OpMove {
+				in = vinstr{op: OMov, dst: dst, a: args[0], b: -1, cc: -1}
+			} else {
+				switch len(args) {
+				case 0:
+				case 1:
+					in.a = args[0]
+				case 2:
+					in.a, in.b = args[0], args[1]
+				case 3:
+					in.a, in.b, in.cc = args[0], args[1], args[2]
+				default:
+					return fmt.Errorf("risc: operator %s with %d operands", e2.Op, len(args))
+				}
+			}
+			fc.emit(in)
+			env = extendEnv(env, e2.Dst, dst)
+			e = e2.Body
+
+		case fir.Extern:
+			args, err := fc.atoms(e2.Args, env)
+			if err != nil {
+				return err
+			}
+			dst := fc.newVreg()
+			fc.emit(vinstr{op: OExt, dst: dst, a: -1, b: -1, cc: -1, target: fc.c.extern(e2.Name), args: args, loadTy: e2.DstType})
+			env = extendEnv(env, e2.Dst, dst)
+			e = e2.Body
+
+		case fir.If:
+			cv, err := fc.atom(e2.Cond, env)
+			if err != nil {
+				return err
+			}
+			elseL := fc.newLabel()
+			fc.emit(vinstr{op: OBrz, dst: -1, a: cv, b: -1, cc: -1, target: elseL})
+			if err := fc.expr(e2.Then, env); err != nil {
+				return err
+			}
+			fc.place(elseL)
+			e = e2.Else
+
+		case fir.Call:
+			fv, err := fc.atom(e2.Fn, env)
+			if err != nil {
+				return err
+			}
+			args, err := fc.atoms(e2.Args, env)
+			if err != nil {
+				return err
+			}
+			fc.emit(vinstr{op: OCall, dst: -1, a: fv, b: -1, cc: -1, args: args})
+			return nil
+
+		case fir.Halt:
+			cv, err := fc.atom(e2.Code, env)
+			if err != nil {
+				return err
+			}
+			fc.emit(vinstr{op: OHalt, dst: -1, a: cv, b: -1, cc: -1})
+			return nil
+
+		case fir.Speculate:
+			fv, err := fc.atom(e2.Fn, env)
+			if err != nil {
+				return err
+			}
+			args, err := fc.atoms(e2.Args, env)
+			if err != nil {
+				return err
+			}
+			fc.emit(vinstr{op: OSpec, dst: -1, a: fv, b: -1, cc: -1, args: args})
+			return nil
+
+		case fir.Commit:
+			lv, err := fc.atom(e2.Level, env)
+			if err != nil {
+				return err
+			}
+			fv, err := fc.atom(e2.Fn, env)
+			if err != nil {
+				return err
+			}
+			args, err := fc.atoms(e2.Args, env)
+			if err != nil {
+				return err
+			}
+			fc.emit(vinstr{op: OCommit, dst: -1, a: lv, b: fv, cc: -1, args: args})
+			return nil
+
+		case fir.Rollback:
+			lv, err := fc.atom(e2.Level, env)
+			if err != nil {
+				return err
+			}
+			cv, err := fc.atom(e2.C, env)
+			if err != nil {
+				return err
+			}
+			fc.emit(vinstr{op: ORollbk, dst: -1, a: lv, b: cv, cc: -1})
+			return nil
+
+		case fir.Migrate:
+			tv, err := fc.atom(e2.Target, env)
+			if err != nil {
+				return err
+			}
+			ov, err := fc.atom(e2.TargetOff, env)
+			if err != nil {
+				return err
+			}
+			fv, err := fc.atom(e2.Fn, env)
+			if err != nil {
+				return err
+			}
+			args, err := fc.atoms(e2.Args, env)
+			if err != nil {
+				return err
+			}
+			fc.emit(vinstr{op: OMigr, dst: -1, a: tv, b: ov, cc: fv, target: e2.Label, args: args})
+			return nil
+
+		default:
+			return fmt.Errorf("risc: unknown expression %T in %s", e2, fc.fn.Name)
+		}
+	}
+}
+
+func extendEnv(env map[string]int, name string, v int) map[string]int {
+	out := make(map[string]int, len(env)+1)
+	for k, vv := range env {
+		out[k] = vv
+	}
+	out[name] = v
+	return out
+}
+
+// interval is a virtual register's live range over linear vcode positions.
+// FIR bodies contain only forward branches (loops are tail calls), so a
+// [firstDef, lastUse] interval is exact.
+type interval struct {
+	vreg       int
+	start, end int
+}
+
+// allocate runs liveness analysis and linear-scan register allocation,
+// returning the location of every vreg and the spill-slot count.
+func (fc *fnCompiler) allocate() ([]Loc, int) {
+	start := make([]int, fc.nv)
+	end := make([]int, fc.nv)
+	for i := range start {
+		start[i] = -2 // unseen
+	}
+	for _, v := range fc.params {
+		start[v] = -1 // defined at entry
+		end[v] = -1
+	}
+	touch := func(v, pos int) {
+		if v < 0 {
+			return
+		}
+		if start[v] == -2 {
+			start[v] = pos
+		}
+		if pos > end[v] {
+			end[v] = pos
+		}
+	}
+	for pos, in := range fc.code {
+		touch(in.dst, pos)
+		touch(in.a, pos)
+		touch(in.b, pos)
+		touch(in.cc, pos)
+		for _, v := range in.args {
+			touch(v, pos)
+		}
+	}
+
+	intervals := make([]interval, 0, fc.nv)
+	for v := 0; v < fc.nv; v++ {
+		if start[v] == -2 {
+			continue
+		}
+		intervals = append(intervals, interval{vreg: v, start: start[v], end: end[v]})
+	}
+	sort.Slice(intervals, func(a, b int) bool {
+		if intervals[a].start != intervals[b].start {
+			return intervals[a].start < intervals[b].start
+		}
+		return intervals[a].vreg < intervals[b].vreg
+	})
+
+	locs := make([]Loc, fc.nv)
+	var free []int
+	for r := NumRegs - 1; r >= 0; r-- {
+		free = append(free, r)
+	}
+	type active struct {
+		end  int
+		vreg int
+		reg  int
+	}
+	var act []active
+	spills := 0
+	spillSlot := func() int {
+		s := spills
+		spills++
+		return s
+	}
+	for _, iv := range intervals {
+		// Expire intervals that ended before this one starts.
+		keep := act[:0]
+		for _, a := range act {
+			if a.end < iv.start {
+				free = append(free, a.reg)
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		act = keep
+		if len(free) > 0 {
+			r := free[len(free)-1]
+			free = free[:len(free)-1]
+			locs[iv.vreg] = Reg(r)
+			act = append(act, active{end: iv.end, vreg: iv.vreg, reg: r})
+			continue
+		}
+		// Spill the interval that lives longest (classic furthest-end
+		// heuristic).
+		far := -1
+		for i, a := range act {
+			if far < 0 || a.end > act[far].end {
+				far = i
+			}
+		}
+		if far >= 0 && act[far].end > iv.end {
+			locs[iv.vreg] = Reg(act[far].reg)
+			locs[act[far].vreg] = Spill(spillSlot())
+			act[far] = active{end: iv.end, vreg: iv.vreg, reg: locs[iv.vreg].Idx}
+		} else {
+			locs[iv.vreg] = Spill(spillSlot())
+		}
+	}
+	return locs, spills
+}
+
+// finalize rewrites vcode to machine instructions with allocated locations
+// and absolute branch targets (base is this function's offset in the
+// module).
+func (fc *fnCompiler) finalize(locs []Loc, base int) ([]Instr, []Loc, error) {
+	loc := func(v int) Loc {
+		if v < 0 {
+			return Loc{}
+		}
+		return locs[v]
+	}
+	code := make([]Instr, len(fc.code))
+	for i, in := range fc.code {
+		out := Instr{
+			Op: in.op, Alu: in.alu,
+			Dst: loc(in.dst), A: loc(in.a), B: loc(in.b), C: loc(in.cc),
+			Imm: in.imm, LoadTy: in.loadTy, Target: in.target,
+		}
+		if in.args != nil {
+			out.Args = make([]Loc, len(in.args))
+			for j, v := range in.args {
+				out.Args[j] = loc(v)
+			}
+		}
+		switch in.op {
+		case OBrz, OJmp:
+			pos := fc.labels[in.target]
+			if pos < 0 {
+				return nil, nil, fmt.Errorf("risc: unplaced label %d in %s", in.target, fc.fn.Name)
+			}
+			out.Target = base + pos
+		}
+		code[i] = out
+	}
+	params := make([]Loc, len(fc.params))
+	for i, v := range fc.params {
+		params[i] = locs[v]
+	}
+	return code, params, nil
+}

@@ -1,0 +1,207 @@
+// Package risc implements the MCC machine-code backend: a RISC-style
+// target instruction set, a code generator from FIR with liveness analysis
+// and linear-scan register allocation, and a machine simulator that
+// executes the generated code against the runtime heap.
+//
+// The paper's primary runtime is native IA32 with an additional environment
+// that "simulates RISC architectures" (§3); this package is that second
+// environment. It matters for two reproduced behaviours: migration never
+// ships machine code — the target machine recompiles the FIR (§4.2.2), and
+// this backend makes that recompilation real, measurable work (experiment
+// E1) — and heterogeneous clusters can mix interpreter nodes and RISC
+// nodes because both backends share heap semantics through internal/ops.
+package risc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fir"
+	"repro/internal/heap"
+)
+
+// NumRegs is the number of general-purpose machine registers.
+const NumRegs = 24
+
+// LocKind distinguishes operand locations.
+type LocKind uint8
+
+const (
+	// LocNone marks an absent operand.
+	LocNone LocKind = iota
+	// LocReg is a machine register r0..r23.
+	LocReg
+	// LocSpill is a stack-frame spill slot. Because FIR is CPS (every call
+	// is a tail call) frames never nest, so one flat spill area serves the
+	// whole machine.
+	LocSpill
+)
+
+// Loc is an operand location assigned by the register allocator.
+type Loc struct {
+	Kind LocKind
+	Idx  int
+}
+
+func (l Loc) String() string {
+	switch l.Kind {
+	case LocReg:
+		return fmt.Sprintf("r%d", l.Idx)
+	case LocSpill:
+		return fmt.Sprintf("[sp+%d]", l.Idx)
+	default:
+		return "_"
+	}
+}
+
+// Reg and Spill are Loc constructors.
+func Reg(i int) Loc   { return Loc{Kind: LocReg, Idx: i} }
+func Spill(i int) Loc { return Loc{Kind: LocSpill, Idx: i} }
+
+// OpCode enumerates the machine instructions.
+type OpCode uint8
+
+const (
+	// OLdi loads the immediate value Imm into Dst.
+	OLdi OpCode = iota
+	// OAlu applies the FIR operator Alu to operands A (and B, C for
+	// ternary store) writing Dst. Heap operators trap through the pointer
+	// table exactly as on the interpreter.
+	OAlu
+	// OMov copies A to Dst.
+	OMov
+	// OJmp jumps to absolute code index Target.
+	OJmp
+	// OBrz branches to Target when A is integer zero.
+	OBrz
+	// OCall is a tail call: the function value in A is invoked with Args.
+	OCall
+	// OHalt stops the machine with exit code A.
+	OHalt
+	// OExt invokes extern Target (index into the module's extern table)
+	// with Args, writing the result to Dst.
+	OExt
+	// OSpec enters a speculation level and invokes the function value in A
+	// with an implicit leading c=0 plus Args.
+	OSpec
+	// OCommit commits level A (ordinal) then invokes the function in B
+	// with Args.
+	OCommit
+	// ORollbk rolls back level A passing c = B.
+	ORollbk
+	// OMigr migrates: Target is the label, A the target-string pointer, B
+	// the offset, C the continuation function value, Args its arguments.
+	OMigr
+	// ONop does nothing (alignment/label padding).
+	ONop
+)
+
+var opNames = map[OpCode]string{
+	OLdi: "ldi", OAlu: "alu", OMov: "mov", OJmp: "jmp", OBrz: "brz",
+	OCall: "call", OHalt: "halt", OExt: "ext", OSpec: "spec",
+	OCommit: "commit", ORollbk: "rollbk", OMigr: "migr", ONop: "nop",
+}
+
+func (o OpCode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one machine instruction.
+type Instr struct {
+	Op      OpCode
+	Alu     fir.Op     // for OAlu
+	Dst     Loc        // result location
+	A, B, C Loc        // operands
+	Imm     heap.Value // for OLdi
+	LoadTy  fir.Type   // declared result type for OAlu/load tag checks
+	Target  int        // branch target, extern index, or migrate label
+	Args    []Loc      // call/extern/speculation arguments
+}
+
+func (in Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	switch in.Op {
+	case OLdi:
+		fmt.Fprintf(&b, " %s, %s", in.Dst, in.Imm)
+	case OAlu:
+		fmt.Fprintf(&b, ".%s %s", in.Alu, in.Dst)
+		for _, o := range []Loc{in.A, in.B, in.C} {
+			if o.Kind != LocNone {
+				fmt.Fprintf(&b, ", %s", o)
+			}
+		}
+	case OMov:
+		fmt.Fprintf(&b, " %s, %s", in.Dst, in.A)
+	case OJmp:
+		fmt.Fprintf(&b, " @%d", in.Target)
+	case OBrz:
+		fmt.Fprintf(&b, " %s, @%d", in.A, in.Target)
+	case OCall, OSpec:
+		fmt.Fprintf(&b, " %s", in.A)
+		for _, a := range in.Args {
+			fmt.Fprintf(&b, ", %s", a)
+		}
+	case OCommit:
+		fmt.Fprintf(&b, " [%s] %s", in.A, in.B)
+		for _, a := range in.Args {
+			fmt.Fprintf(&b, ", %s", a)
+		}
+	case ORollbk:
+		fmt.Fprintf(&b, " [%s, %s]", in.A, in.B)
+	case OMigr:
+		fmt.Fprintf(&b, " [%d, %s, %s] %s", in.Target, in.A, in.B, in.C)
+		for _, a := range in.Args {
+			fmt.Fprintf(&b, ", %s", a)
+		}
+	case OHalt:
+		fmt.Fprintf(&b, " %s", in.A)
+	case OExt:
+		fmt.Fprintf(&b, " %s, #%d", in.Dst, in.Target)
+		for _, a := range in.Args {
+			fmt.Fprintf(&b, ", %s", a)
+		}
+	}
+	return b.String()
+}
+
+// Module is a compiled program: flat code, per-function entry points and
+// parameter locations, the extern name table, and the spill-frame size.
+type Module struct {
+	Code []Instr
+	// Entry is the code index of the program entry function.
+	Entry int
+	// FnEntry maps FIR function-table indices to code indices; the
+	// function table order is preserved so heap KFun values stay valid
+	// across migration (§4.2.2).
+	FnEntry []int
+	// FnParams gives each function's parameter locations; calls write
+	// argument values there before jumping.
+	FnParams [][]Loc
+	// FnName mirrors the FIR function names for diagnostics.
+	FnName []string
+	// Externs is the extern name table referenced by OExt.Target.
+	Externs []string
+	// SpillSlots is the spill-frame size in words.
+	SpillSlots int
+}
+
+// Disassemble renders the module as assembly text, used by `mcc -emit asm`.
+func (m *Module) Disassemble() string {
+	entryOf := make(map[int]string)
+	for i, e := range m.FnEntry {
+		entryOf[e] = m.FnName[i]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; module: %d instructions, %d spill slots, entry @%d\n", len(m.Code), m.SpillSlots, m.Entry)
+	for i, in := range m.Code {
+		if name, ok := entryOf[i]; ok {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "  %4d  %s\n", i, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,524 @@
+package risc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/fir"
+	"repro/internal/gc"
+	"repro/internal/heap"
+	"repro/internal/ops"
+	"repro/internal/rt"
+	"repro/internal/spec"
+)
+
+// Errors returned by the machine.
+var (
+	ErrFuelExhausted = errors.New("risc: fuel exhausted")
+	ErrNotRunning    = errors.New("risc: machine is not running")
+	ErrNoMigration   = errors.New("risc: no migration handler installed")
+)
+
+// Config configures a machine instance. It mirrors vm.Config so the two
+// backends are interchangeable.
+type Config struct {
+	Heap            heap.Config
+	Collector       heap.Collector
+	Stdout          io.Writer
+	Fuel            uint64
+	TrapSpeculation bool
+	Name            string
+	Args            []int64
+	Seed            int64
+}
+
+// Machine executes a compiled Module against the runtime heap. It
+// implements rt.Runtime, so externals and migration behave exactly as on
+// the interpreter backend.
+type Machine struct {
+	name    string
+	prog    *fir.Program
+	mod     *Module
+	h       *heap.Heap
+	mgr     *spec.Manager
+	externs rt.Registry
+	migrate rt.MigrateHandler
+
+	regs   [NumRegs]heap.Value
+	spill  []heap.Value
+	pc     int
+	status rt.Status
+	halt   int64
+	err    error
+
+	stdout io.Writer
+	fuel   uint64
+	fuelOn bool
+	steps  uint64
+	pins   []heap.Value
+	args   []int64
+	rng    uint64
+
+	trapSpec bool
+}
+
+// NewMachine creates a machine for a program, compiling it if mod is nil.
+// The program must already be type-checked when a precompiled module is
+// supplied.
+func NewMachine(prog *fir.Program, mod *Module, cfg Config) (*Machine, error) {
+	h := heap.New(cfg.Heap)
+	if cfg.Collector != nil {
+		h.SetCollector(cfg.Collector)
+	} else {
+		h.SetCollector(gc.New())
+	}
+	out := cfg.Stdout
+	if out == nil {
+		out = io.Discard
+	}
+	m := &Machine{
+		name:     cfg.Name,
+		prog:     prog,
+		mod:      mod,
+		h:        h,
+		mgr:      spec.New(h),
+		externs:  make(rt.Registry),
+		stdout:   out,
+		fuel:     cfg.Fuel,
+		fuelOn:   cfg.Fuel > 0,
+		args:     cfg.Args,
+		rng:      uint64(cfg.Seed)*2862933555777941757 + 3037000493,
+		trapSpec: cfg.TrapSpeculation,
+	}
+	h.AddRoots(func(yield func(heap.Value)) {
+		for _, v := range m.regs {
+			yield(v)
+		}
+		for _, v := range m.spill {
+			yield(v)
+		}
+		for _, v := range m.pins {
+			yield(v)
+		}
+	})
+	for name, e := range rt.StdExterns() {
+		m.externs[name] = e
+	}
+	return m, nil
+}
+
+// ResumeMachine builds a machine around a restored heap and speculation
+// continuation stack — the unpack path when the target node runs the RISC
+// backend.
+func ResumeMachine(prog *fir.Program, mod *Module, h *heap.Heap, conts []spec.Continuation, cfg Config) (*Machine, error) {
+	out := cfg.Stdout
+	if out == nil {
+		out = io.Discard
+	}
+	if cfg.Collector != nil {
+		h.SetCollector(cfg.Collector)
+	} else {
+		h.SetCollector(gc.New())
+	}
+	m := &Machine{
+		name:     cfg.Name,
+		prog:     prog,
+		mod:      mod,
+		h:        h,
+		mgr:      spec.New(h),
+		externs:  make(rt.Registry),
+		stdout:   out,
+		fuel:     cfg.Fuel,
+		fuelOn:   cfg.Fuel > 0,
+		args:     cfg.Args,
+		rng:      uint64(cfg.Seed)*2862933555777941757 + 3037000493,
+		trapSpec: cfg.TrapSpeculation,
+	}
+	if err := m.mgr.RestoreStack(conts); err != nil {
+		return nil, err
+	}
+	h.AddRoots(func(yield func(heap.Value)) {
+		for _, v := range m.regs {
+			yield(v)
+		}
+		for _, v := range m.spill {
+			yield(v)
+		}
+		for _, v := range m.pins {
+			yield(v)
+		}
+	})
+	for name, e := range rt.StdExterns() {
+		m.externs[name] = e
+	}
+	return m, nil
+}
+
+// rt.Runtime implementation.
+
+var _ rt.Runtime = (*Machine)(nil)
+
+// Name identifies the machine's process.
+func (m *Machine) Name() string { return m.name }
+
+// Program returns the FIR program the module was compiled from.
+func (m *Machine) Program() *fir.Program { return m.prog }
+
+// Heap returns the machine heap.
+func (m *Machine) Heap() *heap.Heap { return m.h }
+
+// Spec returns the speculation manager.
+func (m *Machine) Spec() *spec.Manager { return m.mgr }
+
+// Stdout is the sink for print externs.
+func (m *Machine) Stdout() io.Writer { return m.stdout }
+
+// Pin registers a temporary GC root, cleared after each extern.
+func (m *Machine) Pin(v heap.Value) { m.pins = append(m.pins, v) }
+
+// Arg returns the i-th process argument.
+func (m *Machine) Arg(i int64) int64 {
+	if i < 0 || i >= int64(len(m.args)) {
+		return 0
+	}
+	return m.args[i]
+}
+
+// NArgs returns the process argument count.
+func (m *Machine) NArgs() int64 { return int64(len(m.args)) }
+
+// Rand returns a deterministic pseudo-random integer in [0, n).
+func (m *Machine) Rand(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	m.rng ^= m.rng >> 12
+	m.rng ^= m.rng << 25
+	m.rng ^= m.rng >> 27
+	v := (m.rng * 2685821657736338717) >> 1
+	return int64(v) % n
+}
+
+// Module returns the compiled module.
+func (m *Machine) Module() *Module { return m.mod }
+
+// Status returns the lifecycle state.
+func (m *Machine) Status() rt.Status { return m.status }
+
+// HaltCode returns the exit code after halting.
+func (m *Machine) HaltCode() int64 { return m.halt }
+
+// Err returns the terminal error after failure.
+func (m *Machine) Err() error { return m.err }
+
+// Steps returns the executed instruction count.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// SetMigrateHandler installs the migration implementation.
+func (m *Machine) SetMigrateHandler(h rt.MigrateHandler) { m.migrate = h }
+
+// RegisterExtern adds or replaces an external function; call before Start.
+func (m *Machine) RegisterExtern(name string, sig fir.ExternSig, fn rt.ExternFn) {
+	m.externs[name] = rt.Extern{Sig: sig, Fn: fn}
+}
+
+// ExternSigs returns the signature registry for type checking.
+func (m *Machine) ExternSigs() map[string]fir.ExternSig { return m.externs.Sigs() }
+
+// Start type-checks the program, compiles it if necessary, and positions
+// the machine at the entry point.
+func (m *Machine) Start() error {
+	if m.status != rt.StatusReady {
+		return fmt.Errorf("risc: Start on a %s machine", m.status)
+	}
+	if err := fir.Check(m.prog, m.ExternSigs()); err != nil {
+		return err
+	}
+	if m.mod == nil {
+		mod, err := Compile(m.prog)
+		if err != nil {
+			return err
+		}
+		m.mod = mod
+	}
+	m.spill = make([]heap.Value, m.mod.SpillSlots)
+	m.pc = m.mod.Entry
+	m.status = rt.StatusRunning
+	return nil
+}
+
+// StartAt compiles the module if necessary and positions the machine to
+// invoke function fnIdx with args — the unpack resume path.
+func (m *Machine) StartAt(fnIdx int64, args []heap.Value) error {
+	if m.status != rt.StatusReady {
+		return fmt.Errorf("risc: StartAt on a %s machine", m.status)
+	}
+	// No type check here: the caller has already verified the program (or
+	// deliberately skipped verification under the trusted binary protocol).
+	if m.mod == nil {
+		mod, err := Compile(m.prog)
+		if err != nil {
+			return err
+		}
+		m.mod = mod
+	}
+	m.spill = make([]heap.Value, m.mod.SpillSlots)
+	m.status = rt.StatusRunning
+	if err := m.enter(fnIdx, args); err != nil {
+		m.status = rt.StatusFailed
+		m.err = err
+		return err
+	}
+	return nil
+}
+
+// RestoreSpec reinstalls a speculation continuation stack after the heap
+// was rebuilt from a snapshot (heterogeneous unpack).
+func (m *Machine) RestoreSpec(conts []spec.Continuation) error {
+	return m.mgr.RestoreStack(conts)
+}
+
+// read fetches a value from an operand location.
+func (m *Machine) read(l Loc) heap.Value {
+	switch l.Kind {
+	case LocReg:
+		return m.regs[l.Idx]
+	case LocSpill:
+		return m.spill[l.Idx]
+	default:
+		return heap.Value{}
+	}
+}
+
+// write stores a value to a destination location.
+func (m *Machine) write(l Loc, v heap.Value) {
+	switch l.Kind {
+	case LocReg:
+		m.regs[l.Idx] = v
+	case LocSpill:
+		m.spill[l.Idx] = v
+	}
+}
+
+// enter performs the tail-call convention: argument values are written
+// into the callee's parameter locations and the pc moves to its entry.
+func (m *Machine) enter(fnIdx int64, args []heap.Value) error {
+	if fnIdx < 0 || fnIdx >= int64(len(m.mod.FnEntry)) {
+		return fmt.Errorf("risc: function index %d out of range", fnIdx)
+	}
+	params := m.mod.FnParams[fnIdx]
+	if len(args) != len(params) {
+		return fmt.Errorf("risc: %s takes %d arguments, given %d", m.mod.FnName[fnIdx], len(params), len(args))
+	}
+	fn, err := m.prog.FuncByIndex(int(fnIdx))
+	if err != nil {
+		return err
+	}
+	for i, a := range args {
+		if err := ops.CheckKind(a, fn.Params[i].Type); err != nil {
+			return fmt.Errorf("risc: %s argument %d: %w", fn.Name, i, err)
+		}
+	}
+	// Two-phase write: arguments may come from locations about to be
+	// overwritten (caller registers double as callee parameters).
+	for i, a := range args {
+		m.write(params[i], a)
+	}
+	m.pc = m.mod.FnEntry[fnIdx]
+	return nil
+}
+
+func (m *Machine) gather(locs []Loc) []heap.Value {
+	out := make([]heap.Value, len(locs))
+	for i, l := range locs {
+		out[i] = m.read(l)
+	}
+	return out
+}
+
+// Run executes until the machine leaves StatusRunning.
+func (m *Machine) Run() (rt.Status, error) { return m.RunSteps(0) }
+
+// RunSteps executes at most n instructions (0 = unlimited).
+func (m *Machine) RunSteps(n uint64) (rt.Status, error) {
+	if m.status != rt.StatusRunning {
+		return m.status, fmt.Errorf("%w (%s)", ErrNotRunning, m.status)
+	}
+	for i := uint64(0); n == 0 || i < n; i++ {
+		if m.fuelOn {
+			if m.fuel == 0 {
+				m.status = rt.StatusFailed
+				m.err = ErrFuelExhausted
+				return m.status, m.err
+			}
+			m.fuel--
+		}
+		m.steps++
+		if err := m.step(); err != nil {
+			if m.trap(err) {
+				continue
+			}
+			m.status = rt.StatusFailed
+			m.err = err
+			return m.status, err
+		}
+		if m.status != rt.StatusRunning {
+			return m.status, nil
+		}
+	}
+	return m.status, nil
+}
+
+// TrapC mirrors vm.TrapC: the c value used for error-triggered rollbacks.
+const TrapC = 2
+
+func (m *Machine) trap(err error) bool {
+	if !m.trapSpec || m.mgr.Depth() == 0 {
+		return false
+	}
+	cont, rbErr := m.mgr.Rollback(m.mgr.Depth())
+	if rbErr != nil {
+		return false
+	}
+	args := append([]heap.Value{heap.IntVal(TrapC)}, cont.Args...)
+	return m.enter(cont.FnIndex, args) == nil
+}
+
+func (m *Machine) step() error {
+	if m.pc < 0 || m.pc >= len(m.mod.Code) {
+		return fmt.Errorf("risc: pc %d outside code [0,%d)", m.pc, len(m.mod.Code))
+	}
+	in := m.mod.Code[m.pc]
+	switch in.Op {
+	case ONop:
+		m.pc++
+	case OLdi:
+		m.write(in.Dst, in.Imm)
+		m.pc++
+	case OMov:
+		m.write(in.Dst, m.read(in.A))
+		m.pc++
+	case OAlu:
+		var args []heap.Value
+		for _, l := range []Loc{in.A, in.B, in.C} {
+			if l.Kind != LocNone {
+				args = append(args, m.read(l))
+			}
+		}
+		v, err := ops.Eval(m.h, in.Alu, args, in.LoadTy)
+		if err != nil {
+			return err
+		}
+		m.write(in.Dst, v)
+		m.pc++
+	case OJmp:
+		m.pc = in.Target
+	case OBrz:
+		c := m.read(in.A)
+		if c.Kind != heap.KInt {
+			return fmt.Errorf("risc: brz operand is %s, want int", c.Kind)
+		}
+		if c.I == 0 {
+			m.pc = in.Target
+		} else {
+			m.pc++
+		}
+	case OCall:
+		fv := m.read(in.A)
+		if fv.Kind != heap.KFun {
+			return fmt.Errorf("risc: call target is %s, want fun", fv)
+		}
+		return m.enter(fv.I, m.gather(in.Args))
+	case OHalt:
+		c := m.read(in.A)
+		if c.Kind != heap.KInt {
+			return fmt.Errorf("risc: halt code is %s, want int", c.Kind)
+		}
+		m.status = rt.StatusHalted
+		m.halt = c.I
+	case OExt:
+		name := m.mod.Externs[in.Target]
+		ext, ok := m.externs[name]
+		if !ok {
+			return fmt.Errorf("risc: unknown extern %q", name)
+		}
+		v, err := ext.Fn(m, m.gather(in.Args))
+		m.pins = m.pins[:0]
+		if err != nil {
+			return err
+		}
+		if err := ops.CheckKind(v, ext.Sig.Result); err != nil {
+			return fmt.Errorf("risc: extern %q result: %w", name, err)
+		}
+		m.write(in.Dst, v)
+		m.pc++
+	case OSpec:
+		fv := m.read(in.A)
+		if fv.Kind != heap.KFun {
+			return fmt.Errorf("risc: speculate target is %s, want fun", fv)
+		}
+		args := m.gather(in.Args)
+		saved := make([]heap.Value, len(args))
+		copy(saved, args)
+		m.mgr.Enter(spec.Continuation{FnIndex: fv.I, Args: saved})
+		return m.enter(fv.I, append([]heap.Value{heap.IntVal(0)}, args...))
+	case OCommit:
+		lv := m.read(in.A)
+		fv := m.read(in.B)
+		if lv.Kind != heap.KInt || fv.Kind != heap.KFun {
+			return fmt.Errorf("risc: commit operands must be (int, fun)")
+		}
+		args := m.gather(in.Args)
+		if err := m.mgr.Commit(int(lv.I)); err != nil {
+			return err
+		}
+		return m.enter(fv.I, args)
+	case ORollbk:
+		lv := m.read(in.A)
+		cv := m.read(in.B)
+		if lv.Kind != heap.KInt || cv.Kind != heap.KInt {
+			return fmt.Errorf("risc: rollback operands must be int")
+		}
+		cont, err := m.mgr.Rollback(int(lv.I))
+		if err != nil {
+			return err
+		}
+		return m.enter(cont.FnIndex, append([]heap.Value{cv}, cont.Args...))
+	case OMigr:
+		tp := m.read(in.A)
+		ov := m.read(in.B)
+		fv := m.read(in.C)
+		if tp.Kind != heap.KPtr || ov.Kind != heap.KInt || fv.Kind != heap.KFun {
+			return fmt.Errorf("risc: migrate operands must be (ptr, int, fun)")
+		}
+		eff := tp
+		eff.Off += ov.I
+		target, err := m.h.LoadString(eff)
+		if err != nil {
+			return err
+		}
+		args := m.gather(in.Args)
+		if m.migrate == nil {
+			return ErrNoMigration
+		}
+		outcome, err := m.migrate(&rt.MigrationRequest{
+			Rt: m, Label: in.Target, Target: target, FnIndex: fv.I, Args: args,
+		})
+		m.pins = m.pins[:0]
+		if err != nil {
+			outcome = rt.OutcomeContinueLocal
+		}
+		switch outcome {
+		case rt.OutcomeMigrated:
+			m.status = rt.StatusMigrated
+		case rt.OutcomeSuspended:
+			m.status = rt.StatusSuspended
+		default:
+			return m.enter(fv.I, args)
+		}
+	default:
+		return fmt.Errorf("risc: unknown opcode %v", in.Op)
+	}
+	return nil
+}

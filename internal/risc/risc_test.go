@@ -1,0 +1,275 @@
+package risc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fir"
+	"repro/internal/heap"
+	"repro/internal/rt"
+	"repro/internal/vm"
+)
+
+// Programs shared with the interpreter tests, used here for differential
+// testing: both backends must agree on final status, halt code and output.
+
+func factProgram(n int64) *fir.Program {
+	b := fir.NewBuilder()
+	b.Let("done", fir.TyInt, fir.OpLe, fir.V("n"), fir.I(1))
+	fact := fir.Fn("fact", fir.Ps("n", fir.TyInt, "acc", fir.TyInt),
+		b.If(fir.V("done"),
+			fir.Halt{Code: fir.V("acc")},
+			func() fir.Expr {
+				b2 := fir.NewBuilder()
+				b2.Let("n2", fir.TyInt, fir.OpSub, fir.V("n"), fir.I(1))
+				b2.Let("acc2", fir.TyInt, fir.OpMul, fir.V("acc"), fir.V("n"))
+				return b2.CallNamed("fact", fir.V("n2"), fir.V("acc2"))
+			}()))
+	main := fir.Fn("main", nil, fir.NewBuilder().CallNamed("fact", fir.I(n), fir.I(1)))
+	return fir.NewProgram("main", main, fact)
+}
+
+func heapFillSumProgram() *fir.Program {
+	b := fir.NewBuilder()
+	b.Let("p", fir.TyPtr, fir.OpAlloc, fir.I(64))
+	main := fir.Fn("main", nil, b.CallNamed("fill", fir.V("p"), fir.I(0)))
+	fb := fir.NewBuilder()
+	fb.Let("done", fir.TyInt, fir.OpGe, fir.V("i"), fir.I(64))
+	fill := fir.Fn("fill", fir.Ps("p", fir.TyPtr, "i", fir.TyInt),
+		fb.If(fir.V("done"),
+			fir.NewBuilder().CallNamed("sum", fir.V("p"), fir.I(0), fir.I(0)),
+			func() fir.Expr {
+				b2 := fir.NewBuilder()
+				b2.Let("sq", fir.TyInt, fir.OpMul, fir.V("i"), fir.V("i"))
+				b2.Let("u", fir.TyUnit, fir.OpStore, fir.V("p"), fir.V("i"), fir.V("sq"))
+				b2.Let("i2", fir.TyInt, fir.OpAdd, fir.V("i"), fir.I(1))
+				return b2.CallNamed("fill", fir.V("p"), fir.V("i2"))
+			}()))
+	sb := fir.NewBuilder()
+	sb.Let("done", fir.TyInt, fir.OpGe, fir.V("i"), fir.I(64))
+	sum := fir.Fn("sum", fir.Ps("p", fir.TyPtr, "i", fir.TyInt, "acc", fir.TyInt),
+		sb.If(fir.V("done"),
+			fir.Halt{Code: fir.V("acc")},
+			func() fir.Expr {
+				b2 := fir.NewBuilder()
+				b2.Let("x", fir.TyInt, fir.OpLoad, fir.V("p"), fir.V("i"))
+				b2.Let("acc2", fir.TyInt, fir.OpAdd, fir.V("acc"), fir.V("x"))
+				b2.Let("i2", fir.TyInt, fir.OpAdd, fir.V("i"), fir.I(1))
+				return b2.CallNamed("sum", fir.V("p"), fir.V("i2"), fir.V("acc2"))
+			}()))
+	return fir.NewProgram("main", main, fill, sum)
+}
+
+func specRetryProgram() *fir.Program {
+	b := fir.NewBuilder()
+	b.Let("p", fir.TyPtr, fir.OpAlloc, fir.I(1))
+	main := fir.Fn("main", nil, b.Speculate("body", fir.V("p")))
+	bb := fir.NewBuilder()
+	bb.Let("x", fir.TyInt, fir.OpLoad, fir.V("p"), fir.I(0))
+	bb.Let("x2", fir.TyInt, fir.OpAdd, fir.V("x"), fir.I(1))
+	bb.Let("u", fir.TyUnit, fir.OpStore, fir.V("p"), fir.I(0), fir.V("x2"))
+	bb.Let("first", fir.TyInt, fir.OpEq, fir.V("c"), fir.I(0))
+	body := fir.Fn("body", fir.Ps("c", fir.TyInt, "p", fir.TyPtr),
+		bb.If(fir.V("first"),
+			fir.NewBuilder().Rollback(fir.I(1), fir.I(1)),
+			fir.NewBuilder().Commit(fir.I(1), "end", fir.V("p"))))
+	eb := fir.NewBuilder()
+	eb.Let("v", fir.TyInt, fir.OpLoad, fir.V("p"), fir.I(0))
+	end := fir.Fn("end", fir.Ps("p", fir.TyPtr), eb.Halt(fir.V("v")))
+	return fir.NewProgram("main", main, body, end)
+}
+
+func printLoopProgram() *fir.Program {
+	b := fir.NewBuilder()
+	b.Let("done", fir.TyInt, fir.OpGe, fir.V("i"), fir.I(5))
+	loop := fir.Fn("loop", fir.Ps("i", fir.TyInt),
+		b.If(fir.V("done"),
+			fir.Halt{Code: fir.I(0)},
+			func() fir.Expr {
+				b2 := fir.NewBuilder()
+				b2.Let("sq", fir.TyInt, fir.OpMul, fir.V("i"), fir.V("i"))
+				b2.Extern("u", fir.TyUnit, "print_int", fir.V("sq"))
+				b2.Let("i2", fir.TyInt, fir.OpAdd, fir.V("i"), fir.I(1))
+				return b2.CallNamed("loop", fir.V("i2"))
+			}()))
+	main := fir.Fn("main", nil, fir.NewBuilder().CallNamed("loop", fir.I(0)))
+	return fir.NewProgram("main", main, loop)
+}
+
+// floatProgram exercises float ops and conversions.
+func floatProgram() *fir.Program {
+	b := fir.NewBuilder()
+	b.Let("x", fir.TyFloat, fir.OpFAdd, fir.F(1.5), fir.F(2.25))
+	b.Let("y", fir.TyFloat, fir.OpFMul, fir.V("x"), fir.F(4))
+	b.Let("lt", fir.TyInt, fir.OpFLt, fir.V("x"), fir.V("y"))
+	b.Let("i", fir.TyInt, fir.OpFloatToInt, fir.V("y"))
+	b.Let("code", fir.TyInt, fir.OpAdd, fir.V("i"), fir.V("lt"))
+	main := fir.Fn("main", nil, b.Halt(fir.V("code")))
+	return fir.NewProgram("main", main)
+}
+
+// manyVarsProgram defines more live variables than machine registers,
+// forcing the allocator to spill.
+func manyVarsProgram() *fir.Program {
+	b := fir.NewBuilder()
+	var names []string
+	for i := 0; i < NumRegs+12; i++ {
+		n := b.Fresh("v")
+		b.Let(n, fir.TyInt, fir.OpAdd, fir.I(int64(i)), fir.I(1))
+		names = append(names, n)
+	}
+	// Sum them all so every one stays live to the end.
+	acc := fir.Atom(fir.I(0))
+	for _, n := range names {
+		d := b.Fresh("acc")
+		b.Let(d, fir.TyInt, fir.OpAdd, acc, fir.V(n))
+		acc = fir.V(d)
+	}
+	main := fir.Fn("main", nil, b.Halt(acc))
+	return fir.NewProgram("main", main)
+}
+
+// runBoth executes the program on both backends and requires agreement.
+func runBoth(t *testing.T, p *fir.Program) (int64, string) {
+	t.Helper()
+	var vmOut bytes.Buffer
+	proc := vm.NewProcess(p, vm.Config{Fuel: 1_000_000, Stdout: &vmOut, Seed: 7})
+	if err := proc.Start(); err != nil {
+		t.Fatalf("vm Start: %v", err)
+	}
+	vst, _ := proc.Run()
+
+	var mOut bytes.Buffer
+	m, err := NewMachine(p, nil, Config{Fuel: 1_000_000, Stdout: &mOut, Seed: 7})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatalf("risc Start: %v", err)
+	}
+	mst, _ := m.Run()
+
+	if vst != mst {
+		t.Fatalf("status diverged: vm=%s risc=%s (vm err=%v, risc err=%v)", vst, mst, proc.Err(), m.Err())
+	}
+	if proc.HaltCode() != m.HaltCode() {
+		t.Fatalf("halt code diverged: vm=%d risc=%d", proc.HaltCode(), m.HaltCode())
+	}
+	if vmOut.String() != mOut.String() {
+		t.Fatalf("output diverged:\nvm:   %q\nrisc: %q", vmOut.String(), mOut.String())
+	}
+	return m.HaltCode(), mOut.String()
+}
+
+func TestDifferentialBackends(t *testing.T) {
+	progs := map[string]*fir.Program{
+		"factorial":  factProgram(10),
+		"heapSum":    heapFillSumProgram(),
+		"specRetry":  specRetryProgram(),
+		"printLoop":  printLoopProgram(),
+		"floats":     floatProgram(),
+		"spillHeavy": manyVarsProgram(),
+	}
+	for name, p := range progs {
+		t.Run(name, func(t *testing.T) { runBoth(t, p) })
+	}
+}
+
+func TestFactorialResult(t *testing.T) {
+	code, _ := runBoth(t, factProgram(10))
+	if code != 3628800 {
+		t.Fatalf("fact(10) = %d, want 3628800", code)
+	}
+}
+
+func TestSpillingHappens(t *testing.T) {
+	mod, err := Compile(manyVarsProgram())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if mod.SpillSlots == 0 {
+		t.Fatalf("program with %d+ live variables compiled with no spills", NumRegs+12)
+	}
+	code, _ := runBoth(t, manyVarsProgram())
+	want := int64(0)
+	for i := 0; i < NumRegs+12; i++ {
+		want += int64(i) + 1
+	}
+	if code != want {
+		t.Fatalf("spill-heavy sum = %d, want %d", code, want)
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	_, out := runBoth(t, printLoopProgram())
+	if out != "0\n1\n4\n9\n16\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	mod, err := Compile(factProgram(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := mod.Disassemble()
+	for _, want := range []string{"main:", "fact:", "halt", "call", "brz"} {
+		if !strings.Contains(asm, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, asm)
+		}
+	}
+}
+
+func TestMachineMigrateHandler(t *testing.T) {
+	b := fir.NewBuilder()
+	b.Extern("tgt", fir.TyPtr, "mkstr")
+	main := fir.Fn("main", nil, b.Migrate(4, fir.V("tgt"), fir.I(0), "after"))
+	after := fir.Fn("after", nil, fir.NewBuilder().Halt(fir.I(77)))
+	p := fir.NewProgram("main", main, after)
+
+	m, err := NewMachine(p, nil, Config{Fuel: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RegisterExtern("mkstr", fir.ExternSig{Result: fir.TyPtr},
+		func(r rt.Runtime, a []heap.Value) (heap.Value, error) {
+			return r.Heap().AllocString("checkpoint://ck")
+		})
+	var sawTarget string
+	var sawLabel int
+	m.SetMigrateHandler(func(req *rt.MigrationRequest) (rt.MigrateOutcome, error) {
+		sawTarget = req.Target
+		sawLabel = req.Label
+		return rt.OutcomeContinueLocal, nil
+	})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != rt.StatusHalted || m.HaltCode() != 77 {
+		t.Fatalf("status=%s code=%d, want halted 77", st, m.HaltCode())
+	}
+	if sawTarget != "checkpoint://ck" || sawLabel != 4 {
+		t.Fatalf("handler saw target=%q label=%d", sawTarget, sawLabel)
+	}
+}
+
+func TestCompilePreservesFunctionTableOrder(t *testing.T) {
+	p := heapFillSumProgram()
+	mod, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.FnEntry) != len(p.Funcs) {
+		t.Fatalf("FnEntry has %d entries, want %d", len(mod.FnEntry), len(p.Funcs))
+	}
+	for i, f := range p.Funcs {
+		if mod.FnName[i] != f.Name {
+			t.Fatalf("function %d is %q in module, %q in program", i, mod.FnName[i], f.Name)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package rt defines the runtime surface shared by the two MCC backends —
+// the FIR interpreter (internal/vm) and the RISC machine (internal/risc).
+// Externals, migration handlers and process status are expressed against
+// this package so that a program behaves identically on either backend and
+// a process can migrate between heterogeneous nodes (§3, §4.2).
+package rt
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fir"
+	"repro/internal/heap"
+	"repro/internal/spec"
+)
+
+// Status describes a process's lifecycle state on any backend.
+type Status int
+
+const (
+	// StatusReady means the process has been created but not started.
+	StatusReady Status = iota
+	// StatusRunning means the process can make progress.
+	StatusRunning
+	// StatusHalted means the process executed halt; see HaltCode.
+	StatusHalted
+	// StatusMigrated means the process shipped itself to another machine
+	// and terminated locally (the migrate protocol, §4.2.1).
+	StatusMigrated
+	// StatusSuspended means the process wrote itself to a file and
+	// terminated (the suspend protocol).
+	StatusSuspended
+	// StatusFailed means a runtime error stopped the process.
+	StatusFailed
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusReady:
+		return "ready"
+	case StatusRunning:
+		return "running"
+	case StatusHalted:
+		return "halted"
+	case StatusMigrated:
+		return "migrated"
+	case StatusSuspended:
+		return "suspended"
+	case StatusFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// MigrateOutcome is a migration handler's disposition for the process.
+type MigrateOutcome int
+
+const (
+	// OutcomeContinueLocal resumes the continuation on this machine
+	// (failed migrate, or the checkpoint protocol).
+	OutcomeContinueLocal MigrateOutcome = iota
+	// OutcomeMigrated terminates the local process: it now runs elsewhere.
+	OutcomeMigrated
+	// OutcomeSuspended terminates the local process: its image is on disk.
+	OutcomeSuspended
+)
+
+// Runtime is the backend-independent view of a running MCC process that
+// externals and the migration subsystem program against.
+type Runtime interface {
+	// Name identifies the process.
+	Name() string
+	// Program returns the FIR program being executed.
+	Program() *fir.Program
+	// Heap returns the process heap.
+	Heap() *heap.Heap
+	// Spec returns the speculation manager.
+	Spec() *spec.Manager
+	// Stdout is the sink for the print externs.
+	Stdout() io.Writer
+	// Pin registers a temporary GC root; the backend clears pins after
+	// each external returns.
+	Pin(v heap.Value)
+	// Arg returns the i-th process argument (0 when out of range).
+	Arg(i int64) int64
+	// NArgs returns the process argument count.
+	NArgs() int64
+	// Rand returns a deterministic pseudo-random integer in [0, n).
+	Rand(n int64) int64
+}
+
+// MigrationRequest carries everything a migration handler needs at a
+// migrate pseudo-instruction.
+type MigrationRequest struct {
+	Rt      Runtime
+	Label   int
+	Target  string // full target string, e.g. "migrate://host:port"
+	FnIndex int64
+	Args    []heap.Value
+}
+
+// MigrateHandler implements the pack/transmit half of process migration.
+type MigrateHandler func(req *MigrationRequest) (MigrateOutcome, error)
+
+// ExternFn is a runtime-provided external function.
+type ExternFn func(r Runtime, args []heap.Value) (heap.Value, error)
+
+// Extern pairs an external's type signature with its implementation.
+type Extern struct {
+	Sig fir.ExternSig
+	Fn  ExternFn
+}
+
+// Registry is a named set of externals.
+type Registry map[string]Extern
+
+// Sigs projects the registry onto the signature map the type checker
+// consumes.
+func (r Registry) Sigs() map[string]fir.ExternSig {
+	out := make(map[string]fir.ExternSig, len(r))
+	for n, e := range r {
+		out[n] = e.Sig
+	}
+	return out
+}
+
+// Proc is the backend-independent handle to a resumable process that both
+// vm.Process and risc.Machine satisfy. The migration server and the cluster
+// layer drive processes through this interface so a node's backend choice
+// is invisible to the rest of the system.
+type Proc interface {
+	Runtime
+	RegisterExtern(name string, sig fir.ExternSig, fn ExternFn)
+	SetMigrateHandler(h MigrateHandler)
+	ExternSigs() map[string]fir.ExternSig
+	Run() (Status, error)
+	RunSteps(n uint64) (Status, error)
+	Status() Status
+	HaltCode() int64
+	Err() error
+	Steps() uint64
+}

@@ -1,0 +1,128 @@
+package rt
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/fir"
+	"repro/internal/heap"
+	"repro/internal/spec"
+)
+
+// fakeRuntime is a minimal Runtime for extern unit tests.
+type fakeRuntime struct {
+	h    *heap.Heap
+	mgr  *spec.Manager
+	out  bytes.Buffer
+	args []int64
+}
+
+func newFake() *fakeRuntime {
+	h := heap.New(heap.Config{})
+	return &fakeRuntime{h: h, mgr: spec.New(h), args: []int64{10, 20}}
+}
+
+func (f *fakeRuntime) Name() string          { return "fake" }
+func (f *fakeRuntime) Program() *fir.Program { return nil }
+func (f *fakeRuntime) Heap() *heap.Heap      { return f.h }
+func (f *fakeRuntime) Spec() *spec.Manager   { return f.mgr }
+func (f *fakeRuntime) Stdout() io.Writer     { return &f.out }
+func (f *fakeRuntime) Pin(v heap.Value)      {}
+func (f *fakeRuntime) NArgs() int64          { return int64(len(f.args)) }
+func (f *fakeRuntime) Rand(n int64) int64    { return n / 2 }
+func (f *fakeRuntime) Arg(i int64) int64 {
+	if i < 0 || i >= int64(len(f.args)) {
+		return 0
+	}
+	return f.args[i]
+}
+
+func call(t *testing.T, r Runtime, name string, args ...heap.Value) heap.Value {
+	t.Helper()
+	e, ok := StdExterns()[name]
+	if !ok {
+		t.Fatalf("extern %q missing", name)
+	}
+	v, err := e.Fn(r, args)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return v
+}
+
+func TestPrintExterns(t *testing.T) {
+	f := newFake()
+	call(t, f, "print_int", heap.IntVal(42))
+	call(t, f, "print_float", heap.FloatVal(1.5))
+	call(t, f, "print_char", heap.IntVal('x'))
+	s, err := f.h.AllocString("hey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	call(t, f, "print_str", s)
+	if got := f.out.String(); got != "42\n1.5\nxhey\n" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestArgExterns(t *testing.T) {
+	f := newFake()
+	if v := call(t, f, "getarg", heap.IntVal(1)); v.I != 20 {
+		t.Fatalf("getarg(1) = %s", v)
+	}
+	if v := call(t, f, "getarg", heap.IntVal(9)); v.I != 0 {
+		t.Fatalf("getarg(9) = %s", v)
+	}
+	if v := call(t, f, "nargs"); v.I != 2 {
+		t.Fatalf("nargs = %s", v)
+	}
+	if v := call(t, f, "rand_int", heap.IntVal(10)); v.I != 5 {
+		t.Fatalf("rand_int = %s (delegates to Runtime.Rand)", v)
+	}
+}
+
+func TestSpecExterns(t *testing.T) {
+	f := newFake()
+	if v := call(t, f, "spec_id"); v.I != 0 {
+		t.Fatalf("spec_id outside speculation = %s", v)
+	}
+	if v := call(t, f, "spec_depth"); v.I != 0 {
+		t.Fatalf("spec_depth = %s", v)
+	}
+	_, id := f.mgr.Enter(spec.Continuation{})
+	if v := call(t, f, "spec_id"); v.I != id {
+		t.Fatalf("spec_id = %s, want %d", v, id)
+	}
+	if v := call(t, f, "spec_ordinal", heap.IntVal(id)); v.I != 1 {
+		t.Fatalf("spec_ordinal = %s", v)
+	}
+	if v := call(t, f, "spec_ordinal", heap.IntVal(999)); v.I != 0 {
+		t.Fatalf("spec_ordinal(bogus) = %s", v)
+	}
+	if v := call(t, f, "spec_depth"); v.I != 1 {
+		t.Fatalf("spec_depth = %s", v)
+	}
+}
+
+func TestRegistrySigs(t *testing.T) {
+	reg := StdExterns()
+	sigs := reg.Sigs()
+	if len(sigs) != len(reg) {
+		t.Fatalf("Sigs lost entries: %d vs %d", len(sigs), len(reg))
+	}
+	if sig, ok := sigs["print_int"]; !ok || len(sig.Args) != 1 || sig.Args[0].Kind != fir.KindInt {
+		t.Fatalf("print_int sig = %+v", sig)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for st, want := range map[Status]string{
+		StatusReady: "ready", StatusRunning: "running", StatusHalted: "halted",
+		StatusMigrated: "migrated", StatusSuspended: "suspended", StatusFailed: "failed",
+	} {
+		if st.String() != want {
+			t.Errorf("%d -> %q", st, st.String())
+		}
+	}
+}

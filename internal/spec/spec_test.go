@@ -1,0 +1,200 @@
+package spec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/heap"
+)
+
+func newMgr(t *testing.T) (*Manager, *heap.Heap) {
+	t.Helper()
+	h := heap.New(heap.Config{})
+	return New(h), h
+}
+
+func TestEnterCommitLifecycle(t *testing.T) {
+	m, _ := newMgr(t)
+	ord, id := m.Enter(Continuation{FnIndex: 3})
+	if ord != 1 || id <= 0 {
+		t.Fatalf("Enter = (%d, %d)", ord, id)
+	}
+	if d := m.Depth(); d != 1 {
+		t.Fatalf("Depth = %d", d)
+	}
+	got, err := m.CurrentID()
+	if err != nil || got != id {
+		t.Fatalf("CurrentID = %d, %v", got, err)
+	}
+	if err := m.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() != 0 {
+		t.Fatalf("Depth after commit = %d", m.Depth())
+	}
+	if _, err := m.CurrentID(); !errors.Is(err, ErrNoLevels) {
+		t.Fatalf("CurrentID on empty = %v", err)
+	}
+}
+
+func TestStableIDsSurviveRenumbering(t *testing.T) {
+	m, _ := newMgr(t)
+	_, id1 := m.Enter(Continuation{FnIndex: 1})
+	_, id2 := m.Enter(Continuation{FnIndex: 2})
+	_, id3 := m.Enter(Continuation{FnIndex: 3})
+	// Commit the middle level out of order; id3's ordinal shifts down.
+	ord2, err := m.OrdinalOf(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(ord2); err != nil {
+		t.Fatal(err)
+	}
+	ord3, err := m.OrdinalOf(id3)
+	if err != nil || ord3 != 2 {
+		t.Fatalf("OrdinalOf(id3) = %d, %v (want 2)", ord3, err)
+	}
+	ord1, err := m.OrdinalOf(id1)
+	if err != nil || ord1 != 1 {
+		t.Fatalf("OrdinalOf(id1) = %d, %v (want 1)", ord1, err)
+	}
+	if _, err := m.OrdinalOf(id2); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("committed id still resolvable: %v", err)
+	}
+}
+
+func TestRollbackReturnsContinuationAndReenters(t *testing.T) {
+	m, h := newMgr(t)
+	args := []heap.Value{heap.IntVal(7), heap.PtrVal(0, 0)}
+	_, id := m.Enter(Continuation{FnIndex: 9, Args: args})
+	cont, err := m.Rollback(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cont.FnIndex != 9 || len(cont.Args) != 2 || cont.Args[0].I != 7 {
+		t.Fatalf("cont = %+v", cont)
+	}
+	// Retry semantics: the level is re-entered with the same stable ID.
+	if m.Depth() != 1 {
+		t.Fatalf("Depth after rollback = %d, want 1 (re-entered)", m.Depth())
+	}
+	got, err := m.CurrentID()
+	if err != nil || got != id {
+		t.Fatalf("re-entered id = %d, want %d", got, id)
+	}
+	if h.LevelCount() != 1 {
+		t.Fatalf("heap levels = %d", h.LevelCount())
+	}
+}
+
+func TestRollbackDiscardsInnerLevels(t *testing.T) {
+	m, _ := newMgr(t)
+	_, id1 := m.Enter(Continuation{FnIndex: 1})
+	m.Enter(Continuation{FnIndex: 2})
+	m.Enter(Continuation{FnIndex: 3})
+	cont, err := m.Rollback(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cont.FnIndex != 1 {
+		t.Fatalf("cont.FnIndex = %d", cont.FnIndex)
+	}
+	if m.Depth() != 1 {
+		t.Fatalf("Depth = %d, want 1", m.Depth())
+	}
+	if got, _ := m.CurrentID(); got != id1 {
+		t.Fatalf("id = %d, want %d", got, id1)
+	}
+	if s := m.Stats(); s.LevelsDiscarded != 2 {
+		t.Fatalf("LevelsDiscarded = %d, want 2", s.LevelsDiscarded)
+	}
+}
+
+func TestInvalidOperations(t *testing.T) {
+	m, _ := newMgr(t)
+	if err := m.Commit(1); err == nil {
+		t.Fatal("Commit on empty stack accepted")
+	}
+	if _, err := m.Rollback(1); err == nil {
+		t.Fatal("Rollback on empty stack accepted")
+	}
+	if _, err := m.OrdinalOf(42); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("OrdinalOf(42) = %v", err)
+	}
+	if _, err := m.IDAt(0); err == nil {
+		t.Fatal("IDAt(0) accepted")
+	}
+	m.Enter(Continuation{})
+	if err := m.Commit(2); err == nil {
+		t.Fatal("Commit(2) with one level accepted")
+	}
+}
+
+func TestSnapshotRestoreStack(t *testing.T) {
+	m, h := newMgr(t)
+	m.Enter(Continuation{FnIndex: 4, Args: []heap.Value{heap.IntVal(1)}})
+	m.Enter(Continuation{FnIndex: 5})
+	snap := m.Snapshot()
+	if len(snap) != 2 || snap[0].FnIndex != 4 || snap[1].FnIndex != 5 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Mutating the snapshot must not alias the manager.
+	snap[0].Args[0] = heap.IntVal(99)
+	cont, _ := m.Rollback(1)
+	if cont.Args[0].I != 1 {
+		t.Fatal("snapshot aliased manager state")
+	}
+
+	// Restore onto a fresh manager whose heap has matching level count.
+	h2 := heap.New(heap.Config{})
+	h2.EnterLevel()
+	h2.EnterLevel()
+	m2 := New(h2)
+	if err := m2.RestoreStack(snap); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Depth() != 2 {
+		t.Fatalf("restored depth = %d", m2.Depth())
+	}
+	// Mismatched count is rejected.
+	h3 := heap.New(heap.Config{})
+	m3 := New(h3)
+	if err := m3.RestoreStack(snap); err == nil {
+		t.Fatal("RestoreStack accepted level-count mismatch")
+	}
+	_ = h
+}
+
+func TestContinuationArgsAreGCRoots(t *testing.T) {
+	h := heap.New(heap.Config{})
+	m := New(h)
+	p, err := h.Alloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Store(p, 0, heap.IntVal(77)); err != nil {
+		t.Fatal(err)
+	}
+	// The only reference to p is the saved continuation argument.
+	m.Enter(Continuation{FnIndex: 0, Args: []heap.Value{p}})
+	h.CollectMajor()
+	v, err := h.Load(p, 0)
+	if err != nil {
+		t.Fatalf("continuation arg was collected: %v", err)
+	}
+	if v.I != 77 {
+		t.Fatalf("value = %s", v)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	m, _ := newMgr(t)
+	m.Enter(Continuation{})
+	m.Enter(Continuation{})
+	_ = m.Commit(2)
+	_, _ = m.Rollback(1)
+	s := m.Stats()
+	if s.Enters != 2 || s.Commits != 1 || s.Rollbacks != 1 || s.MaxDepth != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,40 @@
+package vm
+
+import (
+	"repro/internal/rt"
+)
+
+// registerStdExterns installs the shared standard externals.
+func registerStdExterns(p *Process) {
+	for name, e := range rt.StdExterns() {
+		p.externs[name] = e
+	}
+}
+
+// The Process implements rt.Runtime so externals and the migration
+// subsystem work identically on both backends.
+var _ rt.Runtime = (*Process)(nil)
+
+// Arg returns the i-th process argument, or 0 when out of range.
+func (p *Process) Arg(i int64) int64 {
+	if i < 0 || i >= int64(len(p.args)) {
+		return 0
+	}
+	return p.args[i]
+}
+
+// NArgs returns the process argument count.
+func (p *Process) NArgs() int64 { return int64(len(p.args)) }
+
+// Rand returns a deterministic pseudo-random integer in [0, n) from the
+// process-seeded xorshift* stream.
+func (p *Process) Rand(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	p.rng ^= p.rng >> 12
+	p.rng ^= p.rng << 25
+	p.rng ^= p.rng >> 27
+	v := (p.rng * 2685821657736338717) >> 1
+	return int64(v) % n
+}

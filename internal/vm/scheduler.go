@@ -1,0 +1,84 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scheduler multiplexes several processes on one OS thread with a fixed
+// step quantum, round-robin. It is the footing for the paper's §5
+// context-switch yardstick: speculation operation costs are compared
+// against the cost of switching between two processes with resident heaps.
+type Scheduler struct {
+	procs    []*Process
+	quantum  uint64
+	switches uint64
+}
+
+// NewScheduler creates a scheduler with the given step quantum per turn
+// (minimum 1).
+func NewScheduler(quantum uint64) *Scheduler {
+	if quantum == 0 {
+		quantum = 1
+	}
+	return &Scheduler{quantum: quantum}
+}
+
+// Add registers a process. The process must already be started.
+func (s *Scheduler) Add(p *Process) error {
+	if p.Status() != StatusRunning {
+		return fmt.Errorf("vm: scheduler requires a running process, got %s", p.Status())
+	}
+	s.procs = append(s.procs, p)
+	return nil
+}
+
+// Switches returns the number of context switches performed.
+func (s *Scheduler) Switches() uint64 { return s.switches }
+
+// Run executes all processes round-robin until every one reaches a
+// terminal state. Individual process failures do not stop the scheduler;
+// the first failure is returned after everything settles.
+func (s *Scheduler) Run() error {
+	var firstErr error
+	for {
+		running := 0
+		for _, p := range s.procs {
+			if p.Status() != StatusRunning {
+				continue
+			}
+			running++
+			_, err := p.RunSteps(s.quantum)
+			s.switches++
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if running == 0 {
+			return firstErr
+		}
+	}
+}
+
+// Turn gives every running process one quantum and reports whether any
+// process is still running. Benchmarks drive Turn directly to time the
+// switch path.
+func (s *Scheduler) Turn() bool {
+	any := false
+	for _, p := range s.procs {
+		if p.Status() != StatusRunning {
+			continue
+		}
+		_, _ = p.RunSteps(s.quantum)
+		s.switches++
+		if p.Status() == StatusRunning {
+			any = true
+		}
+	}
+	return any
+}
+
+// ErrDeadlock is reserved for cooperative blocking externs (message
+// receive) that can detect a cycle; the message layer returns it when
+// every process is blocked on an empty channel.
+var ErrDeadlock = errors.New("vm: all processes blocked")

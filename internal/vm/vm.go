@@ -1,0 +1,643 @@
+// Package vm implements the MCC interpreted runtime environment: it
+// executes FIR programs against the runtime heap, wiring the speculate,
+// commit, rollback and migrate pseudo-instructions to the speculation
+// manager and the migration subsystem. It corresponds to the paper's
+// "interpreted runtime environment" backend (§3); internal/risc provides
+// the machine-code-style backend.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/fir"
+	"repro/internal/gc"
+	"repro/internal/heap"
+	"repro/internal/ops"
+	"repro/internal/rt"
+	"repro/internal/spec"
+)
+
+// Status re-exports the backend-independent process status from rt.
+type Status = rt.Status
+
+// Status values (see rt for documentation).
+const (
+	StatusReady     = rt.StatusReady
+	StatusRunning   = rt.StatusRunning
+	StatusHalted    = rt.StatusHalted
+	StatusMigrated  = rt.StatusMigrated
+	StatusSuspended = rt.StatusSuspended
+	StatusFailed    = rt.StatusFailed
+)
+
+// Errors returned by the interpreter.
+var (
+	ErrFuelExhausted = errors.New("vm: fuel exhausted")
+	ErrNotRunning    = errors.New("vm: process is not running")
+	ErrNoMigration   = errors.New("vm: no migration handler installed")
+)
+
+// RuntimeError is a trapped execution error: a failed safety check,
+// arithmetic trap, or extern failure. When the process is inside a
+// speculation and TrapSpeculation is enabled, a RuntimeError triggers an
+// automatic rollback of the innermost level instead of killing the process
+// (the exception-style use of speculations described in §2).
+type RuntimeError struct {
+	Fn  string
+	Err error
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("vm: runtime error in %s: %v", e.Fn, e.Err)
+}
+
+func (e *RuntimeError) Unwrap() error { return e.Err }
+
+// TrapC is the speculation status value c passed to a continuation when a
+// level is rolled back by a trapped runtime error rather than an explicit
+// rollback instruction.
+const TrapC = 2
+
+// Migration and extern types are shared across backends; see rt.
+type (
+	MigrateOutcome   = rt.MigrateOutcome
+	MigrationRequest = rt.MigrationRequest
+	MigrateHandler   = rt.MigrateHandler
+	ExternFn         = rt.ExternFn
+)
+
+// Re-exported migration outcomes (see rt for documentation).
+const (
+	OutcomeContinueLocal = rt.OutcomeContinueLocal
+	OutcomeMigrated      = rt.OutcomeMigrated
+	OutcomeSuspended     = rt.OutcomeSuspended
+)
+
+// Config configures a new process.
+type Config struct {
+	// Heap configures the process heap.
+	Heap heap.Config
+	// Collector overrides the default generational policy.
+	Collector heap.Collector
+	// Stdout receives output from the print externs (default: discard).
+	Stdout io.Writer
+	// Fuel bounds the number of interpreter steps (0 = unlimited).
+	Fuel uint64
+	// TrapSpeculation turns trapped runtime errors inside a speculation
+	// into automatic rollbacks of the innermost level with c = TrapC.
+	TrapSpeculation bool
+	// Name identifies the process in errors and logs.
+	Name string
+	// Args are process arguments readable through the getarg extern.
+	Args []int64
+	// Seed seeds the deterministic rand_int extern.
+	Seed int64
+}
+
+// Process is one executing FIR program: the paper's unit of migration and
+// speculation. All process state lives in the heap, the current
+// environment, and the speculation manager — which is exactly what pack
+// captures.
+type Process struct {
+	name    string
+	prog    *fir.Program
+	h       *heap.Heap
+	mgr     *spec.Manager
+	externs rt.Registry
+	migrate MigrateHandler
+
+	env    map[string]heap.Value
+	cur    fir.Expr
+	curFn  string
+	status Status
+	halt   int64
+	err    error
+
+	stdout io.Writer
+	fuel   uint64 // remaining; only enforced when fuelCap is true
+	fuelOn bool
+	steps  uint64
+	pins   []heap.Value
+	args   []int64
+	rng    uint64
+
+	trapSpec bool
+}
+
+// NewProcess creates a process for prog. The program is not type-checked
+// until Start, so externs can still be registered.
+func NewProcess(prog *fir.Program, cfg Config) *Process {
+	h := heap.New(cfg.Heap)
+	if cfg.Collector != nil {
+		h.SetCollector(cfg.Collector)
+	} else {
+		h.SetCollector(gc.New())
+	}
+	out := cfg.Stdout
+	if out == nil {
+		out = io.Discard
+	}
+	p := &Process{
+		name:     cfg.Name,
+		prog:     prog,
+		h:        h,
+		mgr:      spec.New(h),
+		externs:  make(rt.Registry),
+		stdout:   out,
+		fuel:     cfg.Fuel,
+		fuelOn:   cfg.Fuel > 0,
+		args:     cfg.Args,
+		rng:      uint64(cfg.Seed)*2862933555777941757 + 3037000493,
+		trapSpec: cfg.TrapSpeculation,
+	}
+	h.AddRoots(func(yield func(heap.Value)) {
+		for _, v := range p.env {
+			yield(v)
+		}
+		for _, v := range p.pins {
+			yield(v)
+		}
+	})
+	registerStdExterns(p)
+	return p
+}
+
+// Accessors used by the migration subsystem, the scheduler, and tests.
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Program returns the FIR program the process executes.
+func (p *Process) Program() *fir.Program { return p.prog }
+
+// Heap returns the process heap.
+func (p *Process) Heap() *heap.Heap { return p.h }
+
+// Spec returns the speculation manager.
+func (p *Process) Spec() *spec.Manager { return p.mgr }
+
+// Status returns the lifecycle state.
+func (p *Process) Status() Status { return p.status }
+
+// HaltCode returns the exit code after StatusHalted.
+func (p *Process) HaltCode() int64 { return p.halt }
+
+// Err returns the terminal error after StatusFailed.
+func (p *Process) Err() error { return p.err }
+
+// Steps returns the number of interpreter steps executed.
+func (p *Process) Steps() uint64 { return p.steps }
+
+// Stdout returns the writer print externs use.
+func (p *Process) Stdout() io.Writer { return p.stdout }
+
+// SetMigrateHandler installs the migration implementation.
+func (p *Process) SetMigrateHandler(h MigrateHandler) { p.migrate = h }
+
+// RegisterExtern adds or replaces an external function. Must be called
+// before Start so the type checker sees its signature.
+func (p *Process) RegisterExtern(name string, sig fir.ExternSig, fn ExternFn) {
+	p.externs[name] = rt.Extern{Sig: sig, Fn: fn}
+}
+
+// ExternSigs returns the signature registry for type checking.
+func (p *Process) ExternSigs() map[string]fir.ExternSig {
+	return p.externs.Sigs()
+}
+
+// Pin registers a temporary GC root, protecting a fresh allocation that is
+// not yet reachable from the environment. Externs that allocate more than
+// one block use it; pins are cleared automatically after every extern.
+func (p *Process) Pin(v heap.Value) { p.pins = append(p.pins, v) }
+
+// Start type-checks the program and positions the process at its entry
+// point.
+func (p *Process) Start() error {
+	if p.status != StatusReady {
+		return fmt.Errorf("vm: Start on a %s process", p.status)
+	}
+	if err := fir.Check(p.prog, p.ExternSigs()); err != nil {
+		return err
+	}
+	entry, _ := p.prog.Lookup(p.prog.Entry)
+	p.cur = entry.Body
+	p.curFn = entry.Name
+	p.env = make(map[string]heap.Value)
+	p.status = StatusRunning
+	return nil
+}
+
+// StartAt positions the process to invoke the function at table index
+// fnIdx with the given argument values — the unpack operation's resume
+// path (§4.2.2). The caller provides the heap and speculation state
+// separately via ResumeProcess and is responsible for having type-checked
+// the program when it came from an untrusted peer.
+func (p *Process) StartAt(fnIdx int64, args []heap.Value) error {
+	if p.status != StatusReady {
+		return fmt.Errorf("vm: StartAt on a %s process", p.status)
+	}
+	// No type check here: StartAt is the unpack resume path, where the
+	// caller has already verified the program (or deliberately skipped
+	// verification under the trusted binary protocol, experiment E2).
+	p.status = StatusRunning
+	if err := p.invoke(fnIdx, args); err != nil {
+		p.status = StatusFailed
+		p.err = err
+		return err
+	}
+	return nil
+}
+
+// ResumeProcess builds a process around a restored heap and speculation
+// continuation stack. Used by unpack: the program has already been decoded
+// and (for untrusted peers) type-checked.
+func ResumeProcess(prog *fir.Program, h *heap.Heap, conts []spec.Continuation, cfg Config) (*Process, error) {
+	out := cfg.Stdout
+	if out == nil {
+		out = io.Discard
+	}
+	if cfg.Collector != nil {
+		h.SetCollector(cfg.Collector)
+	} else {
+		h.SetCollector(gc.New())
+	}
+	p := &Process{
+		name:     cfg.Name,
+		prog:     prog,
+		h:        h,
+		mgr:      spec.New(h),
+		externs:  make(rt.Registry),
+		stdout:   out,
+		fuel:     cfg.Fuel,
+		fuelOn:   cfg.Fuel > 0,
+		args:     cfg.Args,
+		rng:      uint64(cfg.Seed)*2862933555777941757 + 3037000493,
+		trapSpec: cfg.TrapSpeculation,
+	}
+	if err := p.mgr.RestoreStack(conts); err != nil {
+		return nil, err
+	}
+	h.AddRoots(func(yield func(heap.Value)) {
+		for _, v := range p.env {
+			yield(v)
+		}
+		for _, v := range p.pins {
+			yield(v)
+		}
+	})
+	registerStdExterns(p)
+	return p, nil
+}
+
+// invoke positions the process at function fnIdx with args bound to its
+// parameters, applying the runtime type checks on every value.
+func (p *Process) invoke(fnIdx int64, args []heap.Value) error {
+	fn, err := p.prog.FuncByIndex(int(fnIdx))
+	if err != nil {
+		return err
+	}
+	if len(args) != len(fn.Params) {
+		return fmt.Errorf("vm: %s takes %d arguments, given %d", fn.Name, len(fn.Params), len(args))
+	}
+	env := make(map[string]heap.Value, len(args))
+	for i, a := range args {
+		if err := checkKind(a, fn.Params[i].Type); err != nil {
+			return fmt.Errorf("vm: %s argument %d (%s): %w", fn.Name, i, fn.Params[i].Name, err)
+		}
+		env[fn.Params[i].Name] = a
+	}
+	p.env = env
+	p.cur = fn.Body
+	p.curFn = fn.Name
+	return nil
+}
+
+// checkKind verifies a runtime value against a FIR type. This is the
+// dynamic half of the safety story: statically-checked code only ever
+// loads through it when the value came from the untyped heap.
+func checkKind(v heap.Value, t fir.Type) error {
+	return ops.CheckKind(v, t)
+}
+
+// Run executes until the process leaves StatusRunning or fuel runs out.
+func (p *Process) Run() (Status, error) {
+	return p.RunSteps(0)
+}
+
+// RunSteps executes at most n interpreter steps (0 = unlimited). It
+// returns the resulting status; StatusRunning means the quantum expired —
+// the scheduler's context-switch point.
+func (p *Process) RunSteps(n uint64) (Status, error) {
+	if p.status != StatusRunning {
+		return p.status, fmt.Errorf("%w (%s)", ErrNotRunning, p.status)
+	}
+	for i := uint64(0); n == 0 || i < n; i++ {
+		if p.fuelOn {
+			if p.fuel == 0 {
+				p.status = StatusFailed
+				p.err = ErrFuelExhausted
+				return p.status, p.err
+			}
+			p.fuel--
+		}
+		p.steps++
+		if err := p.step(); err != nil {
+			if p.trap(err) {
+				continue
+			}
+			p.status = StatusFailed
+			p.err = err
+			return p.status, err
+		}
+		if p.status != StatusRunning {
+			return p.status, nil
+		}
+	}
+	return p.status, nil
+}
+
+// trap converts a trappable runtime error into an automatic rollback of
+// the innermost speculation level when TrapSpeculation is on (§2's
+// exception-style speculations). It reports whether execution continues.
+func (p *Process) trap(err error) bool {
+	var rte *RuntimeError
+	if !p.trapSpec || !errors.As(err, &rte) || p.mgr.Depth() == 0 {
+		return false
+	}
+	cont, rbErr := p.mgr.Rollback(p.mgr.Depth())
+	if rbErr != nil {
+		return false
+	}
+	args := append([]heap.Value{heap.IntVal(TrapC)}, cont.Args...)
+	if ivErr := p.invoke(cont.FnIndex, args); ivErr != nil {
+		return false
+	}
+	return true
+}
+
+func (p *Process) rterr(err error) error {
+	return &RuntimeError{Fn: p.curFn, Err: err}
+}
+
+func (p *Process) rterrf(format string, args ...any) error {
+	return &RuntimeError{Fn: p.curFn, Err: fmt.Errorf(format, args...)}
+}
+
+// atom evaluates an atomic expression.
+func (p *Process) atom(a fir.Atom) (heap.Value, error) {
+	switch a := a.(type) {
+	case fir.Var:
+		v, ok := p.env[a.Name]
+		if !ok {
+			return heap.Value{}, p.rterrf("unbound variable %q", a.Name)
+		}
+		return v, nil
+	case fir.IntLit:
+		return heap.IntVal(a.V), nil
+	case fir.FloatLit:
+		return heap.FloatVal(a.V), nil
+	case fir.FunLit:
+		_, idx := p.prog.Lookup(a.Name)
+		if idx < 0 {
+			return heap.Value{}, p.rterrf("undefined function %q", a.Name)
+		}
+		return heap.FunVal(int64(idx)), nil
+	case fir.UnitLit:
+		return heap.UnitVal(), nil
+	default:
+		return heap.Value{}, p.rterrf("unknown atom %T", a)
+	}
+}
+
+func (p *Process) atoms(as []fir.Atom) ([]heap.Value, error) {
+	out := make([]heap.Value, len(as))
+	for i, a := range as {
+		v, err := p.atom(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// step executes one FIR node.
+func (p *Process) step() error {
+	switch e := p.cur.(type) {
+	case fir.Let:
+		args, err := p.atoms(e.Args)
+		if err != nil {
+			return err
+		}
+		v, err := p.applyOp(e.Op, args, e.DstType)
+		if err != nil {
+			return err
+		}
+		p.env[e.Dst] = v
+		p.cur = e.Body
+		return nil
+
+	case fir.Extern:
+		ext, ok := p.externs[e.Name]
+		if !ok {
+			return p.rterrf("unknown extern %q", e.Name)
+		}
+		args, err := p.atoms(e.Args)
+		if err != nil {
+			return err
+		}
+		v, err := ext.Fn(p, args)
+		p.pins = p.pins[:0]
+		if err != nil {
+			return p.rterr(err)
+		}
+		if err := checkKind(v, ext.Sig.Result); err != nil {
+			return p.rterrf("extern %q result: %v", e.Name, err)
+		}
+		p.env[e.Dst] = v
+		p.cur = e.Body
+		return nil
+
+	case fir.If:
+		c, err := p.atom(e.Cond)
+		if err != nil {
+			return err
+		}
+		if c.Kind != heap.KInt {
+			return p.rterrf("if condition is %s, want int", c.Kind)
+		}
+		if c.I != 0 {
+			p.cur = e.Then
+		} else {
+			p.cur = e.Else
+		}
+		return nil
+
+	case fir.Call:
+		fnv, err := p.atom(e.Fn)
+		if err != nil {
+			return err
+		}
+		if fnv.Kind != heap.KFun {
+			return p.rterrf("call target is %s, want fun", fnv)
+		}
+		args, err := p.atoms(e.Args)
+		if err != nil {
+			return err
+		}
+		if err := p.invoke(fnv.I, args); err != nil {
+			return p.rterr(err)
+		}
+		return nil
+
+	case fir.Halt:
+		c, err := p.atom(e.Code)
+		if err != nil {
+			return err
+		}
+		if c.Kind != heap.KInt {
+			return p.rterrf("halt code is %s, want int", c.Kind)
+		}
+		p.status = StatusHalted
+		p.halt = c.I
+		return nil
+
+	case fir.Speculate:
+		fnv, err := p.atom(e.Fn)
+		if err != nil {
+			return err
+		}
+		if fnv.Kind != heap.KFun {
+			return p.rterrf("speculate target is %s, want fun", fnv)
+		}
+		args, err := p.atoms(e.Args)
+		if err != nil {
+			return err
+		}
+		saved := make([]heap.Value, len(args))
+		copy(saved, args)
+		p.mgr.Enter(spec.Continuation{FnIndex: fnv.I, Args: saved})
+		call := append([]heap.Value{heap.IntVal(0)}, args...)
+		if err := p.invoke(fnv.I, call); err != nil {
+			return p.rterr(err)
+		}
+		return nil
+
+	case fir.Commit:
+		lv, err := p.atom(e.Level)
+		if err != nil {
+			return err
+		}
+		if lv.Kind != heap.KInt {
+			return p.rterrf("commit level is %s, want int", lv.Kind)
+		}
+		fnv, err := p.atom(e.Fn)
+		if err != nil {
+			return err
+		}
+		if fnv.Kind != heap.KFun {
+			return p.rterrf("commit target is %s, want fun", fnv)
+		}
+		args, err := p.atoms(e.Args)
+		if err != nil {
+			return err
+		}
+		if err := p.mgr.Commit(int(lv.I)); err != nil {
+			return p.rterr(err)
+		}
+		if err := p.invoke(fnv.I, args); err != nil {
+			return p.rterr(err)
+		}
+		return nil
+
+	case fir.Rollback:
+		lv, err := p.atom(e.Level)
+		if err != nil {
+			return err
+		}
+		cv, err := p.atom(e.C)
+		if err != nil {
+			return err
+		}
+		if lv.Kind != heap.KInt || cv.Kind != heap.KInt {
+			return p.rterrf("rollback operands must be int")
+		}
+		cont, err := p.mgr.Rollback(int(lv.I))
+		if err != nil {
+			return p.rterr(err)
+		}
+		args := append([]heap.Value{cv}, cont.Args...)
+		if err := p.invoke(cont.FnIndex, args); err != nil {
+			return p.rterr(err)
+		}
+		return nil
+
+	case fir.Migrate:
+		tp, err := p.atom(e.Target)
+		if err != nil {
+			return err
+		}
+		toff, err := p.atom(e.TargetOff)
+		if err != nil {
+			return err
+		}
+		if tp.Kind != heap.KPtr || toff.Kind != heap.KInt {
+			return p.rterrf("migrate target must be (ptr, int)")
+		}
+		eff := tp
+		eff.Off += toff.I
+		target, err := p.h.LoadString(eff)
+		if err != nil {
+			return p.rterr(err)
+		}
+		fnv, err := p.atom(e.Fn)
+		if err != nil {
+			return err
+		}
+		if fnv.Kind != heap.KFun {
+			return p.rterrf("migrate continuation is %s, want fun", fnv)
+		}
+		args, err := p.atoms(e.Args)
+		if err != nil {
+			return err
+		}
+		if p.migrate == nil {
+			return p.rterr(ErrNoMigration)
+		}
+		outcome, err := p.migrate(&rt.MigrationRequest{
+			Rt: p, Label: e.Label, Target: target, FnIndex: fnv.I, Args: args,
+		})
+		p.pins = p.pins[:0]
+		if err != nil {
+			// "If migration fails for any reason, the process will
+			// continue to execute on the original machine." (§4.2.1)
+			outcome = OutcomeContinueLocal
+		}
+		switch outcome {
+		case OutcomeMigrated:
+			p.status = StatusMigrated
+		case OutcomeSuspended:
+			p.status = StatusSuspended
+		default:
+			if err := p.invoke(fnv.I, args); err != nil {
+				return p.rterr(err)
+			}
+		}
+		return nil
+
+	default:
+		return p.rterrf("unknown expression %T", e)
+	}
+}
+
+// applyOp evaluates a primitive operator through the shared semantics in
+// internal/ops, wrapping failures as trappable runtime errors.
+func (p *Process) applyOp(op fir.Op, a []heap.Value, dst fir.Type) (heap.Value, error) {
+	v, err := ops.Eval(p.h, op, a, dst)
+	if err != nil {
+		return heap.Value{}, p.rterr(err)
+	}
+	return v, nil
+}

@@ -1,0 +1,460 @@
+// Package wire defines the canonical, architecture-independent binary
+// encoding of a packed MCC process image (§4.2.2). An image has two parts,
+// mirroring the paper's two-phase migrate protocol:
+//
+//   - the code part — FIR program, resume label, pointer-table and heap
+//     sizes, and the index of the migrate_env block holding the live
+//     variables — which the target decodes, type-checks and recompiles
+//     before anything else is sent;
+//   - the state part — the heap snapshot (blocks, checkpoint records,
+//     speculation levels) and the saved speculation continuations — which
+//     the target uses to reconstruct the heap and resume.
+//
+// Everything is explicit varints or big-endian fixed-width words, so the
+// encoding is identical on every architecture; integrity is protected by a
+// trailing CRC-32 on each part.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/heap"
+	"repro/internal/spec"
+)
+
+const (
+	codeMagic = "MCCCOD"
+	statMagic = "MCCSTA"
+	// ExecHeader prefixes checkpoint files: the paper formats checkpoints
+	// as executable files so a resurrection daemon can simply execute the
+	// saved checkpoint.
+	ExecHeader = "#!mcc-run\n"
+	version    = 1
+)
+
+// CodePart is the first transmission of a migration: everything the target
+// needs to verify and recompile the program.
+type CodePart struct {
+	// Name identifies the process.
+	Name string
+	// Program is the canonical FIR encoding (fir.EncodeProgram).
+	Program []byte
+	// Label is the migrate label i identifying the migration point.
+	Label int
+	// EnvIndex is the pointer-table index of the migrate_env block holding
+	// the function value and live variables to resume with.
+	EnvIndex int64
+	// TableLen and HeapWords announce the sizes of the pointer table and
+	// heap ("size of heap and pointer tables", §4.2.2) so the target can
+	// pre-size its arena.
+	TableLen  int
+	HeapWords int
+	// Args and Seed carry the process arguments and PRNG seed so externs
+	// behave identically after resumption.
+	Args []int64
+	Seed int64
+}
+
+// StatePart is the second transmission: heap contents and speculation
+// continuations.
+type StatePart struct {
+	Heap  *heap.Snapshot
+	Conts []spec.Continuation
+}
+
+// Image is a complete packed process (both parts), the unit stored in
+// checkpoint files.
+type Image struct {
+	Code  CodePart
+	State StatePart
+}
+
+// Errors returned by decoding.
+var (
+	ErrChecksum  = errors.New("wire: checksum mismatch")
+	ErrTruncated = errors.New("wire: truncated input")
+	ErrBadMagic  = errors.New("wire: bad magic")
+)
+
+type enc struct {
+	buf bytes.Buffer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (e *enc) u(v uint64) {
+	n := binary.PutUvarint(e.tmp[:], v)
+	e.buf.Write(e.tmp[:n])
+}
+
+func (e *enc) i(v int64) {
+	n := binary.PutVarint(e.tmp[:], v)
+	e.buf.Write(e.tmp[:n])
+}
+
+func (e *enc) str(s string) {
+	e.u(uint64(len(s)))
+	e.buf.WriteString(s)
+}
+
+func (e *enc) bytes(b []byte) {
+	e.u(uint64(len(b)))
+	e.buf.Write(b)
+}
+
+func (e *enc) f64(f float64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(f))
+	e.buf.Write(b[:])
+}
+
+func (e *enc) value(v heap.Value) {
+	e.buf.WriteByte(byte(v.Kind))
+	switch v.Kind {
+	case heap.KInt, heap.KFun:
+		e.i(v.I)
+	case heap.KFloat:
+		e.f64(v.F)
+	case heap.KPtr:
+		e.i(v.I)
+		e.i(v.Off)
+	}
+}
+
+func (e *enc) values(vs []heap.Value) {
+	e.u(uint64(len(vs)))
+	for _, v := range vs {
+		e.value(v)
+	}
+}
+
+func (e *enc) finish() []byte {
+	sum := crc32.ChecksumIEEE(e.buf.Bytes())
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], sum)
+	e.buf.Write(tail[:])
+	return e.buf.Bytes()
+}
+
+type dec struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func newDec(data []byte, magic string) (*dec, error) {
+	if len(data) < len(magic)+1+4 {
+		return nil, ErrTruncated
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return nil, ErrChecksum
+	}
+	d := &dec{data: body}
+	if string(d.take(len(magic))) != magic {
+		return nil, ErrBadMagic
+	}
+	if v := d.byte(); v != version {
+		return nil, fmt.Errorf("wire: unsupported version %d", v)
+	}
+	return d, nil
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: decode at %d: %s", d.pos, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.pos+n > len(d.data) {
+		d.fail("need %d bytes", n)
+		return nil
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+func (d *dec) byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *dec) i() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *dec) count() int {
+	n := d.u()
+	if n > uint64(len(d.data)) {
+		d.fail("implausible count %d", n)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) str() string {
+	n := d.count()
+	return string(d.take(n))
+}
+
+func (d *dec) blob() []byte {
+	n := d.count()
+	b := d.take(n)
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func (d *dec) f64() float64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+func (d *dec) value() heap.Value {
+	k := heap.Kind(d.byte())
+	switch k {
+	case heap.KUnit:
+		return heap.UnitVal()
+	case heap.KInt:
+		return heap.IntVal(d.i())
+	case heap.KFun:
+		return heap.FunVal(d.i())
+	case heap.KFloat:
+		return heap.FloatVal(d.f64())
+	case heap.KPtr:
+		i := d.i()
+		off := d.i()
+		return heap.PtrVal(i, off)
+	default:
+		d.fail("unknown value kind %d", k)
+		return heap.Value{}
+	}
+}
+
+func (d *dec) values() []heap.Value {
+	n := d.count()
+	out := make([]heap.Value, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, d.value())
+	}
+	return out
+}
+
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.pos != len(d.data) {
+		return fmt.Errorf("wire: %d trailing bytes", len(d.data)-d.pos)
+	}
+	return nil
+}
+
+// EncodeCode serializes the code part.
+func EncodeCode(c *CodePart) []byte {
+	e := &enc{}
+	e.buf.WriteString(codeMagic)
+	e.buf.WriteByte(version)
+	e.str(c.Name)
+	e.bytes(c.Program)
+	e.u(uint64(c.Label))
+	e.i(c.EnvIndex)
+	e.u(uint64(c.TableLen))
+	e.u(uint64(c.HeapWords))
+	e.u(uint64(len(c.Args)))
+	for _, a := range c.Args {
+		e.i(a)
+	}
+	e.i(c.Seed)
+	return e.finish()
+}
+
+// DecodeCode parses a code part.
+func DecodeCode(data []byte) (*CodePart, error) {
+	d, err := newDec(data, codeMagic)
+	if err != nil {
+		return nil, err
+	}
+	c := &CodePart{}
+	c.Name = d.str()
+	c.Program = d.blob()
+	c.Label = int(d.u())
+	c.EnvIndex = d.i()
+	c.TableLen = int(d.u())
+	c.HeapWords = int(d.u())
+	n := d.count()
+	for i := 0; i < n && d.err == nil; i++ {
+		c.Args = append(c.Args, d.i())
+	}
+	c.Seed = d.i()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// EncodeState serializes the state part.
+func EncodeState(s *StatePart) []byte {
+	e := &enc{}
+	e.buf.WriteString(statMagic)
+	e.buf.WriteByte(version)
+	snap := s.Heap
+	e.u(uint64(snap.TableLen))
+	e.u(uint64(len(snap.Entries)))
+	for _, en := range snap.Entries {
+		e.i(en.Idx)
+		e.u(uint64(en.Level))
+		e.values(en.Words)
+	}
+	e.u(uint64(len(snap.Levels)))
+	for _, lv := range snap.Levels {
+		e.u(uint64(len(lv.Shadows)))
+		for _, sh := range lv.Shadows {
+			e.i(sh.Idx)
+			e.u(uint64(sh.OldLevel))
+			e.values(sh.Words)
+		}
+		e.u(uint64(len(lv.Allocs)))
+		for _, a := range lv.Allocs {
+			e.i(a)
+		}
+	}
+	e.u(uint64(len(s.Conts)))
+	for _, c := range s.Conts {
+		e.i(c.FnIndex)
+		e.values(c.Args)
+	}
+	return e.finish()
+}
+
+// DecodeState parses a state part.
+func DecodeState(data []byte) (*StatePart, error) {
+	d, err := newDec(data, statMagic)
+	if err != nil {
+		return nil, err
+	}
+	snap := &heap.Snapshot{TableLen: int(d.u())}
+	ne := d.count()
+	for i := 0; i < ne && d.err == nil; i++ {
+		en := heap.EntrySnap{Idx: d.i(), Level: int(d.u())}
+		en.Words = d.values()
+		snap.Entries = append(snap.Entries, en)
+	}
+	nl := d.count()
+	for i := 0; i < nl && d.err == nil; i++ {
+		lv := heap.LevelSnap{}
+		ns := d.count()
+		for j := 0; j < ns && d.err == nil; j++ {
+			sh := heap.ShadowSnap{Idx: d.i(), OldLevel: int(d.u())}
+			sh.Words = d.values()
+			lv.Shadows = append(lv.Shadows, sh)
+		}
+		na := d.count()
+		for j := 0; j < na && d.err == nil; j++ {
+			lv.Allocs = append(lv.Allocs, d.i())
+		}
+		snap.Levels = append(snap.Levels, lv)
+	}
+	s := &StatePart{Heap: snap}
+	nc := d.count()
+	for i := 0; i < nc && d.err == nil; i++ {
+		c := spec.Continuation{FnIndex: d.i()}
+		c.Args = d.values()
+		s.Conts = append(s.Conts, c)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// EncodeImage serializes a complete image as a checkpoint file: the
+// executable header followed by length-prefixed code and state parts.
+func EncodeImage(img *Image) []byte {
+	code := EncodeCode(&img.Code)
+	state := EncodeState(&img.State)
+	var buf bytes.Buffer
+	buf.WriteString(ExecHeader)
+	var lens [8]byte
+	binary.BigEndian.PutUint32(lens[:4], uint32(len(code)))
+	buf.Write(lens[:4])
+	buf.Write(code)
+	binary.BigEndian.PutUint32(lens[4:], uint32(len(state)))
+	buf.Write(lens[4:])
+	buf.Write(state)
+	return buf.Bytes()
+}
+
+// DecodeImage parses a checkpoint file.
+func DecodeImage(data []byte) (*Image, error) {
+	if len(data) < len(ExecHeader)+8 {
+		return nil, ErrTruncated
+	}
+	if string(data[:len(ExecHeader)]) != ExecHeader {
+		return nil, ErrBadMagic
+	}
+	rest := data[len(ExecHeader):]
+	if len(rest) < 4 {
+		return nil, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(rest[:4])
+	rest = rest[4:]
+	if uint32(len(rest)) < n {
+		return nil, ErrTruncated
+	}
+	code, err := DecodeCode(rest[:n])
+	if err != nil {
+		return nil, err
+	}
+	rest = rest[n:]
+	if len(rest) < 4 {
+		return nil, ErrTruncated
+	}
+	m := binary.BigEndian.Uint32(rest[:4])
+	rest = rest[4:]
+	if uint32(len(rest)) != m {
+		return nil, ErrTruncated
+	}
+	state, err := DecodeState(rest)
+	if err != nil {
+		return nil, err
+	}
+	return &Image{Code: *code, State: *state}, nil
+}

@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/heap"
+	"repro/internal/spec"
+)
+
+func sampleImage() *Image {
+	return &Image{
+		Code: CodePart{
+			Name:      "proc-7",
+			Program:   []byte("not-really-fir-but-opaque-here"),
+			Label:     12,
+			EnvIndex:  3,
+			TableLen:  16,
+			HeapWords: 40,
+			Args:      []int64{1, -2, 3},
+			Seed:      42,
+		},
+		State: StatePart{
+			Heap: &heap.Snapshot{
+				TableLen: 16,
+				Entries: []heap.EntrySnap{
+					{Idx: 0, Level: 0, Words: []heap.Value{heap.IntVal(5), heap.FloatVal(2.5)}},
+					{Idx: 3, Level: 1, Words: []heap.Value{heap.PtrVal(0, 1), heap.FunVal(2)}},
+				},
+				Levels: []heap.LevelSnap{
+					{
+						Shadows: []heap.ShadowSnap{{Idx: 3, OldLevel: 0, Words: []heap.Value{heap.IntVal(-1), heap.IntVal(0)}}},
+						Allocs:  []int64{5},
+					},
+				},
+			},
+			Conts: []spec.Continuation{
+				{FnIndex: 4, Args: []heap.Value{heap.PtrVal(3, 0), heap.IntVal(9)}},
+			},
+		},
+	}
+}
+
+func TestCodePartRoundTrip(t *testing.T) {
+	c := sampleImage().Code
+	got, err := DecodeCode(EncodeCode(&c))
+	if err != nil {
+		t.Fatalf("DecodeCode: %v", err)
+	}
+	if got.Name != c.Name || string(got.Program) != string(c.Program) ||
+		got.Label != c.Label || got.EnvIndex != c.EnvIndex ||
+		got.TableLen != c.TableLen || got.HeapWords != c.HeapWords || got.Seed != c.Seed {
+		t.Fatalf("round trip changed code part: %+v vs %+v", got, c)
+	}
+	if len(got.Args) != 3 || got.Args[1] != -2 {
+		t.Fatalf("args = %v", got.Args)
+	}
+}
+
+func TestStatePartRoundTrip(t *testing.T) {
+	s := sampleImage().State
+	got, err := DecodeState(EncodeState(&s))
+	if err != nil {
+		t.Fatalf("DecodeState: %v", err)
+	}
+	if !got.Heap.Equal(s.Heap) {
+		t.Fatal("heap snapshot changed in round trip")
+	}
+	if len(got.Conts) != 1 || got.Conts[0].FnIndex != 4 || len(got.Conts[0].Args) != 2 {
+		t.Fatalf("conts = %+v", got.Conts)
+	}
+	if !got.Conts[0].Args[0].Equal(heap.PtrVal(3, 0)) {
+		t.Fatalf("cont arg = %s", got.Conts[0].Args[0])
+	}
+}
+
+func TestImageRoundTripAndHeader(t *testing.T) {
+	img := sampleImage()
+	data := EncodeImage(img)
+	if string(data[:len(ExecHeader)]) != ExecHeader {
+		t.Fatalf("checkpoint file missing executable header; starts %q", data[:12])
+	}
+	got, err := DecodeImage(data)
+	if err != nil {
+		t.Fatalf("DecodeImage: %v", err)
+	}
+	if got.Code.Name != img.Code.Name || !got.State.Heap.Equal(img.State.Heap) {
+		t.Fatal("image round trip changed contents")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	img := sampleImage()
+	code := EncodeCode(&img.Code)
+	for i := 0; i < len(code); i += 5 {
+		bad := make([]byte, len(code))
+		copy(bad, code)
+		bad[i] ^= 0xFF
+		if _, err := DecodeCode(bad); err == nil {
+			t.Fatalf("code corruption at %d undetected", i)
+		}
+	}
+	state := EncodeState(&img.State)
+	for i := 0; i < len(state); i += 11 {
+		bad := make([]byte, len(state))
+		copy(bad, state)
+		bad[i] ^= 0xFF
+		if _, err := DecodeState(bad); err == nil {
+			t.Fatalf("state corruption at %d undetected", i)
+		}
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	img := sampleImage()
+	data := EncodeImage(img)
+	for _, n := range []int{0, 5, len(ExecHeader), len(ExecHeader) + 3, len(data) - 1} {
+		if _, err := DecodeImage(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes undetected", n)
+		}
+	}
+	if _, err := DecodeImage(append([]byte("#!wrong-hdr\n"), data[12:]...)); err == nil {
+		t.Fatal("bad header undetected")
+	}
+}
+
+func TestValueEncodingQuick(t *testing.T) {
+	f := func(ints []int64, floats []float64, ptrIdx []int64) bool {
+		var words []heap.Value
+		for _, v := range ints {
+			words = append(words, heap.IntVal(v))
+		}
+		for _, v := range floats {
+			if math.IsNaN(v) {
+				v = 0 // NaN never compares equal; equality is tested elsewhere
+			}
+			words = append(words, heap.FloatVal(v))
+		}
+		for i, v := range ptrIdx {
+			if v < 0 {
+				v = -v
+			}
+			words = append(words, heap.PtrVal(v, int64(i)))
+			words = append(words, heap.FunVal(v%100))
+		}
+		s := &StatePart{Heap: &heap.Snapshot{
+			TableLen: 1,
+			Entries:  []heap.EntrySnap{{Idx: 0, Words: words}},
+		}}
+		got, err := DecodeState(EncodeState(s))
+		if err != nil {
+			return false
+		}
+		return got.Heap.Equal(s.Heap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
