@@ -332,8 +332,7 @@ func BenchmarkContextSwitch(b *testing.B) {
 // ---------------------------------------------------------------------------
 // F2 — the grid application: failure-free baseline and recovery run.
 
-func benchGrid(b *testing.B, fail *grid.FailurePlan, ck int) {
-	p := grid.Params{Nodes: 3, RowsPerNode: 4, Cols: 8, Steps: 16, CheckpointInterval: ck}
+func benchGridParams(b *testing.B, p grid.Params, fail *grid.FailurePlan) {
 	prog, err := grid.CompileProgram()
 	if err != nil {
 		b.Fatal(err)
@@ -357,7 +356,27 @@ func benchGrid(b *testing.B, fail *grid.FailurePlan, ck int) {
 	b.ReportMetric(float64(rollbacks)/float64(b.N), "rollbacks/op")
 }
 
-func BenchmarkGridFailureFree(b *testing.B) { benchGrid(b, nil, 4) }
+func benchGrid(b *testing.B, fail *grid.FailurePlan, ck int) {
+	benchGridParams(b, grid.Params{Nodes: 3, RowsPerNode: 4, Cols: 8, Steps: 16, CheckpointInterval: ck}, fail)
+}
+
+// BenchmarkGridFailureFree compares worker-pool widths on a grid large
+// enough that per-step compute dominates the border exchange: workers=1
+// serializes node quanta; wider pools run them concurrently, and every
+// width produces bit-identical checksums. The "baseline" case keeps the
+// BenchmarkGridRecovery workload so F2's recovery overhead (Recovery/op
+// minus FailureFree/baseline/op) still compares like with like.
+func BenchmarkGridFailureFree(b *testing.B) {
+	b.Run("baseline", func(b *testing.B) { benchGrid(b, nil, 4) })
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchGridParams(b, grid.Params{
+				Nodes: 4, RowsPerNode: 16, Cols: 24, Steps: 8,
+				CheckpointInterval: 4, Workers: w,
+			}, nil)
+		})
+	}
+}
 
 func BenchmarkGridRecovery(b *testing.B) {
 	benchGrid(b, &grid.FailurePlan{Node: 1, AfterCheckpoints: 1, RestartDelay: 10 * time.Millisecond}, 4)

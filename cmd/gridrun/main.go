@@ -11,6 +11,7 @@
 //	-cols N      columns (default 8)
 //	-steps N     timesteps (default 20)
 //	-ck N        checkpoint interval (default 4)
+//	-workers N   concurrently executing node quanta (0 = unbounded)
 //	-fail SPEC   inject a failure: "node@checkpoints", e.g. "1@2"
 //	-timeout D   run timeout (default 2m)
 //	-v           print per-node checksums
@@ -34,6 +35,7 @@ func main() {
 		cols    = flag.Int("cols", 8, "columns")
 		steps   = flag.Int("steps", 20, "timesteps")
 		ck      = flag.Int("ck", 4, "checkpoint interval")
+		workers = flag.Int("workers", 0, "concurrently executing node quanta (0 = unbounded)")
 		failStr = flag.String("fail", "", `failure plan "node@checkpoints", e.g. "1@2"`)
 		timeout = flag.Duration("timeout", 2*time.Minute, "run timeout")
 		verbose = flag.Bool("v", false, "print per-node checksums")
@@ -42,7 +44,7 @@ func main() {
 
 	p := grid.Params{
 		Nodes: *nodes, RowsPerNode: *rows, Cols: *cols,
-		Steps: *steps, CheckpointInterval: *ck,
+		Steps: *steps, CheckpointInterval: *ck, Workers: *workers,
 	}
 	var fail *grid.FailurePlan
 	if *failStr != "" {
@@ -58,8 +60,8 @@ func main() {
 		fail = &grid.FailurePlan{Node: node, AfterCheckpoints: after, RestartDelay: 25 * time.Millisecond}
 	}
 
-	fmt.Printf("grid: %d nodes × (%d×%d), %d steps, checkpoint every %d\n",
-		p.Nodes, p.RowsPerNode, p.Cols, p.Steps, p.CheckpointInterval)
+	fmt.Printf("grid: %d nodes × (%d×%d), %d steps, checkpoint every %d, workers %d\n",
+		p.Nodes, p.RowsPerNode, p.Cols, p.Steps, p.CheckpointInterval, p.Workers)
 	if fail != nil {
 		fmt.Printf("grid: will kill node %d after checkpoint %d and resurrect it\n",
 			fail.Node, fail.AfterCheckpoints)

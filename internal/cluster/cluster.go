@@ -7,7 +7,6 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -23,7 +22,6 @@ import (
 	"repro/internal/migrate"
 	"repro/internal/msg"
 	"repro/internal/rt"
-	"repro/internal/vm"
 )
 
 // MemStore is an in-memory migrate.Store: the degenerate "reliable
@@ -201,44 +199,28 @@ type Config struct {
 	Heap heap.Config
 	// Quantum is the kill-check granularity in steps (default 20_000).
 	Quantum uint64
+	// Workers bounds concurrently executing node quanta (0 = unbounded);
+	// see EngineConfig.Workers.
+	Workers int
 }
 
 // Cluster is a set of simulated nodes sharing a router and a checkpoint
-// store.
+// store. It is a thin facade over Engine, which owns process lifecycle,
+// the worker pool and migration handoff.
 type Cluster struct {
-	cfg    Config
-	Router *msg.Router
-	Store  migrate.Store
-
-	mu     sync.Mutex
-	killed map[int64]bool
-	states map[int64]*ProcState
-	done   map[int64]chan struct{}
-	wg     sync.WaitGroup
+	*Engine
 }
 
 // New creates a cluster.
 func New(cfg Config) *Cluster {
-	if cfg.Store == nil {
-		cfg.Store = NewMemStore()
-	}
-	if cfg.Stdout == nil {
-		cfg.Stdout = io.Discard
-	}
-	if cfg.Fuel == 0 {
-		cfg.Fuel = 500_000_000
-	}
-	if cfg.Quantum == 0 {
-		cfg.Quantum = 20_000
-	}
-	return &Cluster{
-		cfg:    cfg,
-		Router: msg.NewRouter(),
-		Store:  cfg.Store,
-		killed: make(map[int64]bool),
-		states: make(map[int64]*ProcState),
-		done:   make(map[int64]chan struct{}),
-	}
+	return &Cluster{Engine: NewEngine(EngineConfig{
+		Store:   cfg.Store,
+		Stdout:  cfg.Stdout,
+		Fuel:    cfg.Fuel,
+		Heap:    cfg.Heap,
+		Quantum: cfg.Quantum,
+		Workers: cfg.Workers,
+	})}
 }
 
 // Externs returns the extern signature set a program running on this
@@ -251,164 +233,3 @@ func Externs() map[string]fir.ExternSig {
 	return sigs
 }
 
-// StartProcess launches prog as the process for `node`, wired to the
-// router (message passing) and the shared store (checkpoints). args are
-// the process arguments (getarg); extra adds application externs (the grid
-// harness registers ck_name, for example).
-func (c *Cluster) StartProcess(node int64, prog *fir.Program, args []int64, extra rt.Registry) error {
-	p := vm.NewProcess(prog, vm.Config{
-		Heap:   c.cfg.Heap,
-		Stdout: c.cfg.Stdout,
-		Fuel:   c.cfg.Fuel,
-		Name:   fmt.Sprintf("node-%d", node),
-		Args:   args,
-		Seed:   node,
-	})
-	for n, e := range c.Router.Externs(node) {
-		p.RegisterExtern(n, e.Sig, e.Fn)
-	}
-	for n, e := range extra {
-		p.RegisterExtern(n, e.Sig, e.Fn)
-	}
-	mig := &migrate.Migrator{Store: c.Store}
-	p.SetMigrateHandler(mig.Handle)
-	if err := p.Start(); err != nil {
-		return err
-	}
-	c.track(node, p)
-	return nil
-}
-
-// track runs a started process in a goroutine with kill checks between
-// quanta.
-func (c *Cluster) track(node int64, p rt.Proc) {
-	done := make(chan struct{})
-	c.mu.Lock()
-	c.states[node] = &ProcState{Node: node, Status: rt.StatusRunning}
-	c.done[node] = done
-	c.mu.Unlock()
-	c.wg.Add(1)
-	go func() {
-		defer c.wg.Done()
-		defer close(done)
-		for {
-			if c.isKilled(node) {
-				c.record(node, p, true)
-				return
-			}
-			st, _ := p.RunSteps(c.cfg.Quantum)
-			if st != rt.StatusRunning {
-				c.record(node, p, false)
-				return
-			}
-		}
-	}()
-}
-
-func (c *Cluster) isKilled(node int64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.killed[node]
-}
-
-func (c *Cluster) record(node int64, p rt.Proc, killed bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.states[node] = &ProcState{
-		Node: node, Status: p.Status(), Halt: p.HaltCode(),
-		Err: p.Err(), Killed: killed, Steps: p.Steps(),
-	}
-}
-
-// Fail kills the process on a node (it stops at its next quantum boundary
-// or pending receive) and notifies every other node through the router's
-// rollback epoch.
-func (c *Cluster) Fail(node int64) {
-	c.mu.Lock()
-	c.killed[node] = true
-	c.mu.Unlock()
-	c.Router.Fail(node)
-}
-
-// Resurrect loads a checkpoint from the shared store and revives it as the
-// process for `node` — on a "different machine", which in this simulation
-// means a fresh goroutine and heap. The router clears the node's failed
-// mark; survivors have already rolled back to the matching speculation
-// boundary.
-func (c *Cluster) Resurrect(node int64, checkpoint string, extra rt.Registry) error {
-	// Wait for the failed process's driver goroutine to observe the kill
-	// and stop; resurrecting while a zombie of the old incarnation still
-	// runs would give the node two processes.
-	c.mu.Lock()
-	done := c.done[node]
-	c.mu.Unlock()
-	if done != nil {
-		select {
-		case <-done:
-		case <-time.After(30 * time.Second):
-			return fmt.Errorf("cluster: node %d did not stop within 30s of failure", node)
-		}
-	}
-	c.mu.Lock()
-	delete(c.killed, node)
-	c.mu.Unlock()
-
-	externs := c.Router.Externs(node)
-	for n, e := range extra {
-		externs[n] = e
-	}
-	p, err := migrate.LoadCheckpoint(c.Store, checkpoint, migrate.Options{
-		Externs: externs,
-		Config: vm.Config{
-			Heap:   c.cfg.Heap,
-			Stdout: c.cfg.Stdout,
-			Fuel:   c.cfg.Fuel,
-			Name:   fmt.Sprintf("node-%d(r)", node),
-			Args:   nil, // carried by the image
-		},
-	})
-	if err != nil {
-		return err
-	}
-	mig := &migrate.Migrator{Store: c.Store}
-	p.SetMigrateHandler(mig.Handle)
-	c.Router.Restore(node)
-	c.track(node, p)
-	return nil
-}
-
-// Wait blocks until every tracked process reaches a terminal state or the
-// timeout expires; it returns the final states by node.
-func (c *Cluster) Wait(timeout time.Duration) (map[int64]*ProcState, error) {
-	done := make(chan struct{})
-	go func() {
-		c.wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(timeout):
-		c.Router.Close() // release blocked receivers
-		select {
-		case <-done:
-		case <-time.After(5 * time.Second):
-			return c.snapshot(), errors.New("cluster: processes still running after router close")
-		}
-		return c.snapshot(), fmt.Errorf("cluster: timeout after %s", timeout)
-	}
-	return c.snapshot(), nil
-}
-
-func (c *Cluster) snapshot() map[int64]*ProcState {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[int64]*ProcState, len(c.states))
-	for k, v := range c.states {
-		cp := *v
-		out[k] = &cp
-	}
-	return out
-}
-
-// Close shuts the router down, releasing any blocked process.
-func (c *Cluster) Close() { c.Router.Close() }

@@ -1,0 +1,581 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fir"
+	"repro/internal/heap"
+	"repro/internal/migrate"
+	"repro/internal/msg"
+	"repro/internal/rt"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// EngineConfig configures a parallel cluster engine.
+type EngineConfig struct {
+	// Store is the shared checkpoint store (default: a fresh MemStore).
+	Store migrate.Store
+	// Stdout receives process output (default: discard).
+	Stdout io.Writer
+	// Fuel bounds each process (default 500M steps).
+	Fuel uint64
+	// Heap configures per-process heaps.
+	Heap heap.Config
+	// Quantum is the per-dispatch step granularity (default 20_000): the
+	// engine regains control of every node — for kill, quiesce and handoff
+	// checks — at least this often.
+	Quantum uint64
+	// Workers bounds how many node quanta execute concurrently (the
+	// paper's testbed had a fixed machine count; -workers models it).
+	// 0 means one OS-scheduled goroutine per node, unbounded.
+	// A node parked in a border receive does not hold a worker slot, so
+	// Workers=1 serializes execution without deadlocking on the exchange.
+	Workers int
+	// Extra, when set, supplies application externs for nodes the engine
+	// creates itself (the target of a node://K handoff that was never
+	// explicitly started).
+	Extra func(node int64) rt.Registry
+}
+
+// Engine is the parallel cluster execution runtime: each simulated node
+// runs its process on a dedicated goroutine, dispatched one quantum at a
+// time through a bounded worker pool, with per-node lifecycle control
+// (start, step, quiesce, fail, resurrect) and migration-aware handoff —
+// a process that executes migrate("node://K") is quiesced at its migrate
+// point on the source node and resumed as node K on a fresh driver, while
+// every other node keeps running.
+type Engine struct {
+	cfg    EngineConfig
+	Router *msg.Router
+	Store  migrate.Store
+
+	slots chan struct{} // worker semaphore; nil = unbounded
+
+	mu      sync.Mutex
+	drivers map[int64]*driver
+	states  map[int64]*ProcState
+	extras  map[int64]rt.Registry
+	killed  map[int64]bool // failed marks, persisted until Resurrect
+
+	// active counts live driver goroutines. A WaitGroup cannot express
+	// this lifecycle: Resurrect and handoff add drivers while Wait is
+	// blocked, which is the documented Add-during-Wait race.
+	activeMu   sync.Mutex
+	activeCond *sync.Cond
+	active     int
+
+	handoffMu sync.Mutex // serializes node://K handoffs
+}
+
+// lockedWriter serializes process output: every node goroutine shares the
+// engine's Stdout.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// NewEngine creates an engine with no nodes.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore()
+	}
+	if cfg.Stdout == nil {
+		cfg.Stdout = io.Discard
+	} else {
+		cfg.Stdout = &lockedWriter{w: cfg.Stdout}
+	}
+	if cfg.Fuel == 0 {
+		cfg.Fuel = 500_000_000
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 20_000
+	}
+	e := &Engine{
+		cfg:     cfg,
+		Router:  msg.NewRouter(),
+		Store:   cfg.Store,
+		drivers: make(map[int64]*driver),
+		states:  make(map[int64]*ProcState),
+		extras:  make(map[int64]rt.Registry),
+		killed:  make(map[int64]bool),
+	}
+	e.activeCond = sync.NewCond(&e.activeMu)
+	if cfg.Workers > 0 {
+		e.slots = make(chan struct{}, cfg.Workers)
+	}
+	return e
+}
+
+func (e *Engine) acquire() {
+	if e.slots != nil {
+		e.slots <- struct{}{}
+	}
+}
+
+func (e *Engine) release() {
+	if e.slots != nil {
+		<-e.slots
+	}
+}
+
+// yielder is the optional cooperative-yield surface both backends expose.
+type yielder interface{ Yield() }
+
+// procBox carries the process reference into its block hooks; the process
+// only exists after the externs (and therefore the hooks) are built.
+type procBox struct{ proc rt.Proc }
+
+// hooksFor returns the worker-pool notifications for a node's receives,
+// or nil when the pool is unbounded (a parked goroutine then costs
+// nothing anyone else needs).
+func (e *Engine) hooksFor(box *procBox) *msg.BlockHooks {
+	if e.slots == nil {
+		return nil
+	}
+	return &msg.BlockHooks{
+		OnBlock: e.release,
+		OnUnblock: func() {
+			e.acquire()
+			// End the quantum after this receive so a kill or quiesce
+			// posted while the node was parked is honoured promptly.
+			if y, ok := box.proc.(yielder); ok {
+				y.Yield()
+			}
+		},
+	}
+}
+
+// nodeExterns binds the router externs (with pool hooks) plus the
+// application extras for a node.
+func (e *Engine) nodeExterns(node int64, box *procBox, extra rt.Registry) rt.Registry {
+	externs := e.Router.ExternsHooked(node, e.hooksFor(box))
+	for n, x := range extra {
+		externs[n] = x
+	}
+	return externs
+}
+
+// StartProcess launches prog as the process for `node`, wired to the
+// router (message passing) and the shared store (checkpoints). args are
+// the process arguments (getarg); extra adds application externs (the grid
+// harness registers ck_name, for example).
+func (e *Engine) StartProcess(node int64, prog *fir.Program, args []int64, extra rt.Registry) error {
+	p := vm.NewProcess(prog, vm.Config{
+		Heap:   e.cfg.Heap,
+		Stdout: e.cfg.Stdout,
+		Fuel:   e.cfg.Fuel,
+		Name:   fmt.Sprintf("node-%d", node),
+		Args:   args,
+		Seed:   node,
+	})
+	box := &procBox{}
+	for n, x := range e.nodeExterns(node, box, extra) {
+		p.RegisterExtern(n, x.Sig, x.Fn)
+	}
+	p.SetMigrateHandler(e.migrateHandler(node))
+	if err := p.Start(); err != nil {
+		return err
+	}
+	box.proc = p
+	e.mu.Lock()
+	e.extras[node] = extra
+	e.mu.Unlock()
+	e.startDriver(node, p)
+	return nil
+}
+
+// extraFor returns the remembered (or factory-supplied) application
+// externs for a node.
+func (e *Engine) extraFor(node int64) rt.Registry {
+	e.mu.Lock()
+	extra, ok := e.extras[node]
+	e.mu.Unlock()
+	if !ok && e.cfg.Extra != nil {
+		extra = e.cfg.Extra(node)
+	}
+	return extra
+}
+
+// unpackAs reconstructs a process image as the process for `node`.
+func (e *Engine) unpackAs(node int64, img *wire.Image, extra rt.Registry, tag string) (rt.Proc, error) {
+	box := &procBox{}
+	proc, _, err := migrate.Unpack(img, migrate.Options{
+		Externs: e.nodeExterns(node, box, extra),
+		Config: vm.Config{
+			Heap:   e.cfg.Heap,
+			Stdout: e.cfg.Stdout,
+			Fuel:   e.cfg.Fuel,
+			Name:   fmt.Sprintf("node-%d(%s)", node, tag),
+			Args:   nil, // carried by the image
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	proc.SetMigrateHandler(e.migrateHandler(node))
+	box.proc = proc
+	return proc, nil
+}
+
+// migrateHandler routes migrate targets: "node://K" is an in-engine
+// handoff to another simulated node; everything else (checkpoint://,
+// suspend://, migrate://…) goes through the standard Migrator against the
+// shared store.
+func (e *Engine) migrateHandler(node int64) rt.MigrateHandler {
+	mig := &migrate.Migrator{Store: e.Store}
+	return func(req *rt.MigrationRequest) (rt.MigrateOutcome, error) {
+		if rest, ok := strings.CutPrefix(req.Target, "node://"); ok {
+			dst, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return rt.OutcomeContinueLocal, fmt.Errorf("cluster: bad node target %q", req.Target)
+			}
+			return e.handoff(node, dst, req)
+		}
+		return mig.Handle(req)
+	}
+}
+
+// handoff performs a node-to-node migration without stopping the cluster:
+// the source process is already quiesced (it sits at its migrate
+// instruction, on its own driver goroutine), so pack, unpack and resume
+// run while every other node continues. On any error the process simply
+// continues on the source node (§4.2.1).
+func (e *Engine) handoff(src, dst int64, req *rt.MigrationRequest) (rt.MigrateOutcome, error) {
+	if dst == src {
+		return rt.OutcomeContinueLocal, nil
+	}
+	e.handoffMu.Lock()
+	defer e.handoffMu.Unlock()
+	e.mu.Lock()
+	d := e.drivers[dst]
+	dstFailed := e.killed[dst]
+	srcFailed := e.killed[src]
+	e.mu.Unlock()
+	if srcFailed {
+		// The source node failed while this process was migrating out: its
+		// state must die with the node (survivors have already rolled back
+		// for it; only a checkpoint may revive it). Continue-local lets the
+		// driver deliver the kill at the next quantum boundary.
+		return rt.OutcomeContinueLocal, fmt.Errorf("cluster: node %d is failed; its state cannot migrate out", src)
+	}
+	if dstFailed {
+		return rt.OutcomeContinueLocal, fmt.Errorf("cluster: node %d is failed", dst)
+	}
+	if d != nil && !d.hasExited() {
+		return rt.OutcomeContinueLocal, fmt.Errorf("cluster: node %d already has a live process", dst)
+	}
+	img, err := migrate.Pack(req.Rt, req.Label, req.FnIndex, req.Args)
+	if err != nil {
+		return rt.OutcomeContinueLocal, err
+	}
+	extra := e.extraFor(dst)
+	proc, err := e.unpackAs(dst, img, extra, "m")
+	if err != nil {
+		return rt.OutcomeContinueLocal, err
+	}
+	e.mu.Lock()
+	e.extras[dst] = extra
+	e.mu.Unlock()
+	// The incoming incarnation has observed exactly the rollback epochs
+	// its source had.
+	e.Router.InheritSeen(src, dst)
+	e.startDriver(dst, proc)
+	return rt.OutcomeMigrated, nil
+}
+
+// driver runs one node's process: a goroutine stepping the process one
+// quantum at a time through the worker pool, with park points for
+// quiesce and kill between quanta.
+type driver struct {
+	eng  *Engine
+	node int64
+	proc rt.Proc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pauses   int  // outstanding Quiesce requests
+	parked   bool // true while waiting out a quiesce
+	stepping bool // a Step() is executing the process synchronously
+	killed   bool
+	exited   bool
+	done     chan struct{}
+}
+
+func (d *driver) hasExited() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.exited
+}
+
+// startDriver registers and launches a (new incarnation of a) node.
+func (e *Engine) startDriver(node int64, proc rt.Proc) {
+	d := &driver{eng: e, node: node, proc: proc, done: make(chan struct{})}
+	d.cond = sync.NewCond(&d.mu)
+	e.mu.Lock()
+	// A node failed before (or while) its process started stays failed
+	// until Resurrect: the new incarnation is dead on arrival.
+	d.killed = e.killed[node]
+	e.drivers[node] = d
+	e.states[node] = &ProcState{Node: node, Status: rt.StatusRunning}
+	e.mu.Unlock()
+	e.activeMu.Lock()
+	e.active++
+	e.activeMu.Unlock()
+	go d.loop()
+}
+
+func (d *driver) loop() {
+	defer func() {
+		d.eng.activeMu.Lock()
+		d.eng.active--
+		if d.eng.active == 0 {
+			d.eng.activeCond.Broadcast()
+		}
+		d.eng.activeMu.Unlock()
+	}()
+	defer func() {
+		d.mu.Lock()
+		d.exited = true
+		d.cond.Broadcast()
+		d.mu.Unlock()
+		close(d.done)
+	}()
+	for {
+		d.mu.Lock()
+		// Stay parked while a Step() is executing the process, even if a
+		// kill arrives mid-step: the kill is handled once Step returns,
+		// never concurrently with it.
+		for d.stepping || (d.pauses > 0 && !d.killed) {
+			d.parked = true
+			d.cond.Broadcast()
+			d.cond.Wait()
+		}
+		d.parked = false
+		killed := d.killed
+		d.mu.Unlock()
+		if killed {
+			d.eng.record(d.node, d.proc, true)
+			return
+		}
+		if d.proc.Status() != rt.StatusRunning {
+			// A Step() during a quiesce may have finished the process.
+			d.eng.record(d.node, d.proc, false)
+			return
+		}
+		d.eng.acquire()
+		st, _ := d.proc.RunSteps(d.eng.cfg.Quantum)
+		d.eng.release()
+		if st != rt.StatusRunning {
+			d.eng.record(d.node, d.proc, false)
+			return
+		}
+	}
+}
+
+func (e *Engine) record(node int64, p rt.Proc, killed bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.states[node] = &ProcState{
+		Node: node, Status: p.Status(), Halt: p.HaltCode(),
+		Err: p.Err(), Killed: killed, Steps: p.Steps(),
+	}
+}
+
+func (e *Engine) driver(node int64) *driver {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.drivers[node]
+}
+
+// Fail kills the process on a node (it stops at its next quantum boundary
+// or pending receive) and notifies every other node through the router's
+// rollback epoch. The failed mark persists until Resurrect: failing a
+// node whose process has not started yet kills that process on arrival.
+func (e *Engine) Fail(node int64) {
+	e.mu.Lock()
+	e.killed[node] = true
+	d := e.drivers[node]
+	e.mu.Unlock()
+	if d != nil {
+		d.mu.Lock()
+		d.killed = true
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	}
+	e.Router.Fail(node)
+}
+
+// Quiesce parks a node's driver at its next quantum boundary and returns
+// once it is parked; the process makes no further progress until Resume.
+// Quiesce calls nest. A node blocked in a border receive parks only after
+// the receive returns (delivery, rollback epoch, or router close).
+func (e *Engine) Quiesce(node int64) error {
+	d := e.driver(node)
+	if d == nil {
+		return fmt.Errorf("cluster: node %d has no process", node)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pauses++
+	for !d.parked && !d.exited {
+		d.cond.Wait()
+	}
+	if d.exited {
+		d.pauses--
+		return fmt.Errorf("cluster: node %d terminated before quiescing", node)
+	}
+	return nil
+}
+
+// Resume releases one Quiesce on a node.
+func (e *Engine) Resume(node int64) error {
+	d := e.driver(node)
+	if d == nil {
+		return fmt.Errorf("cluster: node %d has no process", node)
+	}
+	d.mu.Lock()
+	if d.pauses > 0 {
+		d.pauses--
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return nil
+}
+
+// Step synchronously runs up to `quanta` quanta of a quiesced node's
+// process on the calling goroutine (through the worker pool) and returns
+// the resulting status — single-stepped deterministic execution for tests
+// and debugging. The node must be quiesced.
+func (e *Engine) Step(node int64, quanta int) (rt.Status, error) {
+	d := e.driver(node)
+	if d == nil {
+		return 0, fmt.Errorf("cluster: node %d has no process", node)
+	}
+	d.mu.Lock()
+	if !d.parked || d.stepping {
+		d.mu.Unlock()
+		return 0, fmt.Errorf("cluster: Step requires node %d to be quiesced (and not already stepping)", node)
+	}
+	// While stepping is set the driver stays parked even if a kill or
+	// Resume lands mid-step, so the process is never run concurrently.
+	d.stepping = true
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		d.stepping = false
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	}()
+	st := d.proc.Status()
+	for i := 0; i < quanta && st == rt.StatusRunning; i++ {
+		e.acquire()
+		var err error
+		st, err = d.proc.RunSteps(e.cfg.Quantum)
+		e.release()
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// Resurrect loads a checkpoint from the shared store and revives it as the
+// process for `node` — on a "different machine", which in this simulation
+// means a fresh driver goroutine and heap. The router clears the node's
+// failed mark; survivors have already rolled back to the matching
+// speculation boundary.
+func (e *Engine) Resurrect(node int64, checkpoint string, extra rt.Registry) error {
+	// Wait for the failed incarnation's driver to observe the kill and
+	// stop; resurrecting while a zombie of the old incarnation still runs
+	// would give the node two processes.
+	if d := e.driver(node); d != nil {
+		select {
+		case <-d.done:
+		case <-time.After(30 * time.Second):
+			return fmt.Errorf("cluster: node %d did not stop within 30s of failure", node)
+		}
+	}
+	data, err := e.Store.Get(checkpoint)
+	if err != nil {
+		return err
+	}
+	img, err := wire.DecodeImage(data)
+	if err != nil {
+		return err
+	}
+	if extra == nil {
+		extra = e.extraFor(node)
+	}
+	proc, err := e.unpackAs(node, img, extra, "r")
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	delete(e.killed, node) // the new incarnation is alive again
+	e.extras[node] = extra // remembered for a later handoff or resurrect
+	e.mu.Unlock()
+	e.Router.Restore(node)
+	e.startDriver(node, proc)
+	return nil
+}
+
+// Wait blocks until every tracked process reaches a terminal state or the
+// timeout expires; it returns the final states by node. Quiesced nodes
+// never terminate — Resume them first.
+func (e *Engine) Wait(timeout time.Duration) (map[int64]*ProcState, error) {
+	done := e.idleChan()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		e.Router.Close() // release blocked receivers
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			return e.snapshot(), fmt.Errorf("cluster: processes still running after router close")
+		}
+		return e.snapshot(), fmt.Errorf("cluster: timeout after %s", timeout)
+	}
+	return e.snapshot(), nil
+}
+
+// idleChan returns a channel closed once no driver goroutine is live.
+// The watcher goroutine persists until that happens; a Wait timeout
+// closes the router, which drives every process (and so the watcher) out.
+func (e *Engine) idleChan() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		e.activeMu.Lock()
+		for e.active > 0 {
+			e.activeCond.Wait()
+		}
+		e.activeMu.Unlock()
+		close(done)
+	}()
+	return done
+}
+
+func (e *Engine) snapshot() map[int64]*ProcState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[int64]*ProcState, len(e.states))
+	for k, v := range e.states {
+		cp := *v
+		out[k] = &cp
+	}
+	return out
+}
+
+// Close shuts the router down, releasing any blocked process.
+func (e *Engine) Close() { e.Router.Close() }

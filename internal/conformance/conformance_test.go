@@ -1,0 +1,137 @@
+// Package conformance is the differential backend test suite: every MojC
+// program in testdata is compiled once and executed on both runtime
+// backends — the FIR interpreter (internal/vm) and the RISC simulator
+// (internal/risc) — which must produce byte-identical output, the same
+// exit status and the same halt code. The paper's migration story (§3,
+// §4.2) depends on exactly this property: a process may hop between
+// heterogeneous nodes mid-run, so the backends cannot be allowed to
+// drift. Each program is additionally run through the FIR optimizer and
+// re-checked, giving four executions per program that must all agree.
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rt"
+)
+
+// run executes a compiled program on one backend and returns its
+// observable behaviour.
+func run(t *testing.T, prog *core.Program, backend core.Backend, label string) (rt.Status, int64, string) {
+	t.Helper()
+	var out bytes.Buffer
+	p, err := core.NewProcess(prog, core.ProcessConfig{
+		Backend: backend,
+		Stdout:  &out,
+		Fuel:    50_000_000,
+		Args:    []int64{3, 4},
+		Seed:    12345,
+	})
+	if err != nil {
+		t.Fatalf("%s: NewProcess: %v", label, err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatalf("%s: Start: %v", label, err)
+	}
+	st, err := p.Run()
+	if st == rt.StatusFailed {
+		t.Fatalf("%s: runtime failure: %v", label, err)
+	}
+	return st, p.HaltCode(), out.String()
+}
+
+func loadCorpus(t *testing.T) map[string]string {
+	t.Helper()
+	ents, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := make(map[string]string)
+	for _, e := range ents {
+		name, ok := strings.CutSuffix(e.Name(), ".mc")
+		if !ok {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus[name] = string(src)
+	}
+	if len(corpus) == 0 {
+		t.Fatal("no .mc programs in testdata")
+	}
+	return corpus
+}
+
+func TestBackendsAgree(t *testing.T) {
+	for name, src := range loadCorpus(t) {
+		t.Run(name, func(t *testing.T) {
+			prog, err := core.Compile(src, nil)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			opt, err := core.Compile(src, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Optimize()
+
+			type variant struct {
+				label   string
+				prog    *core.Program
+				backend core.Backend
+			}
+			variants := []variant{
+				{"vm", prog, core.BackendVM},
+				{"risc", prog, core.BackendRISC},
+				{"vm+opt", opt, core.BackendVM},
+				{"risc+opt", opt, core.BackendRISC},
+			}
+			baseSt, baseHalt, baseOut := run(t, variants[0].prog, variants[0].backend, variants[0].label)
+			if baseSt != rt.StatusHalted {
+				t.Fatalf("vm: status = %s, want halted", baseSt)
+			}
+			for _, v := range variants[1:] {
+				st, halt, out := run(t, v.prog, v.backend, v.label)
+				if st != baseSt {
+					t.Errorf("%s: status = %s, vm = %s", v.label, st, baseSt)
+				}
+				if halt != baseHalt {
+					t.Errorf("%s: halt = %d, vm = %d", v.label, halt, baseHalt)
+				}
+				if out != baseOut {
+					t.Errorf("%s: output diverged\n%s: %q\nvm:   %q", v.label, v.label, out, baseOut)
+				}
+			}
+		})
+	}
+}
+
+// TestBackendsDeterministic re-runs each program per backend and requires
+// run-to-run identical behaviour (the cluster's bit-exact replay after a
+// failure depends on it).
+func TestBackendsDeterministic(t *testing.T) {
+	for name, src := range loadCorpus(t) {
+		t.Run(name, func(t *testing.T) {
+			prog, err := core.Compile(src, nil)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			for _, backend := range []core.Backend{core.BackendVM, core.BackendRISC} {
+				_, h1, o1 := run(t, prog, backend, fmt.Sprintf("%v/first", backend))
+				_, h2, o2 := run(t, prog, backend, fmt.Sprintf("%v/second", backend))
+				if h1 != h2 || o1 != o2 {
+					t.Errorf("backend %v not deterministic: halt %d vs %d, out %q vs %q",
+						backend, h1, h2, o1, o2)
+				}
+			}
+		})
+	}
+}

@@ -31,6 +31,12 @@ type Params struct {
 	// CheckpointInterval is the paper's checkpoint_interval: commit +
 	// checkpoint every this many steps.
 	CheckpointInterval int
+	// Workers bounds how many node quanta execute concurrently on the
+	// simulated cluster (0 = one goroutine per node, unbounded). The
+	// result is bit-identical for every worker count: each node's
+	// floating-point op order is fixed and border exchange is keyed and
+	// idempotent, so parallelism only changes wall-clock time.
+	Workers int
 }
 
 // Validate checks the parameters.
@@ -44,6 +50,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("grid: need at least one step, have %d", p.Steps)
 	case p.CheckpointInterval < 1:
 		return fmt.Errorf("grid: checkpoint interval %d must be positive", p.CheckpointInterval)
+	case p.Workers < 0:
+		return fmt.Errorf("grid: worker count %d must be non-negative", p.Workers)
 	}
 	return nil
 }

@@ -77,6 +77,41 @@ func TestFourNodesLongerRun(t *testing.T) {
 	}
 }
 
+// TestWorkersMatchReference pins the parallel engine's headline
+// guarantee: a bounded worker pool of any width — including width 1,
+// where a node parked in a border receive must lend its slot to the node
+// that will send to it — produces checksums bit-identical to the
+// sequential Go reference, with and without an injected failure.
+func TestWorkersMatchReference(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		p := params(3, 4, 8, 12, 4)
+		p.Workers = workers
+		res, err := Run(p, nil, 120*time.Second)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := Reference(p)
+		for n := range want {
+			if res.Checksums[n] != want[n] {
+				t.Fatalf("workers=%d node %d checksum = %d, want %d", workers, n, res.Checksums[n], want[n])
+			}
+		}
+	}
+	p := params(3, 4, 8, 16, 4)
+	p.Workers = 2
+	fail := &FailurePlan{Node: 1, AfterCheckpoints: 1, RestartDelay: 20 * time.Millisecond}
+	res, err := Run(p, fail, 120*time.Second)
+	if err != nil {
+		t.Fatalf("workers=2 with failure: %v", err)
+	}
+	want := Reference(p)
+	for n := range want {
+		if res.Checksums[n] != want[n] {
+			t.Fatalf("workers=2 failure run: node %d checksum = %d, want %d", n, res.Checksums[n], want[n])
+		}
+	}
+}
+
 // TestFailureRecoveryMatchesReference is the paper's headline behaviour
 // (Figure 2): kill a node mid-run, resurrect it from its checkpoint on
 // another (virtual) machine, survivors roll back their last speculation —

@@ -79,7 +79,7 @@ func Run(p Params, fail *FailurePlan, timeout time.Duration) (*Result, error) {
 func RunProgram(prog *fir.Program, p Params, fail *FailurePlan, timeout time.Duration) (*Result, error) {
 	base := cluster.NewMemStore()
 	store := &observableStore{Store: base}
-	c := cluster.New(cluster.Config{Store: store})
+	c := cluster.New(cluster.Config{Store: store, Workers: p.Workers})
 	defer c.Close()
 
 	ckExtern := func(node int64) rt.Registry {

@@ -10,18 +10,29 @@
 //     can re-read a step's borders after rolling back, and a rolled-back
 //     sender re-sends identical values (the computation is deterministic),
 //     so replays converge.
+//   - The router is sharded by destination: each node owns a mailbox with
+//     per-link (per-source) buffers and its own lock and wakeup. A send
+//     touches only the destination's mailbox and wakes only that node's
+//     receiver, so concurrent node goroutines never contend on a global
+//     lock or suffer broadcast storms. SendBatch delivers several tagged
+//     payloads to one destination under a single lock acquisition.
 //   - When a node fails, the router advances a rollback epoch. Every other
 //     process observes MSG_ROLL exactly once on its next receive,
 //     mirroring the paper's "all the other processes rollback their last
 //     speculation to bring the computation to a consistent state".
 //   - Old messages are garbage-collected by msg_gc(tag), called by the
 //     application after each committed checkpoint.
+//   - A receive with no matching message parks the calling goroutine on
+//     the mailbox. BlockHooks let an execution engine lend the parked
+//     node's worker slot to another node (see internal/cluster.Engine),
+//     so a bounded worker pool cannot deadlock on a border exchange.
 package msg
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fir"
 	"repro/internal/heap"
@@ -42,22 +53,51 @@ const (
 // ErrClosed is returned by operations on a closed router.
 var ErrClosed = errors.New("msg: router closed")
 
-type key struct {
-	src, dst, tag int64
+// Batched is one element of a SendBatch: a tagged payload for a single
+// destination.
+type Batched struct {
+	Tag   int64
+	Words []heap.Value
+}
+
+// BlockHooks notifies an execution engine around a parked receive: OnBlock
+// runs once just before the receiver goroutine parks, OnUnblock runs after
+// it unparks and before Recv returns. A bounded worker pool releases the
+// blocked node's slot in OnBlock and reacquires it in OnUnblock so that a
+// node waiting for a border cannot starve the node that will send it.
+type BlockHooks struct {
+	OnBlock   func()
+	OnUnblock func()
+}
+
+// mailbox is one destination's inbound state: per-link (per-source)
+// buffers of tagged payloads, plus the node's rollback-epoch cursor.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	links map[int64]map[int64][]heap.Value // src -> tag -> payload
+	seen  int64                            // last rollback epoch observed
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{links: make(map[int64]map[int64][]heap.Value)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
 }
 
 // Router is the in-memory interconnect between the node processes of a
 // simulated cluster.
 type Router struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	box    map[key][]heap.Value
-	failed map[int64]bool
-	epoch  int64
-	seen   map[int64]int64 // node -> last rollback epoch observed
-	closed bool
+	epoch  atomic.Int64
+	closed atomic.Bool
 
-	stats Stats
+	mu    sync.RWMutex // guards boxes map (not mailbox contents)
+	boxes map[int64]*mailbox
+
+	failMu sync.Mutex
+	failed map[int64]bool
+
+	sends, recvs, rolls, failures, gced, wordsSent atomic.Uint64
 }
 
 // Stats counts router activity.
@@ -72,74 +112,153 @@ type Stats struct {
 
 // NewRouter creates an empty router.
 func NewRouter() *Router {
-	r := &Router{
-		box:    make(map[key][]heap.Value),
+	return &Router{
+		boxes:  make(map[int64]*mailbox),
 		failed: make(map[int64]bool),
-		seen:   make(map[int64]int64),
 	}
-	r.cond = sync.NewCond(&r.mu)
-	return r
 }
 
 // Stats returns a copy of the counters.
 func (r *Router) Stats() Stats {
+	return Stats{
+		Sends:     r.sends.Load(),
+		Recvs:     r.recvs.Load(),
+		Rolls:     r.rolls.Load(),
+		Failures:  r.failures.Load(),
+		GCed:      r.gced.Load(),
+		WordsSent: r.wordsSent.Load(),
+	}
+}
+
+// mbox returns the destination's mailbox, creating it on first use.
+func (r *Router) mbox(dst int64) *mailbox {
+	r.mu.RLock()
+	mb := r.boxes[dst]
+	r.mu.RUnlock()
+	if mb != nil {
+		return mb
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.stats
+	if mb = r.boxes[dst]; mb == nil {
+		mb = newMailbox()
+		r.boxes[dst] = mb
+	}
+	return mb
+}
+
+// Register creates a node's mailbox eagerly. The cluster engine registers
+// every node at start so failure epochs raised before a node's first
+// receive are still observed by it.
+func (r *Router) Register(node int64) { r.mbox(node) }
+
+// broadcastAll wakes every parked receiver (epoch advance or shutdown).
+func (r *Router) broadcastAll() {
+	r.mu.RLock()
+	boxes := make([]*mailbox, 0, len(r.boxes))
+	for _, mb := range r.boxes {
+		boxes = append(boxes, mb)
+	}
+	r.mu.RUnlock()
+	for _, mb := range boxes {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
 }
 
 // Close releases every blocked receiver with StatusClosed.
 func (r *Router) Close() {
-	r.mu.Lock()
-	r.closed = true
-	r.mu.Unlock()
-	r.cond.Broadcast()
+	r.closed.Store(true)
+	r.broadcastAll()
 }
 
 // Fail marks a node as failed and advances the rollback epoch: every other
 // node's next receive reports MSG_ROLL once.
 func (r *Router) Fail(node int64) {
-	r.mu.Lock()
+	r.failMu.Lock()
 	r.failed[node] = true
-	r.epoch++
-	r.stats.Failures++
-	r.mu.Unlock()
-	r.cond.Broadcast()
+	r.failMu.Unlock()
+	r.epoch.Add(1)
+	r.failures.Add(1)
+	r.broadcastAll()
 }
 
 // Restore clears a node's failed mark (after resurrection) and marks it as
 // having already observed the current epoch — the resurrected process
 // resumes from its checkpoint, which is already the rollback point.
 func (r *Router) Restore(node int64) {
-	r.mu.Lock()
+	r.failMu.Lock()
 	delete(r.failed, node)
-	r.seen[node] = r.epoch
-	r.mu.Unlock()
-	r.cond.Broadcast()
+	r.failMu.Unlock()
+	mb := r.mbox(node)
+	mb.mu.Lock()
+	mb.seen = r.epoch.Load()
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// InheritSeen copies the rollback-epoch cursor from one node to another.
+// The engine uses it during a node-to-node handoff: the migrated-in
+// incarnation has observed exactly the failures its source incarnation
+// had, no more and no fewer.
+func (r *Router) InheritSeen(from, to int64) {
+	src := r.mbox(from)
+	src.mu.Lock()
+	seen := src.seen
+	src.mu.Unlock()
+	dst := r.mbox(to)
+	dst.mu.Lock()
+	dst.seen = seen
+	dst.mu.Unlock()
 }
 
 // Failed reports whether a node is currently failed.
 func (r *Router) Failed(node int64) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
 	return r.failed[node]
 }
 
 // Send stores a message. Sends are non-blocking and idempotent: re-sending
 // (src, dst, tag) overwrites with identical content on deterministic
-// replays.
+// replays. Only the destination's mailbox is locked and only its receiver
+// is woken.
 func (r *Router) Send(src, dst, tag int64, words []heap.Value) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
+	return r.SendBatch(src, dst, []Batched{{Tag: tag, Words: words}})
+}
+
+// SendBatch delivers several tagged payloads from src to dst under one
+// mailbox lock acquisition and a single wakeup — the batched border
+// exchange for applications that ship multiple tags per step.
+func (r *Router) SendBatch(src, dst int64, batch []Batched) error {
+	if r.closed.Load() {
 		return ErrClosed
 	}
-	cp := make([]heap.Value, len(words))
-	copy(cp, words)
-	r.box[key{src, dst, tag}] = cp
-	r.stats.Sends++
-	r.stats.WordsSent += uint64(len(words))
-	r.cond.Broadcast()
+	mb := r.mbox(dst)
+	mb.mu.Lock()
+	// Re-check under the mailbox lock: Close's broadcast pass takes every
+	// mailbox lock, so a send that got past the fast-path check above must
+	// not report delivery after Close has returned — receivers will only
+	// ever see StatusClosed.
+	if r.closed.Load() {
+		mb.mu.Unlock()
+		return ErrClosed
+	}
+	link := mb.links[src]
+	if link == nil {
+		link = make(map[int64][]heap.Value)
+		mb.links[src] = link
+	}
+	for _, b := range batch {
+		cp := make([]heap.Value, len(b.Words))
+		copy(cp, b.Words)
+		link[b.Tag] = cp
+		r.sends.Add(1)
+		r.wordsSent.Add(uint64(len(b.Words)))
+	}
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
 	return nil
 }
 
@@ -147,25 +266,70 @@ func (r *Router) Send(src, dst, tag int64, words []heap.Value) error {
 // epoch must be observed, or the router closes. It returns the payload and
 // a status code.
 func (r *Router) Recv(dst, src, tag int64) ([]heap.Value, int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	return r.RecvHooked(dst, src, tag, nil)
+}
+
+// TryRecv is the non-blocking receive: ok reports whether a status was
+// available at all. When ok is false the caller may park or poll.
+//
+// A returned status carries the same obligations as one from Recv: in
+// particular StatusRoll is the node's single MSG_ROLL delivery for the
+// current epoch — a caller polling for a specific message must still act
+// on a rollback (not discard it and poll again), or the node will never
+// join the failure's rollback and the cluster state diverges.
+func (r *Router) TryRecv(dst, src, tag int64) (words []heap.Value, status int64, ok bool) {
+	mb := r.mbox(dst)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	words, status, ok = r.tryLocked(mb, dst, src, tag)
+	return words, status, ok
+}
+
+// tryLocked checks the terminal conditions in priority order with the
+// mailbox lock held: shutdown, pending rollback epoch, matching message.
+func (r *Router) tryLocked(mb *mailbox, dst, src, tag int64) ([]heap.Value, int64, bool) {
+	if r.closed.Load() {
+		return nil, StatusClosed, true
+	}
+	if epoch := r.epoch.Load(); mb.seen < epoch {
+		mb.seen = epoch
+		r.rolls.Add(1)
+		return nil, StatusRoll, true
+	}
+	if m, ok := mb.links[src][tag]; ok {
+		r.recvs.Add(1)
+		out := make([]heap.Value, len(m))
+		copy(out, m)
+		return out, StatusOK, true
+	}
+	return nil, 0, false
+}
+
+// RecvHooked is Recv with engine notifications around the park: see
+// BlockHooks. A nil hooks value makes it identical to Recv.
+func (r *Router) RecvHooked(dst, src, tag int64, hooks *BlockHooks) ([]heap.Value, int64) {
+	mb := r.mbox(dst)
+	mb.mu.Lock()
+	blocked := false
 	for {
-		if r.closed {
-			return nil, StatusClosed
+		words, status, ok := r.tryLocked(mb, dst, src, tag)
+		if ok {
+			mb.mu.Unlock()
+			if blocked && hooks != nil && hooks.OnUnblock != nil {
+				// Reacquire the worker slot outside the mailbox lock: the
+				// slot holder may be a sender waiting for this very lock.
+				hooks.OnUnblock()
+			}
+			return words, status
 		}
-		// Pending rollback epoch? Deliver MSG_ROLL exactly once per epoch.
-		if r.seen[dst] < r.epoch {
-			r.seen[dst] = r.epoch
-			r.stats.Rolls++
-			return nil, StatusRoll
+		if !blocked && hooks != nil && hooks.OnBlock != nil {
+			// Releasing a held slot never blocks, so it is safe under the
+			// mailbox lock; this keeps release-then-park atomic with the
+			// availability check above (no missed wakeups).
+			hooks.OnBlock()
+			blocked = true
 		}
-		if m, ok := r.box[key{src, dst, tag}]; ok {
-			r.stats.Recvs++
-			out := make([]heap.Value, len(m))
-			copy(out, m)
-			return out, StatusOK
-		}
-		r.cond.Wait()
+		mb.cond.Wait()
 	}
 }
 
@@ -175,12 +339,15 @@ func (r *Router) Recv(dst, src, tag int64) ([]heap.Value, int64) {
 // are deliberately retained — a neighbour that resumes from an older
 // checkpoint may still need them.
 func (r *Router) GC(node, below int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for k := range r.box {
-		if k.dst == node && k.tag < below {
-			delete(r.box, k)
-			r.stats.GCed++
+	mb := r.mbox(node)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, link := range mb.links {
+		for tag := range link {
+			if tag < below {
+				delete(link, tag)
+				r.gced.Add(1)
+			}
 		}
 	}
 }
@@ -195,6 +362,14 @@ func (r *Router) GC(node, below int64) {
 // Payload words must be scalars (int or float); pointers are process-local
 // and never cross the interconnect.
 func (r *Router) Externs(node int64) rt.Registry {
+	return r.ExternsHooked(node, nil)
+}
+
+// ExternsHooked is Externs with BlockHooks threaded into msg_recv, used by
+// the cluster engine's bounded worker pool. The node's mailbox is
+// registered eagerly so epochs raised before its first receive are seen.
+func (r *Router) ExternsHooked(node int64, hooks *BlockHooks) rt.Registry {
+	r.Register(node)
 	reg := make(rt.Registry)
 	ptrIntInt := []fir.Type{fir.TyInt, fir.TyInt, fir.TyPtr, fir.TyInt, fir.TyInt}
 
@@ -228,7 +403,7 @@ func (r *Router) Externs(node int64) rt.Registry {
 		Sig: fir.ExternSig{Args: ptrIntInt, Result: fir.TyInt},
 		Fn: func(rtx rt.Runtime, a []heap.Value) (heap.Value, error) {
 			src, tag, p, off, n := a[0].I, a[1].I, a[2], a[3].I, a[4].I
-			words, status := r.Recv(node, src, tag)
+			words, status := r.RecvHooked(node, src, tag, hooks)
 			if status != StatusOK {
 				return heap.IntVal(status), nil
 			}

@@ -167,6 +167,46 @@ func TestSendOverwriteIdempotent(t *testing.T) {
 	}
 }
 
+func TestTryRecv(t *testing.T) {
+	r := NewRouter()
+	// Nothing available: ok=false, caller may park.
+	if _, _, ok := r.TryRecv(2, 1, 5); ok {
+		t.Fatal("TryRecv reported a status on an empty mailbox")
+	}
+	_ = r.Send(1, 2, 5, iv(9))
+	got, st, ok := r.TryRecv(2, 1, 5)
+	if !ok || st != StatusOK || len(got) != 1 || got[0].I != 9 {
+		t.Fatalf("TryRecv = %v %d %v", got, st, ok)
+	}
+	// A pending epoch outranks a deliverable message, exactly as in Recv.
+	r.Fail(7)
+	if _, st, ok := r.TryRecv(2, 1, 5); !ok || st != StatusRoll {
+		t.Fatalf("TryRecv after Fail = %d %v, want MSG_ROLL", st, ok)
+	}
+	r.Close()
+	if _, st, ok := r.TryRecv(2, 1, 5); !ok || st != StatusClosed {
+		t.Fatalf("TryRecv after Close = %d %v, want closed", st, ok)
+	}
+}
+
+func TestSendBatch(t *testing.T) {
+	r := NewRouter()
+	batch := []Batched{{Tag: 1, Words: iv(10)}, {Tag: 2, Words: iv(20, 21)}, {Tag: 3, Words: iv(30)}}
+	if err := r.SendBatch(1, 2, batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batch {
+		got, st := r.Recv(2, 1, b.Tag)
+		if st != StatusOK || len(got) != len(b.Words) || got[0].I != b.Words[0].I {
+			t.Fatalf("tag %d: %v %d", b.Tag, got, st)
+		}
+	}
+	s := r.Stats()
+	if s.Sends != 3 || s.WordsSent != 4 {
+		t.Fatalf("stats = %+v, want 3 sends / 4 words", s)
+	}
+}
+
 func TestStatsCounting(t *testing.T) {
 	r := NewRouter()
 	_ = r.Send(1, 2, 1, iv(1, 2))

@@ -59,6 +59,7 @@ type Machine struct {
 	pins   []heap.Value
 	args   []int64
 	rng    uint64
+	yield  bool
 
 	trapSpec bool
 }
@@ -340,6 +341,10 @@ func (m *Machine) gather(locs []Loc) []heap.Value {
 // Run executes until the machine leaves StatusRunning.
 func (m *Machine) Run() (rt.Status, error) { return m.RunSteps(0) }
 
+// Yield requests that the current bounded RunSteps quantum end after the
+// active instruction; see vm.Process.Yield.
+func (m *Machine) Yield() { m.yield = true }
+
 // RunSteps executes at most n instructions (0 = unlimited).
 func (m *Machine) RunSteps(n uint64) (rt.Status, error) {
 	if m.status != rt.StatusRunning {
@@ -365,6 +370,12 @@ func (m *Machine) RunSteps(n uint64) (rt.Status, error) {
 		}
 		if m.status != rt.StatusRunning {
 			return m.status, nil
+		}
+		if m.yield {
+			m.yield = false
+			if n != 0 {
+				return m.status, nil
+			}
 		}
 	}
 	return m.status, nil

@@ -3,6 +3,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Scheduler multiplexes several processes on one OS thread with a fixed
@@ -10,9 +11,11 @@ import (
 // context-switch yardstick: speculation operation costs are compared
 // against the cost of switching between two processes with resident heaps.
 type Scheduler struct {
-	procs    []*Process
-	quantum  uint64
-	switches uint64
+	procs   []*Process
+	quantum uint64
+	// switches is atomic: RunQuantum may be invoked for distinct
+	// processes from concurrent goroutines.
+	switches atomic.Uint64
 }
 
 // NewScheduler creates a scheduler with the given step quantum per turn
@@ -34,7 +37,29 @@ func (s *Scheduler) Add(p *Process) error {
 }
 
 // Switches returns the number of context switches performed.
-func (s *Scheduler) Switches() uint64 { return s.switches }
+func (s *Scheduler) Switches() uint64 { return s.switches.Load() }
+
+// Len returns the number of registered processes.
+func (s *Scheduler) Len() int { return len(s.procs) }
+
+// Proc returns the i-th registered process.
+func (s *Scheduler) Proc(i int) *Process { return s.procs[i] }
+
+// RunQuantum gives the i-th process one quantum (or less, if it yields or
+// reaches a terminal state mid-quantum) and returns its resulting status.
+// It is the scheduler's single dispatch point: Run and Turn are loops over
+// it, and a concurrent execution engine may invoke it for distinct i from
+// different goroutines — each process is only ever stepped through its own
+// RunQuantum call, preserving the deterministic per-process step order.
+func (s *Scheduler) RunQuantum(i int) (Status, error) {
+	p := s.procs[i]
+	if p.Status() != StatusRunning {
+		return p.Status(), nil
+	}
+	st, err := p.RunSteps(s.quantum)
+	s.switches.Add(1)
+	return st, err
+}
 
 // Run executes all processes round-robin until every one reaches a
 // terminal state. Individual process failures do not stop the scheduler;
@@ -43,13 +68,12 @@ func (s *Scheduler) Run() error {
 	var firstErr error
 	for {
 		running := 0
-		for _, p := range s.procs {
+		for i, p := range s.procs {
 			if p.Status() != StatusRunning {
 				continue
 			}
 			running++
-			_, err := p.RunSteps(s.quantum)
-			s.switches++
+			_, err := s.RunQuantum(i)
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -65,12 +89,11 @@ func (s *Scheduler) Run() error {
 // switch path.
 func (s *Scheduler) Turn() bool {
 	any := false
-	for _, p := range s.procs {
+	for i, p := range s.procs {
 		if p.Status() != StatusRunning {
 			continue
 		}
-		_, _ = p.RunSteps(s.quantum)
-		s.switches++
+		_, _ = s.RunQuantum(i)
 		if p.Status() == StatusRunning {
 			any = true
 		}

@@ -122,6 +122,7 @@ type Process struct {
 	pins   []heap.Value
 	args   []int64
 	rng    uint64
+	yield  bool
 
 	trapSpec bool
 }
@@ -326,6 +327,13 @@ func (p *Process) Run() (Status, error) {
 	return p.RunSteps(0)
 }
 
+// Yield requests that the current RunSteps quantum end after the active
+// step. It is called from inside externs (on the executing goroutine):
+// an extern that woke from a blocking wait yields so the driving scheduler
+// or cluster engine regains control — and can deliver a pending kill or
+// quiesce — without waiting out the rest of the quantum.
+func (p *Process) Yield() { p.yield = true }
+
 // RunSteps executes at most n interpreter steps (0 = unlimited). It
 // returns the resulting status; StatusRunning means the quantum expired —
 // the scheduler's context-switch point.
@@ -353,6 +361,14 @@ func (p *Process) RunSteps(n uint64) (Status, error) {
 		}
 		if p.status != StatusRunning {
 			return p.status, nil
+		}
+		if p.yield {
+			// A yield ends a bounded quantum early; an unbounded Run has
+			// no scheduler to yield to, so the request is dropped.
+			p.yield = false
+			if n != 0 {
+				return p.status, nil
+			}
 		}
 	}
 	return p.status, nil

@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode feeds arbitrary bytes to every decoder entry point: a
+// checkpoint file read off the shared store (or a migration frame off the
+// network) is attacker-controlled input, so malformed, truncated or
+// bit-flipped images must come back as errors — never a panic, and never
+// an allocation sized off an unvalidated count. Decoded images are
+// re-encoded and re-decoded to check the accepted subset round-trips.
+func FuzzWireDecode(f *testing.F) {
+	img := sampleImage()
+	whole := EncodeImage(img)
+	f.Add(whole)
+	f.Add(EncodeCode(&img.Code))
+	f.Add(EncodeState(&img.State))
+	f.Add([]byte(ExecHeader))
+	f.Add([]byte{})
+	// A truncated and a bit-flipped image seed the interesting corners.
+	f.Add(whole[:len(whole)/2])
+	flipped := bytes.Clone(whole)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if c, err := DecodeCode(data); err == nil {
+			back, err := DecodeCode(EncodeCode(c))
+			if err != nil {
+				t.Fatalf("re-decode of accepted code part failed: %v", err)
+			}
+			if back.Name != c.Name || back.Label != c.Label || len(back.Args) != len(c.Args) {
+				t.Fatalf("code part did not round-trip: %+v vs %+v", back, c)
+			}
+		}
+		if s, err := DecodeState(data); err == nil {
+			if _, err := DecodeState(EncodeState(s)); err != nil {
+				t.Fatalf("re-decode of accepted state part failed: %v", err)
+			}
+		}
+		if img, err := DecodeImage(data); err == nil {
+			if _, err := DecodeImage(EncodeImage(img)); err != nil {
+				t.Fatalf("re-decode of accepted image failed: %v", err)
+			}
+		}
+	})
+}
