@@ -354,6 +354,18 @@ func benchGridParams(b *testing.B, p grid.Params, fail *grid.FailurePlan) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(rollbacks)/float64(b.N), "rollbacks/op")
+	recordBench(BenchRecord{
+		Name:           b.Name(),
+		Iterations:     b.N,
+		NsPerOp:        float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		RollbacksPerOp: float64(rollbacks) / float64(b.N),
+		Nodes:          p.Nodes,
+		RowsPerNode:    p.RowsPerNode,
+		Cols:           p.Cols,
+		Steps:          p.Steps,
+		CkInterval:     p.CheckpointInterval,
+		Workers:        p.Workers,
+	})
 }
 
 func benchGrid(b *testing.B, fail *grid.FailurePlan, ck int) {

@@ -1,0 +1,64 @@
+package repro_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+)
+
+// -benchjson FILE makes the grid benchmarks append machine-readable
+// results to FILE (a JSON array), so CI can record the performance
+// trajectory across commits instead of scraping `go test -bench` text:
+//
+//	go test -bench Grid -benchtime 1x -benchjson BENCH_grid.json .
+var benchJSON = flag.String("benchjson", "", "write grid benchmark results as a JSON array to this file")
+
+// BenchRecord is one benchmark's aggregated outcome.
+type BenchRecord struct {
+	Name           string  `json:"name"`
+	Iterations     int     `json:"iterations"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	RollbacksPerOp float64 `json:"rollbacks_per_op"`
+	Nodes          int     `json:"nodes"`
+	RowsPerNode    int     `json:"rows_per_node"`
+	Cols           int     `json:"cols"`
+	Steps          int     `json:"steps"`
+	CkInterval     int     `json:"checkpoint_interval"`
+	Workers        int     `json:"workers"`
+}
+
+var benchRecords struct {
+	mu   sync.Mutex
+	list []BenchRecord
+}
+
+func recordBench(r BenchRecord) {
+	benchRecords.mu.Lock()
+	benchRecords.list = append(benchRecords.list, r)
+	benchRecords.mu.Unlock()
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if *benchJSON != "" {
+		benchRecords.mu.Lock()
+		list := benchRecords.list
+		benchRecords.mu.Unlock()
+		if len(list) > 0 {
+			data, err := json.MarshalIndent(list, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*benchJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+	}
+	os.Exit(code)
+}

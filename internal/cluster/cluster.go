@@ -90,16 +90,39 @@ func (s *DirStore) path(name string) (string, error) {
 }
 
 // Put writes a checkpoint file (mode 0755: checkpoints are executables).
+// The write is crash-safe: data goes to a uniquely named temp file in the
+// store directory, is fsynced, and is atomically renamed into place — a
+// node that dies mid-checkpoint can never leave a truncated image behind
+// to poison a later Resurrect, and concurrent writers of the same name
+// never stomp each other's temp file.
 func (s *DirStore) Put(name string, data []byte) error {
 	p, err := s.path(name)
 	if err != nil {
 		return err
 	}
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o755); err != nil {
+	f, err := os.CreateTemp(s.Dir, "."+name+".*.tmp")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, p)
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if werr == nil {
+		werr = f.Chmod(0o755)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, p)
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		return werr
+	}
+	return nil
 }
 
 // Get reads a checkpoint file.
@@ -232,4 +255,3 @@ func Externs() map[string]fir.ExternSig {
 	}
 	return sigs
 }
-

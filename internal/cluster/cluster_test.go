@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"net"
+	"os"
 	"testing"
 	"time"
 
@@ -58,6 +59,56 @@ func TestDirStore(t *testing.T) {
 		if err := s.Put(bad, []byte("x")); err == nil {
 			t.Fatalf("Put(%q) accepted", bad)
 		}
+	}
+}
+
+// TestDirStorePutAtomic: concurrent writers of the same checkpoint name
+// must each land a complete image (rename is atomic; temp files are
+// unique), and no temp droppings may linger or show up in List.
+func TestDirStorePutAtomic(t *testing.T) {
+	s, err := NewDirStore(t.TempDir() + "/ckpts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	images := make([][]byte, writers)
+	for i := range images {
+		images[i] = bytes.Repeat([]byte{byte('A' + i)}, 64<<10)
+	}
+	errs := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		go func(i int) { errs <- s.Put("grid-ck-0", images[i]) }(i)
+	}
+	for i := 0; i < writers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Get("grid-ck-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete := false
+	for _, img := range images {
+		complete = complete || bytes.Equal(got, img)
+	}
+	if !complete {
+		t.Fatalf("checkpoint is not any writer's complete image (%d bytes, first byte %q)", len(got), got[0])
+	}
+	names, err := s.List()
+	if err != nil || len(names) != 1 || names[0] != "grid-ck-0" {
+		t.Fatalf("List = %v, %v (temp files must not leak into the namespace)", names, err)
+	}
+	ents, err := os.ReadDir(s.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		var left []string
+		for _, e := range ents {
+			left = append(left, e.Name())
+		}
+		t.Fatalf("store directory holds %v, want only the checkpoint", left)
 	}
 }
 

@@ -41,6 +41,16 @@ type EngineConfig struct {
 	// creates itself (the target of a node://K handoff that was never
 	// explicitly started).
 	Extra func(node int64) rt.Registry
+	// Router, when set, is used instead of a fresh private router. A
+	// distributed worker passes a router that hosts this engine's nodes
+	// locally and uplinks everything else to the cluster transport.
+	Router *msg.Router
+	// RemoteHandoff, when set, ships a packed image to another OS process
+	// for a migrate("node://K") whose target the router does not host
+	// locally. seen is the source's rollback-epoch cursor, which the
+	// adopting engine must install (Adopt) so the migrated incarnation has
+	// observed exactly the failures its source had.
+	RemoteHandoff func(src, dst int64, img *wire.Image, seen int64) error
 }
 
 // Engine is the parallel cluster execution runtime: each simulated node
@@ -102,9 +112,13 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.Quantum == 0 {
 		cfg.Quantum = 20_000
 	}
+	router := cfg.Router
+	if router == nil {
+		router = msg.NewRouter()
+	}
 	e := &Engine{
 		cfg:     cfg,
-		Router:  msg.NewRouter(),
+		Router:  router,
 		Store:   cfg.Store,
 		drivers: make(map[int64]*driver),
 		states:  make(map[int64]*ProcState),
@@ -256,6 +270,29 @@ func (e *Engine) handoff(src, dst int64, req *rt.MigrationRequest) (rt.MigrateOu
 	if dst == src {
 		return rt.OutcomeContinueLocal, nil
 	}
+	if e.cfg.RemoteHandoff != nil && !e.Router.Local(dst) {
+		// The target node lives in another OS process: pack here, ship the
+		// image (plus the source's epoch cursor) through the transport, and
+		// terminate locally only once the remote engine has adopted it.
+		// Deliberately NOT under handoffMu: the ship blocks on a network
+		// round trip, and two engines migrating into each other would
+		// deadlock if each held its lock while waiting for the other's
+		// adoption (which takes handoffMu in Adopt).
+		e.mu.Lock()
+		srcFailed := e.killed[src]
+		e.mu.Unlock()
+		if srcFailed {
+			return rt.OutcomeContinueLocal, fmt.Errorf("cluster: node %d is failed; its state cannot migrate out", src)
+		}
+		img, err := migrate.Pack(req.Rt, req.Label, req.FnIndex, req.Args)
+		if err != nil {
+			return rt.OutcomeContinueLocal, err
+		}
+		if err := e.cfg.RemoteHandoff(src, dst, img, e.Router.Seen(src)); err != nil {
+			return rt.OutcomeContinueLocal, err
+		}
+		return rt.OutcomeMigrated, nil
+	}
 	e.handoffMu.Lock()
 	defer e.handoffMu.Unlock()
 	e.mu.Lock()
@@ -293,6 +330,39 @@ func (e *Engine) handoff(src, dst int64, req *rt.MigrationRequest) (rt.MigrateOu
 	e.Router.InheritSeen(src, dst)
 	e.startDriver(dst, proc)
 	return rt.OutcomeMigrated, nil
+}
+
+// Adopt installs an inbound migrated image as the process for `node` —
+// the receiving half of a cross-process node://K handoff. seen is the
+// source incarnation's rollback-epoch cursor, installed before the driver
+// starts so the adopted process neither re-observes a rollback it already
+// joined nor misses one it had yet to see.
+func (e *Engine) Adopt(node int64, img *wire.Image, seen int64, extra rt.Registry) error {
+	e.handoffMu.Lock()
+	defer e.handoffMu.Unlock()
+	e.mu.Lock()
+	d := e.drivers[node]
+	failed := e.killed[node]
+	e.mu.Unlock()
+	if failed {
+		return fmt.Errorf("cluster: node %d is failed", node)
+	}
+	if d != nil && !d.hasExited() {
+		return fmt.Errorf("cluster: node %d already has a live process", node)
+	}
+	if extra == nil {
+		extra = e.extraFor(node)
+	}
+	proc, err := e.unpackAs(node, img, extra, "m")
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.extras[node] = extra
+	e.mu.Unlock()
+	e.Router.SetSeen(node, seen)
+	e.startDriver(node, proc)
+	return nil
 }
 
 // driver runs one node's process: a goroutine stepping the process one

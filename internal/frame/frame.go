@@ -1,0 +1,95 @@
+// Package frame implements the length-prefixed framing every TCP protocol
+// in this repository speaks: the migration sessions of internal/migrate
+// (§4.2.2's two-phase transfer) and the distributed cluster transport of
+// internal/transport. A frame is a 4-byte big-endian length followed by
+// that many payload bytes.
+//
+// ReadFrame never trusts the length prefix: the payload is read through a
+// limited, chunk-growing copy, so a bogus or hostile header can at most
+// make the reader wait for bytes that never arrive — it cannot make the
+// process allocate the advertised size up front.
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxPayload is the default frame-size cap (256 MiB), chosen to fit the
+// largest realistic process image (a multi-MiB heap snapshot) with a wide
+// margin.
+const MaxPayload = 256 << 20
+
+// initialChunk bounds the first allocation of a read: the buffer grows
+// geometrically from here as payload bytes actually arrive.
+const initialChunk = 64 << 10
+
+// Write writes one length-prefixed frame.
+func Write(w io.Writer, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("frame: payload of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Read reads one length-prefixed frame, rejecting payloads larger than
+// MaxPayload.
+func Read(r io.Reader) ([]byte, error) {
+	return ReadLimit(r, MaxPayload)
+}
+
+// ReadLimit reads one length-prefixed frame, rejecting payloads larger
+// than max. Allocation is driven by the bytes that arrive, never by the
+// header alone.
+func ReadLimit(r io.Reader, max uint32) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > max {
+		return nil, fmt.Errorf("frame: frame of %d bytes exceeds limit", n)
+	}
+	if n == 0 {
+		return []byte{}, nil
+	}
+	grow := n
+	if grow > initialChunk {
+		grow = initialChunk
+	}
+	var buf bytes.Buffer
+	buf.Grow(int(grow))
+	copied, err := io.Copy(&buf, io.LimitReader(r, int64(n)))
+	if err != nil {
+		return nil, err
+	}
+	if copied < int64(n) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return buf.Bytes(), nil
+}
+
+// Conn frames an underlying byte stream. It performs no locking: callers
+// serialize writers themselves (reads and writes may proceed
+// concurrently with each other).
+type Conn struct {
+	RW  io.ReadWriter
+	Max uint32
+}
+
+// NewConn wraps rw with the default payload cap.
+func NewConn(rw io.ReadWriter) *Conn { return &Conn{RW: rw, Max: MaxPayload} }
+
+// ReadFrame reads the next frame.
+func (c *Conn) ReadFrame() ([]byte, error) { return ReadLimit(c.RW, c.Max) }
+
+// WriteFrame writes one frame.
+func (c *Conn) WriteFrame(payload []byte) error { return Write(c.RW, payload) }

@@ -1,0 +1,93 @@
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte{0xab}, 1<<20),
+	}
+	for _, p := range payloads {
+		if err := Write(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestReadRejectsOversizedHeader(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	if _, err := Read(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("want error for frame above MaxPayload")
+	}
+}
+
+// TestBogusHeaderDoesNotPreallocate is the regression test for the
+// allocation hazard: a header advertising a huge (but in-cap) payload with
+// no bytes behind it must fail with ErrUnexpectedEOF without the reader
+// ever allocating the advertised size.
+func TestBogusHeaderDoesNotPreallocate(t *testing.T) {
+	var hdr [4]byte
+	const advertised = 200 << 20 // under the 256 MiB cap
+	binary.BigEndian.PutUint32(hdr[:], advertised)
+	body := strings.Repeat("z", 4096) // far fewer bytes than advertised
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := Read(io.MultiReader(bytes.NewReader(hdr[:]), strings.NewReader(body)))
+	runtime.ReadMemStats(&after)
+
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want %v", err, io.ErrUnexpectedEOF)
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > advertised/4 {
+		t.Fatalf("reader allocated %d bytes for a %d-byte lie backed by %d real bytes",
+			grew, advertised, len(body))
+	}
+}
+
+func TestReadLimitTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := Read(bytes.NewReader(trunc)); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want %v", err, io.ErrUnexpectedEOF)
+	}
+}
+
+func TestConn(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.WriteFrame([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ping" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -16,7 +16,9 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fir"
+	"repro/internal/heap"
 	"repro/internal/lang"
+	"repro/internal/rt"
 )
 
 // Params describes one grid experiment.
@@ -196,6 +198,19 @@ func (p Params) NodeArgs() []int64 {
 
 // CheckpointName is the shared-store name a node checkpoints to.
 func CheckpointName(node int64) string { return fmt.Sprintf("grid-ck-%d", node) }
+
+// CheckpointExtern builds the ck_name extern for a node: the target
+// string its migrate pseudo-instruction checkpoints to.
+func CheckpointExtern(node int64) rt.Registry {
+	return rt.Registry{
+		"ck_name": {
+			Sig: fir.ExternSig{Result: fir.TyPtr},
+			Fn: func(r rt.Runtime, a []heap.Value) (heap.Value, error) {
+				return r.Heap().AllocString("checkpoint://" + CheckpointName(node))
+			},
+		},
+	}
+}
 
 // Reference runs the identical computation sequentially in Go, replaying
 // the same floating-point operations in the same order, and returns the

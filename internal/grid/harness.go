@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fir"
-	"repro/internal/heap"
 	"repro/internal/migrate"
 	"repro/internal/rt"
 )
@@ -82,16 +81,7 @@ func RunProgram(prog *fir.Program, p Params, fail *FailurePlan, timeout time.Dur
 	c := cluster.New(cluster.Config{Store: store, Workers: p.Workers})
 	defer c.Close()
 
-	ckExtern := func(node int64) rt.Registry {
-		return rt.Registry{
-			"ck_name": {
-				Sig: fir.ExternSig{Result: fir.TyPtr},
-				Fn: func(r rt.Runtime, a []heap.Value) (heap.Value, error) {
-					return r.Heap().AllocString("checkpoint://" + CheckpointName(node))
-				},
-			},
-		}
-	}
+	ckExtern := CheckpointExtern
 
 	failOnce := sync.Once{}
 	resurrected := make(chan error, 1)

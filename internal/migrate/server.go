@@ -1,7 +1,6 @@
 package migrate
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/frame"
 	"repro/internal/rt"
 	"repro/internal/vm"
 	"repro/internal/wire"
@@ -18,41 +18,25 @@ import (
 // first sends the code part (FIR, sizes, migrate_env index, resume label);
 // the server decodes, verifies and recompiles it, and only after a
 // successful ack does the source send the heap contents. Frames are
-// length-prefixed; the first byte of a session selects trusted ('B',
-// binary protocol) or untrusted ('U') handling.
+// length-prefixed (the shared internal/frame codec, also spoken by the
+// distributed cluster transport); the first byte of a session selects
+// trusted ('B', binary protocol) or untrusted ('U') handling.
 
 const (
-	maxFrame      = 256 << 20 // 256 MiB
 	modeUntrusted = 'U'
 	modeBinary    = 'B'
 )
 
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
+	return frame.Write(w, payload)
 }
 
-// ReadFrame reads one length-prefixed frame.
+// ReadFrame reads one length-prefixed frame. The payload is read through
+// the shared codec's capped, chunk-growing copy: an untrusted length
+// prefix can never force a large up-front allocation.
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("migrate: frame of %d bytes exceeds limit", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
+	return frame.Read(r)
 }
 
 func sendStatus(w io.Writer, err error) error {

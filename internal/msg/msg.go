@@ -60,6 +60,16 @@ type Batched struct {
 	Words []heap.Value
 }
 
+// Uplink carries router traffic whose destination is not hosted by this
+// router — the transport-pluggable link underneath a distributed cluster.
+// SendBatch must preserve the keyed-idempotent contract (re-delivery of a
+// (src, dst, tag) key overwrites; deterministic replays converge); GC
+// propagates a node's mailbox pruning so remote buffers can shrink too.
+type Uplink interface {
+	SendBatch(src, dst int64, batch []Batched) error
+	GC(node, below int64) error
+}
+
 // BlockHooks notifies an execution engine around a parked receive: OnBlock
 // runs once just before the receiver goroutine parks, OnUnblock runs after
 // it unparks and before Recv returns. A bounded worker pool releases the
@@ -96,6 +106,12 @@ type Router struct {
 
 	failMu sync.Mutex
 	failed map[int64]bool
+
+	// linkMu guards the distributed-transport plumbing: which nodes this
+	// router hosts locally and the uplink that carries everything else.
+	linkMu sync.RWMutex
+	uplink Uplink
+	local  map[int64]bool
 
 	sends, recvs, rolls, failures, gced, wordsSent atomic.Uint64
 }
@@ -152,6 +168,91 @@ func (r *Router) mbox(dst int64) *mailbox {
 // receive are still observed by it.
 func (r *Router) Register(node int64) { r.mbox(node) }
 
+// SetUplink installs the transport link for destinations this router does
+// not host. With an uplink set, SendBatch forwards any send whose
+// destination is not marked local (see SetLocal), and GC propagates
+// pruning upstream. A nil uplink restores pure in-process routing.
+func (r *Router) SetUplink(u Uplink) {
+	r.linkMu.Lock()
+	r.uplink = u
+	r.linkMu.Unlock()
+}
+
+// SetLocal marks nodes as hosted by this router: their mailboxes live
+// here, and sends to them are delivered in-process even when an uplink is
+// installed.
+func (r *Router) SetLocal(nodes ...int64) {
+	r.linkMu.Lock()
+	if r.local == nil {
+		r.local = make(map[int64]bool)
+	}
+	for _, n := range nodes {
+		r.local[n] = true
+	}
+	r.linkMu.Unlock()
+	for _, n := range nodes {
+		r.Register(n)
+	}
+}
+
+// Local reports whether sends to dst are delivered by this router itself.
+// Without an uplink every destination is local.
+func (r *Router) Local(dst int64) bool {
+	r.linkMu.RLock()
+	defer r.linkMu.RUnlock()
+	return r.uplink == nil || r.local[dst]
+}
+
+// route returns the uplink to forward a send through, or nil for local
+// delivery.
+func (r *Router) route(dst int64) Uplink {
+	r.linkMu.RLock()
+	defer r.linkMu.RUnlock()
+	if r.uplink == nil || r.local[dst] {
+		return nil
+	}
+	return r.uplink
+}
+
+// Epoch returns the current rollback epoch.
+func (r *Router) Epoch() int64 { return r.epoch.Load() }
+
+// SetEpoch advances the rollback epoch to at least e and wakes every
+// parked receiver, so each hosted node observes MSG_ROLL once. The
+// distributed transport calls it when the coordinator announces a remote
+// failure; it never moves the epoch backwards.
+func (r *Router) SetEpoch(e int64) {
+	for {
+		cur := r.epoch.Load()
+		if cur >= e {
+			return
+		}
+		if r.epoch.CompareAndSwap(cur, e) {
+			r.broadcastAll()
+			return
+		}
+	}
+}
+
+// Seen returns the last rollback epoch a node has observed.
+func (r *Router) Seen(node int64) int64 {
+	mb := r.mbox(node)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.seen
+}
+
+// SetSeen sets a node's rollback-epoch cursor. A process migrated in from
+// another OS process has observed exactly the epochs its source
+// incarnation had; the transport carries that cursor across the wire.
+func (r *Router) SetSeen(node, seen int64) {
+	mb := r.mbox(node)
+	mb.mu.Lock()
+	mb.seen = seen
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
 // broadcastAll wakes every parked receiver (epoch advance or shutdown).
 func (r *Router) broadcastAll() {
 	r.mu.RLock()
@@ -203,14 +304,7 @@ func (r *Router) Restore(node int64) {
 // incarnation has observed exactly the failures its source incarnation
 // had, no more and no fewer.
 func (r *Router) InheritSeen(from, to int64) {
-	src := r.mbox(from)
-	src.mu.Lock()
-	seen := src.seen
-	src.mu.Unlock()
-	dst := r.mbox(to)
-	dst.mu.Lock()
-	dst.seen = seen
-	dst.mu.Unlock()
+	r.SetSeen(to, r.Seen(from))
 }
 
 // Failed reports whether a node is currently failed.
@@ -234,6 +328,13 @@ func (r *Router) Send(src, dst, tag int64, words []heap.Value) error {
 func (r *Router) SendBatch(src, dst int64, batch []Batched) error {
 	if r.closed.Load() {
 		return ErrClosed
+	}
+	if up := r.route(dst); up != nil {
+		for _, b := range batch {
+			r.sends.Add(1)
+			r.wordsSent.Add(uint64(len(b.Words)))
+		}
+		return up.SendBatch(src, dst, batch)
 	}
 	mb := r.mbox(dst)
 	mb.mu.Lock()
@@ -341,7 +442,6 @@ func (r *Router) RecvHooked(dst, src, tag int64, hooks *BlockHooks) ([]heap.Valu
 func (r *Router) GC(node, below int64) {
 	mb := r.mbox(node)
 	mb.mu.Lock()
-	defer mb.mu.Unlock()
 	for _, link := range mb.links {
 		for tag := range link {
 			if tag < below {
@@ -349,6 +449,16 @@ func (r *Router) GC(node, below int64) {
 				r.gced.Add(1)
 			}
 		}
+	}
+	mb.mu.Unlock()
+	// Propagate the pruning upstream so a coordinator's store-and-forward
+	// buffer for this node shrinks too. Best-effort: a failed propagation
+	// only costs remote memory, never correctness.
+	r.linkMu.RLock()
+	up := r.uplink
+	r.linkMu.RUnlock()
+	if up != nil {
+		_ = up.GC(node, below)
 	}
 }
 

@@ -1,0 +1,502 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/heap"
+	"repro/internal/migrate"
+	"repro/internal/msg"
+	"repro/internal/wire"
+)
+
+// ErrClientClosed is returned by operations on a closed client.
+var ErrClientClosed = errors.New("transport: client closed")
+
+// FrameConn is the link a client speaks frames over. Tests wrap the real
+// TCP framing with fault injectors (see FaultSpec).
+type FrameConn interface {
+	ReadFrame() ([]byte, error)
+	WriteFrame(payload []byte) error
+}
+
+// ClientConfig configures a worker's connection to the coordinator hub.
+type ClientConfig struct {
+	// Addr is the hub address to join.
+	Addr string
+	// Node is the node this worker hosts.
+	Node int64
+	// Router is the worker's local router; inbound traffic is injected
+	// into it (deliveries wake parked receivers, ROLL advances the epoch).
+	// The caller marks its hosted nodes local and installs the client as
+	// the uplink after Dial returns.
+	Router *msg.Router
+	// OnFail is invoked when the coordinator declares this worker's node
+	// failed. The worker is expected to die: in a real deployment the
+	// process exits; in-process tests tear the engine down.
+	OnFail func()
+	// OnAdopt, when set, accepts inbound node://K handoffs: it must
+	// install the image as the process for dst and return nil, after
+	// which the client announces ownership of dst to the hub.
+	OnAdopt func(dst, seen int64, img *wire.Image) error
+	// Resurrect marks this worker as a resurrection from checkpoint: its
+	// HELLO may clear the node's failed mark at the hub. A fresh or
+	// rejoining incarnation of a failed node is re-killed instead.
+	Resurrect bool
+	// Dial overrides the TCP dialer (tests, throttled links).
+	Dial func(addr string) (net.Conn, error)
+	// Wrap, when set, wraps each new connection's framing — the fault
+	// injection hook.
+	Wrap func(FrameConn) FrameConn
+	// DialAttempts bounds connect/reconnect tries (default 8, exponential
+	// backoff from RetryBase).
+	DialAttempts int
+	// RetryBase is the initial backoff (default 25ms, doubling, capped 1s).
+	RetryBase time.Duration
+	// RPCTimeout bounds each store/handoff round trip (default 30s).
+	RPCTimeout time.Duration
+}
+
+// Client is the worker end of the cluster transport: a msg.Uplink whose
+// remote side is the coordinator hub. All writes go through one
+// connection; if it drops, the client redials, re-HELLOs, and replays its
+// keyed outbound buffer while the hub replays the inbound one — the
+// keyed-idempotent contract makes the overlap harmless.
+type Client struct {
+	cfg ClientConfig
+
+	mu      sync.Mutex
+	conn    FrameConn
+	raw     net.Conn
+	gen     int                              // connection generation, for reader teardown
+	out     map[int64]map[int64][]heap.Value // dst -> tag -> words (replay buffer)
+	owned   []int64                          // nodes adopted via handoff; re-announced on reconnect
+	pending map[uint32]chan rpcReply
+	nextID  uint32
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type rpcReply struct {
+	errStr string
+	data   []byte
+	names  []string
+}
+
+// Dial connects a worker to the hub and completes the HELLO/WELCOME
+// handshake; the router's rollback epoch is synced before Dial returns,
+// so a resurrected node can immediately mark its checkpoint as the
+// rollback point (Router.Restore).
+func Dial(cfg ClientConfig) (*Client, error) {
+	if cfg.Router == nil {
+		return nil, errors.New("transport: ClientConfig.Router is required")
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		}
+	}
+	if cfg.DialAttempts <= 0 {
+		cfg.DialAttempts = 8
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 25 * time.Millisecond
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 30 * time.Second
+	}
+	c := &Client{
+		cfg:     cfg,
+		out:     make(map[int64]map[int64][]heap.Value),
+		pending: make(map[uint32]chan rpcReply),
+	}
+	c.mu.Lock()
+	err := c.ensureLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears the connection down for good.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.teardownLocked()
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// teardownLocked drops the current connection and fails outstanding RPCs
+// (their callers retry on the next connection).
+func (c *Client) teardownLocked() {
+	if c.raw != nil {
+		_ = c.raw.Close()
+		c.raw = nil
+		c.conn = nil
+	}
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+}
+
+// ensureLocked (re)establishes the connection: dial with backoff, HELLO,
+// WELCOME (epoch sync), outbound replay, reader launch.
+func (c *Client) ensureLocked() error {
+	if c.closed {
+		return ErrClientClosed
+	}
+	if c.conn != nil {
+		return nil
+	}
+	backoff := c.cfg.RetryBase
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.DialAttempts; attempt++ {
+		if attempt > 0 {
+			// Sleep without blocking readers delivering into the router.
+			c.mu.Unlock()
+			time.Sleep(backoff)
+			c.mu.Lock()
+			if c.closed {
+				return ErrClientClosed
+			}
+			if c.conn != nil { // another writer reconnected meanwhile
+				return nil
+			}
+			backoff *= 2
+			if backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+		if err := c.connectLocked(); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("transport: cannot reach hub %s: %w", c.cfg.Addr, lastErr)
+}
+
+func (c *Client) connectLocked() error {
+	raw, err := c.cfg.Dial(c.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	var fc FrameConn = frame.NewConn(raw)
+	if c.cfg.Wrap != nil {
+		fc = c.cfg.Wrap(fc)
+	}
+	if err := fc.WriteFrame(encodeHello(c.cfg.Node, c.cfg.Resurrect)); err != nil {
+		_ = raw.Close()
+		return err
+	}
+	welcome, err := fc.ReadFrame()
+	if err != nil || len(welcome) == 0 || welcome[0] != fWelcome {
+		_ = raw.Close()
+		return fmt.Errorf("transport: bad welcome (%v)", err)
+	}
+	epoch, err := decodeEpoch(welcome)
+	if err != nil {
+		_ = raw.Close()
+		return err
+	}
+	c.cfg.Router.SetEpoch(epoch)
+	c.raw = raw
+	c.conn = fc
+	c.gen++
+	// Re-announce ownership of adopted nodes: the hub dropped the old
+	// session's registrations, and without this their border traffic
+	// would buffer forever.
+	for _, node := range c.owned {
+		if err := fc.WriteFrame(encodeNode(fOwn, node)); err != nil {
+			c.teardownLocked()
+			return err
+		}
+	}
+	// Replay the outbound keyed buffer: anything the old connection may
+	// have lost in flight is re-delivered; duplicates overwrite equals.
+	for dst, tags := range c.out {
+		batch := make([]msg.Batched, 0, len(tags))
+		for tag, words := range tags {
+			batch = append(batch, msg.Batched{Tag: tag, Words: words})
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		f, err := encodeMsg(c.cfg.Node, dst, batch)
+		if err != nil {
+			continue
+		}
+		if err := fc.WriteFrame(f); err != nil {
+			c.teardownLocked()
+			return err
+		}
+	}
+	c.wg.Add(1)
+	go c.readLoop(fc, c.gen)
+	return nil
+}
+
+// readLoop dispatches inbound frames until its connection dies; it then
+// kicks a reconnect so a worker parked in a receive (sending nothing) is
+// not stranded.
+func (c *Client) readLoop(fc FrameConn, gen int) {
+	defer c.wg.Done()
+	for {
+		b, err := fc.ReadFrame()
+		if err != nil {
+			c.mu.Lock()
+			if c.gen == gen && !c.closed {
+				c.teardownLocked()
+				err := c.ensureLocked()
+				c.mu.Unlock()
+				if err != nil {
+					// The hub is gone for good: release any parked
+					// receiver so the process can observe shutdown.
+					c.cfg.Router.Close()
+				}
+			} else {
+				c.mu.Unlock()
+			}
+			return
+		}
+		if len(b) == 0 {
+			continue
+		}
+		switch b[0] {
+		case fMsg:
+			src, dst, batch, err := decodeMsg(b)
+			if err == nil && c.cfg.Router.Local(dst) {
+				_ = c.cfg.Router.SendBatch(src, dst, batch)
+			}
+		case fRoll:
+			if epoch, err := decodeEpoch(b); err == nil {
+				c.cfg.Router.SetEpoch(epoch)
+			}
+		case fFail:
+			if c.cfg.OnFail != nil {
+				c.cfg.OnFail()
+			}
+		case fAck:
+			if id, errStr, err := decodeAck(b); err == nil {
+				c.deliverReply(id, rpcReply{errStr: errStr})
+			}
+		case fData:
+			if id, errStr, data, err := decodeData(b); err == nil {
+				c.deliverReply(id, rpcReply{errStr: errStr, data: data})
+			}
+		case fNames:
+			if id, errStr, names, err := decodeNames(b); err == nil {
+				c.deliverReply(id, rpcReply{errStr: errStr, names: names})
+			}
+		case fMigrate:
+			id, _, dst, seen, image, err := decodeMigrate(b)
+			if err != nil {
+				continue
+			}
+			// Adoption unpacks and verifies a whole process image; do it
+			// off the read loop so border traffic keeps flowing.
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.adopt(id, dst, seen, image)
+			}()
+		}
+	}
+}
+
+func (c *Client) adopt(id uint32, dst, seen int64, image []byte) {
+	var errStr string
+	if c.cfg.OnAdopt == nil {
+		errStr = "transport: worker does not adopt migrations"
+	} else if img, err := wire.DecodeImage(image); err != nil {
+		errStr = err.Error()
+	} else if err := c.cfg.OnAdopt(dst, seen, img); err != nil {
+		errStr = err.Error()
+	}
+	if errStr == "" {
+		// Claim the node before acking so the hub routes its traffic here
+		// by the time the source resumes the survivors; remember it so a
+		// reconnect re-claims it.
+		c.mu.Lock()
+		c.owned = append(c.owned, dst)
+		c.mu.Unlock()
+		_ = c.writeFrame(encodeNode(fOwn, dst))
+	}
+	_ = c.writeFrame(encodeAck(id, errStr))
+}
+
+func (c *Client) deliverReply(id uint32, rep rpcReply) {
+	c.mu.Lock()
+	ch := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- rep
+	}
+}
+
+// writeFrame sends one frame, reconnecting on a dead link.
+func (c *Client) writeFrame(b []byte) error {
+	for attempt := 0; attempt < 3; attempt++ {
+		c.mu.Lock()
+		if err := c.ensureLocked(); err != nil {
+			c.mu.Unlock()
+			return err
+		}
+		err := c.conn.WriteFrame(b)
+		if err == nil {
+			c.mu.Unlock()
+			return nil
+		}
+		c.teardownLocked()
+		c.mu.Unlock()
+	}
+	return fmt.Errorf("transport: write to hub %s kept failing", c.cfg.Addr)
+}
+
+// SendBatch implements msg.Uplink: buffer for replay, then forward.
+func (c *Client) SendBatch(src, dst int64, batch []msg.Batched) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	tags := c.out[dst]
+	if tags == nil {
+		tags = make(map[int64][]heap.Value)
+		c.out[dst] = tags
+	}
+	for _, b := range batch {
+		cp := make([]heap.Value, len(b.Words))
+		copy(cp, b.Words)
+		tags[b.Tag] = cp
+	}
+	c.mu.Unlock()
+	f, err := encodeMsg(src, dst, batch)
+	if err != nil {
+		return err
+	}
+	return c.writeFrame(f)
+}
+
+// GC implements msg.Uplink: the node committed past `below`; the hub's
+// buffer for it can shrink. The worker's own outbound buffer for a
+// destination shrinks when that destination GCs (the hub forgets;
+// re-replay after that point would be re-pruned there).
+func (c *Client) GC(node, below int64) error {
+	return c.writeFrame(encodeGC(node, below))
+}
+
+// rpc performs one request/reply round trip, retrying across reconnects
+// (the store operations are idempotent).
+func (c *Client) rpc(build func(id uint32) []byte) (rpcReply, error) {
+	deadline := time.Now().Add(c.cfg.RPCTimeout)
+	for {
+		c.mu.Lock()
+		if err := c.ensureLocked(); err != nil {
+			c.mu.Unlock()
+			return rpcReply{}, err
+		}
+		c.nextID++
+		id := c.nextID
+		ch := make(chan rpcReply, 1)
+		c.pending[id] = ch
+		err := c.conn.WriteFrame(build(id))
+		if err != nil {
+			delete(c.pending, id)
+			c.teardownLocked()
+			c.mu.Unlock()
+			if time.Now().After(deadline) {
+				return rpcReply{}, fmt.Errorf("transport: rpc timed out after %s", c.cfg.RPCTimeout)
+			}
+			continue
+		}
+		c.mu.Unlock()
+
+		select {
+		case rep, ok := <-ch:
+			if !ok {
+				// Connection died before the reply; retry on the new one.
+				if time.Now().After(deadline) {
+					return rpcReply{}, fmt.Errorf("transport: rpc timed out after %s", c.cfg.RPCTimeout)
+				}
+				continue
+			}
+			return rep, nil
+		case <-time.After(time.Until(deadline)):
+			c.mu.Lock()
+			delete(c.pending, id)
+			c.mu.Unlock()
+			return rpcReply{}, fmt.Errorf("transport: rpc timed out after %s", c.cfg.RPCTimeout)
+		}
+	}
+}
+
+// Exit reports a node's final state to the coordinator.
+func (c *Client) Exit(res Result) error {
+	return c.writeFrame(encodeExit(res))
+}
+
+// Handoff implements the engine's RemoteHandoff hook: ship a packed image
+// to whichever worker hosts dst and wait for its adoption ack.
+func (c *Client) Handoff(src, dst int64, img *wire.Image, seen int64) error {
+	image := wire.EncodeImage(img)
+	rep, err := c.rpc(func(id uint32) []byte {
+		return encodeMigrate(id, src, dst, seen, image)
+	})
+	if err != nil {
+		return err
+	}
+	if rep.errStr != "" {
+		return errors.New(rep.errStr)
+	}
+	return nil
+}
+
+// remoteStore is the worker's view of the coordinator's checkpoint store.
+type remoteStore struct{ c *Client }
+
+// RemoteStore returns a migrate.Store whose operations run on the hub —
+// the paper's shared NFS mount, served over the transport.
+func (c *Client) RemoteStore() migrate.Store { return remoteStore{c} }
+
+func (s remoteStore) Put(name string, data []byte) error {
+	rep, err := s.c.rpc(func(id uint32) []byte { return encodePut(id, name, data) })
+	if err != nil {
+		return err
+	}
+	if rep.errStr != "" {
+		return errors.New(rep.errStr)
+	}
+	return nil
+}
+
+func (s remoteStore) Get(name string) ([]byte, error) {
+	rep, err := s.c.rpc(func(id uint32) []byte { return encodeGet(id, name) })
+	if err != nil {
+		return nil, err
+	}
+	if rep.errStr != "" {
+		return nil, errors.New(rep.errStr)
+	}
+	return rep.data, nil
+}
+
+func (s remoteStore) List() ([]string, error) {
+	rep, err := s.c.rpc(func(id uint32) []byte { return encodeList(id) })
+	if err != nil {
+		return nil, err
+	}
+	if rep.errStr != "" {
+		return nil, errors.New(rep.errStr)
+	}
+	return rep.names, nil
+}

@@ -1,0 +1,136 @@
+package transport
+
+import "sync"
+
+// FaultSpec injects frame-level faults into a client's link for tests:
+// border-message (fMsg) frames can be dropped, duplicated, and reordered.
+// Control frames (hello, store RPC, exit, …) always pass — the faults
+// model a lossy message path, not a broken protocol.
+//
+// Predicates receive the message key and a 1-based occurrence count per
+// (src, dst, tag), so a test can say "drop the first transmission of this
+// border and nothing else" and stay fully deterministic. Counters live in
+// the spec, not the connection: they keep counting across reconnects.
+//
+// ReorderWindow, when ≥ 2, holds back up to that many message frames and
+// flushes them in reverse order. The window is flushed by any non-message
+// frame (GC, checkpoint Put, Exit — all of which the grid app emits every
+// checkpoint interval), which bounds how long a frame can be withheld and
+// keeps the lockstep border exchange deadlock-free for windows up to the
+// per-step send burst (2).
+type FaultSpec struct {
+	Drop          func(src, dst, tag int64, occurrence int) bool
+	Dup           func(src, dst, tag int64, occurrence int) bool
+	ReorderWindow int
+
+	mu      sync.Mutex
+	counts  map[faultKey]int
+	dropped int
+	duped   int
+}
+
+type faultKey struct{ src, dst, tag int64 }
+
+// Wrap installs the fault injector on a connection; pass it as
+// ClientConfig.Wrap.
+func (f *FaultSpec) Wrap(inner FrameConn) FrameConn {
+	return &faultConn{inner: inner, spec: f}
+}
+
+// Dropped reports how many message frames were dropped so far.
+func (f *FaultSpec) Dropped() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Duplicated reports how many message frames were duplicated so far.
+func (f *FaultSpec) Duplicated() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.duped
+}
+
+type faultConn struct {
+	inner FrameConn
+	spec  *FaultSpec
+
+	mu   sync.Mutex
+	held [][]byte // reorder window, oldest first
+}
+
+func (c *faultConn) ReadFrame() ([]byte, error) { return c.inner.ReadFrame() }
+
+func (c *faultConn) WriteFrame(b []byte) error {
+	if len(b) == 0 || b[0] != fMsg {
+		if err := c.flush(); err != nil {
+			return err
+		}
+		return c.inner.WriteFrame(b)
+	}
+	src, dst, batch, err := decodeMsg(b)
+	if err != nil || len(batch) == 0 {
+		return c.inner.WriteFrame(b)
+	}
+	// Frames carry one tag each on the send path; batch replays use the
+	// first tag as the frame's identity.
+	tag := batch[0].Tag
+	s := c.spec
+	s.mu.Lock()
+	if s.counts == nil {
+		s.counts = make(map[faultKey]int)
+	}
+	k := faultKey{src, dst, tag}
+	s.counts[k]++
+	occ := s.counts[k]
+	drop := s.Drop != nil && s.Drop(src, dst, tag, occ)
+	dup := !drop && s.Dup != nil && s.Dup(src, dst, tag, occ)
+	if drop {
+		s.dropped++
+	}
+	if dup {
+		s.duped++
+	}
+	window := s.ReorderWindow
+	s.mu.Unlock()
+
+	if drop {
+		return nil
+	}
+	writes := 1
+	if dup {
+		writes = 2
+	}
+	for i := 0; i < writes; i++ {
+		if window < 2 {
+			if err := c.inner.WriteFrame(b); err != nil {
+				return err
+			}
+			continue
+		}
+		c.mu.Lock()
+		c.held = append(c.held, b)
+		full := len(c.held) >= window
+		c.mu.Unlock()
+		if full {
+			if err := c.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flush emits the reorder window in reverse order.
+func (c *faultConn) flush() error {
+	c.mu.Lock()
+	held := c.held
+	c.held = nil
+	c.mu.Unlock()
+	for i := len(held) - 1; i >= 0; i-- {
+		if err := c.inner.WriteFrame(held[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

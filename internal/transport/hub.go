@@ -1,0 +1,526 @@
+package transport
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/heap"
+	"repro/internal/migrate"
+	"repro/internal/msg"
+	"repro/internal/rt"
+)
+
+// Result is a node's final disposition as reported by its worker process.
+type Result struct {
+	Node   int64
+	Status rt.Status
+	Halt   int64
+	Steps  uint64
+	Rolls  uint64 // MSG_ROLL deliveries observed by the worker's router
+	Err    string
+}
+
+// Hub is the cluster coordinator: the registry that maps node IDs to
+// worker connections, the store-and-forward relay for border messages,
+// the failure detector's mouthpiece (rollback-epoch broadcast), and the
+// remote face of the shared checkpoint store.
+type Hub struct {
+	store migrate.Store
+	ln    net.Listener
+
+	// OnPut, when set before workers connect, observes every successful
+	// checkpoint write with its per-name count — the hook failure plans
+	// trigger on. Called without internal locks held.
+	OnPut func(name string, count int)
+
+	mu        sync.Mutex
+	sessions  map[int64]*session
+	buf       map[int64]map[int64]map[int64][]heap.Value // dst -> src -> tag -> words
+	epoch     int64
+	failed    map[int64]bool
+	results   map[int64]Result
+	resCond   *sync.Cond
+	putCounts map[string]int
+	putHashes map[string][sha256.Size]byte
+	relays    map[uint32]relayOrigin // hub-assigned migrate RPC id -> origin
+	relayID   uint32
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// relayOrigin remembers where to route a migrate acknowledgement back to.
+type relayOrigin struct {
+	sess *session
+	id   uint32
+}
+
+// session is one worker connection. A session initially owns the node it
+// sent in HELLO and can acquire more via OWN (cross-process handoff).
+type session struct {
+	hub  *Hub
+	conn net.Conn
+	fc   *frame.Conn
+
+	wmu   sync.Mutex // serializes frame writes
+	nodes []int64    // nodes registered through this session
+}
+
+// Listen starts a hub on addr ("host:0" picks a port) backed by store,
+// which defaults to an in-memory store — production coordinators pass a
+// DirStore on the shared mount.
+func Listen(addr string, store migrate.Store) (*Hub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hub{
+		store:     store,
+		ln:        ln,
+		sessions:  make(map[int64]*session),
+		buf:       make(map[int64]map[int64]map[int64][]heap.Value),
+		failed:    make(map[int64]bool),
+		results:   make(map[int64]Result),
+		putCounts: make(map[string]int),
+		putHashes: make(map[string][sha256.Size]byte),
+		relays:    make(map[uint32]relayOrigin),
+	}
+	h.resCond = sync.NewCond(&h.mu)
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the hub's listen address — what workers -join.
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Store returns the backing checkpoint store (coordinator-side access).
+func (h *Hub) Store() migrate.Store { return h.store }
+
+// Epoch returns the current global rollback epoch.
+func (h *Hub) Epoch() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.epoch
+}
+
+func (h *Hub) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return
+		}
+		s := &session{hub: h, conn: conn, fc: frame.NewConn(conn)}
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			s.serve()
+		}()
+	}
+}
+
+// Close stops the hub: no new connections, all sessions dropped.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	conns := h.liveConnsLocked()
+	h.resCond.Broadcast()
+	h.mu.Unlock()
+	_ = h.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	h.wg.Wait()
+}
+
+func (h *Hub) liveConnsLocked() []net.Conn {
+	seen := make(map[net.Conn]bool)
+	var out []net.Conn
+	for _, s := range h.sessions {
+		if !seen[s.conn] {
+			seen[s.conn] = true
+			out = append(out, s.conn)
+		}
+	}
+	return out
+}
+
+// DropLinks abruptly closes every worker connection without failing any
+// node — a network blip. Workers are expected to reconnect and replay;
+// the keyed buffers on both sides make the blip invisible to the grid
+// computation. Exposed for fault-injection tests.
+func (h *Hub) DropLinks() {
+	h.mu.Lock()
+	conns := h.liveConnsLocked()
+	h.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// Fail declares a node failed: the global rollback epoch advances, every
+// connected worker is told to observe MSG_ROLL, and the failed node's
+// worker is ordered to die. The failed mark stands until a new
+// incarnation of the node joins (resurrection HELLO clears it).
+func (h *Hub) Fail(node int64) {
+	h.mu.Lock()
+	h.failed[node] = true
+	h.epoch++
+	epoch := h.epoch
+	victim := h.sessions[node]
+	sessions := h.sessionSetLocked()
+	h.mu.Unlock()
+
+	roll := encodeEpoch(fRoll, epoch)
+	for _, s := range sessions {
+		if s == victim {
+			continue
+		}
+		_ = s.write(roll)
+	}
+	if victim != nil {
+		_ = victim.write(encodeNode(fFail, node))
+	}
+}
+
+func (h *Hub) sessionSetLocked() []*session {
+	seen := make(map[*session]bool)
+	var out []*session
+	for _, s := range h.sessions {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WaitResults blocks until n distinct nodes have reported final states or
+// the timeout expires.
+func (h *Hub) WaitResults(n int, timeout time.Duration) (map[int64]Result, error) {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		h.mu.Lock()
+		h.resCond.Broadcast()
+		h.mu.Unlock()
+	})
+	defer timer.Stop()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.results) < n && !h.closed && time.Now().Before(deadline) {
+		h.resCond.Wait()
+	}
+	out := make(map[int64]Result, len(h.results))
+	for k, v := range h.results {
+		out[k] = v
+	}
+	if len(out) < n {
+		return out, fmt.Errorf("transport: %d of %d node results after %s", len(out), n, timeout)
+	}
+	return out, nil
+}
+
+// Results returns the node results reported so far.
+func (h *Hub) Results() map[int64]Result {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[int64]Result, len(h.results))
+	for k, v := range h.results {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *session) write(frameBytes []byte) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.fc.WriteFrame(frameBytes)
+}
+
+func (s *session) serve() {
+	defer s.close()
+	for {
+		b, err := s.fc.ReadFrame()
+		if err != nil {
+			return
+		}
+		if len(b) == 0 {
+			continue
+		}
+		switch b[0] {
+		case fHello:
+			node, resurrect, err := decodeHello(b)
+			if err != nil {
+				return
+			}
+			s.hub.register(s, node, true, resurrect)
+		case fOwn:
+			node, err := decodeNode(b)
+			if err != nil {
+				return
+			}
+			s.hub.register(s, node, false, false)
+		case fMsg:
+			src, dst, batch, err := decodeMsg(b)
+			if err != nil {
+				return
+			}
+			s.hub.relayMsg(src, dst, batch, b)
+		case fGC:
+			node, below, err := decodeGC(b)
+			if err != nil {
+				return
+			}
+			s.hub.pruneBuf(node, below)
+		case fPut:
+			id, name, data, err := decodePut(b)
+			if err != nil {
+				return
+			}
+			s.hub.handlePut(s, id, name, data)
+		case fGet:
+			id, name, err := decodeGet(b)
+			if err != nil {
+				return
+			}
+			data, gerr := s.hub.store.Get(name)
+			_ = s.write(encodeData(id, errString(gerr), data))
+		case fList:
+			id, err := decodeList(b)
+			if err != nil {
+				return
+			}
+			names, lerr := s.hub.store.List()
+			_ = s.write(encodeNames(id, errString(lerr), names))
+		case fExit:
+			res, err := decodeExit(b)
+			if err != nil {
+				return
+			}
+			s.hub.recordResult(res)
+		case fMigrate:
+			id, src, dst, seen, image, err := decodeMigrate(b)
+			if err != nil {
+				return
+			}
+			s.hub.relayMigrate(s, id, src, dst, seen, image)
+		case fAck:
+			id, errStr, err := decodeAck(b)
+			if err != nil {
+				return
+			}
+			s.hub.relayMigrateAck(id, errStr)
+		default:
+			return // protocol violation: drop the session
+		}
+	}
+}
+
+// close unregisters every node this session owned. Losing a connection is
+// NOT a node failure: the failure decision belongs to Fail (the paper's
+// external failure detector) — a silently dropped worker keeps its state
+// and may reconnect, at which point the buffered messages replay.
+func (s *session) close() {
+	_ = s.conn.Close()
+	h := s.hub
+	h.mu.Lock()
+	for _, n := range s.nodes {
+		if h.sessions[n] == s {
+			delete(h.sessions, n)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// register installs a session as the owner of a node. hello sessions get
+// a WELCOME with the current epoch; in both cases every buffered message
+// for the node is replayed — the wire analogue of the mailbox a
+// reconnecting or resurrected process would still own in-process. Only a
+// resurrection clears a failed mark: anything else claiming a failed node
+// is a zombie incarnation (the kill order may have been lost in a blip)
+// and gets the kill repeated instead of being registered.
+func (h *Hub) register(s *session, node int64, hello, resurrect bool) {
+	h.mu.Lock()
+	if h.failed[node] && !resurrect {
+		epoch := h.epoch
+		h.mu.Unlock()
+		if hello {
+			_ = s.write(encodeEpoch(fWelcome, epoch))
+		}
+		_ = s.write(encodeNode(fFail, node))
+		return
+	}
+	if old := h.sessions[node]; old != nil && old != s {
+		// A replaced incarnation's connection is stale; drop it.
+		_ = old.conn.Close()
+	}
+	h.sessions[node] = s
+	s.nodes = append(s.nodes, node)
+	delete(h.failed, node) // the resurrected incarnation is alive
+	epoch := h.epoch
+	replay := h.bufferedFramesLocked(node)
+	h.mu.Unlock()
+
+	if hello {
+		_ = s.write(encodeEpoch(fWelcome, epoch))
+	}
+	for _, f := range replay {
+		_ = s.write(f)
+	}
+}
+
+// bufferedFramesLocked encodes the keyed buffer for dst as MSG frames,
+// one per source.
+func (h *Hub) bufferedFramesLocked(dst int64) [][]byte {
+	var out [][]byte
+	for src, tags := range h.buf[dst] {
+		batch := make([]msg.Batched, 0, len(tags))
+		for tag, words := range tags {
+			batch = append(batch, msg.Batched{Tag: tag, Words: words})
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		f, err := encodeMsg(src, dst, batch)
+		if err == nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// relayMsg buffers a message batch (latest payload per key wins — the
+// keyed idempotent contract) and forwards the original frame to the
+// destination's live session, if any.
+func (h *Hub) relayMsg(src, dst int64, batch []msg.Batched, raw []byte) {
+	h.mu.Lock()
+	bySrc := h.buf[dst]
+	if bySrc == nil {
+		bySrc = make(map[int64]map[int64][]heap.Value)
+		h.buf[dst] = bySrc
+	}
+	tags := bySrc[src]
+	if tags == nil {
+		tags = make(map[int64][]heap.Value)
+		bySrc[src] = tags
+	}
+	for _, b := range batch {
+		cp := make([]heap.Value, len(b.Words))
+		copy(cp, b.Words)
+		tags[b.Tag] = cp
+	}
+	target := h.sessions[dst]
+	if h.failed[dst] {
+		target = nil // the node is dead; its resurrection will replay
+	}
+	h.mu.Unlock()
+	if target != nil {
+		_ = target.write(raw)
+	}
+}
+
+// pruneBuf drops buffered messages for node with tag < below (the
+// receiver committed past them; it can never re-read their step).
+func (h *Hub) pruneBuf(node, below int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, tags := range h.buf[node] {
+		for tag := range tags {
+			if tag < below {
+				delete(tags, tag)
+			}
+		}
+	}
+}
+
+func (h *Hub) handlePut(s *session, id uint32, name string, data []byte) {
+	err := h.store.Put(name, data)
+	count := 0
+	var hook func(string, int)
+	if err == nil {
+		// An RPC retried across a reconnect re-delivers identical bytes;
+		// counting it again would fire failure plans after fewer real
+		// checkpoints than configured. Dedup by content hash (successive
+		// genuine checkpoints always differ — the step counter is in the
+		// image).
+		sum := sha256.Sum256(data)
+		h.mu.Lock()
+		if prev, seen := h.putHashes[name]; !seen || prev != sum {
+			h.putCounts[name]++
+			h.putHashes[name] = sum
+			count = h.putCounts[name]
+			hook = h.OnPut
+		}
+		h.mu.Unlock()
+	}
+	_ = s.write(encodeAck(id, errString(err)))
+	if hook != nil {
+		hook(name, count)
+	}
+}
+
+func (h *Hub) recordResult(res Result) {
+	h.mu.Lock()
+	h.results[res.Node] = res
+	h.resCond.Broadcast()
+	h.mu.Unlock()
+}
+
+// relayMigrate routes a cross-process node://K handoff to the session
+// hosting K, rewriting the RPC id so the adopter's ack finds its way back
+// to the migration source.
+func (h *Hub) relayMigrate(origin *session, id uint32, src, dst, seen int64, image []byte) {
+	h.mu.Lock()
+	target := h.sessions[dst]
+	var reason string
+	switch {
+	case h.failed[dst]:
+		reason = fmt.Sprintf("node %d is failed", dst)
+		target = nil
+	case target == nil:
+		reason = fmt.Sprintf("no worker hosts node %d", dst)
+	}
+	var hubID uint32
+	if target != nil {
+		h.relayID++
+		hubID = h.relayID
+		h.relays[hubID] = relayOrigin{sess: origin, id: id}
+	}
+	h.mu.Unlock()
+	if target == nil {
+		_ = origin.write(encodeAck(id, "transport: "+reason))
+		return
+	}
+	if err := target.write(encodeMigrate(hubID, src, dst, seen, image)); err != nil {
+		h.mu.Lock()
+		delete(h.relays, hubID)
+		h.mu.Unlock()
+		_ = origin.write(encodeAck(id, "transport: handoff delivery failed: "+err.Error()))
+	}
+}
+
+func (h *Hub) relayMigrateAck(hubID uint32, errStr string) {
+	h.mu.Lock()
+	origin, ok := h.relays[hubID]
+	delete(h.relays, hubID)
+	h.mu.Unlock()
+	if ok {
+		_ = origin.sess.write(encodeAck(origin.id, errStr))
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

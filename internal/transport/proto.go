@@ -1,0 +1,421 @@
+// Package transport is the distributed cluster link layer: it lets the
+// grid application, the speculation/MSG_ROLL semantics and checkpoint
+// recovery of the single-process simulation run unchanged across OS
+// processes connected by TCP.
+//
+// Topology: a star. Every worker process holds one connection to the
+// coordinator Hub; the Hub maps node IDs to connections, relays border
+// messages between workers, buffers them keyed by (dst, src, tag) so a
+// worker that (re)connects — including a resurrected incarnation of a
+// failed node — replays exactly the messages an in-process mailbox would
+// still hold, broadcasts rollback epochs (the paper's MSG_ROLL) when a
+// node fails, serves the shared checkpoint store over RPC (the paper's
+// NFS mount), and routes cross-process migrate("node://K") handoffs.
+//
+// Delivery is keyed and idempotent end to end: re-sending a (src, dst,
+// tag) key overwrites with identical content (the computation is
+// deterministic), so replays after reconnects, duplicated frames and
+// rollback-driven retries all converge to the same grid result as the
+// in-process engine — bit-identical to the sequential reference.
+//
+// Frames use the shared internal/frame codec (also spoken by the
+// migration server): a 4-byte length prefix, then a 1-byte frame type and
+// a big-endian payload.
+package transport
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/heap"
+	"repro/internal/msg"
+	"repro/internal/rt"
+)
+
+// Frame types. Direction is noted as worker→hub (W→H) or hub→worker.
+const (
+	fHello   = 'H' // W→H: node, resurrect — join (or rejoin) as this node
+	fWelcome = 'W' // H→W: epoch — hello ack; buffered messages follow
+	fMsg     = 'M' // both: src, dst, batch — border-message delivery
+	fRoll    = 'R' // H→W: epoch — a node failed; observe MSG_ROLL once
+	fFail    = 'F' // H→W: node — you are the failed node; die now
+	fGC      = 'G' // W→H: node, below — prune the hub buffer for node
+	fOwn     = 'O' // W→H: node — this connection now hosts node too
+	fPut     = 'P' // W→H: id, name, data — checkpoint store write
+	fGet     = 'Q' // W→H: id, name — checkpoint store read
+	fList    = 'L' // W→H: id — checkpoint store listing
+	fAck     = 'A' // both: id, err — Put/adoption acknowledgement
+	fData    = 'D' // H→W: id, err, data — Get reply
+	fNames   = 'N' // H→W: id, err, names — List reply
+	fExit    = 'X' // W→H: node's final state — the run result
+	fMigrate = 'V' // both: id, src, dst, seen, image — node://K handoff
+)
+
+// enc is a tiny append-only big-endian encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte) { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) {
+	e.b = append(e.b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+func (e *enc) i64(v int64) {
+	u := uint64(v)
+	e.b = append(e.b, byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+func (e *enc) blob(b []byte) { e.u32(uint32(len(b))); e.b = append(e.b, b...) }
+func (e *enc) str(s string)  { e.blob([]byte(s)) }
+
+// val encodes a scalar heap word. Only ints and floats cross the
+// interconnect (pointers are process-local); msg_send enforces this, and
+// the encoder double-checks.
+func (e *enc) val(v heap.Value) error {
+	switch v.Kind {
+	case heap.KInt:
+		e.u8(byte(heap.KInt))
+		e.i64(v.I)
+	case heap.KFloat:
+		e.u8(byte(heap.KFloat))
+		e.i64(int64(math.Float64bits(v.F)))
+	default:
+		return fmt.Errorf("transport: %s word cannot cross the interconnect", v.Kind)
+	}
+	return nil
+}
+
+// dec is the matching cursor-and-sticky-error decoder.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("transport: truncated frame at offset %d", d.off)
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := uint32(d.b[d.off])<<24 | uint32(d.b[d.off+1])<<16 | uint32(d.b[d.off+2])<<8 | uint32(d.b[d.off+3])
+	d.off += 4
+	return v
+}
+
+func (d *dec) i64() int64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u = u<<8 | uint64(d.b[d.off+i])
+	}
+	d.off += 8
+	return int64(u)
+}
+
+func (d *dec) blob() []byte {
+	n := d.u32()
+	if d.err != nil || d.off+int(n) > len(d.b) {
+		d.fail()
+		return nil
+	}
+	v := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return v
+}
+
+func (d *dec) str() string { return string(d.blob()) }
+
+func (d *dec) val() heap.Value {
+	kind := heap.Kind(d.u8())
+	bits := d.i64()
+	switch kind {
+	case heap.KInt:
+		return heap.IntVal(bits)
+	case heap.KFloat:
+		return heap.Value{Kind: heap.KFloat, F: math.Float64frombits(uint64(bits))}
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("transport: bad wire value kind %d", kind)
+		}
+		return heap.Value{}
+	}
+}
+
+// encodeMsg builds an fMsg frame: src, dst, then the tagged payloads.
+func encodeMsg(src, dst int64, batch []msg.Batched) ([]byte, error) {
+	e := &enc{b: make([]byte, 0, 32+len(batch)*32)}
+	e.u8(fMsg)
+	e.i64(src)
+	e.i64(dst)
+	e.u32(uint32(len(batch)))
+	for _, b := range batch {
+		e.i64(b.Tag)
+		e.u32(uint32(len(b.Words)))
+		for _, w := range b.Words {
+			if err := e.val(w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e.b, nil
+}
+
+// decodeMsg parses an fMsg frame (payload after the type byte is NOT
+// stripped: pass the full frame).
+func decodeMsg(b []byte) (src, dst int64, batch []msg.Batched, err error) {
+	d := &dec{b: b, off: 1}
+	src = d.i64()
+	dst = d.i64()
+	n := d.u32()
+	if d.err == nil && int(n) > len(b) { // cheap sanity bound before allocating
+		d.err = fmt.Errorf("transport: message count %d exceeds frame", n)
+	}
+	if d.err == nil {
+		batch = make([]msg.Batched, 0, n)
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			tag := d.i64()
+			nw := d.u32()
+			if d.err == nil && int(nw) > len(b) {
+				d.err = fmt.Errorf("transport: word count %d exceeds frame", nw)
+				break
+			}
+			words := make([]heap.Value, 0, nw)
+			for j := uint32(0); j < nw; j++ {
+				words = append(words, d.val())
+			}
+			batch = append(batch, msg.Batched{Tag: tag, Words: words})
+		}
+	}
+	return src, dst, batch, d.err
+}
+
+// encodeHello carries the joining node plus whether this incarnation is a
+// resurrection from checkpoint. Only a resurrection may clear the hub's
+// failed mark: a zombie of the old incarnation rejoining after a network
+// blip must be re-killed, not re-admitted, or the node would briefly have
+// two live processes.
+func encodeHello(node int64, resurrect bool) []byte {
+	e := &enc{b: make([]byte, 0, 10)}
+	e.u8(fHello)
+	e.i64(node)
+	if resurrect {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	return e.b
+}
+
+func decodeHello(b []byte) (node int64, resurrect bool, err error) {
+	d := &dec{b: b, off: 1}
+	node = d.i64()
+	resurrect = d.u8() != 0
+	return node, resurrect, d.err
+}
+
+func encodeNode(typ byte, node int64) []byte {
+	e := &enc{b: make([]byte, 0, 9)}
+	e.u8(typ)
+	e.i64(node)
+	return e.b
+}
+
+func decodeNode(b []byte) (int64, error) {
+	d := &dec{b: b, off: 1}
+	n := d.i64()
+	return n, d.err
+}
+
+func encodeGC(node, below int64) []byte {
+	e := &enc{b: make([]byte, 0, 17)}
+	e.u8(fGC)
+	e.i64(node)
+	e.i64(below)
+	return e.b
+}
+
+func decodeGC(b []byte) (node, below int64, err error) {
+	d := &dec{b: b, off: 1}
+	node = d.i64()
+	below = d.i64()
+	return node, below, d.err
+}
+
+func encodePut(id uint32, name string, data []byte) []byte {
+	e := &enc{b: make([]byte, 0, 16+len(name)+len(data))}
+	e.u8(fPut)
+	e.u32(id)
+	e.str(name)
+	e.blob(data)
+	return e.b
+}
+
+func decodePut(b []byte) (id uint32, name string, data []byte, err error) {
+	d := &dec{b: b, off: 1}
+	id = d.u32()
+	name = d.str()
+	data = d.blob()
+	return id, name, data, d.err
+}
+
+func encodeGet(id uint32, name string) []byte {
+	e := &enc{b: make([]byte, 0, 12+len(name))}
+	e.u8(fGet)
+	e.u32(id)
+	e.str(name)
+	return e.b
+}
+
+func decodeGet(b []byte) (id uint32, name string, err error) {
+	d := &dec{b: b, off: 1}
+	id = d.u32()
+	name = d.str()
+	return id, name, d.err
+}
+
+func encodeList(id uint32) []byte {
+	e := &enc{}
+	e.u8(fList)
+	e.u32(id)
+	return e.b
+}
+
+func decodeList(b []byte) (uint32, error) {
+	d := &dec{b: b, off: 1}
+	id := d.u32()
+	return id, d.err
+}
+
+func encodeAck(id uint32, errStr string) []byte {
+	e := &enc{}
+	e.u8(fAck)
+	e.u32(id)
+	e.str(errStr)
+	return e.b
+}
+
+func decodeAck(b []byte) (id uint32, errStr string, err error) {
+	d := &dec{b: b, off: 1}
+	id = d.u32()
+	errStr = d.str()
+	return id, errStr, d.err
+}
+
+func encodeData(id uint32, errStr string, data []byte) []byte {
+	e := &enc{b: make([]byte, 0, 16+len(errStr)+len(data))}
+	e.u8(fData)
+	e.u32(id)
+	e.str(errStr)
+	e.blob(data)
+	return e.b
+}
+
+func decodeData(b []byte) (id uint32, errStr string, data []byte, err error) {
+	d := &dec{b: b, off: 1}
+	id = d.u32()
+	errStr = d.str()
+	data = d.blob()
+	return id, errStr, data, d.err
+}
+
+func encodeNames(id uint32, errStr string, names []string) []byte {
+	e := &enc{}
+	e.u8(fNames)
+	e.u32(id)
+	e.str(errStr)
+	e.u32(uint32(len(names)))
+	for _, n := range names {
+		e.str(n)
+	}
+	return e.b
+}
+
+func decodeNames(b []byte) (id uint32, errStr string, names []string, err error) {
+	d := &dec{b: b, off: 1}
+	id = d.u32()
+	errStr = d.str()
+	n := d.u32()
+	if d.err == nil && int(n) > len(b) {
+		d.err = fmt.Errorf("transport: name count %d exceeds frame", n)
+	}
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		names = append(names, d.str())
+	}
+	return id, errStr, names, d.err
+}
+
+func encodeEpoch(typ byte, epoch int64) []byte {
+	e := &enc{}
+	e.u8(typ)
+	e.i64(epoch)
+	return e.b
+}
+
+func decodeEpoch(b []byte) (int64, error) {
+	d := &dec{b: b, off: 1}
+	v := d.i64()
+	return v, d.err
+}
+
+func encodeExit(r Result) []byte {
+	e := &enc{b: make([]byte, 0, 64+len(r.Err))}
+	e.u8(fExit)
+	e.i64(r.Node)
+	e.i64(int64(r.Status))
+	e.i64(r.Halt)
+	e.i64(int64(r.Steps))
+	e.i64(int64(r.Rolls))
+	e.str(r.Err)
+	return e.b
+}
+
+func decodeExit(b []byte) (Result, error) {
+	d := &dec{b: b, off: 1}
+	r := Result{
+		Node:   d.i64(),
+		Status: rt.Status(d.i64()),
+		Halt:   d.i64(),
+		Steps:  uint64(d.i64()),
+		Rolls:  uint64(d.i64()),
+		Err:    d.str(),
+	}
+	return r, d.err
+}
+
+func encodeMigrate(id uint32, src, dst, seen int64, image []byte) []byte {
+	e := &enc{b: make([]byte, 0, 40+len(image))}
+	e.u8(fMigrate)
+	e.u32(id)
+	e.i64(src)
+	e.i64(dst)
+	e.i64(seen)
+	e.blob(image)
+	return e.b
+}
+
+func decodeMigrate(b []byte) (id uint32, src, dst, seen int64, image []byte, err error) {
+	d := &dec{b: b, off: 1}
+	id = d.u32()
+	src = d.i64()
+	dst = d.i64()
+	seen = d.i64()
+	image = d.blob()
+	return id, src, dst, seen, image, d.err
+}

@@ -1,0 +1,427 @@
+package transport
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/heap"
+	"repro/internal/lang"
+	"repro/internal/msg"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+func newHub(t *testing.T) *Hub {
+	t.Helper()
+	h, err := Listen("127.0.0.1:0", cluster.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+// joinNode builds the worker-side stack without an engine: a router
+// hosting `node` with the client as its uplink.
+func joinNode(t *testing.T, h *Hub, node int64, cfg ClientConfig) (*msg.Router, *Client) {
+	t.Helper()
+	r := msg.NewRouter()
+	r.SetLocal(node)
+	cfg.Addr = h.Addr()
+	cfg.Node = node
+	cfg.Router = r
+	c, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	r.SetUplink(c)
+	return r, c
+}
+
+func iv(vs ...int64) []heap.Value {
+	out := make([]heap.Value, len(vs))
+	for i, v := range vs {
+		out[i] = heap.IntVal(v)
+	}
+	return out
+}
+
+func recvWithin(t *testing.T, r *msg.Router, dst, src, tag int64, d time.Duration) []heap.Value {
+	t.Helper()
+	type res struct {
+		words  []heap.Value
+		status int64
+	}
+	ch := make(chan res, 1)
+	go func() {
+		w, st := r.Recv(dst, src, tag)
+		ch <- res{w, st}
+	}()
+	select {
+	case got := <-ch:
+		if got.status != msg.StatusOK {
+			t.Fatalf("recv(%d<-%d tag %d) status %d", dst, src, tag, got.status)
+		}
+		return got.words
+	case <-time.After(d):
+		t.Fatalf("recv(%d<-%d tag %d) timed out", dst, src, tag)
+		return nil
+	}
+}
+
+// TestRelayBuffersForLateJoiner: messages sent before the destination's
+// worker connects — or re-sent as duplicates — are buffered keyed at the
+// hub and replayed on HELLO, with the latest payload per key winning.
+func TestRelayBuffersForLateJoiner(t *testing.T) {
+	h := newHub(t)
+	r1, _ := joinNode(t, h, 1, ClientConfig{})
+
+	// Node 2 is not connected: these buffer at the hub. The re-send of
+	// tag 7 models a deterministic replay (identical key, refreshed
+	// content stands in for "identical content" to make the overwrite
+	// observable).
+	if err := r1.Send(1, 2, 7, iv(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Send(1, 2, 7, iv(11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Send(1, 2, 8, iv(20, 21)); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, func() bool {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return len(h.buf[2][1]) == 2
+	}, "hub never buffered both tags")
+
+	r2, _ := joinNode(t, h, 2, ClientConfig{})
+	if got := recvWithin(t, r2, 2, 1, 7, 5*time.Second); got[0].I != 11 {
+		t.Fatalf("tag 7 = %v, want the overwritten payload 11", got)
+	}
+	if got := recvWithin(t, r2, 2, 1, 8, 5*time.Second); len(got) != 2 || got[1].I != 21 {
+		t.Fatalf("tag 8 = %v", got)
+	}
+}
+
+// TestLiveRelayBothDirections: with both workers connected, sends cross
+// the hub and wake parked remote receivers.
+func TestLiveRelayBothDirections(t *testing.T) {
+	h := newHub(t)
+	r1, _ := joinNode(t, h, 1, ClientConfig{})
+	r2, _ := joinNode(t, h, 2, ClientConfig{})
+
+	done := make(chan []heap.Value, 1)
+	go func() {
+		w, _ := r2.Recv(2, 1, 5) // parks until the remote send lands
+		done <- w
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := r1.Send(1, 2, 5, iv(42)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case w := <-done:
+		if len(w) != 1 || w[0].I != 42 {
+			t.Fatalf("payload %v", w)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked remote receiver never woke")
+	}
+	if err := r2.Send(2, 1, 6, iv(43)); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithin(t, r1, 1, 2, 6, 5*time.Second); got[0].I != 43 {
+		t.Fatalf("reverse payload %v", got)
+	}
+}
+
+// TestFailBroadcastsRollAndKillsVictim: Fail advances the epoch (MSG_ROLL
+// exactly once at every survivor), orders the victim to die, and a
+// resurrection HELLO joins at the current epoch without re-observing it.
+func TestFailBroadcastsRollAndKillsVictim(t *testing.T) {
+	h := newHub(t)
+	r1, _ := joinNode(t, h, 1, ClientConfig{})
+	var victimKilled atomic.Bool
+	joinNode(t, h, 2, ClientConfig{OnFail: func() { victimKilled.Store(true) }})
+
+	h.Fail(2)
+
+	waitFor(t, func() bool { return victimKilled.Load() }, "victim never told to die")
+	waitFor(t, func() bool { return r1.Epoch() == 1 }, "survivor epoch never advanced")
+	if _, st := r1.Recv(1, 2, 1); st != msg.StatusRoll {
+		t.Fatalf("survivor first recv status %d, want MSG_ROLL", st)
+	}
+
+	// Resurrected incarnation: a fresh router joining as node 2 with the
+	// resurrect flag, which clears the failed mark.
+	r2b, _ := joinNode(t, h, 2, ClientConfig{Resurrect: true})
+	if r2b.Epoch() != 1 {
+		t.Fatalf("resurrected epoch %d, want 1", r2b.Epoch())
+	}
+	r2b.Restore(2) // checkpoint is the rollback point: seen = epoch
+	if _, st, ok := r2b.TryRecv(2, 1, 99); ok {
+		t.Fatalf("resurrected node re-observed the epoch (status %d)", st)
+	}
+}
+
+// TestZombieRejoinIsReKilled: a non-resurrection incarnation of a failed
+// node reconnecting (say the kill order was lost in a network blip) must
+// be ordered to die again, not re-admitted — the node would otherwise
+// briefly have two live processes once the real resurrection arrives.
+func TestZombieRejoinIsReKilled(t *testing.T) {
+	h := newHub(t)
+	joinNode(t, h, 2, ClientConfig{})
+	h.Fail(2)
+
+	var zombieKilled atomic.Bool
+	joinNode(t, h, 2, ClientConfig{OnFail: func() { zombieKilled.Store(true) }})
+	waitFor(t, func() bool { return zombieKilled.Load() }, "zombie rejoin was admitted instead of re-killed")
+
+	h.mu.Lock()
+	stillFailed := h.failed[2]
+	h.mu.Unlock()
+	if !stillFailed {
+		t.Fatal("zombie rejoin cleared the failed mark")
+	}
+}
+
+// TestRemoteStore: the checkpoint store served over the transport behaves
+// like the local one, including errors.
+func TestRemoteStore(t *testing.T) {
+	h := newHub(t)
+	_, c := joinNode(t, h, 1, ClientConfig{})
+	s := c.RemoteStore()
+	if err := s.Put("grid-ck-0", []byte("image-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("grid-ck-0")
+	if err != nil || string(got) != "image-bytes" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	names, err := s.List()
+	if err != nil || len(names) != 1 || names[0] != "grid-ck-0" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if _, err := s.Get("ghost"); err == nil {
+		t.Fatal("missing checkpoint returned data")
+	}
+}
+
+// TestReconnectReplaysBothSides: a network blip (every connection
+// dropped) is invisible — the client redials, replays its outbound keyed
+// buffer, and the hub replays the inbound one.
+func TestReconnectReplaysBothSides(t *testing.T) {
+	h := newHub(t)
+	r1, _ := joinNode(t, h, 1, ClientConfig{RetryBase: 5 * time.Millisecond})
+	r2, _ := joinNode(t, h, 2, ClientConfig{RetryBase: 5 * time.Millisecond})
+
+	if err := r1.Send(1, 2, 1, iv(100)); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, r2, 2, 1, 1, 5*time.Second)
+
+	h.DropLinks()
+
+	// The next send goes through a redial; tag 1 is replayed alongside.
+	if err := r1.Send(1, 2, 2, iv(200)); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithin(t, r2, 2, 1, 2, 10*time.Second); got[0].I != 200 {
+		t.Fatalf("post-blip payload %v", got)
+	}
+	// And the pre-blip message is still (re)readable: idempotent replay.
+	if got := recvWithin(t, r2, 2, 1, 1, 10*time.Second); got[0].I != 100 {
+		t.Fatalf("replayed payload %v", got)
+	}
+}
+
+// TestCrossProcessHandoff: a process executing migrate("node://5") on one
+// engine is packed, shipped through the hub, and adopted by the engine
+// hosting node 5 — heap intact, node_id rebound — exactly like the
+// in-process handoff, but across two independent router/engine stacks.
+func TestCrossProcessHandoff(t *testing.T) {
+	const handoffSrc = `
+int main() {
+	int me = node_id();
+	ptr buf = alloc(1);
+	buf[0] = 41;
+	if (me == 0) {
+		migrate("node://5");
+	}
+	return buf[0] + node_id();
+}`
+	prog, err := lang.Compile(handoffSrc, cluster.Externs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHub(t)
+
+	// Worker B: hosts node 5, idle, ready to adopt.
+	routerB := msg.NewRouter()
+	routerB.SetLocal(5)
+	adopted := make(chan error, 1)
+	var engineB *cluster.Engine
+	engineReady := make(chan struct{})
+	clientB, err := Dial(ClientConfig{
+		Addr: h.Addr(), Node: 5, Router: routerB,
+		OnAdopt: func(dst, seen int64, img *wire.Image) error {
+			<-engineReady
+			err := engineB.Adopt(dst, img, seen, nil)
+			adopted <- err
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientB.Close()
+	routerB.SetUplink(clientB)
+	engineB = cluster.NewEngine(cluster.EngineConfig{
+		Router: routerB, Store: clientB.RemoteStore(),
+	})
+	defer engineB.Close()
+	close(engineReady)
+
+	// Worker A: hosts node 0 and runs the migrating process.
+	routerA := msg.NewRouter()
+	routerA.SetLocal(0)
+	clientA, err := Dial(ClientConfig{Addr: h.Addr(), Node: 0, Router: routerA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientA.Close()
+	routerA.SetUplink(clientA)
+	engineA := cluster.NewEngine(cluster.EngineConfig{
+		Router: routerA, Store: clientA.RemoteStore(),
+		RemoteHandoff: clientA.Handoff,
+	})
+	defer engineA.Close()
+	if err := engineA.StartProcess(0, prog, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	statesA, err := engineA.Wait(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := statesA[0]; st.Status != rt.StatusMigrated {
+		t.Fatalf("node 0 = %+v, want migrated", st)
+	}
+	select {
+	case aerr := <-adopted:
+		if aerr != nil {
+			t.Fatalf("adoption failed: %v", aerr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("image never adopted")
+	}
+	statesB, err := engineB.Wait(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := statesB[5]; st == nil || st.Status != rt.StatusHalted || st.Halt != 46 {
+		t.Fatalf("node 5 = %+v, want halt 46 (heap word survived, node id rebound)", st)
+	}
+}
+
+// TestHandoffToUnhostedNodeContinuesLocal: migrating to a node no worker
+// hosts must fail the migration and continue the process locally
+// (§4.2.1's failed-migration semantics, across the wire).
+func TestHandoffToUnhostedNodeContinuesLocal(t *testing.T) {
+	const src = `
+int main() {
+	migrate("node://9");
+	return node_id() * 100 + 7;
+}`
+	prog, err := lang.Compile(src, cluster.Externs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHub(t)
+	router := msg.NewRouter()
+	router.SetLocal(0)
+	client, err := Dial(ClientConfig{Addr: h.Addr(), Node: 0, Router: router})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	router.SetUplink(client)
+	e := cluster.NewEngine(cluster.EngineConfig{
+		Router: router, Store: client.RemoteStore(), RemoteHandoff: client.Handoff,
+	})
+	defer e.Close()
+	if err := e.StartProcess(0, prog, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	states, err := e.Wait(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := states[0]; st.Status != rt.StatusHalted || st.Halt != 7 {
+		t.Fatalf("node 0 = %+v, want local halt 7", st)
+	}
+}
+
+// TestExitAndWaitResults: workers report final states; WaitResults
+// aggregates them.
+func TestExitAndWaitResults(t *testing.T) {
+	h := newHub(t)
+	_, c1 := joinNode(t, h, 1, ClientConfig{})
+	_, c2 := joinNode(t, h, 2, ClientConfig{})
+	if err := c1.Exit(Result{Node: 1, Status: rt.StatusHalted, Halt: 11, Rolls: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Exit(Result{Node: 2, Status: rt.StatusHalted, Halt: 22}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.WaitResults(2, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].Halt != 11 || res[1].Rolls != 2 || res[2].Halt != 22 {
+		t.Fatalf("results = %+v", res)
+	}
+	if _, err := h.WaitResults(3, 50*time.Millisecond); err == nil {
+		t.Fatal("WaitResults(3) should time out with 2 results")
+	}
+}
+
+// TestUplinkErrorSurfacesAsClosed: when the hub is gone for good, a send
+// eventually errors instead of hanging forever.
+func TestUplinkErrorSurfacesAsClosed(t *testing.T) {
+	h := newHub(t)
+	r1, _ := joinNode(t, h, 1, ClientConfig{DialAttempts: 2, RetryBase: time.Millisecond})
+	h.Close()
+	var lastErr error
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if lastErr = r1.Send(1, 2, 1, iv(1)); lastErr != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if lastErr == nil {
+		t.Fatal("sends kept succeeding with the hub gone")
+	}
+	if errors.Is(lastErr, msg.ErrClosed) {
+		t.Fatalf("send failed with the router's own closed error; want a transport error, got %v", lastErr)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
