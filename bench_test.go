@@ -355,6 +355,7 @@ func benchGridParams(b *testing.B, p grid.Params, fail *grid.FailurePlan) {
 	b.StopTimer()
 	b.ReportMetric(float64(rollbacks)/float64(b.N), "rollbacks/op")
 	recordBench(BenchRecord{
+		App:            "grid",
 		Name:           b.Name(),
 		Iterations:     b.N,
 		NsPerOp:        float64(b.Elapsed().Nanoseconds()) / float64(b.N),

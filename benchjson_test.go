@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 )
@@ -14,17 +15,29 @@ import (
 // trajectory across commits instead of scraping `go test -bench` text:
 //
 //	go test -bench Grid -benchtime 1x -benchjson BENCH_grid.json .
-var benchJSON = flag.String("benchjson", "", "write grid benchmark results as a JSON array to this file")
+//
+// -benchdir DIR writes one BENCH_<app>.json per workload instead, so
+// the per-app benchmarks (BenchmarkWorkloads) each leave their own
+// trajectory file:
+//
+//	go test -bench Workloads -benchtime 1x -benchdir . .
+var (
+	benchJSON = flag.String("benchjson", "", "write grid benchmark results as a JSON array to this file")
+	benchDir  = flag.String("benchdir", "", "write per-workload benchmark results as BENCH_<app>.json files into this directory")
+)
 
 // BenchRecord is one benchmark's aggregated outcome.
 type BenchRecord struct {
+	App            string  `json:"app,omitempty"`
 	Name           string  `json:"name"`
 	Iterations     int     `json:"iterations"`
 	NsPerOp        float64 `json:"ns_per_op"`
 	RollbacksPerOp float64 `json:"rollbacks_per_op"`
 	Nodes          int     `json:"nodes"`
-	RowsPerNode    int     `json:"rows_per_node"`
-	Cols           int     `json:"cols"`
+	RowsPerNode    int     `json:"rows_per_node,omitempty"`
+	Cols           int     `json:"cols,omitempty"`
+	Size           int     `json:"size,omitempty"`
+	Aux            int     `json:"aux,omitempty"`
 	Steps          int     `json:"steps"`
 	CkInterval     int     `json:"checkpoint_interval"`
 	Workers        int     `json:"workers"`
@@ -41,22 +54,48 @@ func recordBench(r BenchRecord) {
 	benchRecords.mu.Unlock()
 }
 
+// writeJSON marshals one record list to a file.
+func writeJSON(path string, list []BenchRecord) error {
+	data, err := json.MarshalIndent(list, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func TestMain(m *testing.M) {
 	code := m.Run()
-	if *benchJSON != "" {
-		benchRecords.mu.Lock()
-		list := benchRecords.list
-		benchRecords.mu.Unlock()
-		if len(list) > 0 {
-			data, err := json.MarshalIndent(list, "", "  ")
-			if err == nil {
-				err = os.WriteFile(*benchJSON, append(data, '\n'), 0o644)
+	benchRecords.mu.Lock()
+	list := benchRecords.list
+	benchRecords.mu.Unlock()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if *benchJSON != "" && len(list) > 0 {
+		if err := writeJSON(*benchJSON, list); err != nil {
+			fail(err)
+		}
+	}
+	if *benchDir != "" && len(list) > 0 {
+		if err := os.MkdirAll(*benchDir, 0o755); err != nil {
+			fail(err)
+		}
+		// One trajectory file per app; records without an app tag are the
+		// legacy grid benchmarks.
+		byApp := make(map[string][]BenchRecord)
+		for _, r := range list {
+			app := r.App
+			if app == "" {
+				app = "grid"
 			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "benchjson:", err)
-				if code == 0 {
-					code = 1
-				}
+			byApp[app] = append(byApp[app], r)
+		}
+		for app, recs := range byApp {
+			if err := writeJSON(filepath.Join(*benchDir, "BENCH_"+app+".json"), recs); err != nil {
+				fail(err)
 			}
 		}
 	}

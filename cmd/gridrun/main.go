@@ -1,216 +1,20 @@
-// Command gridrun executes the paper's grid computation (Figure 2) and
-// verifies the result against the sequential reference implementation —
-// on a simulated in-process cluster (the default), or distributed across
-// real OS processes connected by the TCP cluster transport.
-//
-// Usage:
-//
-//	gridrun [flags]
-//
-//	-nodes N     compute processes (default 3)
-//	-rows N      rows per node (default 4)
-//	-cols N      columns (default 8)
-//	-steps N     timesteps (default 20)
-//	-ck N        checkpoint interval (default 4)
-//	-workers N   concurrently executing node quanta (0 = unbounded)
-//	-fail SPEC   inject a failure: "node@checkpoints", e.g. "1@2"
-//	-timeout D   run timeout (default 2m)
-//	-v           print per-node checksums
-//
-// Distributed mode:
-//
-//	-distributed      coordinator that spawns one worker process per node
-//	                  over loopback TCP and verifies the merged result
-//	-listen ADDR      coordinator listen address (default 127.0.0.1:0)
-//	-storedir DIR     back the shared checkpoint store with a directory
-//	                  (the paper's NFS mount; default: in-memory)
-//	-coordinator      coordinator that spawns nothing: start workers
-//	                  yourself with -join (pairs with -listen)
-//	-join ADDR        run as a worker joined to a coordinator
-//	-node N           the node id this worker hosts (with -join)
-//	-resume NAME      resurrect the node from this shared-store
-//	                  checkpoint instead of starting fresh (with -join)
-//
-// A worker ordered to die by the coordinator's failure injection exits
-// with code 3 (it is a simulated crash, not an error).
+// Command gridrun is the historical name for running the paper's grid
+// computation (§2, Figure 2). Since the workload subsystem landed it is
+// a thin alias for cmd/mojrun pinned to -app grid: every flag
+// (-nodes/-rows/-cols/-steps/-ck/-workers/-fail/-distributed/
+// -coordinator/-join/…) behaves identically, including the repeatable
+// -fail and the -script fault scenarios. See cmd/mojrun for the full
+// flag reference.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"os/exec"
-	"strconv"
-	"strings"
-	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/grid"
-	"repro/internal/migrate"
+	"repro/internal/workload/cli"
+
+	_ "repro/internal/workload/apps" // register grid (and the rest)
 )
 
 func main() {
-	var (
-		nodes   = flag.Int("nodes", 3, "compute processes")
-		rows    = flag.Int("rows", 4, "rows per node")
-		cols    = flag.Int("cols", 8, "columns")
-		steps   = flag.Int("steps", 20, "timesteps")
-		ck      = flag.Int("ck", 4, "checkpoint interval")
-		workers = flag.Int("workers", 0, "concurrently executing node quanta (0 = unbounded)")
-		failStr = flag.String("fail", "", `failure plan "node@checkpoints", e.g. "1@2"`)
-		timeout = flag.Duration("timeout", 2*time.Minute, "run timeout")
-		verbose = flag.Bool("v", false, "print per-node checksums")
-
-		distributed = flag.Bool("distributed", false, "spawn one worker OS process per node over loopback TCP")
-		coordOnly   = flag.Bool("coordinator", false, "coordinate externally started -join workers")
-		listen      = flag.String("listen", "127.0.0.1:0", "coordinator listen address")
-		storeDir    = flag.String("storedir", "", "directory for the shared checkpoint store (default: in-memory)")
-		join        = flag.String("join", "", "run as a worker joined to this coordinator address")
-		node        = flag.Int64("node", 0, "node id hosted by this worker (with -join)")
-		resume      = flag.String("resume", "", "checkpoint name to resurrect from (with -join)")
-	)
-	flag.Parse()
-
-	p := grid.Params{
-		Nodes: *nodes, RowsPerNode: *rows, Cols: *cols,
-		Steps: *steps, CheckpointInterval: *ck, Workers: *workers,
-	}
-
-	if *join != "" {
-		runWorker(*join, *node, *resume, p, *timeout)
-		return
-	}
-
-	fail := parseFail(*failStr)
-	fmt.Printf("grid: %d nodes × (%d×%d), %d steps, checkpoint every %d, workers %d\n",
-		p.Nodes, p.RowsPerNode, p.Cols, p.Steps, p.CheckpointInterval, p.Workers)
-	if fail != nil {
-		fmt.Printf("grid: will kill node %d after checkpoint %d and resurrect it\n",
-			fail.Node, fail.AfterCheckpoints)
-	}
-
-	var (
-		res *grid.Result
-		err error
-	)
-	switch {
-	case *distributed, *coordOnly:
-		res, err = runCoordinator(p, fail, *distributed, *listen, *storeDir, *timeout)
-	default:
-		res, err = grid.Run(p, fail, *timeout)
-	}
-	if err != nil {
-		fatal(err)
-	}
-
-	want := grid.Reference(p)
-	ok := true
-	for n := range want {
-		match := res.Checksums[n] == want[n]
-		ok = ok && match
-		if *verbose || !match {
-			fmt.Printf("  node %d: checksum %d (reference %d) %s\n",
-				n, res.Checksums[n], want[n], tick(match))
-		}
-	}
-	fmt.Printf("grid: elapsed %s, rollbacks %d, resurrections %d\n",
-		res.Elapsed.Round(time.Millisecond), res.Rollbacks, res.Resurrections)
-	if !ok {
-		fatal(fmt.Errorf("checksums diverged from the reference"))
-	}
-	fmt.Println("grid: result matches the sequential reference exactly")
-}
-
-// runWorker is the -join mode: host one node, exit 0 on a clean finish
-// and 3 when the coordinator's failure injection killed us.
-func runWorker(join string, node int64, resume string, p grid.Params, timeout time.Duration) {
-	st, err := grid.RunWorker(grid.WorkerConfig{
-		Join: join, Node: node, Params: p, Resume: resume,
-		Timeout: timeout, Stdout: os.Stdout,
-	})
-	if err == grid.ErrNodeFailed {
-		fmt.Fprintf(os.Stderr, "gridrun: worker %d: killed by coordinator (simulated crash)\n", node)
-		os.Exit(3)
-	}
-	if err != nil {
-		fatal(fmt.Errorf("worker %d: %w", node, err))
-	}
-	fmt.Fprintf(os.Stderr, "gridrun: worker %d: %s (halt %d, %d steps)\n",
-		node, st.Status, st.Halt, st.Steps)
-}
-
-// runCoordinator is the -distributed / -coordinator mode.
-func runCoordinator(p grid.Params, fail *grid.FailurePlan, spawnWorkers bool, listen, storeDir string, timeout time.Duration) (*grid.Result, error) {
-	var store migrate.Store
-	if storeDir != "" {
-		ds, err := cluster.NewDirStore(storeDir)
-		if err != nil {
-			return nil, err
-		}
-		store = ds
-	}
-	cfg := grid.DistributedConfig{
-		Listen: listen,
-		Store:  store,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "gridrun: "+format+"\n", args...)
-		},
-	}
-	if spawnWorkers {
-		self, err := os.Executable()
-		if err != nil {
-			return nil, err
-		}
-		cfg.Spawn = func(join string, node int64, resume string) error {
-			args := []string{
-				"-join", join,
-				"-node", strconv.FormatInt(node, 10),
-				"-resume", resume,
-				"-nodes", strconv.Itoa(p.Nodes),
-				"-rows", strconv.Itoa(p.RowsPerNode),
-				"-cols", strconv.Itoa(p.Cols),
-				"-steps", strconv.Itoa(p.Steps),
-				"-ck", strconv.Itoa(p.CheckpointInterval),
-				"-timeout", timeout.String(),
-			}
-			cmd := exec.Command(self, args...)
-			cmd.Stdout = os.Stdout
-			cmd.Stderr = os.Stderr
-			if err := cmd.Start(); err != nil {
-				return err
-			}
-			// Reap in the background; exit code 3 is the injected crash.
-			go func() { _ = cmd.Wait() }()
-			return nil
-		}
-	}
-	return grid.RunDistributed(p, fail, cfg, timeout)
-}
-
-func parseFail(spec string) *grid.FailurePlan {
-	if spec == "" {
-		return nil
-	}
-	parts := strings.SplitN(spec, "@", 2)
-	if len(parts) != 2 {
-		fatal(fmt.Errorf(`bad -fail %q, want "node@checkpoints"`, spec))
-	}
-	node, err1 := strconv.ParseInt(parts[0], 10, 64)
-	after, err2 := strconv.Atoi(parts[1])
-	if err1 != nil || err2 != nil {
-		fatal(fmt.Errorf("bad -fail %q", spec))
-	}
-	return &grid.FailurePlan{Node: node, AfterCheckpoints: after, RestartDelay: 25 * time.Millisecond}
-}
-
-func tick(ok bool) string {
-	if ok {
-		return "ok"
-	}
-	return "MISMATCH"
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gridrun:", err)
-	os.Exit(1)
+	os.Exit(cli.Main(os.Args[1:], "gridrun", "grid", os.Stdout, os.Stderr))
 }

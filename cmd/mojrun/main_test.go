@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildMojrun compiles this command once per test binary so the
+// integration tests below exercise real, separate OS processes.
+var mojrunBin struct {
+	path string
+	err  error
+}
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "mojrun-bin")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	mojrunBin.path = filepath.Join(dir, "mojrun")
+	out, err := exec.Command("go", "build", "-o", mojrunBin.path, ".").CombinedOutput()
+	if err != nil {
+		mojrunBin.err = fmt.Errorf("building mojrun: %v\n%s", err, out)
+	}
+	os.Exit(m.Run())
+}
+
+func bin(t *testing.T) string {
+	t.Helper()
+	if mojrunBin.err != nil {
+		t.Fatal(mojrunBin.err)
+	}
+	return mojrunBin.path
+}
+
+// TestList: -list names every shipped workload.
+func TestList(t *testing.T) {
+	out, err := exec.Command(bin(t), "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mojrun -list: %v\n%s", err, out)
+	}
+	for _, app := range []string{"grid", "allreduce", "taskfarm", "pipeline"} {
+		if !strings.Contains(string(out), app) {
+			t.Errorf("-list output lacks %q:\n%s", app, out)
+		}
+	}
+}
+
+// TestRepeatableFailInProcess: two -fail events in one in-process run,
+// verified bit-exactly.
+func TestRepeatableFailInProcess(t *testing.T) {
+	out, err := exec.Command(bin(t), "-app", "taskfarm",
+		"-fail", "1@1", "-fail", "0@2", "-v").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mojrun -app taskfarm -fail -fail: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("resurrections 2")) {
+		t.Fatalf("no double resurrection recorded:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("matches the sequential reference exactly")) {
+		t.Fatalf("no exact-match verdict:\n%s", out)
+	}
+}
+
+// TestScriptFile: the same scenario via a -script file.
+func TestScriptFile(t *testing.T) {
+	script := filepath.Join(t.TempDir(), "faults.txt")
+	if err := os.WriteFile(script, []byte("# two sequential failures\nfail 2@1\nfail 1@2 delay=10ms\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin(t), "-app", "allreduce", "-script", script).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mojrun -script: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("resurrections 2")) {
+		t.Fatalf("script events did not all fire:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("matches the sequential reference exactly")) {
+		t.Fatalf("no exact-match verdict:\n%s", out)
+	}
+}
+
+// TestBadFailSpecIsAnError: a malformed -fail reports a parse error
+// (exit 2 from flag parsing) instead of dying mid-run.
+func TestBadFailSpecIsAnError(t *testing.T) {
+	for _, spec := range []string{"x@2", "1", "1@2@zz"} {
+		out, err := exec.Command(bin(t), "-app", "grid", "-fail", spec).CombinedOutput()
+		if err == nil {
+			t.Errorf("-fail %q accepted:\n%s", spec, out)
+		}
+		if !bytes.Contains(out, []byte("bad fail spec")) {
+			t.Errorf("-fail %q: no parse diagnostic:\n%s", spec, out)
+		}
+	}
+}
+
+// TestDistributedSubprocessPipeline: the pipeline across real OS worker
+// processes — including the spare worker that adopts the migrating
+// stage through the hub — with one injected failure after the handoff.
+func TestDistributedSubprocessPipeline(t *testing.T) {
+	storeDir := t.TempDir()
+	out, err := exec.Command(bin(t), "-app", "pipeline", "-distributed",
+		"-fail", "3@1", "-storedir", storeDir, "-v").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mojrun -app pipeline -distributed: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("matches the sequential reference exactly")) {
+		t.Fatalf("no exact-match verdict:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("resurrections 1")) {
+		t.Fatalf("no resurrection recorded:\n%s", out)
+	}
+	ents, err := os.ReadDir(storeDir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("shared store dir empty (%v); checkpoints never hit the mount", err)
+	}
+}

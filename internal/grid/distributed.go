@@ -1,33 +1,28 @@
 // Distributed mode: the same grid application, speculation/MSG_ROLL
 // semantics and checkpoint recovery as the in-process engine, but with
 // every node in its own OS process, joined over TCP through a
-// transport.Hub. RunDistributed is the coordinator half; RunWorker is the
-// per-process worker half (cmd/gridrun wires both to flags). The split is
-// engine-shaped, not process-shaped, so tests can also run "workers" as
-// goroutines against a real loopback hub — including with fault-injected
-// links — and assert bit-identical checksums.
+// transport.Hub. Since PR 3 both halves are thin wrappers over the
+// generic workload runners (internal/workload), which host any
+// registered application the same way; the grid-shaped API is kept for
+// compatibility and for the benchmarks.
 package grid
 
 import (
 	"errors"
-	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/migrate"
-	"repro/internal/msg"
-	"repro/internal/rt"
 	"repro/internal/transport"
-	"repro/internal/wire"
+	"repro/internal/workload"
 )
 
 // ErrNodeFailed is returned by RunWorker when the coordinator declared
 // this worker's node failed: the process must die without flushing
 // anything (crash semantics); a resurrection worker takes over from the
 // shared store.
-var ErrNodeFailed = errors.New("grid: node declared failed by coordinator")
+var ErrNodeFailed = workload.ErrNodeFailed
 
 // WorkerConfig configures one distributed grid worker.
 type WorkerConfig struct {
@@ -56,124 +51,16 @@ type WorkerConfig struct {
 // checkpoint store is served remotely. It reports every terminal node
 // state to the coordinator and returns this node's own final state.
 func RunWorker(cfg WorkerConfig) (*cluster.ProcState, error) {
-	if cfg.Timeout == 0 {
-		cfg.Timeout = 2 * time.Minute
-	}
-	if err := cfg.Params.Validate(); err != nil {
-		return nil, err
-	}
-
-	router := msg.NewRouter()
-	router.SetLocal(cfg.Node)
-
-	var (
-		engine      *cluster.Engine
-		engineReady = make(chan struct{})
-		failedCh    = make(chan struct{})
-		failOnce    sync.Once
-	)
-	clientCfg := transport.ClientConfig{
-		Addr:   cfg.Join,
-		Node:   cfg.Node,
-		Router: router,
-		OnFail: func() { failOnce.Do(func() { close(failedCh) }) },
-		OnAdopt: func(dst, seen int64, img *wire.Image) error {
-			<-engineReady
-			router.SetLocal(dst)
-			return engine.Adopt(dst, img, seen, CheckpointExtern(dst))
-		},
-		Resurrect: cfg.Resume != "",
-		RetryBase: cfg.RetryBase,
-	}
-	if cfg.Fault != nil {
-		clientCfg.Wrap = cfg.Fault.Wrap
-	}
-	client, err := transport.Dial(clientCfg)
-	if err != nil {
-		return nil, err
-	}
-	defer client.Close()
-	router.SetUplink(client)
-
-	engine = cluster.NewEngine(cluster.EngineConfig{
-		Store:         client.RemoteStore(),
-		Router:        router,
-		Stdout:        cfg.Stdout,
-		RemoteHandoff: client.Handoff,
-		Extra:         func(node int64) rt.Registry { return CheckpointExtern(node) },
+	return workload.RunWorker(W{}, workload.WorkerConfig{
+		Join: cfg.Join, Node: cfg.Node, Params: fromParams(cfg.Params),
+		Resume: cfg.Resume, Timeout: cfg.Timeout, Stdout: cfg.Stdout,
+		Fault: cfg.Fault, RetryBase: cfg.RetryBase,
 	})
-	defer engine.Close()
-	close(engineReady)
-
-	if cfg.Resume != "" {
-		// Resurrect from the shared store. Dial already synced the
-		// rollback epoch, and Engine.Resurrect marks the checkpoint as
-		// the rollback point (Router.Restore), so this incarnation does
-		// not re-observe the failure that killed its predecessor.
-		if err := engine.Resurrect(cfg.Node, cfg.Resume, CheckpointExtern(cfg.Node)); err != nil {
-			return nil, fmt.Errorf("grid: resurrecting node %d from %q: %w", cfg.Node, cfg.Resume, err)
-		}
-	} else {
-		prog, err := CompileProgram()
-		if err != nil {
-			return nil, err
-		}
-		if err := engine.StartProcess(cfg.Node, prog, cfg.Params.NodeArgs(), CheckpointExtern(cfg.Node)); err != nil {
-			return nil, err
-		}
-	}
-
-	type waited struct {
-		states map[int64]*cluster.ProcState
-		err    error
-	}
-	done := make(chan waited, 1)
-	go func() {
-		states, err := engine.Wait(cfg.Timeout)
-		done <- waited{states, err}
-	}()
-
-	select {
-	case <-failedCh:
-		// Crash semantics: report nothing, flush nothing. The coordinator
-		// already advanced the epoch; survivors are rolling back.
-		engine.Close()
-		return nil, ErrNodeFailed
-	case w := <-done:
-		if w.err != nil {
-			return nil, w.err
-		}
-		rolls := router.Stats().Rolls
-		var own *cluster.ProcState
-		for node, st := range w.states {
-			res := transport.Result{
-				Node: node, Status: st.Status, Halt: st.Halt,
-				Steps: st.Steps,
-			}
-			if node == cfg.Node {
-				// The Rolls counter is router-wide; attach it to exactly
-				// one hosted node so the coordinator's sum counts each
-				// MSG_ROLL delivery once.
-				res.Rolls = rolls
-			}
-			if st.Err != nil {
-				res.Err = st.Err.Error()
-			}
-			if err := client.Exit(res); err != nil {
-				return nil, err
-			}
-			if node == cfg.Node {
-				own = st
-			}
-		}
-		return own, nil
-	}
 }
 
 // SpawnFunc launches a worker process for a node; resume is empty for a
-// fresh start or a checkpoint name for a resurrection. cmd/gridrun
-// re-executes its own binary; in-process tests start a goroutine.
-type SpawnFunc func(join string, node int64, resume string) error
+// fresh start or a checkpoint name for a resurrection.
+type SpawnFunc = workload.SpawnFunc
 
 // DistributedConfig configures the coordinator side of a distributed run.
 type DistributedConfig struct {
@@ -203,84 +90,11 @@ func RunDistributed(p Params, fail *FailurePlan, cfg DistributedConfig, timeout 
 	if fail != nil && cfg.Spawn == nil {
 		return nil, errors.New("grid: a failure plan needs a spawner to resurrect the node")
 	}
-	if cfg.Listen == "" {
-		cfg.Listen = "127.0.0.1:0"
-	}
-	if cfg.Store == nil {
-		cfg.Store = cluster.NewMemStore()
-	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
-
-	hub, err := transport.Listen(cfg.Listen, cfg.Store)
+	res, err := workload.RunDistributed(W{}, fromParams(p), fail.Script(), workload.DistributedConfig{
+		Listen: cfg.Listen, Store: cfg.Store, Spawn: cfg.Spawn, Logf: cfg.Logf,
+	}, timeout)
 	if err != nil {
 		return nil, err
 	}
-	defer hub.Close()
-
-	res := &Result{}
-	var failOnce sync.Once
-	resurrected := make(chan error, 1)
-	if fail != nil {
-		want := CheckpointName(fail.Node)
-		plan := *fail
-		hub.OnPut = func(name string, count int) {
-			if name != want || count < plan.AfterCheckpoints {
-				return
-			}
-			failOnce.Do(func() {
-				logf("coordinator: killing node %d (checkpoint %d written)", plan.Node, count)
-				hub.Fail(plan.Node)
-				go func() {
-					time.Sleep(plan.RestartDelay)
-					logf("coordinator: resurrecting node %d from %q", plan.Node, want)
-					res.Resurrections++
-					resurrected <- cfg.Spawn(hub.Addr(), plan.Node, want)
-				}()
-			})
-		}
-	}
-
-	start := time.Now()
-	if cfg.Spawn != nil {
-		for n := int64(0); n < int64(p.Nodes); n++ {
-			if err := cfg.Spawn(hub.Addr(), n, ""); err != nil {
-				return nil, fmt.Errorf("grid: spawning node %d: %w", n, err)
-			}
-		}
-	} else {
-		logf("coordinator: waiting for %d workers to join %s", p.Nodes, hub.Addr())
-	}
-
-	results, err := hub.WaitResults(p.Nodes, timeout)
-	res.Elapsed = time.Since(start)
-	if err != nil {
-		return nil, err
-	}
-	if fail != nil {
-		select {
-		case rerr := <-resurrected:
-			if rerr != nil {
-				return nil, fmt.Errorf("grid: resurrection failed: %w", rerr)
-			}
-		default:
-			return nil, fmt.Errorf("grid: failure plan never triggered (node %d, after %d checkpoints)", fail.Node, fail.AfterCheckpoints)
-		}
-	}
-
-	res.Checksums = make([]int64, p.Nodes)
-	for n := int64(0); n < int64(p.Nodes); n++ {
-		st, ok := results[n]
-		if !ok {
-			return nil, fmt.Errorf("grid: node %d reported no final state", n)
-		}
-		if st.Status != rt.StatusHalted {
-			return nil, fmt.Errorf("grid: node %d finished %s (err: %s)", n, st.Status, st.Err)
-		}
-		res.Checksums[n] = st.Halt
-		res.Rollbacks += st.Rolls
-	}
-	return res, nil
+	return toResult(p, res)
 }

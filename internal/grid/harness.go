@@ -2,23 +2,30 @@ package grid
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
-	"repro/internal/cluster"
 	"repro/internal/fir"
-	"repro/internal/migrate"
 	"repro/internal/rt"
+	"repro/internal/workload"
 )
 
 // FailurePlan injects one node failure: kill Node after it has written
 // AfterCheckpoints checkpoints, then resurrect it from its latest
 // checkpoint after RestartDelay (the time a failure detector plus
-// resurrection daemon would need).
+// resurrection daemon would need). It is the single-event sugar over
+// workload.FaultScript.
 type FailurePlan struct {
 	Node             int64
 	AfterCheckpoints int
 	RestartDelay     time.Duration
+}
+
+// Script converts the plan to the general fault-script form.
+func (f *FailurePlan) Script() *workload.FaultScript {
+	if f == nil {
+		return nil
+	}
+	return workload.OneFailure(f.Node, f.AfterCheckpoints, f.RestartDelay)
 }
 
 // Result summarizes a cluster run of the grid application.
@@ -33,113 +40,55 @@ type Result struct {
 	Resurrections int
 }
 
-// observableStore wraps a checkpoint store with a put callback, used to
-// trigger failure injection at checkpoint boundaries.
-type observableStore struct {
-	migrate.Store
-	mu    sync.Mutex
-	onPut func(name string, count int)
-	puts  map[string]int
-}
-
-func (s *observableStore) Put(name string, data []byte) error {
-	if err := s.Store.Put(name, data); err != nil {
-		return err
+// toResult reshapes a generic workload result into the grid's form,
+// requiring every node to have halted.
+func toResult(p Params, res *workload.Result) (*Result, error) {
+	out := &Result{
+		Elapsed:       res.Elapsed,
+		Rollbacks:     res.Rollbacks,
+		Resurrections: res.Resurrections,
+		Checksums:     make([]int64, p.Nodes),
 	}
-	s.mu.Lock()
-	if s.puts == nil {
-		s.puts = make(map[string]int)
+	for n := int64(0); n < int64(p.Nodes); n++ {
+		st, ok := res.Nodes[n]
+		if !ok {
+			return nil, fmt.Errorf("grid: node %d has no final state", n)
+		}
+		if st.Status != rt.StatusHalted {
+			return nil, fmt.Errorf("grid: node %d finished %s (err: %s)", n, st.Status, st.Err)
+		}
+		out.Checksums[n] = st.Halt
 	}
-	s.puts[name]++
-	n := s.puts[name]
-	cb := s.onPut
-	s.mu.Unlock()
-	if cb != nil {
-		cb(name, n)
-	}
-	return nil
+	return out, nil
 }
 
 // Run executes the grid application on a simulated cluster, optionally
 // injecting a failure, and verifies nothing is left running. The caller
 // compares Result.Checksums against Reference(p).
 func Run(p Params, fail *FailurePlan, timeout time.Duration) (*Result, error) {
+	return RunProgram(nil, p, fail, timeout)
+}
+
+// RunProgram is Run with a pre-compiled program (benchmarks reuse one);
+// a nil prog compiles fresh. Both are thin wrappers over the generic
+// workload harness — the grid is simply the first registered workload.
+func RunProgram(prog *fir.Program, p Params, fail *FailurePlan, timeout time.Duration) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	prog, err := CompileProgram()
+	res, err := workload.Run(W{}, fromParams(p), workload.RunConfig{
+		Script:  fail.Script(),
+		Timeout: timeout,
+		Program: prog,
+		// Pin the engine's historical dispatch quantum: the generic runner
+		// otherwise shrinks it under fault scripts (so kills land inside
+		// small programs), which would shift the grid recovery benchmarks'
+		// measurement conditions across commits. Grid steps are large
+		// enough that kills always land at 20k.
+		Quantum: 20_000,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return RunProgram(prog, p, fail, timeout)
-}
-
-// RunProgram is Run with a pre-compiled program (benchmarks reuse one).
-func RunProgram(prog *fir.Program, p Params, fail *FailurePlan, timeout time.Duration) (*Result, error) {
-	base := cluster.NewMemStore()
-	store := &observableStore{Store: base}
-	c := cluster.New(cluster.Config{Store: store, Workers: p.Workers})
-	defer c.Close()
-
-	ckExtern := CheckpointExtern
-
-	failOnce := sync.Once{}
-	resurrected := make(chan error, 1)
-	res := &Result{}
-	if fail != nil {
-		want := CheckpointName(fail.Node)
-		store.onPut = func(name string, count int) {
-			if name != want || count < fail.AfterCheckpoints {
-				return
-			}
-			failOnce.Do(func() {
-				c.Fail(fail.Node)
-				go func() {
-					time.Sleep(fail.RestartDelay)
-					res.Resurrections++
-					resurrected <- c.Resurrect(fail.Node, want, ckExtern(fail.Node))
-				}()
-			})
-		}
-	}
-
-	start := time.Now()
-	for n := int64(0); n < int64(p.Nodes); n++ {
-		if err := c.StartProcess(n, prog, p.NodeArgs(), ckExtern(n)); err != nil {
-			return nil, fmt.Errorf("grid: starting node %d: %w", n, err)
-		}
-	}
-	states, err := c.Wait(timeout)
-	res.Elapsed = time.Since(start)
-	if err != nil {
-		return nil, err
-	}
-	if fail != nil {
-		select {
-		case rerr := <-resurrected:
-			if rerr != nil {
-				return nil, fmt.Errorf("grid: resurrection failed: %w", rerr)
-			}
-		default:
-			// Failure never triggered (run too short for the plan).
-			return nil, fmt.Errorf("grid: failure plan never triggered (node %d, after %d checkpoints)", fail.Node, fail.AfterCheckpoints)
-		}
-	}
-
-	res.Checksums = make([]int64, p.Nodes)
-	for n := int64(0); n < int64(p.Nodes); n++ {
-		st, ok := states[n]
-		if !ok {
-			return nil, fmt.Errorf("grid: node %d has no final state", n)
-		}
-		if st.Killed {
-			return nil, fmt.Errorf("grid: node %d still marked killed at exit", n)
-		}
-		if st.Status != rt.StatusHalted {
-			return nil, fmt.Errorf("grid: node %d finished %s (err: %v)", n, st.Status, st.Err)
-		}
-		res.Checksums[n] = st.Halt
-	}
-	res.Rollbacks = c.Router.Stats().Rolls
-	return res, nil
+	return toResult(p, res)
 }

@@ -1,0 +1,81 @@
+package grid
+
+import (
+	"repro/internal/fir"
+	"repro/internal/rt"
+	"repro/internal/workload"
+)
+
+// W is the grid application as a registered workload: the paper's §2
+// Jacobi heat-diffusion grid, adapted onto the generic workload
+// interface. internal/workload/apps registers it under "grid".
+//
+// Parameter mapping: Size = rows per node, Aux = columns.
+type W struct{}
+
+// Name implements workload.Workload.
+func (W) Name() string { return "grid" }
+
+// Description implements workload.Workload.
+func (W) Description() string {
+	return "the paper's §2 grid computation: Jacobi heat diffusion, row strips, border exchange (Size=rows/node, Aux=cols)"
+}
+
+// Defaults implements workload.Workload.
+func (W) Defaults() workload.Params {
+	return workload.Params{Nodes: 3, Size: 4, Aux: 8, Steps: 20, CheckpointInterval: 4}
+}
+
+// params converts generic parameters to the grid's own.
+func (W) params(p workload.Params) Params {
+	return Params{
+		Nodes: p.Nodes, RowsPerNode: p.Size, Cols: p.Aux,
+		Steps: p.Steps, CheckpointInterval: p.CheckpointInterval,
+		Workers: p.Workers,
+	}
+}
+
+// fromParams converts grid parameters to the generic form.
+func fromParams(p Params) workload.Params {
+	return workload.Params{
+		Nodes: p.Nodes, Size: p.RowsPerNode, Aux: p.Cols,
+		Steps: p.Steps, CheckpointInterval: p.CheckpointInterval,
+		Workers: p.Workers,
+	}
+}
+
+// Validate implements workload.Workload.
+func (w W) Validate(p workload.Params) error { return w.params(p).Validate() }
+
+// Program implements workload.Workload.
+func (W) Program(p workload.Params) (*fir.Program, error) { return CompileProgram() }
+
+// NodeArgs implements workload.Workload.
+func (w W) NodeArgs(p workload.Params) []int64 { return w.params(p).NodeArgs() }
+
+// StartNodes implements workload.Workload.
+func (W) StartNodes(p workload.Params) []int64 { return workload.Range(p.Nodes) }
+
+// SpareNodes implements workload.Workload.
+func (W) SpareNodes(p workload.Params) []int64 { return nil }
+
+// CheckpointName implements workload.Workload.
+func (W) CheckpointName(node int64) string { return CheckpointName(node) }
+
+// Externs implements workload.Workload.
+func (W) Externs(p workload.Params, node int64) rt.Registry { return CheckpointExtern(node) }
+
+// Reference implements workload.Workload.
+func (w W) Reference(p workload.Params) map[int64]int64 {
+	ref := Reference(w.params(p))
+	out := make(map[int64]int64, len(ref))
+	for n, v := range ref {
+		out[int64(n)] = v
+	}
+	return out
+}
+
+// Verify implements workload.Workload.
+func (w W) Verify(p workload.Params, nodes map[int64]workload.NodeResult) error {
+	return workload.VerifyHalted(w.Reference(p), nodes)
+}

@@ -425,3 +425,91 @@ func waitFor(t *testing.T, cond func() bool, msg string) {
 	}
 	t.Fatal(msg)
 }
+
+// TestMultipleSequentialFailuresReplayAndGC: the hub's keyed
+// store-and-forward buffer survives several failure/resurrection cycles
+// in one run. Two different nodes fail in sequence; each resurrected
+// incarnation's HELLO replays exactly the keyed messages its mailbox
+// would still hold in-process — minus what the receiver's msg_gc pruned
+// between the failures — and re-sends replay idempotently.
+func TestMultipleSequentialFailuresReplayAndGC(t *testing.T) {
+	h := newHub(t)
+	r1, _ := joinNode(t, h, 1, ClientConfig{})
+	r2, _ := joinNode(t, h, 2, ClientConfig{})
+
+	// Steps 1..4 flow both ways before anything fails.
+	for tag := int64(1); tag <= 4; tag++ {
+		if err := r1.Send(1, 2, tag, iv(100+tag)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r2.Send(2, 1, tag, iv(200+tag)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvWithin(t, r2, 2, 1, 4, 5*time.Second)
+	recvWithin(t, r1, 1, 2, 4, 5*time.Second)
+
+	// Node 2 commits past step 2 and GCs; the hub's buffer for it prunes.
+	r2.GC(2, 3)
+	waitFor(t, func() bool {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return len(h.buf[2][1]) == 2 // tags 3, 4 remain
+	}, "hub never pruned node 2's buffer after GC")
+
+	// Failure 1: node 2 dies; its resurrected incarnation replays only
+	// the un-GCed keys.
+	h.Fail(2)
+	if _, st := r1.Recv(1, 2, 99); st != msg.StatusRoll {
+		t.Fatalf("survivor recv status %d, want MSG_ROLL", st)
+	}
+	r2b, _ := joinNode(t, h, 2, ClientConfig{Resurrect: true})
+	r2b.Restore(2)
+	if got := recvWithin(t, r2b, 2, 1, 3, 5*time.Second); got[0].I != 103 {
+		t.Fatalf("replayed tag 3 = %v, want 103", got)
+	}
+	if got := recvWithin(t, r2b, 2, 1, 4, 5*time.Second); got[0].I != 104 {
+		t.Fatalf("replayed tag 4 = %v, want 104", got)
+	}
+	if _, _, ok := r2b.TryRecv(2, 1, 2); ok {
+		t.Fatal("GCed tag 2 was replayed to the resurrected node")
+	}
+
+	// The resurrected incarnation re-executes and re-sends steps its
+	// predecessor already sent (identical keys — deterministic replay),
+	// plus new progress.
+	for tag := int64(3); tag <= 5; tag++ {
+		if err := r2b.Send(2, 1, tag, iv(200+tag)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Failure 2, while the first resurrection is already live: now node 1
+	// dies and comes back. Its replay must hold node 2's re-sent keys.
+	h.Fail(1)
+	if _, st := r2b.Recv(2, 1, 99); st != msg.StatusRoll {
+		t.Fatalf("second-failure survivor recv status %d, want MSG_ROLL", st)
+	}
+	if got := h.Epoch(); got != 2 {
+		t.Fatalf("epoch after two failures = %d, want 2", got)
+	}
+	r1b, _ := joinNode(t, h, 1, ClientConfig{Resurrect: true})
+	r1b.Restore(1)
+	for tag := int64(1); tag <= 5; tag++ {
+		if got := recvWithin(t, r1b, 1, 2, tag, 5*time.Second); got[0].I != 200+tag {
+			t.Fatalf("after second resurrection, tag %d = %v, want %d", tag, got, 200+tag)
+		}
+	}
+
+	// Both resurrected incarnations keep exchanging: the run converges.
+	if err := r1b.Send(1, 2, 5, iv(105)); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithin(t, r2b, 2, 1, 5, 5*time.Second); got[0].I != 105 {
+		t.Fatalf("post-recovery tag 5 = %v, want 105", got)
+	}
+	// Neither incarnation re-observes an epoch it already joined.
+	if _, st, ok := r1b.TryRecv(1, 2, 99); ok && st == msg.StatusRoll {
+		t.Fatal("resurrected node 1 re-observed a stale epoch")
+	}
+}

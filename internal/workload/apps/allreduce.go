@@ -1,0 +1,197 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/fir"
+	"repro/internal/lang"
+	"repro/internal/rt"
+	"repro/internal/workload"
+)
+
+// allreduce is a ring global reduction: every round, each node computes
+// a local contribution vector and the ring circulates partial vectors
+// for nodes-1 phases, each node accumulating what passes through — the
+// classic allreduce, with a per-node floating-point accumulation order
+// that the sequential reference replays bit-exactly. A failure
+// mid-collective leaves some nodes holding partial phase state; MSG_ROLL
+// rolls them back to the last speculation and the keyed idempotent
+// phases replay, which is exactly the machinery the paper claims a few
+// annotations buy.
+//
+// Size = vector length; Aux unused.
+type allreduce struct{}
+
+func (allreduce) Name() string { return "allreduce" }
+
+func (allreduce) Description() string {
+	return "ring allreduce: global vector reduction with rollback mid-collective (Size=vector length)"
+}
+
+func (allreduce) Defaults() workload.Params {
+	return workload.Params{Nodes: 3, Size: 6, Steps: 8, CheckpointInterval: 2}
+}
+
+func (allreduce) Validate(p workload.Params) error {
+	switch {
+	case p.Nodes < 1:
+		return fmt.Errorf("allreduce: need at least one node, have %d", p.Nodes)
+	case p.Size < 1:
+		return fmt.Errorf("allreduce: vector length %d too small", p.Size)
+	case p.Steps < 1:
+		return fmt.Errorf("allreduce: need at least one round, have %d", p.Steps)
+	case p.CheckpointInterval < 1:
+		return fmt.Errorf("allreduce: checkpoint interval %d must be positive", p.CheckpointInterval)
+	}
+	return nil
+}
+
+// allreduceSource is the per-node MojC program. Arguments: getarg(0)=
+// nodes, 1=vector length, 2=rounds, 3=checkpoint_interval.
+const allreduceSource = `
+int main() {
+	int nodes = getarg(0);
+	int size = getarg(1);
+	int rounds = getarg(2);
+	int cki = getarg(3);
+	int me = node_id();
+	int next = (me + 1) % nodes;
+	int prev = (me + nodes - 1) % nodes;
+
+	fptr acc = falloc(size);
+	fptr pass = falloc(size);
+	fptr sum = falloc(size);
+	for (int i = 0; i < size; i += 1) {
+		acc[i] = float((me * 31 + i * 17) % 100);
+	}
+	float w = 0.5 / float(nodes);
+
+	int specid = speculate();
+	int round = 1;
+	while (round <= rounds) {
+		// Local contribution for this round.
+		for (int i = 0; i < size; i += 1) {
+			pass[i] = acc[i] + float((me + round + i) % 13);
+			sum[i] = pass[i];
+		}
+		// Ring allreduce: circulate partials for nodes-1 phases. A failure
+		// anywhere in the ring surfaces as MSG_ROLL mid-collective.
+		int err = 0;
+		for (int phase = 0; phase < nodes - 1; phase += 1) {
+			err = msg_send(next, round * nodes + phase, pass, 0, size);
+			if (err != 0) { break; }
+			err = msg_recv(prev, round * nodes + phase, pass, 0, size);
+			if (err != 0) { break; }
+			for (int i = 0; i < size; i += 1) {
+				sum[i] += pass[i];
+			}
+		}
+		if (err == 1) {
+			retry(specid); // MSG_ROLL: roll back to the last speculation
+		}
+		if (err == 2) {
+			return -1; // shutdown
+		}
+		// Fold the global sum into the local state (kept bounded).
+		for (int i = 0; i < size; i += 1) {
+			acc[i] = acc[i] * 0.5 + sum[i] * w;
+		}
+		if (round % cki == 0) {
+			commit(specid);
+			ptr name = ck_name();
+			migrate(name);
+			msg_gc((round + 1) * nodes); // phases before the next round are dead
+			specid = speculate();
+		}
+		round += 1;
+	}
+	commit(specid);
+	float total = 0.0;
+	for (int i = 0; i < size; i += 1) {
+		total += acc[i];
+	}
+	return int(total / float(size) * 1000.0);
+}
+`
+
+func (allreduce) Program(p workload.Params) (*fir.Program, error) {
+	return lang.Compile(allreduceSource, externSigs())
+}
+
+func (allreduce) NodeArgs(p workload.Params) []int64 {
+	return []int64{int64(p.Nodes), int64(p.Size), int64(p.Steps), int64(p.CheckpointInterval)}
+}
+
+func (allreduce) StartNodes(p workload.Params) []int64 { return workload.Range(p.Nodes) }
+func (allreduce) SpareNodes(p workload.Params) []int64 { return nil }
+
+func (allreduce) CheckpointName(node int64) string {
+	return fmt.Sprintf("allreduce-ck-%d", node)
+}
+
+func (a allreduce) Externs(p workload.Params, node int64) rt.Registry {
+	return workload.CkExtern(a.CheckpointName(node))
+}
+
+// Reference replays the identical floating-point operations in the same
+// per-node order sequentially in Go.
+func (allreduce) Reference(p workload.Params) map[int64]int64 {
+	nodes, size := p.Nodes, p.Size
+	acc := make([][]float64, nodes)
+	for n := range acc {
+		acc[n] = make([]float64, size)
+		for i := 0; i < size; i++ {
+			acc[n][i] = float64((n*31 + i*17) % 100)
+		}
+	}
+	w := 0.5 / float64(nodes)
+	for round := 1; round <= p.Steps; round++ {
+		pass := make([][]float64, nodes)
+		sum := make([][]float64, nodes)
+		for n := 0; n < nodes; n++ {
+			pass[n] = make([]float64, size)
+			sum[n] = make([]float64, size)
+			for i := 0; i < size; i++ {
+				pass[n][i] = acc[n][i] + float64((n+round+i)%13)
+				sum[n][i] = pass[n][i]
+			}
+		}
+		for phase := 0; phase < nodes-1; phase++ {
+			next := make([][]float64, nodes)
+			for n := 0; n < nodes; n++ {
+				prev := (n + nodes - 1) % nodes
+				cp := make([]float64, size)
+				copy(cp, pass[prev])
+				next[n] = cp
+			}
+			pass = next
+			for n := 0; n < nodes; n++ {
+				for i := 0; i < size; i++ {
+					sum[n][i] += pass[n][i]
+				}
+			}
+		}
+		for n := 0; n < nodes; n++ {
+			for i := 0; i < size; i++ {
+				// Separate statements mirror the interpreter's discrete FP
+				// ops (no fused multiply-add).
+				t1 := acc[n][i] * 0.5
+				t2 := sum[n][i] * w
+				acc[n][i] = t1 + t2
+			}
+		}
+	}
+	out := make(map[int64]int64, nodes)
+	for n := 0; n < nodes; n++ {
+		total := 0.0
+		for i := 0; i < size; i++ {
+			total += acc[n][i]
+		}
+		out[int64(n)] = int64(total / float64(size) * 1000.0)
+	}
+	return out
+}
+
+func (a allreduce) Verify(p workload.Params, nodes map[int64]workload.NodeResult) error {
+	return workload.VerifyHalted(a.Reference(p), nodes)
+}

@@ -1,0 +1,219 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/fir"
+	"repro/internal/lang"
+	"repro/internal/rt"
+	"repro/internal/workload"
+)
+
+// pipeline is a multi-stage dataflow pipeline: stage 0 generates items,
+// middle stages transform them, the last stage folds a checksum. Its
+// point is live migration: at the batch given by Aux (a checkpoint
+// boundary), the middle stage executes migrate("node://K") and hands
+// itself off to a spare node — heap, locals and speculation state
+// intact — while both neighbours reroute to the spare at the same batch,
+// and the run keeps going. Works identically on the in-process engine
+// (engine handoff) and distributed (the image ships through the hub and
+// a spare worker process adopts it).
+//
+// Nodes counts the spare: stages = Nodes-1, spare node id = Nodes-1, the
+// migrating stage is stages/2. Size = items per batch; Aux = the batch
+// after which the stage moves (must be a checkpoint boundary).
+type pipeline struct{}
+
+func (pipeline) Name() string { return "pipeline" }
+
+func (pipeline) Description() string {
+	return "multi-stage pipeline that live-migrates its middle stage to a spare node mid-run (Size=items/batch, Aux=migration batch)"
+}
+
+func (pipeline) Defaults() workload.Params {
+	return workload.Params{Nodes: 4, Size: 3, Aux: 4, Steps: 8, CheckpointInterval: 2}
+}
+
+func (pipeline) Validate(p workload.Params) error {
+	stages := p.Nodes - 1
+	switch {
+	case stages < 2:
+		return fmt.Errorf("pipeline: need at least two stages plus a spare, have %d nodes", p.Nodes)
+	case p.Size < 1:
+		return fmt.Errorf("pipeline: batch size %d too small", p.Size)
+	case p.Steps < 1:
+		return fmt.Errorf("pipeline: need at least one batch, have %d", p.Steps)
+	case p.CheckpointInterval < 1:
+		return fmt.Errorf("pipeline: checkpoint interval %d must be positive", p.CheckpointInterval)
+	case p.Aux < 1 || p.Aux > p.Steps:
+		return fmt.Errorf("pipeline: migration batch %d must be within the %d batches", p.Aux, p.Steps)
+	case p.Aux%p.CheckpointInterval != 0:
+		return fmt.Errorf("pipeline: migration batch %d must be a checkpoint boundary (interval %d)", p.Aux, p.CheckpointInterval)
+	}
+	return nil
+}
+
+// pipelineSource is the per-node MojC program. Arguments: getarg(0)=
+// nodes (including the spare), 1=items per batch, 2=batches,
+// 3=checkpoint_interval, 4=migration batch. Tags are global item
+// indices; stage_node maps a stage to the node hosting it for a given
+// batch, which is how every stage reroutes around the migration without
+// any coordination beyond the shared parameters.
+const pipelineSource = `
+// The node hosting stage s during batch b: the migrating stage moves to
+// the spare after the migration batch.
+int stage_node(int s, int b, int mstage, int spare, int mb) {
+	if (s == mstage) {
+		if (b > mb) {
+			return spare;
+		}
+	}
+	return s;
+}
+
+int main() {
+	int nodes = getarg(0);
+	int size = getarg(1);
+	int batches = getarg(2);
+	int cki = getarg(3);
+	int mb = getarg(4);
+	int stages = nodes - 1;
+	int spare = nodes - 1;
+	int mstage = stages / 2;
+	int stage = node_id(); // stage identity: stable across the handoff
+
+	ptr buf = alloc(1);
+	int checksum = 0;
+	int items = 0;
+	int specid = speculate();
+	int b = 1;
+	while (b <= batches) {
+		int err = 0;
+		for (int j = 0; j < size; j += 1) {
+			int t = (b - 1) * size + j;
+			int v = 0;
+			if (stage == 0) {
+				v = (t * 7 + 13) % 1000; // source: generate
+			} else {
+				int up = stage_node(stage - 1, b, mstage, spare, mb);
+				err = msg_recv(up, t, buf, 0, 1);
+				if (err != 0) { break; }
+				v = (buf[0] * (stage + 2) + t) % 1000003; // transform
+			}
+			if (stage < stages - 1) {
+				int down = stage_node(stage + 1, b, mstage, spare, mb);
+				buf[0] = v;
+				err = msg_send(down, t, buf, 0, 1);
+				if (err != 0) { break; }
+			} else {
+				checksum = (checksum * 31 + v) % 1000000007; // sink
+			}
+			items += 1;
+		}
+		if (err == 1) {
+			retry(specid); // MSG_ROLL: re-run the batch from the speculation
+		}
+		if (err == 2) {
+			return -1; // shutdown
+		}
+		if (b % cki == 0) {
+			commit(specid);
+			if (stage == mstage) {
+				if (b == mb) {
+					// Hand this stage off to the spare node mid-run. The
+					// post-migration speculation below is the rollback
+					// point, so no retry ever re-crosses the migrate.
+					migrate(spare_target());
+				}
+			}
+			ptr name = ck_name();
+			migrate(name);
+			msg_gc(b * size); // items before the next batch are dead
+			specid = speculate();
+		}
+		b += 1;
+	}
+	commit(specid);
+	if (stage == stages - 1) {
+		return checksum;
+	}
+	return (stage + 1) * 1000000 + items;
+}
+`
+
+func (pipeline) Program(p workload.Params) (*fir.Program, error) {
+	return lang.Compile(pipelineSource, externSigs("spare_target"))
+}
+
+func (pipeline) NodeArgs(p workload.Params) []int64 {
+	return []int64{int64(p.Nodes), int64(p.Size), int64(p.Steps), int64(p.CheckpointInterval), int64(p.Aux)}
+}
+
+// StartNodes are the stage nodes; the spare exists only to be migrated
+// to.
+func (pipeline) StartNodes(p workload.Params) []int64 { return workload.Range(p.Nodes - 1) }
+
+func (pipeline) SpareNodes(p workload.Params) []int64 { return []int64{int64(p.Nodes - 1)} }
+
+func (pipeline) CheckpointName(node int64) string {
+	return fmt.Sprintf("pipeline-ck-%d", node)
+}
+
+func (pl pipeline) Externs(p workload.Params, node int64) rt.Registry {
+	reg := workload.CkExtern(pl.CheckpointName(node))
+	reg["spare_target"] = workload.StrExtern(fmt.Sprintf("node://%d", p.Nodes-1))
+	return reg
+}
+
+// migratingStage returns the stage that hands off, and the spare node.
+func (pipeline) migratingStage(p workload.Params) (stage, spare int64) {
+	stages := p.Nodes - 1
+	return int64(stages / 2), int64(p.Nodes - 1)
+}
+
+// Reference replays the pipeline sequentially. The migrating stage's
+// halt code is expected on the spare node; the stage's original node is
+// checked by Verify to have migrated.
+func (pl pipeline) Reference(p workload.Params) map[int64]int64 {
+	stages := p.Nodes - 1
+	items := int64(p.Steps * p.Size)
+	sink := int64(0)
+	for t := int64(0); t < items; t++ {
+		v := (t*7 + 13) % 1000
+		for s := int64(1); s < int64(stages); s++ {
+			v = (v*(s+2) + t) % 1000003
+		}
+		sink = (sink*31 + v) % 1000000007
+	}
+	halt := func(stage int64) int64 {
+		if stage == int64(stages-1) {
+			return sink
+		}
+		return (stage+1)*1000000 + items
+	}
+	mstage, spare := pl.migratingStage(p)
+	out := make(map[int64]int64, stages)
+	for s := int64(0); s < int64(stages); s++ {
+		if s == mstage {
+			out[spare] = halt(s)
+		} else {
+			out[s] = halt(s)
+		}
+	}
+	return out
+}
+
+func (pl pipeline) Verify(p workload.Params, nodes map[int64]workload.NodeResult) error {
+	if err := workload.VerifyHalted(pl.Reference(p), nodes); err != nil {
+		return err
+	}
+	mstage, spare := pl.migratingStage(p)
+	st, ok := nodes[mstage]
+	if !ok {
+		return fmt.Errorf("pipeline: migrating stage node %d reported no final state", mstage)
+	}
+	if st.Status != rt.StatusMigrated {
+		return fmt.Errorf("pipeline: stage node %d finished %s, want migrated to spare node %d", mstage, st.Status, spare)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/fir"
+	"repro/internal/lang"
+	"repro/internal/rt"
+	"repro/internal/workload"
+)
+
+// taskfarm is a master–worker farm: node 0 scatters task seeds to the
+// workers round-robin and gathers results in deterministic task order;
+// workers solve each task speculatively — speculate/abort Figure-1
+// style: the fast iterative path runs inside a speculation and a
+// deterministic "divergence" aborts it, restoring the scratch heap and
+// falling back to the slow path. Task retry after a node loss is
+// idempotent by construction: the keyed (src, dst, task) send/recv pairs
+// replay bit-exactly when the master and survivors roll back and a
+// resurrected worker resumes from its checkpoint.
+//
+// Size = tasks per batch; Aux unused. Node 0 is the master.
+type taskfarm struct{}
+
+func (taskfarm) Name() string { return "taskfarm" }
+
+func (taskfarm) Description() string {
+	return "master-worker task farm: speculative per-task solve with abort fallback, idempotent retry after node loss (Size=tasks/batch)"
+}
+
+func (taskfarm) Defaults() workload.Params {
+	return workload.Params{Nodes: 3, Size: 6, Steps: 6, CheckpointInterval: 2}
+}
+
+func (taskfarm) Validate(p workload.Params) error {
+	switch {
+	case p.Nodes < 2:
+		return fmt.Errorf("taskfarm: need a master and at least one worker, have %d nodes", p.Nodes)
+	case p.Size < 1:
+		return fmt.Errorf("taskfarm: batch size %d too small", p.Size)
+	case p.Steps < 1:
+		return fmt.Errorf("taskfarm: need at least one batch, have %d", p.Steps)
+	case p.CheckpointInterval < 1:
+		return fmt.Errorf("taskfarm: checkpoint interval %d must be positive", p.CheckpointInterval)
+	}
+	return nil
+}
+
+// taskfarmSource is the per-node MojC program. Arguments: getarg(0)=
+// nodes, 1=tasks per batch, 2=batches, 3=checkpoint_interval. Node 0 is
+// the master; tags are global task indices (identical for the task send
+// and its result, distinguished by direction).
+const taskfarmSource = `
+// Solve one task. The fast path runs inside a speculation writing its
+// iteration chain to scratch; a deterministic divergence aborts it
+// (Figure 1 style: the heap rolls back and speculate() re-enters
+// non-positive), taking the slow fallback instead.
+int solve(int seed, ptr scratch) {
+	int id = speculate();
+	if (id > 0) {
+		scratch[0] = seed;
+		for (int k = 1; k < 8; k += 1) {
+			scratch[k] = (scratch[k - 1] * 1103515245 + 12345) % 2147483647;
+		}
+		int v = scratch[7] % 100000;
+		if ((v % 7) == 0) {
+			abort(id); // divergence: discard the scratch writes, re-enter
+		}
+		commit(id);
+		return v;
+	}
+	// Fallback after the abort path.
+	int acc = seed;
+	for (int k = 0; k < 20; k += 1) {
+		acc = (acc * 31 + k) % 999983;
+	}
+	return acc;
+}
+
+int main() {
+	int nodes = getarg(0);
+	int batch = getarg(1);
+	int batches = getarg(2);
+	int cki = getarg(3);
+	int me = node_id();
+	int workers = nodes - 1;
+
+	ptr buf = alloc(1);
+	ptr scratch = alloc(8);
+	int checksum = 0;
+	int specid = speculate();
+	int b = 1;
+	while (b <= batches) {
+		int err = 0;
+		if (me == 0) {
+			// Master: scatter this batch's task seeds round-robin...
+			for (int j = 0; j < batch; j += 1) {
+				int t = (b - 1) * batch + j;
+				int w = 1 + (t % workers);
+				buf[0] = (t * 2654435761) % 1000003;
+				err = msg_send(w, t, buf, 0, 1);
+				if (err != 0) { break; }
+			}
+			// ...then gather results in deterministic task order.
+			if (err == 0) {
+				for (int j = 0; j < batch; j += 1) {
+					int t = (b - 1) * batch + j;
+					int w = 1 + (t % workers);
+					err = msg_recv(w, t, buf, 0, 1);
+					if (err != 0) { break; }
+					checksum = (checksum * 31 + buf[0]) % 1000000007;
+				}
+			}
+		} else {
+			// Worker: serve my share of the batch, in task order.
+			for (int j = 0; j < batch; j += 1) {
+				int t = (b - 1) * batch + j;
+				if ((1 + (t % workers)) == me) {
+					err = msg_recv(0, t, buf, 0, 1);
+					if (err != 0) { break; }
+					int v = solve(buf[0], scratch);
+					buf[0] = v;
+					checksum = (checksum * 17 + v) % 1000000007;
+					err = msg_send(0, t, buf, 0, 1);
+					if (err != 0) { break; }
+				}
+			}
+		}
+		if (err == 1) {
+			retry(specid); // MSG_ROLL: re-run the batch from the speculation
+		}
+		if (err == 2) {
+			return -1; // shutdown
+		}
+		if (b % cki == 0) {
+			commit(specid);
+			ptr name = ck_name();
+			migrate(name);
+			msg_gc(b * batch); // tasks before the next batch are dead
+			specid = speculate();
+		}
+		b += 1;
+	}
+	commit(specid);
+	return checksum;
+}
+`
+
+func (taskfarm) Program(p workload.Params) (*fir.Program, error) {
+	return lang.Compile(taskfarmSource, externSigs())
+}
+
+func (taskfarm) NodeArgs(p workload.Params) []int64 {
+	return []int64{int64(p.Nodes), int64(p.Size), int64(p.Steps), int64(p.CheckpointInterval)}
+}
+
+func (taskfarm) StartNodes(p workload.Params) []int64 { return workload.Range(p.Nodes) }
+func (taskfarm) SpareNodes(p workload.Params) []int64 { return nil }
+
+func (taskfarm) CheckpointName(node int64) string {
+	return fmt.Sprintf("taskfarm-ck-%d", node)
+}
+
+func (t taskfarm) Externs(p workload.Params, node int64) rt.Registry {
+	return workload.CkExtern(t.CheckpointName(node))
+}
+
+// solveRef mirrors the MojC solve exactly: fast path unless the
+// deterministic divergence fires, then the slow fallback.
+func solveRef(seed int64) int64 {
+	x := seed
+	for k := 1; k < 8; k++ {
+		x = (x*1103515245 + 12345) % 2147483647
+	}
+	v := x % 100000
+	if v%7 != 0 {
+		return v
+	}
+	acc := seed
+	for k := int64(0); k < 20; k++ {
+		acc = (acc*31 + k) % 999983
+	}
+	return acc
+}
+
+// Reference replays the farm sequentially: the master's checksum folds
+// every result in task order; each worker's checksum folds its own
+// results in its serving order.
+func (taskfarm) Reference(p workload.Params) map[int64]int64 {
+	workers := int64(p.Nodes - 1)
+	out := make(map[int64]int64, p.Nodes)
+	sums := make(map[int64]int64, p.Nodes)
+	for t := int64(0); t < int64(p.Steps*p.Size); t++ {
+		w := 1 + t%workers
+		seed := (t * 2654435761) % 1000003
+		v := solveRef(seed)
+		sums[0] = (sums[0]*31 + v) % 1000000007
+		sums[w] = (sums[w]*17 + v) % 1000000007
+	}
+	for n := int64(0); n < int64(p.Nodes); n++ {
+		out[n] = sums[n]
+	}
+	return out
+}
+
+func (t taskfarm) Verify(p workload.Params, nodes map[int64]workload.NodeResult) error {
+	return workload.VerifyHalted(t.Reference(p), nodes)
+}

@@ -1,0 +1,293 @@
+// Package cli implements the mojrun command (and its gridrun alias):
+// run any registered workload on the in-process simulated cluster or
+// distributed across OS processes, drive it through a declarative fault
+// script, and verify the result bit-exactly against the workload's
+// sequential reference.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/migrate"
+	"repro/internal/workload"
+)
+
+// failFlags collects repeatable -fail specifications.
+type failFlags struct {
+	events []workload.FaultEvent
+}
+
+func (f *failFlags) String() string {
+	var parts []string
+	for _, e := range f.events {
+		parts = append(parts, fmt.Sprintf("%d@%d", e.Node, e.AfterCheckpoints))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *failFlags) Set(spec string) error {
+	ev, err := workload.ParseFailSpec(spec)
+	if err != nil {
+		return err
+	}
+	f.events = append(f.events, ev)
+	return nil
+}
+
+// options is the parsed flag set.
+type options struct {
+	app     string
+	list    bool
+	params  workload.Params
+	fails   failFlags
+	script  string
+	timeout time.Duration
+	verbose bool
+
+	distributed bool
+	coordOnly   bool
+	listen      string
+	storeDir    string
+	join        string
+	node        int64
+	resume      string
+}
+
+// Main is the shared entry point: prog names the binary in messages
+// ("mojrun" or "gridrun"), defaultApp is the -app default (gridrun pins
+// "grid"). It returns the process exit code; a worker ordered to die by
+// the coordinator's fault injection returns 3 (simulated crash, not an
+// error).
+func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int {
+	var (
+		opt  options
+		rows int
+		cols int
+	)
+	fs := flag.NewFlagSet(prog, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&opt.app, "app", defaultApp, "workload to run (see -list)")
+	fs.BoolVar(&opt.list, "list", false, "list registered workloads and exit")
+	fs.IntVar(&opt.params.Nodes, "nodes", 0, "cluster nodes (0 = workload default)")
+	fs.IntVar(&opt.params.Size, "size", 0, "per-node problem size (0 = workload default)")
+	fs.IntVar(&opt.params.Aux, "aux", 0, "workload-specific secondary knob (0 = workload default)")
+	fs.IntVar(&rows, "rows", 0, "rows per node (grid alias for -size)")
+	fs.IntVar(&cols, "cols", 0, "columns (grid alias for -aux)")
+	fs.IntVar(&opt.params.Steps, "steps", 0, "timesteps / rounds / batches (0 = workload default)")
+	fs.IntVar(&opt.params.CheckpointInterval, "ck", 0, "checkpoint interval (0 = workload default)")
+	fs.IntVar(&opt.params.Workers, "workers", 0, "concurrently executing node quanta (0 = unbounded)")
+	fs.Var(&opt.fails, "fail", `inject a failure: "node@checkpoints[@delay]", e.g. "1@2" (repeatable)`)
+	fs.StringVar(&opt.script, "script", "", "fault-scenario script file (fail lines; see README)")
+	fs.DurationVar(&opt.timeout, "timeout", 2*time.Minute, "run timeout")
+	fs.BoolVar(&opt.verbose, "v", false, "print per-node halt codes")
+
+	fs.BoolVar(&opt.distributed, "distributed", false, "spawn one worker OS process per node over loopback TCP")
+	fs.BoolVar(&opt.coordOnly, "coordinator", false, "coordinate externally started -join workers")
+	fs.StringVar(&opt.listen, "listen", "127.0.0.1:0", "coordinator listen address")
+	fs.StringVar(&opt.storeDir, "storedir", "", "directory for the shared checkpoint store (default: in-memory)")
+	fs.StringVar(&opt.join, "join", "", "run as a worker joined to this coordinator address")
+	fs.Int64Var(&opt.node, "node", 0, "node id hosted by this worker (with -join)")
+	fs.StringVar(&opt.resume, "resume", "", "checkpoint name to resurrect from (with -join)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if opt.params.Size == 0 {
+		opt.params.Size = rows
+	}
+	if opt.params.Aux == 0 {
+		opt.params.Aux = cols
+	}
+
+	if opt.list {
+		for _, name := range workload.Names() {
+			w, err := workload.Get(name)
+			if err != nil {
+				continue
+			}
+			d := w.Defaults()
+			fmt.Fprintf(stdout, "%-10s %s\n%-10s defaults: nodes %d, size %d, aux %d, steps %d, ck %d\n",
+				name, w.Description(), "", d.Nodes, d.Size, d.Aux, d.Steps, d.CheckpointInterval)
+		}
+		return 0
+	}
+
+	w, err := workload.Get(opt.app)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+		return 1
+	}
+
+	if opt.join != "" {
+		return runWorker(w, opt, prog, stdout, stderr)
+	}
+
+	script, err := buildScript(opt)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+		return 1
+	}
+	p, err := workload.Normalize(w, opt.params)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "%s: nodes %d, size %d, aux %d, steps %d, checkpoint every %d, workers %d\n",
+		opt.app, p.Nodes, p.Size, p.Aux, p.Steps, p.CheckpointInterval, p.Workers)
+	if script != nil {
+		for _, ev := range script.Events {
+			fmt.Fprintf(stdout, "%s: will kill node %d after checkpoint %d and resurrect it after %s\n",
+				opt.app, ev.Node, ev.AfterCheckpoints, ev.Delay)
+		}
+	}
+
+	var res *workload.Result
+	switch {
+	case opt.distributed, opt.coordOnly:
+		res, err = runCoordinator(w, p, script, opt, prog, stderr)
+	default:
+		res, err = workload.Run(w, p, workload.RunConfig{Script: script, Timeout: opt.timeout})
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+		return 1
+	}
+
+	verr := w.Verify(p, res.Nodes)
+	if opt.verbose || verr != nil {
+		want := w.Reference(p)
+		for _, n := range sortedNodes(want) {
+			got, ok := res.Nodes[n]
+			state := "missing"
+			if ok {
+				state = fmt.Sprintf("%d", got.Halt)
+			}
+			match := "ok"
+			if !ok || got.Halt != want[n] {
+				match = "MISMATCH"
+			}
+			fmt.Fprintf(stdout, "  node %d: halt %s (reference %d) %s\n", n, state, want[n], match)
+		}
+	}
+	fmt.Fprintf(stdout, "%s: elapsed %s, rollbacks %d, resurrections %d\n",
+		opt.app, res.Elapsed.Round(time.Millisecond), res.Rollbacks, res.Resurrections)
+	if verr != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", prog, verr)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: result matches the sequential reference exactly\n", opt.app)
+	return 0
+}
+
+func sortedNodes(want map[int64]int64) []int64 {
+	out := make([]int64, 0, len(want))
+	for n := range want {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// buildScript merges the -script file (first) with repeatable -fail
+// events (after), preserving order.
+func buildScript(opt options) (*workload.FaultScript, error) {
+	var events []workload.FaultEvent
+	if opt.script != "" {
+		f, err := os.Open(opt.script)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		s, err := workload.ParseScript(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", opt.script, err)
+		}
+		events = append(events, s.Events...)
+	}
+	events = append(events, opt.fails.events...)
+	if len(events) == 0 {
+		return nil, nil
+	}
+	return &workload.FaultScript{Events: events}, nil
+}
+
+// runWorker is the -join mode: host one node, exit 0 on a clean finish
+// and 3 when the coordinator's failure injection killed us.
+func runWorker(w workload.Workload, opt options, prog string, stdout, stderr io.Writer) int {
+	st, err := workload.RunWorker(w, workload.WorkerConfig{
+		Join: opt.join, Node: opt.node, Params: opt.params, Resume: opt.resume,
+		Timeout: opt.timeout, Stdout: stdout,
+	})
+	if err == workload.ErrNodeFailed {
+		fmt.Fprintf(stderr, "%s: worker %d: killed by coordinator (simulated crash)\n", prog, opt.node)
+		return 3
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: worker %d: %v\n", prog, opt.node, err)
+		return 1
+	}
+	if st != nil {
+		fmt.Fprintf(stderr, "%s: worker %d: %s (halt %d, %d steps)\n",
+			prog, opt.node, st.Status, st.Halt, st.Steps)
+	}
+	return 0
+}
+
+// runCoordinator is the -distributed / -coordinator mode.
+func runCoordinator(w workload.Workload, p workload.Params, script *workload.FaultScript,
+	opt options, prog string, stderr io.Writer) (*workload.Result, error) {
+	var store migrate.Store
+	if opt.storeDir != "" {
+		ds, err := cluster.NewDirStore(opt.storeDir)
+		if err != nil {
+			return nil, err
+		}
+		store = ds
+	}
+	cfg := workload.DistributedConfig{
+		Listen: opt.listen,
+		Store:  store,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, prog+": "+format+"\n", args...)
+		},
+	}
+	if opt.distributed {
+		self, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Spawn = func(join string, node int64, resume string) error {
+			args := []string{
+				"-app", w.Name(),
+				"-join", join,
+				"-node", strconv.FormatInt(node, 10),
+				"-resume", resume,
+				"-nodes", strconv.Itoa(p.Nodes),
+				"-size", strconv.Itoa(p.Size),
+				"-aux", strconv.Itoa(p.Aux),
+				"-steps", strconv.Itoa(p.Steps),
+				"-ck", strconv.Itoa(p.CheckpointInterval),
+				"-timeout", opt.timeout.String(),
+			}
+			cmd := exec.Command(self, args...)
+			cmd.Stdout = os.Stdout
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				return err
+			}
+			// Reap in the background; exit code 3 is the injected crash.
+			go func() { _ = cmd.Wait() }()
+			return nil
+		}
+	}
+	return workload.RunDistributed(w, p, script, cfg, opt.timeout)
+}

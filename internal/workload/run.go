@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fir"
+	"repro/internal/migrate"
+	"repro/internal/rt"
+)
+
+// Result summarizes one cluster run of a workload, on either execution
+// path (in-process engine or distributed transport).
+type Result struct {
+	// Nodes holds every node's final disposition (including migrated-away
+	// source nodes; the workload's Verify knows which must have halted).
+	Nodes map[int64]NodeResult
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Rollbacks is the number of MSG_ROLL deliveries (survivor rollbacks).
+	Rollbacks uint64
+	// Resurrections counts checkpoint restores performed by the fault
+	// script.
+	Resurrections int
+}
+
+// RunConfig tunes a run beyond the workload parameters.
+type RunConfig struct {
+	// Script, when set, is the fault scenario to drive the run through.
+	Script *FaultScript
+	// Timeout bounds the run (default 2m).
+	Timeout time.Duration
+	// Stdout receives process output (default: discard).
+	Stdout io.Writer
+	// Program, when set, overrides w.Program(p) — benchmarks compile once
+	// and reuse.
+	Program *fir.Program
+	// Quantum overrides the engine's kill-check granularity in steps.
+	// Zero picks the engine default for failure-free runs and a small
+	// quantum (500) when a fault script is present — without it, a small
+	// program can halt cleanly inside the quantum the kill was posted in,
+	// and the "failure" would miss its victim.
+	Quantum uint64
+}
+
+// observableStore wraps a checkpoint store with a put callback: the
+// trigger fault scripts key on (failures land at checkpoint boundaries).
+type observableStore struct {
+	migrate.Store
+	mu    sync.Mutex
+	onPut func(name string, count int)
+	puts  map[string]int
+}
+
+func (s *observableStore) Put(name string, data []byte) error {
+	if err := s.Store.Put(name, data); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.puts == nil {
+		s.puts = make(map[string]int)
+	}
+	s.puts[name]++
+	n := s.puts[name]
+	cb := s.onPut
+	s.mu.Unlock()
+	if cb != nil {
+		cb(name, n)
+	}
+	return nil
+}
+
+// Run executes a workload on the in-process simulated cluster, driving
+// it through the fault script (if any), and returns every node's final
+// state. Callers check the result with w.Verify (or use RunVerified).
+func Run(w Workload, p Params, cfg RunConfig) (*Result, error) {
+	p, err := Normalize(w, p)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	prog := cfg.Program
+	if prog == nil {
+		if prog, err = w.Program(p); err != nil {
+			return nil, err
+		}
+	}
+
+	quantum := cfg.Quantum
+	if quantum == 0 && cfg.Script != nil && len(cfg.Script.Events) > 0 {
+		quantum = 500
+	}
+	store := &observableStore{Store: cluster.NewMemStore()}
+	eng := cluster.NewEngine(cluster.EngineConfig{
+		Store:   store,
+		Stdout:  cfg.Stdout,
+		Quantum: quantum,
+		Workers: p.Workers,
+		// The target of a node://K handoff may never have been started
+		// explicitly; the factory binds its externs on arrival.
+		Extra: func(node int64) rt.Registry { return w.Externs(p, node) },
+	})
+	defer eng.Close()
+
+	driver := newScriptDriver(cfg.Script, w.CheckpointName,
+		eng.Fail,
+		func(node int64, checkpoint string) error {
+			return eng.Resurrect(node, checkpoint, w.Externs(p, node))
+		})
+	store.onPut = driver.OnPut
+
+	start := time.Now()
+	args := w.NodeArgs(p)
+	for _, n := range w.StartNodes(p) {
+		if err := eng.StartProcess(n, prog, args, w.Externs(p, n)); err != nil {
+			return nil, fmt.Errorf("workload %s: starting node %d: %w", w.Name(), n, err)
+		}
+	}
+	states, err := eng.Wait(cfg.Timeout)
+	res := &Result{Elapsed: time.Since(start)}
+	if err != nil {
+		return nil, err
+	}
+	res.Resurrections, err = driver.finish()
+	if err != nil {
+		return nil, err
+	}
+
+	res.Nodes = make(map[int64]NodeResult, len(states))
+	for n, st := range states {
+		if st.Killed {
+			return nil, fmt.Errorf("workload %s: node %d still marked killed at exit", w.Name(), n)
+		}
+		nr := NodeResult{Node: n, Status: st.Status, Halt: st.Halt, Steps: st.Steps}
+		if st.Err != nil {
+			nr.Err = st.Err.Error()
+		}
+		res.Nodes[n] = nr
+	}
+	res.Rollbacks = eng.Router.Stats().Rolls
+	return res, nil
+}
+
+// RunVerified is Run followed by the workload's own bit-exact
+// verification against its sequential reference.
+func RunVerified(w Workload, p Params, cfg RunConfig) (*Result, error) {
+	p, err := Normalize(w, p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Run(w, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Verify(p, res.Nodes); err != nil {
+		return res, err
+	}
+	return res, nil
+}

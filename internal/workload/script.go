@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultRestartDelay is the restart delay a fault event without an
+// explicit delay uses: the time a failure detector plus resurrection
+// daemon would need.
+const DefaultRestartDelay = 25 * time.Millisecond
+
+// FaultEvent is one scripted failure: kill Node after it has written
+// AfterCheckpoints checkpoints (cumulative since run start), then
+// resurrect it from its latest checkpoint after Delay.
+type FaultEvent struct {
+	Node             int64
+	AfterCheckpoints int
+	Delay            time.Duration
+}
+
+// FaultScript is a declarative fault scenario: an ordered list of
+// events. Events fire strictly in order — event i+1 arms only once event
+// i's resurrection has completed — so "multiple sequential failures in
+// one run" is well-defined and the run converges.
+type FaultScript struct {
+	Events []FaultEvent
+}
+
+// OneFailure is the single-event sugar the old grid.FailurePlan form
+// maps onto.
+func OneFailure(node int64, afterCheckpoints int, delay time.Duration) *FaultScript {
+	return &FaultScript{Events: []FaultEvent{{Node: node, AfterCheckpoints: afterCheckpoints, Delay: delay}}}
+}
+
+// ParseFailSpec parses one -fail specification:
+//
+//	"node@checkpoints"          e.g. "1@2"
+//	"node@checkpoints@delay"    e.g. "0@4@50ms"
+//
+// It returns an error instead of exiting, so callers (flag parsing,
+// script files) can report context.
+func ParseFailSpec(spec string) (FaultEvent, error) {
+	parts := strings.Split(spec, "@")
+	if len(parts) < 2 || len(parts) > 3 {
+		return FaultEvent{}, fmt.Errorf(`bad fail spec %q, want "node@checkpoints" or "node@checkpoints@delay"`, spec)
+	}
+	node, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil || node < 0 {
+		return FaultEvent{}, fmt.Errorf("bad fail spec %q: node %q must be a non-negative integer", spec, parts[0])
+	}
+	after, err := strconv.Atoi(parts[1])
+	if err != nil || after < 1 {
+		return FaultEvent{}, fmt.Errorf("bad fail spec %q: checkpoint count %q must be a positive integer", spec, parts[1])
+	}
+	ev := FaultEvent{Node: node, AfterCheckpoints: after, Delay: DefaultRestartDelay}
+	if len(parts) == 3 {
+		d, err := time.ParseDuration(parts[2])
+		if err != nil {
+			return FaultEvent{}, fmt.Errorf("bad fail spec %q: delay %q: %v", spec, parts[2], err)
+		}
+		if d < 0 {
+			return FaultEvent{}, fmt.Errorf("bad fail spec %q: delay %q must be non-negative", spec, parts[2])
+		}
+		ev.Delay = d
+	}
+	return ev, nil
+}
+
+// ParseScript reads a scenario script: one event per line, in firing
+// order. Blank lines and '#' comments are skipped.
+//
+//	# kill node 1 after its 2nd checkpoint, resurrect after the default delay
+//	fail 1@2
+//	# then kill node 0 after its 4th checkpoint, resurrect after 50ms
+//	fail 0@4 delay=50ms
+func ParseScript(r io.Reader) (*FaultScript, error) {
+	s := &FaultScript{}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] != "fail" || len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("script line %d: want \"fail node@checkpoints [delay=D]\", got %q", lineno, line)
+		}
+		ev, err := ParseFailSpec(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("script line %d: %v", lineno, err)
+		}
+		if len(fields) == 3 {
+			val, ok := strings.CutPrefix(fields[2], "delay=")
+			if !ok {
+				return nil, fmt.Errorf("script line %d: unknown option %q", lineno, fields[2])
+			}
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("script line %d: bad delay %q", lineno, val)
+			}
+			ev.Delay = d
+		}
+		s.Events = append(s.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseScriptString is ParseScript over a string.
+func ParseScriptString(text string) (*FaultScript, error) {
+	return ParseScript(strings.NewReader(text))
+}
+
+// ---------------------------------------------------------------------------
+// Scenario engine
+
+// scriptDriver fires a FaultScript against a running cluster. It is
+// triggered by checkpoint writes (the observable the paper's failure
+// plans key on): OnPut feeds it every successful checkpoint store write
+// with a per-name cumulative count; when the armed event's node has
+// written enough checkpoints, the driver kills it and schedules the
+// resurrection. Events fire strictly in script order.
+type scriptDriver struct {
+	ckName    func(node int64) string
+	fail      func(node int64)
+	resurrect func(node int64, checkpoint string) error
+
+	mu       sync.Mutex
+	events   []FaultEvent
+	next     int  // index of the armed event
+	inFlight bool // armed event fired, resurrection pending
+	counts   map[string]int
+	errs     []error
+	fired    int
+}
+
+func newScriptDriver(script *FaultScript, ckName func(int64) string,
+	fail func(int64), resurrect func(int64, string) error) *scriptDriver {
+	d := &scriptDriver{
+		ckName:    ckName,
+		fail:      fail,
+		resurrect: resurrect,
+		counts:    make(map[string]int),
+	}
+	if script != nil {
+		d.events = script.Events
+	}
+	return d
+}
+
+// OnPut observes one successful checkpoint write. Safe for concurrent
+// use; may fire an event.
+func (d *scriptDriver) OnPut(name string, count int) {
+	d.mu.Lock()
+	if count > d.counts[name] {
+		d.counts[name] = count
+	}
+	d.maybeFireLocked()
+	d.mu.Unlock()
+}
+
+// maybeFireLocked fires the armed event if its trigger is satisfied and
+// no earlier event is still resurrecting.
+func (d *scriptDriver) maybeFireLocked() {
+	if d.inFlight || d.next >= len(d.events) {
+		return
+	}
+	ev := d.events[d.next]
+	name := d.ckName(ev.Node)
+	if d.counts[name] < ev.AfterCheckpoints {
+		return
+	}
+	d.inFlight = true
+	d.fail(ev.Node)
+	go func() {
+		time.Sleep(ev.Delay)
+		err := d.resurrect(ev.Node, name)
+		d.mu.Lock()
+		d.fired++
+		if err != nil {
+			d.errs = append(d.errs, fmt.Errorf("workload: resurrecting node %d (event %d): %w", ev.Node, d.next, err))
+		}
+		d.next++
+		d.inFlight = false
+		// The next event's trigger may already be satisfied by
+		// checkpoints written while this one was resurrecting.
+		d.maybeFireLocked()
+		d.mu.Unlock()
+	}()
+}
+
+// finish reports the script's outcome once the run is over: an error if
+// any resurrection failed or any event never triggered.
+func (d *scriptDriver) finish() (fired int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.errs) > 0 {
+		return d.fired, d.errs[0]
+	}
+	if d.next < len(d.events) || d.inFlight {
+		ev := d.events[d.next]
+		return d.fired, fmt.Errorf("workload: fault event %d never completed (node %d after %d checkpoints; run too short for the script?)",
+			d.next, ev.Node, ev.AfterCheckpoints)
+	}
+	return d.fired, nil
+}

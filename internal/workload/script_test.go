@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFailSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want FaultEvent
+	}{
+		{"1@2", FaultEvent{Node: 1, AfterCheckpoints: 2, Delay: DefaultRestartDelay}},
+		{"0@4", FaultEvent{Node: 0, AfterCheckpoints: 4, Delay: DefaultRestartDelay}},
+		{"3@1@50ms", FaultEvent{Node: 3, AfterCheckpoints: 1, Delay: 50 * time.Millisecond}},
+		{"2@7@0s", FaultEvent{Node: 2, AfterCheckpoints: 7, Delay: 0}},
+	}
+	for _, c := range cases {
+		got, err := ParseFailSpec(c.spec)
+		if err != nil {
+			t.Errorf("ParseFailSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseFailSpec(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseFailSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",        // empty
+		"1",       // no separator
+		"@",       // both halves empty
+		"x@2",     // bad node
+		"-1@2",    // negative node
+		"1@y",     // bad count
+		"1@0",     // count must be positive
+		"1@-2",    // negative count
+		"1@2@zz",  // bad delay
+		"1@2@3@4", // too many fields
+		"1@2@-5s", // negative delay
+	} {
+		if ev, err := ParseFailSpec(spec); err == nil {
+			t.Errorf("ParseFailSpec(%q) accepted: %+v", spec, ev)
+		}
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	src := `
+# a two-failure scenario
+fail 1@2
+
+fail 0@4 delay=50ms   # trailing comment
+`
+	s, err := ParseScriptString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FaultEvent{
+		{Node: 1, AfterCheckpoints: 2, Delay: DefaultRestartDelay},
+		{Node: 0, AfterCheckpoints: 4, Delay: 50 * time.Millisecond},
+	}
+	if len(s.Events) != len(want) {
+		t.Fatalf("events = %+v, want %+v", s.Events, want)
+	}
+	for i := range want {
+		if s.Events[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, s.Events[i], want[i])
+		}
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	for _, src := range []string{
+		"resurrect 1",             // unknown verb
+		"fail",                    // missing spec
+		"fail 1@2 delay",          // malformed option
+		"fail 1@2 after=5ms",      // unknown option
+		"fail 1@2 delay=xx",       // bad duration
+		"fail 1@2 delay=1s extra", // too many fields
+	} {
+		if s, err := ParseScriptString(src); err == nil {
+			t.Errorf("ParseScriptString(%q) accepted: %+v", src, s.Events)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("ParseScriptString(%q) error lacks line number: %v", src, err)
+		}
+	}
+}
+
+func TestOneFailureSugar(t *testing.T) {
+	s := OneFailure(2, 3, time.Second)
+	if len(s.Events) != 1 || s.Events[0] != (FaultEvent{Node: 2, AfterCheckpoints: 3, Delay: time.Second}) {
+		t.Fatalf("OneFailure = %+v", s.Events)
+	}
+}
+
+// TestScriptDriverSequencing pins the scenario engine's ordering
+// contract: event i+1 arms only after event i's resurrection completed,
+// even when its own trigger count was reached earlier.
+func TestScriptDriverSequencing(t *testing.T) {
+	script := &FaultScript{Events: []FaultEvent{
+		{Node: 1, AfterCheckpoints: 1},
+		{Node: 2, AfterCheckpoints: 1},
+	}}
+	var mu struct {
+		failed      []int64
+		resurrected []int64
+	}
+	release := make(chan struct{})
+	d := newScriptDriver(script,
+		func(n int64) string { return "ck" + string(rune('0'+n)) },
+		func(n int64) { mu.failed = append(mu.failed, n) },
+		func(n int64, ck string) error {
+			<-release
+			mu.resurrected = append(mu.resurrected, n)
+			return nil
+		})
+
+	// Both triggers satisfied immediately; only event 0 may fire.
+	d.OnPut("ck1", 1)
+	d.OnPut("ck2", 1)
+	if len(mu.failed) != 1 || mu.failed[0] != 1 {
+		t.Fatalf("failed = %v, want just node 1", mu.failed)
+	}
+	close(release) // let both resurrections run
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fired, err := d.finish()
+		if err == nil && fired == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("script never completed: fired=%d err=%v (failed=%v resurrected=%v)",
+				fired, err, mu.failed, mu.resurrected)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(mu.failed) != 2 || mu.failed[1] != 2 {
+		t.Fatalf("failed = %v, want [1 2]", mu.failed)
+	}
+	if len(mu.resurrected) != 2 || mu.resurrected[0] != 1 || mu.resurrected[1] != 2 {
+		t.Fatalf("resurrected = %v, want [1 2]", mu.resurrected)
+	}
+}

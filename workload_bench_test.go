@@ -1,0 +1,100 @@
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+
+	_ "repro/internal/workload/apps" // register grid, allreduce, taskfarm, pipeline
+)
+
+// ---------------------------------------------------------------------------
+// Per-workload benchmarks: every registered application, failure-free
+// and through a one-failure fault script, each run verified bit-exactly
+// against its sequential reference. With -benchdir they leave one
+// BENCH_<app>.json trajectory file per app:
+//
+//	go test -bench Workloads -benchtime 1x -benchdir . .
+
+// benchWorkloadParams picks a load per app that is big enough to mean
+// something and small enough for a CI smoke run.
+func benchWorkloadParams(name string) workload.Params {
+	switch name {
+	case "grid":
+		return workload.Params{Nodes: 3, Size: 4, Aux: 8, Steps: 16, CheckpointInterval: 4, Workers: 2}
+	case "allreduce":
+		return workload.Params{Nodes: 3, Size: 8, Steps: 8, CheckpointInterval: 2, Workers: 2}
+	case "taskfarm":
+		return workload.Params{Nodes: 3, Size: 8, Steps: 6, CheckpointInterval: 2, Workers: 2}
+	case "pipeline":
+		return workload.Params{Nodes: 4, Size: 4, Aux: 4, Steps: 8, CheckpointInterval: 2, Workers: 2}
+	}
+	return workload.Params{}
+}
+
+// benchFailure is the one-failure recovery script per app (a node with
+// an early checkpoint, so the kill lands mid-run).
+func benchFailure(name string) *workload.FaultScript {
+	node := int64(1)
+	if name == "pipeline" {
+		node = 0 // the source; the middle stage is busy migrating
+	}
+	return workload.OneFailure(node, 1, 10*time.Millisecond)
+}
+
+func benchWorkload(b *testing.B, w workload.Workload, p workload.Params, script *workload.FaultScript) {
+	p, err := workload.Normalize(w, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := w.Program(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rollbacks uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Run(w, p, workload.RunConfig{
+			Script: script, Timeout: 2 * time.Minute, Program: prog,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Verify(p, res.Nodes); err != nil {
+			b.Fatal(err)
+		}
+		rollbacks += res.Rollbacks
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rollbacks)/float64(b.N), "rollbacks/op")
+	recordBench(BenchRecord{
+		App:            w.Name(),
+		Name:           b.Name(),
+		Iterations:     b.N,
+		NsPerOp:        float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		RollbacksPerOp: float64(rollbacks) / float64(b.N),
+		Nodes:          p.Nodes,
+		Size:           p.Size,
+		Aux:            p.Aux,
+		Steps:          p.Steps,
+		CkInterval:     p.CheckpointInterval,
+		Workers:        p.Workers,
+	})
+}
+
+func BenchmarkWorkloads(b *testing.B) {
+	for _, name := range workload.Names() {
+		w, err := workload.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := benchWorkloadParams(name)
+		b.Run(name+"/failurefree", func(b *testing.B) {
+			benchWorkload(b, w, p, nil)
+		})
+		b.Run(name+"/recovery", func(b *testing.B) {
+			benchWorkload(b, w, p, benchFailure(name))
+		})
+	}
+}
