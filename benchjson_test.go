@@ -41,6 +41,15 @@ type BenchRecord struct {
 	Steps          int     `json:"steps"`
 	CkInterval     int     `json:"checkpoint_interval"`
 	Workers        int     `json:"workers"`
+
+	// Checkpoint pipeline metrics (zero when the run wrote no
+	// checkpoints). Bytes and pause are per checkpoint; recovery is per
+	// restore. CkptMode is "full", "delta" or "async".
+	CkptMode          string  `json:"ckpt_mode,omitempty"`
+	CkptPerOp         float64 `json:"checkpoints_per_op,omitempty"`
+	CkptBytesPerCkpt  float64 `json:"ckpt_bytes_per_checkpoint,omitempty"`
+	CkptPauseNsPerCk  float64 `json:"ckpt_pause_ns_per_checkpoint,omitempty"`
+	RecoveryNsPerRest float64 `json:"recovery_ns_per_restore,omitempty"`
 }
 
 var benchRecords struct {

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/lang"
+	"repro/internal/migrate"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+// runRing executes the ring workload on an engine with the given
+// checkpoint options and store, driving one failure + resurrection of
+// `victim` after its checkpoint count reaches failAfter (0 = no failure),
+// and verifies every node against the sequential reference.
+func runRing(t *testing.T, store *notifyStore, opts ckpt.Options, workers int, victim int64, failAfter int, delay time.Duration) *Engine {
+	t.Helper()
+	const (
+		nodes = 4
+		steps = 12
+		cki   = 3
+	)
+	prog, err := lang.Compile(ringSrc, ringExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(EngineConfig{Store: store, Workers: workers, Quantum: 500, Ckpt: opts})
+	defer e.Close()
+
+	resurrected := make(chan error, 1)
+	if failAfter > 0 {
+		var failOnce sync.Once
+		head := fmt.Sprintf("ring-ck-%d", victim)
+		store.onPut = func(name string, count int) {
+			if name != head || count < failAfter {
+				return
+			}
+			failOnce.Do(func() {
+				e.Fail(victim)
+				go func() {
+					time.Sleep(delay)
+					resurrected <- e.Resurrect(victim, head, ringCkExtern(victim))
+				}()
+			})
+		}
+	} else {
+		close(resurrected)
+	}
+
+	args := []int64{nodes, steps, cki}
+	for n := int64(0); n < nodes; n++ {
+		if err := e.StartProcess(n, prog, args, ringCkExtern(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if failAfter > 0 {
+		if err := <-resurrected; err != nil {
+			t.Fatalf("resurrection: %v", err)
+		}
+	}
+	states, err := e.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ringReference(nodes, steps)
+	for n := int64(0); n < nodes; n++ {
+		st := states[n]
+		if st.Status != rt.StatusHalted {
+			t.Fatalf("node %d: %+v", n, st)
+		}
+		if st.Halt != want[n] {
+			t.Fatalf("node %d halt = %d, want %d", n, st.Halt, want[n])
+		}
+	}
+	return e
+}
+
+// TestCkptModesRingBitExact: the ring converges to the same reference
+// values in every checkpoint pipeline mode, failure-free and across a
+// failure + resurrection, on unbounded and bounded worker pools.
+func TestCkptModesRingBitExact(t *testing.T) {
+	for _, mode := range []ckpt.Mode{ckpt.ModeFull, ckpt.ModeDelta, ckpt.ModeAsync} {
+		for _, workers := range []int{0, 2} {
+			t.Run(fmt.Sprintf("%s/workers=%d", mode, workers), func(t *testing.T) {
+				store := &notifyStore{Store: NewMemStore()}
+				e := runRing(t, store, ckpt.Options{Mode: mode}, workers, 1, 1, 10*time.Millisecond)
+				st := e.CkptStats()
+				if st.Checkpoints == 0 {
+					t.Fatal("no checkpoints recorded")
+				}
+				if mode != ckpt.ModeFull && st.Deltas == 0 {
+					t.Fatalf("mode %s wrote no delta checkpoints: %+v", mode, st)
+				}
+				if st.Recoveries != 1 {
+					t.Fatalf("recoveries = %d, want 1", st.Recoveries)
+				}
+			})
+		}
+	}
+}
+
+// slowStore delays chain-member writes so an async commit is reliably in
+// flight when the fault script kills the node.
+type slowStore struct {
+	migrate.Store
+	memberDelay time.Duration
+}
+
+func (s *slowStore) Put(name string, data []byte) error {
+	if strings.Contains(name, "@") {
+		time.Sleep(s.memberDelay)
+	}
+	return s.Store.Put(name, data)
+}
+
+// TestAsyncKillMidCommitRecovery is the durability-watermark race test
+// (run under -race): the store is slow, so when the victim dies it still
+// has an async commit in flight. The resurrection must come back from
+// the last *durable* checkpoint — never the in-flight one — and the ring
+// must still converge bit-exactly. Exercised across both kill points:
+// after the first checkpoint (mostly-empty chain) and a later one.
+func TestAsyncKillMidCommitRecovery(t *testing.T) {
+	for _, failAfter := range []int{1, 2} {
+		t.Run(fmt.Sprintf("failAfter=%d", failAfter), func(t *testing.T) {
+			store := &notifyStore{Store: &slowStore{Store: NewMemStore(), memberDelay: 3 * time.Millisecond}}
+			e := runRing(t, store, ckpt.Options{Mode: ckpt.ModeAsync, K: 2}, 2, 2, failAfter, 5*time.Millisecond)
+			st := e.CkptStats()
+			if st.Checkpoints == 0 || st.Deltas == 0 {
+				t.Fatalf("async pipeline inactive: %+v", st)
+			}
+		})
+	}
+}
+
+// TestDeltaChainResurrect pins the on-store chain layout: delta mode with
+// a small K leaves immutable members under head@N plus a head ref, the
+// head resolves through FetchImage to a full image, and resurrection
+// from a mid-chain head converges.
+func TestDeltaChainResurrect(t *testing.T) {
+	store := &notifyStore{Store: NewMemStore()}
+	// K=3 with 4 checkpoints/node: the survivors' heads land on a delta
+	// (full@0 + deltas@1..3), so resolution walks a real chain.
+	e := runRing(t, store, ckpt.Options{Mode: ckpt.ModeDelta, K: 3}, 0, 1, 2, 10*time.Millisecond)
+
+	head := "ring-ck-0" // a survivor's chain, untouched by the failure
+	data, err := e.Store.Get(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, ok := wire.DecodeRef(data)
+	if !ok {
+		t.Fatalf("head %q does not hold a ref record", head)
+	}
+	if !strings.HasPrefix(target, head+"@") {
+		t.Fatalf("head ref %q does not name a chain member of %q", target, head)
+	}
+	chain, err := migrate.ResolveChain(e.Store, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) < 2 {
+		t.Fatalf("chain %v too short to exercise delta resolution", chain)
+	}
+	if len(chain) > 4 {
+		t.Fatalf("chain %v longer than K=3 allows (full + 3 deltas)", chain)
+	}
+	img, err := migrate.FetchImage(e.Store, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.State.Heap == nil || len(img.State.Heap.Entries) == 0 {
+		t.Fatal("rebuilt image has an empty heap")
+	}
+}
+
+// TestDeltaChainPruning: publishing a full image deletes the chain
+// members it supersedes, so the store does not grow without bound over
+// a long run.
+func TestDeltaChainPruning(t *testing.T) {
+	store := &notifyStore{Store: NewMemStore()}
+	// K=1 alternates full/delta, so several fulls publish (and prune)
+	// during the run.
+	runRing(t, store, ckpt.Options{Mode: ckpt.ModeDelta, K: 1}, 0, 0, 0, 0)
+
+	names, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byHead := make(map[string][]string)
+	for _, n := range names {
+		if i := strings.IndexByte(n, '@'); i >= 0 {
+			byHead[n[:i]] = append(byHead[n[:i]], n)
+		}
+	}
+	for head, members := range byHead {
+		// Everything before the last published full is pruned: at most
+		// the latest full plus the deltas after it (≤ K) may remain.
+		if len(members) > 2 {
+			t.Fatalf("chain %q kept %d members after pruning: %v", head, len(members), members)
+		}
+		chain, err := migrate.ResolveChain(store, head)
+		if err != nil {
+			t.Fatalf("chain %q unresolvable after pruning: %v", head, err)
+		}
+		if len(chain) == 0 {
+			t.Fatalf("chain %q empty", head)
+		}
+	}
+	if len(byHead) == 0 {
+		t.Fatal("no chain members in the store at all")
+	}
+}

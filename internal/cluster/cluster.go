@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -17,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/fir"
 	"repro/internal/heap"
 	"repro/internal/migrate"
@@ -44,17 +46,29 @@ func (s *MemStore) Put(name string, data []byte) error {
 	return nil
 }
 
-// Get retrieves a checkpoint.
+// Get retrieves a checkpoint. A missing name reports os.ErrNotExist (so
+// callers can tell "no checkpoint yet" from I/O failure), and the
+// returned slice is a defensive copy — callers may retain or mutate it
+// without aliasing the stored bytes.
 func (s *MemStore) Get(name string) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d, ok := s.m[name]
 	if !ok {
-		return nil, fmt.Errorf("cluster: checkpoint %q not found", name)
+		return nil, fmt.Errorf("cluster: checkpoint %q: %w", name, os.ErrNotExist)
 	}
 	out := make([]byte, len(d))
 	copy(out, d)
 	return out, nil
+}
+
+// Delete removes a checkpoint; deleting a missing name is a no-op (the
+// checkpoint pipeline prunes superseded chain members best-effort).
+func (s *MemStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, name)
+	return nil
 }
 
 // List enumerates checkpoint names, sorted.
@@ -125,19 +139,43 @@ func (s *DirStore) Put(name string, data []byte) error {
 	return nil
 }
 
-// Get reads a checkpoint file.
+// Get reads a checkpoint file. A missing checkpoint keeps its
+// os.ErrNotExist identity through the added context, so callers can
+// distinguish "no checkpoint yet" from real I/O failure with errors.Is.
 func (s *DirStore) Get(name string) ([]byte, error) {
 	p, err := s.path(name)
 	if err != nil {
 		return nil, err
 	}
-	return os.ReadFile(p)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: checkpoint %q: %w", name, err)
+	}
+	return data, nil
 }
 
-// List enumerates checkpoint names, sorted.
+// Delete removes a checkpoint file; a missing file is a no-op.
+func (s *DirStore) Delete(name string) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// List enumerates checkpoint names, sorted. A store directory that has
+// disappeared lists as empty (indistinguishable from "no checkpoints
+// yet") rather than erroring: List gates best-effort recovery decisions,
+// and callers that must distinguish probe with Get.
 func (s *DirStore) List() ([]string, error) {
 	ents, err := os.ReadDir(s.Dir)
 	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
 		return nil, err
 	}
 	var out []string
@@ -225,6 +263,8 @@ type Config struct {
 	// Workers bounds concurrently executing node quanta (0 = unbounded);
 	// see EngineConfig.Workers.
 	Workers int
+	// Ckpt selects the checkpoint pipeline mode; see EngineConfig.Ckpt.
+	Ckpt ckpt.Options
 }
 
 // Cluster is a set of simulated nodes sharing a router and a checkpoint
@@ -243,6 +283,7 @@ func New(cfg Config) *Cluster {
 		Heap:    cfg.Heap,
 		Quantum: cfg.Quantum,
 		Workers: cfg.Workers,
+		Ckpt:    cfg.Ckpt,
 	})}
 }
 

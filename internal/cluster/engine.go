@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/fir"
 	"repro/internal/heap"
 	"repro/internal/migrate"
@@ -51,6 +52,10 @@ type EngineConfig struct {
 	// adopting engine must install (Adopt) so the migrated incarnation has
 	// observed exactly the failures its source had.
 	RemoteHandoff func(src, dst int64, img *wire.Image, seen int64) error
+	// Ckpt selects the checkpoint pipeline mode (full/delta/async) and the
+	// delta-chain bound K. The zero value is the classic synchronous
+	// full-image path.
+	Ckpt ckpt.Options
 }
 
 // Engine is the parallel cluster execution runtime: each simulated node
@@ -61,9 +66,10 @@ type EngineConfig struct {
 // point on the source node and resumed as node K on a fresh driver, while
 // every other node keeps running.
 type Engine struct {
-	cfg    EngineConfig
-	Router *msg.Router
-	Store  migrate.Store
+	cfg       EngineConfig
+	Router    *msg.Router
+	Store     migrate.Store
+	committer *ckpt.Committer
 
 	slots chan struct{} // worker semaphore; nil = unbounded
 
@@ -117,13 +123,14 @@ func NewEngine(cfg EngineConfig) *Engine {
 		router = msg.NewRouter()
 	}
 	e := &Engine{
-		cfg:     cfg,
-		Router:  router,
-		Store:   cfg.Store,
-		drivers: make(map[int64]*driver),
-		states:  make(map[int64]*ProcState),
-		extras:  make(map[int64]rt.Registry),
-		killed:  make(map[int64]bool),
+		cfg:       cfg,
+		Router:    router,
+		Store:     cfg.Store,
+		committer: ckpt.New(cfg.Store, cfg.Ckpt),
+		drivers:   make(map[int64]*driver),
+		states:    make(map[int64]*ProcState),
+		extras:    make(map[int64]rt.Registry),
+		killed:    make(map[int64]bool),
 	}
 	e.activeCond = sync.NewCond(&e.activeMu)
 	if cfg.Workers > 0 {
@@ -175,6 +182,29 @@ func (e *Engine) hooksFor(box *procBox) *msg.BlockHooks {
 // application extras for a node.
 func (e *Engine) nodeExterns(node int64, box *procBox, extra rt.Registry) rt.Registry {
 	externs := e.Router.ExternsHooked(node, e.hooksFor(box))
+	if gc, ok := externs["msg_gc"]; ok && e.cfg.Ckpt.Mode != ckpt.ModeFull {
+		// In the incremental modes a node's msg_gc can run ahead of its
+		// checkpoint's publication: under write-behind commit the program
+		// continues while the commit is in flight, and a zombie that
+		// outruns its kill by a quantum checkpoints with the head ref
+		// withheld. Pruning the message buffers at the program's call
+		// point would strand the resurrection — it resumes from the last
+		// *published* checkpoint, which may lie before the announced
+		// floor, needing exactly the messages in between. Defer the prune
+		// until everything captured so far is durable and published; a
+		// floor behind an aborted (never-published) commit is dropped
+		// with it.
+		externs["msg_gc"] = rt.Extern{
+			Sig: gc.Sig,
+			Fn: func(r rt.Runtime, a []heap.Value) (heap.Value, error) {
+				below := a[0].I
+				e.committer.AfterOwnerDurable(node, func() {
+					e.Router.GC(node, below)
+				})
+				return heap.IntVal(0), nil
+			},
+		}
+	}
 	for n, x := range extra {
 		externs[n] = x
 	}
@@ -187,7 +217,7 @@ func (e *Engine) nodeExterns(node int64, box *procBox, extra rt.Registry) rt.Reg
 // harness registers ck_name, for example).
 func (e *Engine) StartProcess(node int64, prog *fir.Program, args []int64, extra rt.Registry) error {
 	p := vm.NewProcess(prog, vm.Config{
-		Heap:   e.cfg.Heap,
+		Heap:   e.heapConfig(),
 		Stdout: e.cfg.Stdout,
 		Fuel:   e.cfg.Fuel,
 		Name:   fmt.Sprintf("node-%d", node),
@@ -228,7 +258,7 @@ func (e *Engine) unpackAs(node int64, img *wire.Image, extra rt.Registry, tag st
 	proc, _, err := migrate.Unpack(img, migrate.Options{
 		Externs: e.nodeExterns(node, box, extra),
 		Config: vm.Config{
-			Heap:   e.cfg.Heap,
+			Heap:   e.heapConfig(),
 			Stdout: e.cfg.Stdout,
 			Fuel:   e.cfg.Fuel,
 			Name:   fmt.Sprintf("node-%d(%s)", node, tag),
@@ -243,10 +273,25 @@ func (e *Engine) unpackAs(node int64, img *wire.Image, extra rt.Registry, tag st
 	return proc, nil
 }
 
+// heapConfig returns the per-process heap configuration: the engine's,
+// with dirty tracking enabled whenever the incremental checkpoint
+// pipeline may capture deltas.
+func (e *Engine) heapConfig() heap.Config {
+	hc := e.cfg.Heap
+	if e.cfg.Ckpt.Mode != ckpt.ModeFull {
+		hc.TrackDirty = true
+	}
+	return hc
+}
+
+// CkptStats returns the checkpoint pipeline counters.
+func (e *Engine) CkptStats() ckpt.Stats { return e.committer.Stats() }
+
 // migrateHandler routes migrate targets: "node://K" is an in-engine
-// handoff to another simulated node; everything else (checkpoint://,
-// suspend://, migrate://…) goes through the standard Migrator against the
-// shared store.
+// handoff to another simulated node; checkpoint:// goes through the
+// engine's checkpoint pipeline (full, delta or async per EngineConfig);
+// everything else (suspend://, migrate://…) goes through the standard
+// Migrator against the shared store.
 func (e *Engine) migrateHandler(node int64) rt.MigrateHandler {
 	mig := &migrate.Migrator{Store: e.Store}
 	return func(req *rt.MigrationRequest) (rt.MigrateOutcome, error) {
@@ -256,6 +301,12 @@ func (e *Engine) migrateHandler(node int64) rt.MigrateHandler {
 				return rt.OutcomeContinueLocal, fmt.Errorf("cluster: bad node target %q", req.Target)
 			}
 			return e.handoff(node, dst, req)
+		}
+		if proto, addr, err := migrate.ParseTarget(req.Target); err == nil && proto == migrate.ProtoCheckpoint {
+			if err := e.committer.Checkpoint(req, addr, node); err != nil {
+				return rt.OutcomeContinueLocal, err
+			}
+			return rt.OutcomeContinueLocal, nil
 		}
 		return mig.Handle(req)
 	}
@@ -455,6 +506,12 @@ func (d *driver) loop() {
 }
 
 func (e *Engine) record(node int64, p rt.Proc, killed bool) {
+	// Flush the node's async checkpoint commits before its terminal state
+	// becomes visible: anything keyed on checkpoint durability (fault
+	// scripts, benchmarks) must observe every checkpoint the node captured
+	// no later than its result. A failed node's queued commits were
+	// discarded by AbortOwner, so this never stalls a kill.
+	e.committer.DrainOwner(node)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.states[node] = &ProcState{
@@ -484,6 +541,11 @@ func (e *Engine) Fail(node int64) {
 		d.cond.Broadcast()
 		d.mu.Unlock()
 	}
+	// Durability watermark: commits the failed node still has in flight
+	// must not become the checkpoint its resurrection resumes from — the
+	// committer discards queued commits and withholds the head ref of an
+	// in-flight one.
+	e.committer.AbortOwner(node)
 	e.Router.Fail(node)
 }
 
@@ -577,11 +639,12 @@ func (e *Engine) Resurrect(node int64, checkpoint string, extra rt.Registry) err
 			return fmt.Errorf("cluster: node %d did not stop within 30s of failure", node)
 		}
 	}
-	data, err := e.Store.Get(checkpoint)
-	if err != nil {
-		return err
-	}
-	img, err := wire.DecodeImage(data)
+	// Wait out the failed incarnation's background commits so the head
+	// name read below is stable, then resolve it (transparently across a
+	// delta chain) to the last durable checkpoint.
+	e.committer.DrainOwner(node)
+	t0 := time.Now()
+	img, err := migrate.FetchImage(e.Store, checkpoint)
 	if err != nil {
 		return err
 	}
@@ -592,6 +655,8 @@ func (e *Engine) Resurrect(node int64, checkpoint string, extra rt.Registry) err
 	if err != nil {
 		return err
 	}
+	e.committer.RecordRecovery(time.Since(t0))
+	e.committer.ResumeOwner(node)
 	e.mu.Lock()
 	delete(e.killed, node) // the new incarnation is alive again
 	e.extras[node] = extra // remembered for a later handoff or resurrect

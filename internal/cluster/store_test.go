@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMemStoreNotExistAndCopy: a missing checkpoint is os.ErrNotExist
+// (not a bare string error), and Get returns a defensive copy — mutating
+// it must not poison the stored bytes.
+func TestMemStoreNotExistAndCopy(t *testing.T) {
+	s := NewMemStore()
+	if _, err := s.Get("nope"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing checkpoint: %v, want os.ErrNotExist", err)
+	}
+	orig := []byte("checkpoint-bytes")
+	if err := s.Put("ck", orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = 'X'
+	again, err := s.Get("ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, orig) {
+		t.Fatalf("stored bytes mutated through a returned slice: %q", again)
+	}
+	// Put must also copy: mutating the caller's slice afterwards is safe.
+	mine := []byte("caller-owned")
+	if err := s.Put("ck2", mine); err != nil {
+		t.Fatal(err)
+	}
+	mine[0] = 'Z'
+	got2, _ := s.Get("ck2")
+	if string(got2) != "caller-owned" {
+		t.Fatalf("store aliases the caller's slice: %q", got2)
+	}
+}
+
+// TestDirStoreNotExist: a missing checkpoint file keeps its
+// os.ErrNotExist identity through the wrapping, and a vanished store
+// directory lists as empty rather than erroring.
+func TestDirStoreNotExist(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("nope"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing checkpoint: %v, want os.ErrNotExist", err)
+	}
+	if err := s.Put("ck", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("ck"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatalf("List on a vanished directory: %v", err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("List on a vanished directory returned %v", names)
+	}
+	// Invalid names are rejected, not treated as missing files.
+	if _, err := s.Get("../escape"); err == nil || errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("invalid name: %v, want a validation error", err)
+	}
+}

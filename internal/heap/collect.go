@@ -175,6 +175,7 @@ func (h *Heap) promoteAll() {
 	}
 	h.watermark = h.allocPtr
 	h.remembered = make(map[int64]bool)
+	h.clonedOld = make(map[int64]bool)
 }
 
 // CollectMajor performs a full mark-sweep-compact collection: mark from
@@ -213,6 +214,12 @@ func (h *Heap) CollectMinor() {
 			e := &h.table[idx]
 			h.scanRun(e.Addr, e.Size, true, &stack)
 		}
+	}
+	h.drainMarkStack(true, &stack)
+	// Young clones of previously old entries are referenced from old blocks
+	// the write barrier never saw change; pin them like roots.
+	for idx := range h.clonedOld {
+		h.markFrom(idx, true, &stack)
 	}
 	h.drainMarkStack(true, &stack)
 	// Checkpoint records pin their entries and their preserved copies may

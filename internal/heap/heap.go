@@ -44,6 +44,10 @@ type Config struct {
 	// DisableChecks turns off the pointer-table safety checks, for
 	// measuring their cost (ablation A3). Never set in production use.
 	DisableChecks bool
+	// TrackDirty enables dirty-entry tracking from birth so the heap can
+	// emit incremental DeltaSnapshots (see delta.go). Off by default: the
+	// bookkeeping costs one map write per dirtying operation.
+	TrackDirty bool
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +136,19 @@ type Heap struct {
 	seq       uint64
 
 	remembered map[int64]bool // old entries that may hold young pointers
+	// clonedOld pins entries whose current copy is a young clone of a
+	// previously old block. Old blocks may reference such an entry from
+	// before the clone (no write barrier fired — the referencing word never
+	// changed), so minor collections must treat it as a root until the next
+	// promotion makes it old again.
+	clonedOld map[int64]bool
+
+	// Incremental-snapshot state (delta.go). dirty is nil when tracking is
+	// off; levelsChanged notes an ordinal-shifting level commit since the
+	// baseline; hasBase notes that a baseline snapshot exists.
+	dirty         map[int64]struct{}
+	levelsChanged bool
+	hasBase       bool
 
 	collector Collector
 	roots     []func(yield func(Value))
@@ -142,12 +159,17 @@ type Heap struct {
 // New creates a heap with the given configuration.
 func New(cfg Config) *Heap {
 	cfg = cfg.withDefaults()
-	return &Heap{
+	h := &Heap{
 		cfg:        cfg,
 		arena:      make([]Value, cfg.InitialWords),
 		nextLevel:  1,
 		remembered: make(map[int64]bool),
+		clonedOld:  make(map[int64]bool),
 	}
+	if cfg.TrackDirty {
+		h.EnableDeltaTracking()
+	}
+	return h
 }
 
 // SetCollector installs the collection policy invoked on allocation
@@ -225,6 +247,7 @@ func (h *Heap) Alloc(size int64) (Value, error) {
 	}
 	h.stats.Allocs++
 	h.stats.AllocWords += uint64(size)
+	h.dirtied(idx)
 	return PtrVal(idx, 0), nil
 }
 
@@ -293,6 +316,8 @@ func (h *Heap) freeEntry(idx int64) {
 	e.Version++
 	h.freeList = append(h.freeList, idx)
 	delete(h.remembered, idx)
+	delete(h.clonedOld, idx)
+	h.dirtied(idx)
 	h.stats.EntriesFreed++
 }
 
@@ -360,6 +385,7 @@ func (h *Heap) Store(ptr Value, off int64, v Value) error {
 		h.remembered[idx] = true
 	}
 	h.arena[e.Addr+int(ptr.Off+off)] = v
+	h.dirtied(idx)
 	return nil
 }
 
@@ -384,6 +410,11 @@ func (h *Heap) cowClone(idx int64) error {
 		OldLevel: e.Level,
 	})
 	lv.owned = append(lv.owned, ref{idx: idx, ver: e.Version})
+	if e.Gen == genOld {
+		// The entry turns young in place: old blocks referencing it from
+		// before the clone have an old→young edge no barrier recorded.
+		h.clonedOld[idx] = true
+	}
 	e.Addr = newAddr
 	e.Gen = genYoung // the clone lives in the young region at the tail
 	e.Level = lv.id
@@ -448,6 +479,7 @@ func (h *Heap) CommitLevel(n int) error {
 		for _, r := range lv.owned {
 			if h.refValid(r) && h.table[r.idx].Level == lv.id {
 				h.table[r.idx].Level = 0
+				h.dirtied(r.idx)
 			}
 		}
 	} else {
@@ -470,10 +502,17 @@ func (h *Heap) CommitLevel(n int) error {
 		for _, r := range lv.owned {
 			if h.refValid(r) && h.table[r.idx].Level == lv.id {
 				h.table[r.idx].Level = below.id
+				h.dirtied(r.idx)
 			}
 		}
 		below.allocs = append(below.allocs, lv.allocs...)
 		below.owned = append(below.owned, lv.owned...)
+	}
+	if pos != len(h.levels)-1 {
+		// Removing a non-innermost level shifts the ordinals of every level
+		// above it, and with them the snapshot Level of entries those levels
+		// own; the next delta must re-emit them (see SnapshotDelta).
+		h.levelsChanged = true
 	}
 	h.levels = append(h.levels[:pos], h.levels[pos+1:]...)
 	return nil
@@ -498,6 +537,10 @@ func (h *Heap) RollbackLevel(n int) error {
 			e.Size = s.OldSize
 			e.Gen = s.OldGen
 			e.Level = s.OldLevel
+			if e.Gen == genOld {
+				delete(h.clonedOld, s.Idx) // the old copy is current again
+			}
+			h.dirtied(s.Idx)
 			h.stats.ShadowsRestored++
 		}
 		// Blocks allocated inside the level never existed at the rollback

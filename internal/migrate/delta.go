@@ -1,0 +1,189 @@
+// Incremental checkpoints: capture (PackDelta), the delta-aware store
+// contract (DeltaStore / AsDeltaStore), and chain resolution (FetchImage,
+// ResolveChain). A checkpoint chain is a full Image followed by delta
+// images, each naming its predecessor; the head name holds a tiny ref
+// record pointing at the last durable member, published only after that
+// member's payload — the durability watermark resurrect reads.
+package migrate
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/rt"
+	"repro/internal/wire"
+)
+
+// maxChain bounds chain resolution, guarding against reference cycles in
+// a corrupted store. The committer forces a full image every K deltas
+// with K far below this.
+const maxChain = 4096
+
+// PackDelta captures the process's change set since the heap's snapshot
+// baseline as a delta image based on the chain member `base`. Like Pack
+// it stores the continuation into a fresh migrate_env block and runs a
+// major collection first (so the delta also carries the frees). It
+// returns nil (no error) when the heap has no baseline — the caller must
+// capture a full image with Pack and MarkSnapshotBase instead.
+func PackDelta(r rt.Runtime, label int, fnIdx int64, args []heap.Value, base string, seq int) (*wire.DeltaImage, error) {
+	h := r.Heap()
+	if !h.DeltaReady() {
+		return nil, nil
+	}
+	env, err := h.Alloc(int64(len(args)) + 1)
+	if err != nil {
+		return nil, fmt.Errorf("migrate: allocating migrate_env: %w", err)
+	}
+	r.Pin(env)
+	if err := h.Store(env, 0, heap.FunVal(fnIdx)); err != nil {
+		return nil, err
+	}
+	for i, a := range args {
+		if err := h.Store(env, int64(i)+1, a); err != nil {
+			return nil, err
+		}
+	}
+	h.CollectMajor()
+	delta := h.SnapshotDelta()
+	if delta == nil {
+		return nil, nil
+	}
+	words := 0
+	for _, e := range delta.Changed {
+		words += len(e.Words)
+	}
+	procArgs := make([]int64, r.NArgs())
+	for i := range procArgs {
+		procArgs[i] = r.Arg(int64(i))
+	}
+	return &wire.DeltaImage{
+		Base: base,
+		Seq:  seq,
+		Code: wire.CodePart{
+			Name:     r.Name(),
+			Program:  nil, // byte-identical to the chain base's program
+			Label:    label,
+			EnvIndex: env.I,
+			TableLen: delta.TableLen,
+			// HeapWords here is the delta's own payload, not the full heap:
+			// the rebuilt image's heap size comes from the snapshot itself.
+			HeapWords: words,
+			Args:      procArgs,
+		},
+		Delta: *delta,
+		// The continuation stack is small and not diffed; like the level
+		// structure it travels whole so a checkpoint taken with open
+		// speculation levels restores (spec.RestoreStack requires one
+		// continuation per open level).
+		Conts: r.Spec().Snapshot(),
+	}, nil
+}
+
+// DeltaStore is the chunk/delta-aware extension of Store. Native
+// implementations may index chain linkage or deduplicate content;
+// AsDeltaStore upgrades any plain 3-method Store with a generic adapter
+// (the linkage travels inside the delta images themselves, so no extra
+// store state is required).
+type DeltaStore interface {
+	Store
+	// PutDelta stores a delta checkpoint whose chain predecessor is base.
+	PutDelta(name, base string, data []byte) error
+	// ResolveChain returns the chain ending at name (following one head
+	// ref if name holds one), full-image root first.
+	ResolveChain(name string) ([]string, error)
+}
+
+// deltaAdapter upgrades a plain Store.
+type deltaAdapter struct{ Store }
+
+// AsDeltaStore returns s itself when it already implements DeltaStore,
+// otherwise a generic adapter over its 3-method surface.
+func AsDeltaStore(s Store) DeltaStore {
+	if ds, ok := s.(DeltaStore); ok {
+		return ds
+	}
+	return deltaAdapter{s}
+}
+
+// PutDelta stores the delta like any other checkpoint; the base name is
+// already recorded inside the image.
+func (a deltaAdapter) PutDelta(name, base string, data []byte) error {
+	return a.Put(name, data)
+}
+
+// ResolveChain walks the chain by reading and sniffing each member.
+func (a deltaAdapter) ResolveChain(name string) ([]string, error) {
+	return ResolveChain(a.Store, name)
+}
+
+// walkChain is the one chain walk both ResolveChain and FetchImage sit
+// on: it resolves name (following a head ref once) back to the full
+// root, returning member names newest-first, the decoded deltas
+// (newest-first, one per member except the root) and the root's raw
+// bytes. Each member is read and decoded exactly once — recovery
+// latency is what the delta pipeline exists to shrink.
+func walkChain(store Store, name string) (names []string, deltas []*wire.DeltaImage, root []byte, err error) {
+	cur := name
+	for hops := 0; ; hops++ {
+		if hops > maxChain {
+			return nil, nil, nil, fmt.Errorf("migrate: checkpoint chain at %q exceeds %d members (cycle?)", name, maxChain)
+		}
+		data, err := store.Get(cur)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if target, ok := wire.DecodeRef(data); ok {
+			if hops > 0 {
+				return nil, nil, nil, fmt.Errorf("migrate: checkpoint %q: head ref inside a chain", cur)
+			}
+			cur = target
+			continue
+		}
+		names = append(names, cur)
+		if !wire.IsDeltaImage(data) {
+			return names, deltas, data, nil // the full root
+		}
+		d, err := wire.DecodeDeltaImage(data)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("migrate: checkpoint %q: %w", cur, err)
+		}
+		deltas = append(deltas, d)
+		cur = d.Base
+	}
+}
+
+// ResolveChain returns the checkpoint chain ending at name, root first.
+// name may hold a head ref, a delta image, or a full image (a chain of
+// one).
+func ResolveChain(store Store, name string) ([]string, error) {
+	rev, _, _, err := walkChain(store, name)
+	if err != nil {
+		return nil, err
+	}
+	// Reverse to root-first order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// FetchImage reads checkpoint `name` and resolves it to a full process
+// image: a head ref is followed, a delta chain is walked back to its full
+// root and rebuilt, and a plain full image is returned as-is. This is how
+// every checkpoint consumer (resurrection, -resume, LoadCheckpoint) reads
+// the store, so delta chains are transparent to callers.
+func FetchImage(store Store, name string) (*wire.Image, error) {
+	_, deltas, root, err := walkChain(store, name)
+	if err != nil {
+		return nil, err
+	}
+	img, err := wire.DecodeImage(root)
+	if err != nil {
+		return nil, fmt.Errorf("migrate: checkpoint %q: chain root: %w", name, err)
+	}
+	// walkChain collected deltas newest-first; rebuild applies oldest-first.
+	for i, j := 0, len(deltas)-1; i < j; i, j = i+1, j-1 {
+		deltas[i], deltas[j] = deltas[j], deltas[i]
+	}
+	return wire.RebuildImage(img, deltas...)
+}

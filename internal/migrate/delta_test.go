@@ -1,0 +1,109 @@
+package migrate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/wire"
+)
+
+// chainStore builds a store holding: full image at "n@0", two deltas
+// "n@1" (base n@0) and "n@2" (base n@1), head ref "n" → "n@2".
+func chainStore(t *testing.T) (*memStore, *heap.Snapshot) {
+	t.Helper()
+	h := heap.New(heap.Config{TrackDirty: true})
+	var roots []heap.Value
+	h.AddRoots(func(yield func(heap.Value)) {
+		for _, v := range roots {
+			yield(v)
+		}
+	})
+	a, _ := h.Alloc(3)
+	roots = append(roots, a)
+	_ = h.Store(a, 0, heap.IntVal(10))
+
+	s := newMemStore()
+	full := &wire.Image{
+		Code:  wire.CodePart{Name: "p", Program: []byte("prog"), TableLen: h.TableLen()},
+		State: wire.StatePart{Heap: h.Snapshot()},
+	}
+	if err := s.Put("n@0", wire.EncodeImage(full)); err != nil {
+		t.Fatal(err)
+	}
+	h.MarkSnapshotBase()
+
+	_ = h.Store(a, 1, heap.IntVal(20))
+	d1 := &wire.DeltaImage{Base: "n@0", Seq: 1, Code: wire.CodePart{Name: "p"}, Delta: *h.SnapshotDelta()}
+	if err := s.Put("n@1", wire.EncodeDeltaImage(d1)); err != nil {
+		t.Fatal(err)
+	}
+
+	_ = h.Store(a, 2, heap.IntVal(30))
+	d2 := &wire.DeltaImage{Base: "n@1", Seq: 2, Code: wire.CodePart{Name: "p"}, Delta: *h.SnapshotDelta()}
+	if err := s.Put("n@2", wire.EncodeDeltaImage(d2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("n", wire.EncodeRef("n@2")); err != nil {
+		t.Fatal(err)
+	}
+	return s, h.Snapshot()
+}
+
+func TestFetchImageResolvesChain(t *testing.T) {
+	s, want := chainStore(t)
+	for _, name := range []string{"n", "n@2"} {
+		img, err := FetchImage(s, name)
+		if err != nil {
+			t.Fatalf("FetchImage(%q): %v", name, err)
+		}
+		if !img.State.Heap.Equal(want) {
+			t.Fatalf("FetchImage(%q): rebuilt heap diverges from the live snapshot", name)
+		}
+		if string(img.Code.Program) != "prog" {
+			t.Fatalf("FetchImage(%q): program not inherited from the chain root", name)
+		}
+	}
+	// A full member fetches directly (no deltas applied).
+	img, err := FetchImage(s, "n@0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.State.Heap.Entries) == 0 {
+		t.Fatal("full member fetch returned an empty heap")
+	}
+}
+
+func TestResolveChainOrder(t *testing.T) {
+	s, _ := chainStore(t)
+	chain, err := ResolveChain(s, "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 || chain[0] != "n@0" || chain[2] != "n@2" {
+		t.Fatalf("chain = %v, want [n@0 n@1 n@2]", chain)
+	}
+}
+
+func TestFetchImageBrokenChain(t *testing.T) {
+	s, _ := chainStore(t)
+	delete(s.m, "n@1")
+	if _, err := FetchImage(s, "n"); err == nil || !strings.Contains(err.Error(), "n@1") {
+		t.Fatalf("broken chain: %v, want an error naming the missing member", err)
+	}
+}
+
+func TestFetchImageRefCycleGuard(t *testing.T) {
+	s := newMemStore()
+	// Two deltas referencing each other: resolution must terminate.
+	d1 := &wire.DeltaImage{Base: "b", Seq: 1, Code: wire.CodePart{Name: "p"}}
+	d2 := &wire.DeltaImage{Base: "a", Seq: 2, Code: wire.CodePart{Name: "p"}}
+	_ = s.Put("a", wire.EncodeDeltaImage(d1))
+	_ = s.Put("b", wire.EncodeDeltaImage(d2))
+	if _, err := FetchImage(s, "a"); err == nil {
+		t.Fatal("cyclic chain resolved without error")
+	}
+	if _, err := ResolveChain(s, "a"); err == nil {
+		t.Fatal("cyclic chain listed without error")
+	}
+}

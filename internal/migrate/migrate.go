@@ -294,16 +294,13 @@ func Unpack(img *wire.Image, opts Options) (rt.Proc, Timings, error) {
 	return proc, tm, nil
 }
 
-// LoadCheckpoint reads a checkpoint file from storage and resumes it —
-// what a resurrection daemon does when a node fails (§2). Checkpoint files
+// LoadCheckpoint reads a checkpoint from storage and resumes it — what a
+// resurrection daemon does when a node fails (§2). Full checkpoint files
 // carry the executable header, honouring the paper's "checkpoints are
-// formatted as executable files".
+// formatted as executable files"; head refs and delta chains written by
+// the incremental pipeline are resolved transparently (FetchImage).
 func LoadCheckpoint(store Store, name string, opts Options) (rt.Proc, error) {
-	data, err := store.Get(name)
-	if err != nil {
-		return nil, err
-	}
-	img, err := wire.DecodeImage(data)
+	img, err := FetchImage(store, name)
 	if err != nil {
 		return nil, err
 	}

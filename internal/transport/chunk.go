@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"crypto/sha256"
+	"sync"
+)
+
+// The checkpoint store RPC streams large payloads — full images and the
+// periodic chain-compacting fulls of the delta pipeline — as
+// content-hashed chunks, and both ends keep a chunk cache keyed by
+// SHA-256. A put announces its chunk hashes first and ships only the
+// chunks the hub lacks; a get returns a manifest and the worker fetches
+// only the chunks it has not seen. Identical heap blocks therefore cross
+// the interconnect once: a retried RPC, a re-resurrection from the same
+// chain, or a periodic full that shares most bytes with the previous one
+// ships only what changed. Everything degrades to the plain single-frame
+// Put/Get on any miss or mismatch, so dedup is purely an optimization —
+// never a correctness dependency.
+
+// chunkSize is the streaming granularity. Variable so tests can force
+// multi-chunk flows with small payloads.
+var chunkSize = 64 << 10
+
+// errNoChunkedPut is the hub's reply to a chunk whose put announcement
+// it no longer holds — the session state died with a reconnect. The
+// client recognizes it and restarts the whole flow (announce is cheap
+// and already-shipped chunks sit in the hub's content cache).
+const errNoChunkedPut = "transport: no chunked put in progress"
+
+// chunkHash is a content address.
+type chunkHash = [sha256.Size]byte
+
+// splitChunks cuts data into chunkSize pieces and hashes each.
+func splitChunks(data []byte) (chunks [][]byte, hashes []chunkHash) {
+	for off := 0; off < len(data); off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		c := data[off:end]
+		chunks = append(chunks, c)
+		hashes = append(hashes, sha256.Sum256(c))
+	}
+	return chunks, hashes
+}
+
+// chunkCache is a bounded FIFO content-addressed chunk cache.
+type chunkCache struct {
+	mu    sync.Mutex
+	m     map[chunkHash][]byte
+	order []chunkHash
+	max   int
+}
+
+// newChunkCache creates a cache holding at most max chunks (≈ max ×
+// chunkSize bytes).
+func newChunkCache(max int) *chunkCache {
+	return &chunkCache{m: make(map[chunkHash][]byte), max: max}
+}
+
+func (c *chunkCache) get(h chunkHash) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.m[h]
+	return b, ok
+}
+
+func (c *chunkCache) put(h chunkHash, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[h]; ok {
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.m[h] = cp
+	c.order = append(c.order, h)
+	for len(c.order) > c.max {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, old)
+	}
+}

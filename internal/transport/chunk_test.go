@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// smallChunks shrinks the streaming granularity so a few KiB exercises
+// multi-chunk flows.
+func smallChunks(t *testing.T, size int) {
+	t.Helper()
+	old := chunkSize
+	chunkSize = size
+	t.Cleanup(func() { chunkSize = old })
+}
+
+// chunkPayload builds a payload of n distinct 64-byte blocks.
+func chunkPayload(n int, tag byte) []byte {
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&buf, "[%c block %06d padpadpadpadpadpadpadpadpadpadpadpadpadpad]\n", tag, i)
+	}
+	return buf.Bytes()
+}
+
+// TestChunkedPutGetRoundTrip: a payload larger than the chunk size
+// travels the chunked path and comes back byte-identical, both through
+// the worker's Get and the hub's local store.
+func TestChunkedPutGetRoundTrip(t *testing.T) {
+	smallChunks(t, 256)
+	h := newHub(t)
+	_, c := joinNode(t, h, 1, ClientConfig{})
+	store := c.RemoteStore()
+
+	data := chunkPayload(40, 'a') // ~2.5 KiB, ~10 chunks
+	if err := store.Put("big", data); err != nil {
+		t.Fatal(err)
+	}
+	hubCopy, err := h.Store().Get("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(hubCopy, data) {
+		t.Fatal("hub store holds different bytes than were put")
+	}
+	back, err := store.Get("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("chunked get returned different bytes")
+	}
+	// Small payloads keep the plain single-frame path.
+	if err := store.Put("small", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	small, err := store.Get("small")
+	if err != nil || string(small) != "tiny" {
+		t.Fatalf("small payload: %q %v", small, err)
+	}
+}
+
+// TestChunkedPutDedup: re-putting overlapping content ships only the
+// chunks the hub has not seen — the content-hash dedup the incremental
+// checkpoint pipeline leans on for its periodic full images.
+func TestChunkedPutDedup(t *testing.T) {
+	smallChunks(t, 256)
+	h := newHub(t)
+	_, c := joinNode(t, h, 1, ClientConfig{})
+	store := c.RemoteStore()
+
+	data := chunkPayload(64, 'a')
+	if err := store.Put("ck@0", data); err != nil {
+		t.Fatal(err)
+	}
+	shipped := h.chunksIn.Load()
+	if shipped == 0 {
+		t.Fatal("first put shipped no chunks — not on the chunked path?")
+	}
+
+	// Identical content under a new name: nothing new crosses the wire.
+	if err := store.Put("ck@1", data); err != nil {
+		t.Fatal(err)
+	}
+	if again := h.chunksIn.Load(); again != shipped {
+		t.Fatalf("identical re-put shipped %d chunks, want 0", again-shipped)
+	}
+
+	// A payload sharing a long prefix ships only the changed tail.
+	changed := append(bytes.Clone(data[:len(data)-100]), chunkPayload(4, 'b')...)
+	if err := store.Put("ck@2", changed); err != nil {
+		t.Fatal(err)
+	}
+	delta := h.chunksIn.Load() - shipped
+	if delta == 0 || delta > 4 {
+		t.Fatalf("prefix-sharing put shipped %d chunks, want 1..4", delta)
+	}
+	back, err := store.Get("ck@2")
+	if err != nil || !bytes.Equal(back, changed) {
+		t.Fatalf("changed payload did not round-trip (%v)", err)
+	}
+}
+
+// TestChunkedGetUsesCache: a second worker reading chunks it already
+// holds fetches none of them again (per-chunk fetches go through
+// fHashGet, whose replies populate the local cache).
+func TestChunkedGetUsesCache(t *testing.T) {
+	smallChunks(t, 256)
+	h := newHub(t)
+	_, c1 := joinNode(t, h, 1, ClientConfig{})
+	_, c2 := joinNode(t, h, 2, ClientConfig{})
+
+	data := chunkPayload(64, 'c')
+	if err := c1.RemoteStore().Put("ck", data); err != nil {
+		t.Fatal(err)
+	}
+	// Worker 2 never wrote the data: its first read fetches chunks.
+	back, err := c2.RemoteStore().Get("ck")
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatalf("first read: %v", err)
+	}
+	// Its second read assembles purely from cache: no new fetches means
+	// no RPC failures even if the hub's chunk cache were dropped.
+	back2, err := c2.RemoteStore().Get("ck")
+	if err != nil || !bytes.Equal(back2, data) {
+		t.Fatalf("second read: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"net"
@@ -79,13 +80,19 @@ type Client struct {
 	nextID  uint32
 	closed  bool
 
+	chunks *chunkCache // content-addressed cache for store streaming
+
 	wg sync.WaitGroup
 }
 
 type rpcReply struct {
-	errStr string
-	data   []byte
-	names  []string
+	kind    byte // reply frame type (fAck, fData, fNames, fNeed, fManif)
+	errStr  string
+	data    []byte
+	names   []string
+	indices []uint32    // fNeed: chunk indices the hub lacks
+	hashes  []chunkHash // fManif: content hashes of the payload's chunks
+	total   uint32      // fManif: payload size
 }
 
 // Dial connects a worker to the hub and completes the HELLO/WELCOME
@@ -114,6 +121,7 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		cfg:     cfg,
 		out:     make(map[int64]map[int64][]heap.Value),
 		pending: make(map[uint32]chan rpcReply),
+		chunks:  newChunkCache(1024),
 	}
 	c.mu.Lock()
 	err := c.ensureLocked()
@@ -286,15 +294,23 @@ func (c *Client) readLoop(fc FrameConn, gen int) {
 			}
 		case fAck:
 			if id, errStr, err := decodeAck(b); err == nil {
-				c.deliverReply(id, rpcReply{errStr: errStr})
+				c.deliverReply(id, rpcReply{kind: fAck, errStr: errStr})
 			}
 		case fData:
 			if id, errStr, data, err := decodeData(b); err == nil {
-				c.deliverReply(id, rpcReply{errStr: errStr, data: data})
+				c.deliverReply(id, rpcReply{kind: fData, errStr: errStr, data: data})
 			}
 		case fNames:
 			if id, errStr, names, err := decodeNames(b); err == nil {
-				c.deliverReply(id, rpcReply{errStr: errStr, names: names})
+				c.deliverReply(id, rpcReply{kind: fNames, errStr: errStr, names: names})
+			}
+		case fNeed:
+			if id, errStr, indices, err := decodeNeed(b); err == nil {
+				c.deliverReply(id, rpcReply{kind: fNeed, errStr: errStr, indices: indices})
+			}
+		case fManif:
+			if id, errStr, total, hashes, err := decodeManif(b); err == nil {
+				c.deliverReply(id, rpcReply{kind: fManif, errStr: errStr, total: total, hashes: hashes})
 			}
 		case fMigrate:
 			id, _, dst, seen, image, err := decodeMigrate(b)
@@ -395,49 +411,153 @@ func (c *Client) GC(node, below int64) error {
 	return c.writeFrame(encodeGC(node, below))
 }
 
-// rpc performs one request/reply round trip, retrying across reconnects
+// round performs one request/reply exchange: register id (0 allocates a
+// fresh one), write the frames, wait for the single reply. ok=false
+// reports a dead connection — any hub-side state for the exchange is
+// gone and the caller must restart its flow on the new connection.
+func (c *Client) round(id uint32, deadline time.Time, frames func(id uint32) [][]byte) (rep rpcReply, usedID uint32, ok bool, err error) {
+	c.mu.Lock()
+	if err := c.ensureLocked(); err != nil {
+		c.mu.Unlock()
+		return rpcReply{}, 0, false, err
+	}
+	if id == 0 {
+		c.nextID++
+		id = c.nextID
+	}
+	ch := make(chan rpcReply, 1)
+	c.pending[id] = ch
+	for _, f := range frames(id) {
+		if err := c.conn.WriteFrame(f); err != nil {
+			delete(c.pending, id)
+			c.teardownLocked()
+			c.mu.Unlock()
+			return rpcReply{}, id, false, nil
+		}
+	}
+	c.mu.Unlock()
+
+	select {
+	case rep, alive := <-ch:
+		if !alive {
+			// Connection died before the reply; the caller retries.
+			return rpcReply{}, id, false, nil
+		}
+		return rep, id, true, nil
+	case <-time.After(time.Until(deadline)):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return rpcReply{}, id, false, fmt.Errorf("transport: rpc timed out after %s", c.cfg.RPCTimeout)
+	}
+}
+
+// rpc performs one single-frame round trip, retrying across reconnects
 // (the store operations are idempotent).
 func (c *Client) rpc(build func(id uint32) []byte) (rpcReply, error) {
 	deadline := time.Now().Add(c.cfg.RPCTimeout)
 	for {
-		c.mu.Lock()
-		if err := c.ensureLocked(); err != nil {
-			c.mu.Unlock()
+		rep, _, ok, err := c.round(0, deadline, func(id uint32) [][]byte {
+			return [][]byte{build(id)}
+		})
+		if err != nil {
 			return rpcReply{}, err
 		}
-		c.nextID++
-		id := c.nextID
-		ch := make(chan rpcReply, 1)
-		c.pending[id] = ch
-		err := c.conn.WriteFrame(build(id))
-		if err != nil {
-			delete(c.pending, id)
-			c.teardownLocked()
-			c.mu.Unlock()
-			if time.Now().After(deadline) {
-				return rpcReply{}, fmt.Errorf("transport: rpc timed out after %s", c.cfg.RPCTimeout)
-			}
-			continue
-		}
-		c.mu.Unlock()
-
-		select {
-		case rep, ok := <-ch:
-			if !ok {
-				// Connection died before the reply; retry on the new one.
-				if time.Now().After(deadline) {
-					return rpcReply{}, fmt.Errorf("transport: rpc timed out after %s", c.cfg.RPCTimeout)
-				}
-				continue
-			}
+		if ok {
 			return rep, nil
-		case <-time.After(time.Until(deadline)):
-			c.mu.Lock()
-			delete(c.pending, id)
-			c.mu.Unlock()
+		}
+		if time.Now().After(deadline) {
 			return rpcReply{}, fmt.Errorf("transport: rpc timed out after %s", c.cfg.RPCTimeout)
 		}
 	}
+}
+
+// putChunked streams a large store write as content-hashed chunks: an
+// announce frame carrying the hashes, a need-list reply, then only the
+// chunks the hub lacks. A reconnect anywhere restarts the whole flow —
+// the announce is cheap and chunks already shipped are in the hub's
+// cache, so the retry converges fast.
+func (c *Client) putChunked(name string, data []byte) error {
+	chunks, hashes := splitChunks(data)
+	deadline := time.Now().Add(c.cfg.RPCTimeout)
+	for {
+		rep, id, ok, err := c.round(0, deadline, func(id uint32) [][]byte {
+			return [][]byte{encodePutC(id, name, uint32(len(data)), hashes)}
+		})
+		if err != nil {
+			return err
+		}
+		if ok && rep.kind == fNeed && rep.errStr == "" {
+			good := true
+			for _, idx := range rep.indices {
+				if int(idx) >= len(chunks) {
+					good = false
+					break
+				}
+			}
+			if !good {
+				return errors.New("transport: hub requested an out-of-range chunk")
+			}
+			rep, _, ok, err = c.round(id, deadline, func(id uint32) [][]byte {
+				frames := make([][]byte, 0, len(rep.indices))
+				for _, idx := range rep.indices {
+					frames = append(frames, encodeChunk(id, idx, chunks[idx]))
+				}
+				return frames
+			})
+			if err != nil {
+				return err
+			}
+		}
+		if ok {
+			if rep.errStr == errNoChunkedPut {
+				// The hub session (and with it the announce state) died in
+				// a reconnect between the two rounds; restart the flow.
+				if time.Now().After(deadline) {
+					return fmt.Errorf("transport: chunked put timed out after %s", c.cfg.RPCTimeout)
+				}
+				continue
+			}
+			if rep.errStr != "" {
+				return errors.New(rep.errStr)
+			}
+			if rep.kind != fAck {
+				return fmt.Errorf("transport: unexpected %q reply to chunked put", rep.kind)
+			}
+			// The hub now holds every chunk; remember them locally so a
+			// later read of this (or an overlapping) checkpoint skips them.
+			for i, h := range hashes {
+				c.chunks.put(h, chunks[i])
+			}
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: chunked put timed out after %s", c.cfg.RPCTimeout)
+		}
+	}
+}
+
+// assembleManifest reconstructs a chunked get from the local cache plus
+// per-chunk fetches. ok=false means the caller should fall back to a
+// plain full read.
+func (c *Client) assembleManifest(rep rpcReply) ([]byte, bool) {
+	out := make([]byte, 0, rep.total)
+	for _, h := range rep.hashes {
+		if chunk, ok := c.chunks.get(h); ok {
+			out = append(out, chunk...)
+			continue
+		}
+		crep, err := c.rpc(func(id uint32) []byte { return encodeHashGet(id, h) })
+		if err != nil || crep.errStr != "" || sha256.Sum256(crep.data) != h {
+			return nil, false
+		}
+		c.chunks.put(h, crep.data)
+		out = append(out, crep.data...)
+	}
+	if uint32(len(out)) != rep.total {
+		return nil, false
+	}
+	return out, true
 }
 
 // Exit reports a node's final state to the coordinator.
@@ -469,6 +589,9 @@ type remoteStore struct{ c *Client }
 func (c *Client) RemoteStore() migrate.Store { return remoteStore{c} }
 
 func (s remoteStore) Put(name string, data []byte) error {
+	if len(data) > chunkSize {
+		return s.c.putChunked(name, data)
+	}
 	rep, err := s.c.rpc(func(id uint32) []byte { return encodePut(id, name, data) })
 	if err != nil {
 		return err
@@ -480,7 +603,22 @@ func (s remoteStore) Put(name string, data []byte) error {
 }
 
 func (s remoteStore) Get(name string) ([]byte, error) {
-	rep, err := s.c.rpc(func(id uint32) []byte { return encodeGet(id, name) })
+	rep, err := s.c.rpc(func(id uint32) []byte { return encodeGet(id, name, false) })
+	if err != nil {
+		return nil, err
+	}
+	if rep.errStr != "" {
+		return nil, errors.New(rep.errStr)
+	}
+	if rep.kind != fManif {
+		return rep.data, nil
+	}
+	if data, ok := s.c.assembleManifest(rep); ok {
+		return data, nil
+	}
+	// Dedup is an optimization only: any miss or mismatch falls back to
+	// the plain single-frame read.
+	rep, err = s.c.rpc(func(id uint32) []byte { return encodeGet(id, name, true) })
 	if err != nil {
 		return nil, err
 	}

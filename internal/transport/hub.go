@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/frame"
@@ -37,6 +38,11 @@ type Hub struct {
 	// trigger on. Called without internal locks held.
 	OnPut func(name string, count int)
 
+	chunks *chunkCache // content-addressed chunk cache for store streaming
+	// chunksIn counts put chunks actually shipped by workers — the dedup
+	// observability hook (announced-but-cached chunks never increment it).
+	chunksIn atomic.Int64
+
 	mu        sync.Mutex
 	sessions  map[int64]*session
 	buf       map[int64]map[int64]map[int64][]heap.Value // dst -> src -> tag -> words
@@ -68,6 +74,20 @@ type session struct {
 
 	wmu   sync.Mutex // serializes frame writes
 	nodes []int64    // nodes registered through this session
+
+	// puts holds in-progress chunked store writes. Only serve() touches
+	// it (one reader goroutine per session), so no lock is needed; the
+	// state dies with the session and the client retries from scratch.
+	puts map[uint32]*pendingPut
+}
+
+// pendingPut is one chunked store write awaiting its missing chunks.
+type pendingPut struct {
+	name    string
+	total   uint32
+	hashes  []chunkHash
+	chunks  [][]byte
+	missing map[uint32]bool
 }
 
 // Listen starts a hub on addr ("host:0" picks a port) backed by store,
@@ -81,6 +101,7 @@ func Listen(addr string, store migrate.Store) (*Hub, error) {
 	h := &Hub{
 		store:     store,
 		ln:        ln,
+		chunks:    newChunkCache(1024),
 		sessions:  make(map[int64]*session),
 		buf:       make(map[int64]map[int64]map[int64][]heap.Value),
 		failed:    make(map[int64]bool),
@@ -229,6 +250,16 @@ func (h *Hub) WaitResults(n int, timeout time.Duration) (map[int64]Result, error
 	return out, nil
 }
 
+// ClearResult forgets a node's reported result. The coordinator clears a
+// node before resurrecting it when its old incarnation already reported
+// (a kill that landed after the node finished), so WaitResults blocks
+// until the fresh incarnation reports instead of returning a stale state.
+func (h *Hub) ClearResult(node int64) {
+	h.mu.Lock()
+	delete(h.results, node)
+	h.mu.Unlock()
+}
+
 // Results returns the node results reported so far.
 func (h *Hub) Results() map[int64]Result {
 	h.mu.Lock()
@@ -288,12 +319,33 @@ func (s *session) serve() {
 			}
 			s.hub.handlePut(s, id, name, data)
 		case fGet:
-			id, name, err := decodeGet(b)
+			id, name, full, err := decodeGet(b)
 			if err != nil {
 				return
 			}
-			data, gerr := s.hub.store.Get(name)
-			_ = s.write(encodeData(id, errString(gerr), data))
+			s.handleGet(id, name, full)
+		case fPutC:
+			id, name, total, hashes, err := decodePutC(b)
+			if err != nil {
+				return
+			}
+			s.handlePutC(id, name, total, hashes)
+		case fChunk:
+			id, index, data, err := decodeChunk(b)
+			if err != nil {
+				return
+			}
+			s.handleChunk(id, index, data)
+		case fHashGet:
+			id, hash, err := decodeHashGet(b)
+			if err != nil {
+				return
+			}
+			if data, ok := s.hub.chunks.get(hash); ok {
+				_ = s.write(encodeData(id, "", data))
+			} else {
+				_ = s.write(encodeData(id, "transport: chunk not cached", nil))
+			}
 		case fList:
 			id, err := decodeList(b)
 			if err != nil {
@@ -440,6 +492,101 @@ func (h *Hub) pruneBuf(node, below int64) {
 			}
 		}
 	}
+}
+
+// handleGet serves a store read: one plain frame for small payloads (or
+// when the worker insists), a chunk manifest for large ones — the worker
+// then fetches only the chunks its cache lacks (fHashGet).
+func (s *session) handleGet(id uint32, name string, full bool) {
+	data, err := s.hub.store.Get(name)
+	if err != nil || full || len(data) <= chunkSize {
+		_ = s.write(encodeData(id, errString(err), data))
+		return
+	}
+	chunks, hashes := splitChunks(data)
+	for i, c := range chunks {
+		s.hub.chunks.put(hashes[i], c)
+	}
+	_ = s.write(encodeManif(id, "", uint32(len(data)), hashes))
+}
+
+// handlePutC starts a chunked store write: chunks already in the content
+// cache are taken from there; the worker is asked for the rest.
+func (s *session) handlePutC(id uint32, name string, total uint32, hashes []chunkHash) {
+	p := &pendingPut{
+		name:    name,
+		total:   total,
+		hashes:  hashes,
+		chunks:  make([][]byte, len(hashes)),
+		missing: make(map[uint32]bool),
+	}
+	var need []uint32
+	for i, h := range hashes {
+		if data, ok := s.hub.chunks.get(h); ok {
+			p.chunks[i] = data
+		} else {
+			p.missing[uint32(i)] = true
+			need = append(need, uint32(i))
+		}
+	}
+	if len(need) == 0 {
+		s.finishPut(id, p)
+		return
+	}
+	if s.puts == nil {
+		s.puts = make(map[uint32]*pendingPut)
+	}
+	s.puts[id] = p
+	_ = s.write(encodeNeed(id, "", need))
+}
+
+// handleChunk accepts one streamed put chunk; the last missing chunk
+// completes the write.
+func (s *session) handleChunk(id, index uint32, data []byte) {
+	p := s.puts[id]
+	if p == nil {
+		_ = s.write(encodeAck(id, errNoChunkedPut))
+		return
+	}
+	if int(index) >= len(p.hashes) || !p.missing[index] {
+		delete(s.puts, id)
+		_ = s.write(encodeAck(id, "transport: unexpected chunk index"))
+		return
+	}
+	if sha256.Sum256(data) != p.hashes[index] {
+		delete(s.puts, id)
+		_ = s.write(encodeAck(id, "transport: chunk content hash mismatch"))
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	p.chunks[index] = cp
+	// Cache each verified chunk immediately — not only at completion — so
+	// a put restarted after a mid-flow reconnect re-ships nothing already
+	// received (the re-announce's need-list hits the cache).
+	s.hub.chunks.put(p.hashes[index], cp)
+	s.hub.chunksIn.Add(1)
+	delete(p.missing, index)
+	if len(p.missing) == 0 {
+		delete(s.puts, id)
+		s.finishPut(id, p)
+	}
+}
+
+// finishPut assembles a chunked write, populates the content cache, and
+// funnels the payload through the ordinary put path (counting hooks,
+// ack).
+func (s *session) finishPut(id uint32, p *pendingPut) {
+	data := make([]byte, 0, p.total)
+	for i, c := range p.chunks {
+		s.hub.chunks.put(p.hashes[i], c)
+		data = append(data, c...)
+	}
+	if uint32(len(data)) != p.total {
+		_ = s.write(encodeAck(id, "transport: chunked put size mismatch"))
+		return
+	}
+	s.hub.handlePut(s, id, p.name, data)
 }
 
 func (h *Hub) handlePut(s *session, id uint32, name string, data []byte) {

@@ -24,6 +24,16 @@ func FuzzWireDecode(f *testing.F) {
 	flipped := bytes.Clone(whole)
 	flipped[len(flipped)/3] ^= 0x40
 	f.Add(flipped)
+	// Delta-image frames: whole, truncated, bit-flipped, plus a head ref.
+	delta := EncodeDeltaImage(sampleDelta())
+	f.Add(delta)
+	f.Add(delta[:len(delta)/2])
+	dflipped := bytes.Clone(delta)
+	dflipped[2*len(dflipped)/3] ^= 0x04
+	f.Add(dflipped)
+	f.Add(EncodeRef("name@3"))
+	f.Add([]byte(DeltaHeader))
+	f.Add([]byte(RefHeader))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if c, err := DecodeCode(data); err == nil {
@@ -43,6 +53,22 @@ func FuzzWireDecode(f *testing.F) {
 		if img, err := DecodeImage(data); err == nil {
 			if _, err := DecodeImage(EncodeImage(img)); err != nil {
 				t.Fatalf("re-decode of accepted image failed: %v", err)
+			}
+		}
+		if d, err := DecodeDeltaImage(data); err == nil {
+			back, err := DecodeDeltaImage(EncodeDeltaImage(d))
+			if err != nil {
+				t.Fatalf("re-decode of accepted delta image failed: %v", err)
+			}
+			if back.Base != d.Base || back.Seq != d.Seq ||
+				len(back.Delta.Changed) != len(d.Delta.Changed) ||
+				len(back.Delta.Freed) != len(d.Delta.Freed) {
+				t.Fatalf("delta image did not round-trip: %+v vs %+v", back, d)
+			}
+		}
+		if target, ok := DecodeRef(data); ok {
+			if back, ok2 := DecodeRef(EncodeRef(target)); !ok2 || back != target {
+				t.Fatalf("ref did not round-trip: %q", target)
 			}
 		}
 	})

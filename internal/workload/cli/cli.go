@@ -85,6 +85,8 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 	fs.IntVar(&opt.params.Steps, "steps", 0, "timesteps / rounds / batches (0 = workload default)")
 	fs.IntVar(&opt.params.CheckpointInterval, "ck", 0, "checkpoint interval (0 = workload default)")
 	fs.IntVar(&opt.params.Workers, "workers", 0, "concurrently executing node quanta (0 = unbounded)")
+	fs.StringVar(&opt.params.Ckpt, "ckpt", "", `checkpoint pipeline mode: "full" (default), "delta", or "async"`)
+	fs.IntVar(&opt.params.CkptK, "ckptk", 0, "force a full image every K delta checkpoints (0 = pipeline default)")
 	fs.Var(&opt.fails, "fail", `inject a failure: "node@checkpoints[@delay]", e.g. "1@2" (repeatable)`)
 	fs.StringVar(&opt.script, "script", "", "fault-scenario script file (fail lines; see README)")
 	fs.DurationVar(&opt.timeout, "timeout", 2*time.Minute, "run timeout")
@@ -141,8 +143,12 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 		return 1
 	}
 
-	fmt.Fprintf(stdout, "%s: nodes %d, size %d, aux %d, steps %d, checkpoint every %d, workers %d\n",
-		opt.app, p.Nodes, p.Size, p.Aux, p.Steps, p.CheckpointInterval, p.Workers)
+	mode := p.Ckpt
+	if mode == "" {
+		mode = "full"
+	}
+	fmt.Fprintf(stdout, "%s: nodes %d, size %d, aux %d, steps %d, checkpoint every %d (%s), workers %d\n",
+		opt.app, p.Nodes, p.Size, p.Aux, p.Steps, p.CheckpointInterval, mode, p.Workers)
 	if script != nil {
 		for _, ev := range script.Events {
 			fmt.Fprintf(stdout, "%s: will kill node %d after checkpoint %d and resurrect it after %s\n",
@@ -180,6 +186,12 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 	}
 	fmt.Fprintf(stdout, "%s: elapsed %s, rollbacks %d, resurrections %d\n",
 		opt.app, res.Elapsed.Round(time.Millisecond), res.Rollbacks, res.Resurrections)
+	if ck := res.Ckpt; ck.Checkpoints > 0 {
+		fmt.Fprintf(stdout, "%s: checkpoints %d (%d full, %d delta), %d bytes written, pause %s, recoveries %d in %s\n",
+			opt.app, ck.Checkpoints, ck.Fulls, ck.Deltas, ck.BytesWritten,
+			time.Duration(ck.PauseNs).Round(time.Microsecond),
+			ck.Recoveries, time.Duration(ck.RecoveryNs).Round(time.Microsecond))
+	}
 	if verr != nil {
 		fmt.Fprintf(stderr, "%s: %v\n", prog, verr)
 		return 1
@@ -276,6 +288,8 @@ func runCoordinator(w workload.Workload, p workload.Params, script *workload.Fau
 				"-aux", strconv.Itoa(p.Aux),
 				"-steps", strconv.Itoa(p.Steps),
 				"-ck", strconv.Itoa(p.CheckpointInterval),
+				"-ckpt", p.Ckpt,
+				"-ckptk", strconv.Itoa(p.CkptK),
 				"-timeout", opt.timeout.String(),
 			}
 			cmd := exec.Command(self, args...)

@@ -112,12 +112,17 @@ func RunWorker(w Workload, cfg WorkerConfig) (*cluster.ProcState, error) {
 	defer client.Close()
 	router.SetUplink(client)
 
+	ckptOpts, err := p.CkptOptions()
+	if err != nil {
+		return nil, err
+	}
 	engine = cluster.NewEngine(cluster.EngineConfig{
 		Store:         client.RemoteStore(),
 		Router:        router,
 		Stdout:        cfg.Stdout,
 		RemoteHandoff: client.Handoff,
 		Extra:         func(node int64) rt.Registry { return w.Externs(p, node) },
+		Ckpt:          ckptOpts,
 	})
 	defer engine.Close()
 	close(engineReady)
@@ -260,6 +265,10 @@ func RunDistributed(w Workload, p Params, script *FaultScript, cfg DistributedCo
 		},
 		func(node int64, checkpoint string) error {
 			logf("coordinator: resurrecting node %d from %q", node, checkpoint)
+			// If the killed incarnation had already reported (the kill landed
+			// after it finished), drop the stale result so the coordinator
+			// waits for the resurrected incarnation's report.
+			hub.ClearResult(node)
 			return cfg.Spawn(hub.Addr(), node, checkpoint)
 		})
 	hub.OnPut = driver.OnPut
@@ -269,6 +278,7 @@ func RunDistributed(w Workload, p Params, script *FaultScript, cfg DistributedCo
 	expect := len(starts) + len(spares)
 
 	start := time.Now()
+	deadline := start.Add(timeout)
 	if cfg.Spawn != nil {
 		for _, n := range append(append([]int64{}, starts...), spares...) {
 			if err := cfg.Spawn(hub.Addr(), n, ""); err != nil {
@@ -280,6 +290,13 @@ func RunDistributed(w Workload, p Params, script *FaultScript, cfg DistributedCo
 	}
 
 	results, err := hub.WaitResults(expect, timeout)
+	// Same end-of-run care as the in-process runner: a scripted kill that
+	// landed after its node finished is still resurrecting — wait for the
+	// revived worker's fresh report rather than returning stale results.
+	for err == nil && !driver.idle() && driver.inFlightNow() && time.Now().Before(deadline) {
+		driver.waitNotInFlight(deadline)
+		results, err = hub.WaitResults(expect, time.Until(deadline)+time.Second)
+	}
 	res := &Result{Elapsed: time.Since(start)}
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/cluster"
 	"repro/internal/fir"
 	"repro/internal/migrate"
@@ -25,6 +26,10 @@ type Result struct {
 	// Resurrections counts checkpoint restores performed by the fault
 	// script.
 	Resurrections int
+	// Ckpt holds the checkpoint pipeline counters (bytes written, pause,
+	// recovery time). Only the in-process runner fills it: distributed
+	// workers keep their own committers.
+	Ckpt ckpt.Stats
 }
 
 // RunConfig tunes a run beyond the workload parameters.
@@ -53,6 +58,15 @@ type observableStore struct {
 	mu    sync.Mutex
 	onPut func(name string, count int)
 	puts  map[string]int
+}
+
+// Delete forwards to the wrapped store when it supports pruning; the
+// interface embedding alone would hide the optional method.
+func (s *observableStore) Delete(name string) error {
+	if d, ok := s.Store.(interface{ Delete(string) error }); ok {
+		return d.Delete(name)
+	}
+	return nil
 }
 
 func (s *observableStore) Put(name string, data []byte) error {
@@ -95,12 +109,17 @@ func Run(w Workload, p Params, cfg RunConfig) (*Result, error) {
 	if quantum == 0 && cfg.Script != nil && len(cfg.Script.Events) > 0 {
 		quantum = 500
 	}
+	ckptOpts, err := p.CkptOptions()
+	if err != nil {
+		return nil, err
+	}
 	store := &observableStore{Store: cluster.NewMemStore()}
 	eng := cluster.NewEngine(cluster.EngineConfig{
 		Store:   store,
 		Stdout:  cfg.Stdout,
 		Quantum: quantum,
 		Workers: p.Workers,
+		Ckpt:    ckptOpts,
 		// The target of a node://K handoff may never have been started
 		// explicitly; the factory binds its externs on arrival.
 		Extra: func(node int64) rt.Registry { return w.Externs(p, node) },
@@ -115,6 +134,7 @@ func Run(w Workload, p Params, cfg RunConfig) (*Result, error) {
 	store.onPut = driver.OnPut
 
 	start := time.Now()
+	deadline := start.Add(cfg.Timeout)
 	args := w.NodeArgs(p)
 	for _, n := range w.StartNodes(p) {
 		if err := eng.StartProcess(n, prog, args, w.Externs(p, n)); err != nil {
@@ -122,6 +142,14 @@ func Run(w Workload, p Params, cfg RunConfig) (*Result, error) {
 		}
 	}
 	states, err := eng.Wait(cfg.Timeout)
+	// The cluster going quiet does not end the run while a scripted kill
+	// is mid-resurrection — the revived node is about to wake it again.
+	// (A kill can land at the very end of the run: checkpoint triggers
+	// trail capture under async commit.)
+	for err == nil && !driver.idle() && driver.inFlightNow() && time.Now().Before(deadline) {
+		driver.waitNotInFlight(deadline)
+		states, err = eng.Wait(time.Until(deadline) + time.Second)
+	}
 	res := &Result{Elapsed: time.Since(start)}
 	if err != nil {
 		return nil, err
@@ -143,6 +171,7 @@ func Run(w Workload, p Params, cfg RunConfig) (*Result, error) {
 		res.Nodes[n] = nr
 	}
 	res.Rollbacks = eng.Router.Stats().Rolls
+	res.Ckpt = eng.CkptStats()
 	return res, nil
 }
 

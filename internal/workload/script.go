@@ -202,6 +202,33 @@ func (d *scriptDriver) maybeFireLocked() {
 	}()
 }
 
+// idle reports whether every scripted event has fully completed (fired
+// and finished resurrecting).
+func (d *scriptDriver) idle() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.next >= len(d.events) && !d.inFlight
+}
+
+// inFlightNow reports whether an event has fired but its resurrection has
+// not completed yet.
+func (d *scriptDriver) inFlightNow() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inFlight
+}
+
+// waitNotInFlight blocks until the pending resurrection completes or the
+// deadline passes. Runners call it when the cluster goes quiet while an
+// event is mid-flight: a kill that landed at (or after) the end of the
+// run — likelier with asynchronous checkpoint commits, whose triggers
+// trail capture — revives its node only after the resurrection delay.
+func (d *scriptDriver) waitNotInFlight(deadline time.Time) {
+	for d.inFlightNow() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // finish reports the script's outcome once the run is over: an error if
 // any resurrection failed or any event never triggered.
 func (d *scriptDriver) finish() (fired int, err error) {

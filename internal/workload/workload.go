@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/ckpt"
 	"repro/internal/fir"
 	"repro/internal/heap"
 	"repro/internal/rt"
@@ -45,6 +46,23 @@ type Params struct {
 	// Workers bounds concurrently executing node quanta on the in-process
 	// engine (0 = unbounded). Results are bit-identical for every width.
 	Workers int
+	// Ckpt selects the checkpoint pipeline mode: "" or "full" (classic
+	// synchronous full images), "delta" (synchronous incremental), or
+	// "async" (incremental with write-behind commit). Results are
+	// bit-identical in every mode.
+	Ckpt string
+	// CkptK bounds delta chains: a full image is forced every CkptK
+	// deltas (0 = the pipeline default).
+	CkptK int
+}
+
+// CkptOptions parses the checkpoint-pipeline fields.
+func (p Params) CkptOptions() (ckpt.Options, error) {
+	mode, err := ckpt.ParseMode(p.Ckpt)
+	if err != nil {
+		return ckpt.Options{}, err
+	}
+	return ckpt.Options{Mode: mode, K: p.CkptK}, nil
 }
 
 // withDefaults fills zero fields from d.
@@ -73,6 +91,9 @@ func Normalize(w Workload, p Params) (Params, error) {
 	p = p.withDefaults(w.Defaults())
 	if p.Workers < 0 {
 		return p, fmt.Errorf("workload: worker count %d must be non-negative", p.Workers)
+	}
+	if _, err := p.CkptOptions(); err != nil {
+		return p, err
 	}
 	if err := w.Validate(p); err != nil {
 		return p, err

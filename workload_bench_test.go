@@ -52,7 +52,7 @@ func benchWorkload(b *testing.B, w workload.Workload, p workload.Params, script 
 	if err != nil {
 		b.Fatal(err)
 	}
-	var rollbacks uint64
+	var rollbacks, ckpts, ckBytes, ckPause, recNs, recoveries uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := workload.Run(w, p, workload.RunConfig{
@@ -65,10 +65,15 @@ func benchWorkload(b *testing.B, w workload.Workload, p workload.Params, script 
 			b.Fatal(err)
 		}
 		rollbacks += res.Rollbacks
+		ckpts += res.Ckpt.Checkpoints
+		ckBytes += res.Ckpt.BytesWritten
+		ckPause += res.Ckpt.PauseNs
+		recNs += res.Ckpt.RecoveryNs
+		recoveries += res.Ckpt.Recoveries
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(rollbacks)/float64(b.N), "rollbacks/op")
-	recordBench(BenchRecord{
+	rec := BenchRecord{
 		App:            w.Name(),
 		Name:           b.Name(),
 		Iterations:     b.N,
@@ -80,7 +85,23 @@ func benchWorkload(b *testing.B, w workload.Workload, p workload.Params, script 
 		Steps:          p.Steps,
 		CkInterval:     p.CheckpointInterval,
 		Workers:        p.Workers,
-	})
+	}
+	if ckpts > 0 {
+		rec.CkptMode = p.Ckpt
+		if rec.CkptMode == "" {
+			rec.CkptMode = "full"
+		}
+		rec.CkptPerOp = float64(ckpts) / float64(b.N)
+		rec.CkptBytesPerCkpt = float64(ckBytes) / float64(ckpts)
+		rec.CkptPauseNsPerCk = float64(ckPause) / float64(ckpts)
+		b.ReportMetric(rec.CkptBytesPerCkpt, "ckptB/ckpt")
+		b.ReportMetric(rec.CkptPauseNsPerCk, "pause-ns/ckpt")
+	}
+	if recoveries > 0 {
+		rec.RecoveryNsPerRest = float64(recNs) / float64(recoveries)
+		b.ReportMetric(rec.RecoveryNsPerRest, "recovery-ns")
+	}
+	recordBench(rec)
 }
 
 func BenchmarkWorkloads(b *testing.B) {
@@ -89,12 +110,18 @@ func BenchmarkWorkloads(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		p := benchWorkloadParams(name)
-		b.Run(name+"/failurefree", func(b *testing.B) {
-			benchWorkload(b, w, p, nil)
-		})
-		b.Run(name+"/recovery", func(b *testing.B) {
-			benchWorkload(b, w, p, benchFailure(name))
-		})
+		// Every app crossed with every checkpoint pipeline mode, so the
+		// BENCH_<app>.json trajectories record bytes-per-checkpoint and
+		// checkpoint pause for full vs delta vs async side by side.
+		for _, mode := range []string{"full", "delta", "async"} {
+			p := benchWorkloadParams(name)
+			p.Ckpt = mode
+			b.Run(name+"/"+mode+"/failurefree", func(b *testing.B) {
+				benchWorkload(b, w, p, nil)
+			})
+			b.Run(name+"/"+mode+"/recovery", func(b *testing.B) {
+				benchWorkload(b, w, p, benchFailure(name))
+			})
+		}
 	}
 }
