@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fir"
 	"repro/internal/grid"
 	"repro/internal/heap"
@@ -339,7 +340,10 @@ func benchGridParams(b *testing.B, p grid.Params, fail *grid.FailurePlan) {
 	}
 	want := grid.Reference(p)
 	var rollbacks uint64
+	var mem memProbe
+	b.ReportAllocs()
 	b.ResetTimer()
+	mem.start()
 	for i := 0; i < b.N; i++ {
 		res, err := grid.RunProgram(prog, p, fail, 2*time.Minute)
 		if err != nil {
@@ -353,12 +357,16 @@ func benchGridParams(b *testing.B, p grid.Params, fail *grid.FailurePlan) {
 		rollbacks += res.Rollbacks
 	}
 	b.StopTimer()
+	allocs, bytes := mem.perOp(b.N)
 	b.ReportMetric(float64(rollbacks)/float64(b.N), "rollbacks/op")
 	recordBench(BenchRecord{
 		App:            "grid",
 		Name:           b.Name(),
+		Engine:         engine.DefaultName, // the legacy grid harness runs the default engine
 		Iterations:     b.N,
 		NsPerOp:        float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		AllocsPerOp:    allocs,
+		BytesPerOp:     bytes,
 		RollbacksPerOp: float64(rollbacks) / float64(b.N),
 		Nodes:          p.Nodes,
 		RowsPerNode:    p.RowsPerNode,

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/ckpt"
+	"repro/internal/engine"
 	"repro/internal/fir"
 	"repro/internal/heap"
 	"repro/internal/migrate"
@@ -20,6 +21,11 @@ import (
 
 // EngineConfig configures a parallel cluster engine.
 type EngineConfig struct {
+	// Engine names the execution engine every node process runs on — any
+	// name registered with internal/engine ("vm", "risc"; default "vm").
+	// Both built-ins are bit-exact against each other, so the choice only
+	// affects speed.
+	Engine string
 	// Store is the shared checkpoint store (default: a fresh MemStore).
 	Store migrate.Store
 	// Stdout receives process output (default: discard).
@@ -211,12 +217,16 @@ func (e *Engine) nodeExterns(node int64, box *procBox, extra rt.Registry) rt.Reg
 	return externs
 }
 
-// StartProcess launches prog as the process for `node`, wired to the
-// router (message passing) and the shared store (checkpoints). args are
-// the process arguments (getarg); extra adds application externs (the grid
-// harness registers ck_name, for example).
+// StartProcess launches prog as the process for `node` on the configured
+// execution engine, wired to the router (message passing) and the shared
+// store (checkpoints). args are the process arguments (getarg); extra adds
+// application externs (the grid harness registers ck_name, for example).
 func (e *Engine) StartProcess(node int64, prog *fir.Program, args []int64, extra rt.Registry) error {
-	p := vm.NewProcess(prog, vm.Config{
+	eng, err := engine.Get(e.cfg.Engine)
+	if err != nil {
+		return err
+	}
+	p, err := eng.New(prog, engine.Config{
 		Heap:   e.heapConfig(),
 		Stdout: e.cfg.Stdout,
 		Fuel:   e.cfg.Fuel,
@@ -224,6 +234,9 @@ func (e *Engine) StartProcess(node int64, prog *fir.Program, args []int64, extra
 		Args:   args,
 		Seed:   node,
 	})
+	if err != nil {
+		return err
+	}
 	box := &procBox{}
 	for n, x := range e.nodeExterns(node, box, extra) {
 		p.RegisterExtern(n, x.Sig, x.Fn)
@@ -252,10 +265,12 @@ func (e *Engine) extraFor(node int64) rt.Registry {
 	return extra
 }
 
-// unpackAs reconstructs a process image as the process for `node`.
+// unpackAs reconstructs a process image as the process for `node`, on the
+// engine's configured execution backend.
 func (e *Engine) unpackAs(node int64, img *wire.Image, extra rt.Registry, tag string) (rt.Proc, error) {
 	box := &procBox{}
 	proc, _, err := migrate.Unpack(img, migrate.Options{
+		Engine:  e.cfg.Engine,
 		Externs: e.nodeExterns(node, box, extra),
 		Config: vm.Config{
 			Heap:   e.heapConfig(),

@@ -1,0 +1,148 @@
+package engine
+
+// The two built-in execution backends, registered at init. They are
+// defined here rather than in their own packages so vm and risc stay free
+// of registry plumbing (and of this package).
+
+import (
+	"sync"
+
+	"repro/internal/fir"
+	"repro/internal/heap"
+	"repro/internal/risc"
+	"repro/internal/rt"
+	"repro/internal/spec"
+	"repro/internal/vm"
+)
+
+func init() {
+	Register(vmFactory{})
+	Register(riscFactory{})
+}
+
+// artifactCache memoizes per-program compiled artifacts by program
+// identity, bounded FIFO. Factories assume a program handed to New is not
+// mutated afterwards — the cluster engine's usage pattern (one program
+// fanned out to every node, run after run). Resume paths never consult it:
+// unpack decodes a fresh program each time.
+type artifactCache struct {
+	mu    sync.Mutex
+	m     map[*fir.Program]any
+	order []*fir.Program
+	max   int
+}
+
+func newArtifactCache(max int) *artifactCache {
+	return &artifactCache{m: make(map[*fir.Program]any), max: max}
+}
+
+func (c *artifactCache) get(p *fir.Program) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[p]
+	return v, ok
+}
+
+func (c *artifactCache) put(p *fir.Program, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[p]; ok {
+		return
+	}
+	c.m[p] = v
+	c.order = append(c.order, p)
+	for len(c.order) > c.max {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, old)
+	}
+}
+
+var (
+	vmCache   = newArtifactCache(16)
+	riscCache = newArtifactCache(16)
+)
+
+type vmFactory struct{}
+
+func (vmFactory) Name() string { return "vm" }
+
+func (vmFactory) Description() string {
+	return "slot-resolved FIR interpreter (the paper's interpreted runtime environment)"
+}
+
+func (vmFactory) New(prog *fir.Program, cfg Config) (rt.Exec, error) {
+	c := vmConfig(cfg)
+	if v, ok := vmCache.get(prog); ok {
+		c.Compiled = v.(*vm.Compiled)
+	} else if comp, err := vm.Precompile(prog); err == nil {
+		// A compile error is left for Start to surface after the type
+		// check, matching the uncached path's error order.
+		vmCache.put(prog, comp)
+		c.Compiled = comp
+	}
+	return vm.NewProcess(prog, c), nil
+}
+
+func (vmFactory) Resume(prog *fir.Program, h *heap.Heap, conts []spec.Continuation, cfg Config) (rt.Exec, error) {
+	return vm.ResumeProcess(prog, h, conts, vmConfig(cfg))
+}
+
+func (vmFactory) Precompile(prog *fir.Program) (any, error) {
+	return vm.Precompile(prog)
+}
+
+func (vmFactory) ResumeWith(art any, prog *fir.Program, h *heap.Heap, conts []spec.Continuation, cfg Config) (rt.Exec, error) {
+	c := vmConfig(cfg)
+	c.Compiled = art.(*vm.Compiled)
+	return vm.ResumeProcess(prog, h, conts, c)
+}
+
+func vmConfig(cfg Config) vm.Config {
+	return vm.Config{
+		Heap: cfg.Heap, Collector: cfg.Collector, Stdout: cfg.Stdout,
+		Fuel: cfg.Fuel, TrapSpeculation: cfg.TrapSpeculation,
+		Name: cfg.Name, Args: cfg.Args, Seed: cfg.Seed,
+	}
+}
+
+type riscFactory struct{}
+
+func (riscFactory) Name() string { return "risc" }
+
+func (riscFactory) Description() string {
+	return "compiled RISC simulator with linear-scan register allocation (the paper's machine-code runtime)"
+}
+
+func (riscFactory) New(prog *fir.Program, cfg Config) (rt.Exec, error) {
+	var mod *risc.Module
+	if v, ok := riscCache.get(prog); ok {
+		mod = v.(*risc.Module)
+	} else if m, err := risc.Compile(prog); err == nil {
+		// A compile error is left for Start to surface after the type
+		// check, matching the uncached path's error order.
+		riscCache.put(prog, m)
+		mod = m
+	}
+	return risc.NewMachine(prog, mod, riscConfig(cfg))
+}
+
+func (riscFactory) Resume(prog *fir.Program, h *heap.Heap, conts []spec.Continuation, cfg Config) (rt.Exec, error) {
+	return risc.ResumeMachine(prog, nil, h, conts, riscConfig(cfg))
+}
+
+func (riscFactory) Precompile(prog *fir.Program) (any, error) {
+	return risc.Compile(prog)
+}
+
+func (riscFactory) ResumeWith(art any, prog *fir.Program, h *heap.Heap, conts []spec.Continuation, cfg Config) (rt.Exec, error) {
+	return risc.ResumeMachine(prog, art.(*risc.Module), h, conts, riscConfig(cfg))
+}
+
+func riscConfig(cfg Config) risc.Config {
+	return risc.Config{
+		Heap: cfg.Heap, Collector: cfg.Collector, Stdout: cfg.Stdout,
+		Fuel: cfg.Fuel, TrapSpeculation: cfg.TrapSpeculation,
+		Name: cfg.Name, Args: cfg.Args, Seed: cfg.Seed,
+	}
+}

@@ -2,6 +2,7 @@ package fir
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 )
 
@@ -245,7 +246,9 @@ func (c *checker) expr(e Expr, env map[string]Type) error {
 			if err := c.want(e2.Cond, env, TyInt, "if condition"); err != nil {
 				return err
 			}
-			if err := c.expr(e2.Then, env); err != nil {
+			// The then branch gets a clone so its bindings stay invisible
+			// to the else branch; extend can then mutate in place.
+			if err := c.expr(e2.Then, maps.Clone(env)); err != nil {
 				return err
 			}
 			e = e2.Else
@@ -295,14 +298,11 @@ func (c *checker) expr(e Expr, env map[string]Type) error {
 }
 
 func extend(env map[string]Type, name string, t Type) map[string]Type {
-	// Copy-on-extend keeps sibling branches (If) independent. Bodies are
-	// typically narrow, so the copies stay small.
-	out := make(map[string]Type, len(env)+1)
-	for k, v := range env {
-		out[k] = v
-	}
-	out[name] = t
-	return out
+	// In-place extension: along a CPS chain there are no forks, so no copy
+	// is needed — sibling If branches are kept independent by the clone at
+	// the branch point. Copying here instead made checking O(bindings²).
+	env[name] = t
+	return env
 }
 
 func externNames(externs map[string]ExternSig) string {

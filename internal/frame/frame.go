@@ -11,10 +11,10 @@
 package frame
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MaxPayload is the default frame-size cap (256 MiB), chosen to fit the
@@ -26,10 +26,37 @@ const MaxPayload = 256 << 20
 // geometrically from here as payload bytes actually arrive.
 const initialChunk = 64 << 10
 
+// combineLimit bounds the write-combining copy: payloads up to this size
+// are staged with their header in one pooled buffer and written with a
+// single Write call (one syscall on a net.Conn); larger payloads are
+// written header-then-payload to avoid copying megabyte images.
+const combineLimit = 64 << 10
+
+// writeBufs pools the write-combining scratch. Message frames on the
+// transport hot path are small and frequent; without the pool every send
+// paid a header write plus a payload write, and callers that built a
+// combined buffer themselves allocated per frame.
+var writeBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4+combineLimit)
+		return &b
+	},
+}
+
 // Write writes one length-prefixed frame.
 func Write(w io.Writer, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("frame: payload of %d bytes exceeds limit", len(payload))
+	}
+	if len(payload) <= combineLimit {
+		bp := writeBufs.Get().(*[]byte)
+		buf := (*bp)[:4]
+		binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+		buf = append(buf, payload...)
+		_, err := w.Write(buf)
+		*bp = buf[:0]
+		writeBufs.Put(bp)
+		return err
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -48,33 +75,45 @@ func Read(r io.Reader) ([]byte, error) {
 
 // ReadLimit reads one length-prefixed frame, rejecting payloads larger
 // than max. Allocation is driven by the bytes that arrive, never by the
-// header alone.
+// header alone: the result starts at initialChunk and grows geometrically
+// only as payload bytes land, reading directly into the result's spare
+// capacity (no intermediate buffer, no per-read reader allocations).
 func ReadLimit(r io.Reader, max uint32) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > max {
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if uint32(n) > max {
 		return nil, fmt.Errorf("frame: frame of %d bytes exceeds limit", n)
 	}
 	if n == 0 {
 		return []byte{}, nil
 	}
-	grow := n
-	if grow > initialChunk {
-		grow = initialChunk
+	first := n
+	if first > initialChunk {
+		first = initialChunk
 	}
-	var buf bytes.Buffer
-	buf.Grow(int(grow))
-	copied, err := io.Copy(&buf, io.LimitReader(r, int64(n)))
-	if err != nil {
-		return nil, err
+	out := make([]byte, 0, first)
+	for len(out) < n {
+		if len(out) == cap(out) {
+			// Grow geometrically via append, then reclaim the length.
+			out = append(out, 0)[:len(out)]
+		}
+		target := cap(out)
+		if target > n {
+			target = n
+		}
+		m, err := io.ReadFull(r, out[len(out):target])
+		out = out[:len(out)+m]
+		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
 	}
-	if copied < int64(n) {
-		return nil, io.ErrUnexpectedEOF
-	}
-	return buf.Bytes(), nil
+	return out, nil
 }
 
 // Conn frames an underlying byte stream. It performs no locking: callers

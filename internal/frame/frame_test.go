@@ -91,3 +91,36 @@ func TestConn(t *testing.T) {
 		t.Fatalf("got %q", got)
 	}
 }
+
+// BenchmarkWrite measures the framing hot path (-benchmem documents the
+// pooled write-combining: one staged write, no per-frame allocation).
+func BenchmarkWrite(b *testing.B) {
+	payload := make([]byte, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Write(io.Discard, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundTrip measures a write+read cycle through an in-memory
+// pipe buffer — the transport's per-message cost floor.
+func BenchmarkRoundTrip(b *testing.B) {
+	payload := make([]byte, 4096)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Write(&buf, payload); err != nil {
+			b.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(payload) {
+			b.Fatalf("read %d bytes, want %d", len(got), len(payload))
+		}
+	}
+}

@@ -60,10 +60,11 @@ func (h *Heap) DeltaReady() bool { return h.dirty != nil && h.hasBase }
 // MarkSnapshotBase declares the heap's current state to be the snapshot
 // baseline future deltas are relative to: the caller has just captured a
 // full Snapshot it will retain (or persist) under a name deltas can refer
-// to. The dirty set is cleared.
+// to. The dirty set is cleared in place, not reallocated: across a run's
+// delta chain the set's capacity is reused capture after capture.
 func (h *Heap) MarkSnapshotBase() {
 	h.EnableDeltaTracking()
-	h.dirty = make(map[int64]struct{})
+	clear(h.dirty)
 	h.levelsChanged = false
 	h.hasBase = true
 }
@@ -84,31 +85,33 @@ func (h *Heap) SnapshotDelta() *DeltaSnapshot {
 	if !h.DeltaReady() {
 		return nil
 	}
-	idToOrdinal := make(map[int64]int, len(h.levels))
-	for i, lv := range h.levels {
-		idToOrdinal[lv.id] = i + 1
-	}
 	d := &DeltaSnapshot{TableLen: len(h.table)}
 
 	// A committed or rolled-back level renumbers the ordinals every other
 	// open level's entries snapshot as: conservatively re-emit every entry
 	// currently owned by an open level. (Entries that LEFT speculation
 	// ownership were dirtied explicitly by CommitLevel/RollbackLevel.)
-	changed := make(map[int64]struct{}, len(h.dirty))
-	for idx := range h.dirty {
-		changed[idx] = struct{}{}
-	}
+	// The index list reuses per-heap scratch: delta captures recur every
+	// checkpoint interval with similar change-set sizes, so the common
+	// no-level-change path performs no per-capture bookkeeping allocation.
+	idxs := h.deltaIdxScratch[:0]
 	if h.levelsChanged {
+		owned := make(map[int64]struct{}, len(h.dirty))
+		for idx := range h.dirty {
+			owned[idx] = struct{}{}
+		}
 		for i := range h.table {
 			if h.table[i].Addr >= 0 && h.table[i].Level != 0 {
-				changed[int64(i)] = struct{}{}
+				owned[int64(i)] = struct{}{}
 			}
 		}
-	}
-
-	idxs := make([]int64, 0, len(changed))
-	for idx := range changed {
-		idxs = append(idxs, idx)
+		for idx := range owned {
+			idxs = append(idxs, idx)
+		}
+	} else {
+		for idx := range h.dirty {
+			idxs = append(idxs, idx)
+		}
 	}
 	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
 	for _, idx := range idxs {
@@ -122,14 +125,14 @@ func (h *Heap) SnapshotDelta() *DeltaSnapshot {
 		}
 		words := make([]Value, e.Size)
 		copy(words, h.arena[e.Addr:e.Addr+e.Size])
-		d.Changed = append(d.Changed, EntrySnap{Idx: idx, Level: idToOrdinal[e.Level], Words: words})
+		d.Changed = append(d.Changed, EntrySnap{Idx: idx, Level: h.ordOf(e.Level), Words: words})
 	}
 	for _, lv := range h.levels {
 		ls := LevelSnap{}
 		for _, sh := range lv.shadows {
 			words := make([]Value, sh.OldSize)
 			copy(words, h.arena[sh.OldAddr:sh.OldAddr+sh.OldSize])
-			ls.Shadows = append(ls.Shadows, ShadowSnap{Idx: sh.Idx, OldLevel: idToOrdinal[sh.OldLevel], Words: words})
+			ls.Shadows = append(ls.Shadows, ShadowSnap{Idx: sh.Idx, OldLevel: h.ordOf(sh.OldLevel), Words: words})
 		}
 		for _, r := range lv.allocs {
 			if h.refValid(r) {
@@ -139,8 +142,10 @@ func (h *Heap) SnapshotDelta() *DeltaSnapshot {
 		d.Levels = append(d.Levels, ls)
 	}
 
-	// The captured state is the next baseline.
-	h.dirty = make(map[int64]struct{})
+	// The captured state is the next baseline; scratch and the dirty set
+	// keep their capacity for the next capture.
+	h.deltaIdxScratch = idxs[:0]
+	clear(h.dirty)
 	h.levelsChanged = false
 	return d
 }

@@ -146,9 +146,11 @@ type Heap struct {
 	// Incremental-snapshot state (delta.go). dirty is nil when tracking is
 	// off; levelsChanged notes an ordinal-shifting level commit since the
 	// baseline; hasBase notes that a baseline snapshot exists.
-	dirty         map[int64]struct{}
-	levelsChanged bool
-	hasBase       bool
+	// deltaIdxScratch is reused across SnapshotDelta captures.
+	dirty           map[int64]struct{}
+	levelsChanged   bool
+	hasBase         bool
+	deltaIdxScratch []int64
 
 	collector Collector
 	roots     []func(yield func(Value))

@@ -40,20 +40,32 @@ type ShadowSnap struct {
 	Words    []Value
 }
 
+// ordOf maps a speculation-level ID to its current 1-based ordinal. IDs
+// of committed (destroyed) levels map to 0: their ownership is
+// semantically "committed" for every future comparison. The level stack
+// is at most a few entries deep, so the linear scan replaces the
+// per-capture id→ordinal map the old code allocated on every snapshot.
+func (h *Heap) ordOf(id int64) int {
+	for i := range h.levels {
+		if h.levels[i].id == id {
+			return i + 1
+		}
+	}
+	return 0
+}
+
 // Snapshot captures the current heap state. Callers normally run a major
 // collection first (the paper's pack operation begins with one), producing
 // a minimal image.
 func (h *Heap) Snapshot() *Snapshot {
-	idToOrdinal := make(map[int64]int, len(h.levels))
-	for i, lv := range h.levels {
-		idToOrdinal[lv.id] = i + 1
-	}
-	ord := func(id int64) int {
-		// IDs of committed (destroyed) levels map to 0: their ownership is
-		// semantically "committed" for every future comparison.
-		return idToOrdinal[id]
-	}
 	s := &Snapshot{TableLen: len(h.table)}
+	live := 0
+	for i := range h.table {
+		if h.table[i].Addr >= 0 {
+			live++
+		}
+	}
+	s.Entries = make([]EntrySnap, 0, live)
 	for i := range h.table {
 		e := &h.table[i]
 		if e.Addr < 0 {
@@ -61,14 +73,14 @@ func (h *Heap) Snapshot() *Snapshot {
 		}
 		words := make([]Value, e.Size)
 		copy(words, h.arena[e.Addr:e.Addr+e.Size])
-		s.Entries = append(s.Entries, EntrySnap{Idx: int64(i), Level: ord(e.Level), Words: words})
+		s.Entries = append(s.Entries, EntrySnap{Idx: int64(i), Level: h.ordOf(e.Level), Words: words})
 	}
 	for _, lv := range h.levels {
 		ls := LevelSnap{}
 		for _, sh := range lv.shadows {
 			words := make([]Value, sh.OldSize)
 			copy(words, h.arena[sh.OldAddr:sh.OldAddr+sh.OldSize])
-			ls.Shadows = append(ls.Shadows, ShadowSnap{Idx: sh.Idx, OldLevel: ord(sh.OldLevel), Words: words})
+			ls.Shadows = append(ls.Shadows, ShadowSnap{Idx: sh.Idx, OldLevel: h.ordOf(sh.OldLevel), Words: words})
 		}
 		for _, r := range lv.allocs {
 			if h.refValid(r) {

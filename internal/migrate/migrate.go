@@ -10,10 +10,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/fir"
-	"repro/internal/gc"
 	"repro/internal/heap"
-	"repro/internal/risc"
 	"repro/internal/rt"
 	"repro/internal/vm"
 	"repro/internal/wire"
@@ -152,7 +151,13 @@ const (
 
 // Options configures Unpack.
 type Options struct {
+	// Engine names the execution engine (internal/engine registry) the
+	// process resumes on. Empty falls back to the legacy Backend enum —
+	// callers that predate the pluggable engine layer keep working
+	// unchanged.
+	Engine string
 	// Backend selects the runtime environment (default: interpreter).
+	// Superseded by Engine when that is non-empty.
 	Backend Backend
 	// Trusted skips type checking and label validation — the binary
 	// protocol. Only enable for peers inside the trust boundary.
@@ -164,12 +169,23 @@ type Options struct {
 	Config vm.Config
 }
 
+// engineName resolves the selected engine name.
+func (o Options) engineName() string {
+	if o.Engine != "" {
+		return o.Engine
+	}
+	if o.Backend == BackendRISC {
+		return "risc"
+	}
+	return engine.DefaultName
+}
+
 // Timings reports where unpack time went, reproducing the paper's
 // breakdown of migration cost (compilation dominates untrusted migration).
 type Timings struct {
 	Decode  time.Duration // FIR decode
 	Check   time.Duration // type check + label validation (untrusted only)
-	Compile time.Duration // RISC code generation (BackendRISC only)
+	Compile time.Duration // backend code generation (engines with a Precompile hook)
 	Restore time.Duration // heap reconstruction + resume positioning
 }
 
@@ -177,12 +193,19 @@ type Timings struct {
 func (t Timings) Total() time.Duration { return t.Decode + t.Check + t.Compile + t.Restore }
 
 // Unpack reconstructs a process from an image: decode the FIR, verify it
-// (unless trusted), recompile for the local backend, rebuild the heap from
+// (unless trusted), recompile for the local engine, rebuild the heap from
 // the snapshot, restore the speculation continuations, and position the
 // process at the resume continuation read out of migrate_env with full
-// safety checks (§4.2.2).
+// safety checks (§4.2.2). The engine is chosen by Options.Engine (any
+// name registered with internal/engine) or the legacy Backend enum.
 func Unpack(img *wire.Image, opts Options) (rt.Proc, Timings, error) {
 	var tm Timings
+
+	name := opts.engineName()
+	eng, err := engine.Get(name)
+	if err != nil {
+		return nil, tm, err
+	}
 
 	t0 := time.Now()
 	prog, err := fir.DecodeProgram(img.Code.Program)
@@ -218,11 +241,16 @@ func Unpack(img *wire.Image, opts Options) (rt.Proc, Timings, error) {
 		tm.Check = time.Since(t0)
 	}
 
-	var mod *risc.Module
-	if opts.Backend == BackendRISC {
+	// Code generation runs up front when the engine supports it, so the
+	// paper's cost breakdown (compilation dominating untrusted migration,
+	// experiment E1) stays separately attributable; engines without a
+	// Precompile hook compile inside Resume/StartAt and their cost lands
+	// in Restore.
+	var art any
+	pc, canPrecompile := eng.(engine.Precompiler)
+	if canPrecompile {
 		t0 = time.Now()
-		mod, err = risc.Compile(prog)
-		if err != nil {
+		if art, err = pc.Precompile(prog); err != nil {
 			return nil, tm, err
 		}
 		tm.Compile = time.Since(t0)
@@ -260,35 +288,25 @@ func Unpack(img *wire.Image, opts Options) (rt.Proc, Timings, error) {
 		args = append(args, v)
 	}
 
-	var proc rt.Proc
-	switch opts.Backend {
-	case BackendRISC:
-		m, err := risc.ResumeMachine(prog, mod, h, img.State.Conts, risc.Config{
-			Collector: gc.New(), Stdout: cfg.Stdout, Fuel: cfg.Fuel,
-			TrapSpeculation: cfg.TrapSpeculation, Name: cfg.Name, Args: cfg.Args, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, tm, err
-		}
-		for n, e := range opts.Externs {
-			m.RegisterExtern(n, e.Sig, e.Fn)
-		}
-		if err := m.StartAt(fnv.I, args); err != nil {
-			return nil, tm, err
-		}
-		proc = m
-	default:
-		p, err := vm.ResumeProcess(prog, h, img.State.Conts, cfg)
-		if err != nil {
-			return nil, tm, err
-		}
-		for n, e := range opts.Externs {
-			p.RegisterExtern(n, e.Sig, e.Fn)
-		}
-		if err := p.StartAt(fnv.I, args); err != nil {
-			return nil, tm, err
-		}
-		proc = p
+	engCfg := engine.Config{
+		Heap: cfg.Heap, Collector: cfg.Collector, Stdout: cfg.Stdout, Fuel: cfg.Fuel,
+		TrapSpeculation: cfg.TrapSpeculation, Name: cfg.Name, Args: cfg.Args, Seed: cfg.Seed,
+	}
+	var proc rt.Exec
+	if canPrecompile {
+		// Reuse the artifact timed above instead of recompiling in StartAt.
+		proc, err = pc.ResumeWith(art, prog, h, img.State.Conts, engCfg)
+	} else {
+		proc, err = eng.Resume(prog, h, img.State.Conts, engCfg)
+	}
+	if err != nil {
+		return nil, tm, err
+	}
+	for n, e := range opts.Externs {
+		proc.RegisterExtern(n, e.Sig, e.Fn)
+	}
+	if err := proc.StartAt(fnv.I, args); err != nil {
+		return nil, tm, err
 	}
 	tm.Restore = time.Since(t0)
 	return proc, tm, nil

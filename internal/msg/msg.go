@@ -98,8 +98,9 @@ func newMailbox() *mailbox {
 // Router is the in-memory interconnect between the node processes of a
 // simulated cluster.
 type Router struct {
-	epoch  atomic.Int64
-	closed atomic.Bool
+	epoch      atomic.Int64
+	closed     atomic.Bool
+	closeCause atomic.Value // *error; see CloseErr
 
 	mu    sync.RWMutex // guards boxes map (not mailbox contents)
 	boxes map[int64]*mailbox
@@ -274,6 +275,26 @@ func (r *Router) Close() {
 	r.broadcastAll()
 }
 
+// CloseErr closes the router recording cause: sends then fail with cause
+// instead of the generic ErrClosed. The transport uses it when the hub is
+// permanently unreachable, so a process observes the transport failure
+// rather than what looks like an orderly local shutdown. A nil cause is
+// Close.
+func (r *Router) CloseErr(cause error) {
+	if cause != nil {
+		r.closeCause.CompareAndSwap(nil, &cause)
+	}
+	r.Close()
+}
+
+// closedErr returns the error a send on a closed router fails with.
+func (r *Router) closedErr() error {
+	if p := r.closeCause.Load(); p != nil {
+		return *p.(*error)
+	}
+	return ErrClosed
+}
+
 // Fail marks a node as failed and advances the rollback epoch: every other
 // node's next receive reports MSG_ROLL once.
 func (r *Router) Fail(node int64) {
@@ -327,7 +348,7 @@ func (r *Router) Send(src, dst, tag int64, words []heap.Value) error {
 // exchange for applications that ship multiple tags per step.
 func (r *Router) SendBatch(src, dst int64, batch []Batched) error {
 	if r.closed.Load() {
-		return ErrClosed
+		return r.closedErr()
 	}
 	if up := r.route(dst); up != nil {
 		for _, b := range batch {
@@ -344,7 +365,7 @@ func (r *Router) SendBatch(src, dst int64, batch []Batched) error {
 	// ever see StatusClosed.
 	if r.closed.Load() {
 		mb.mu.Unlock()
-		return ErrClosed
+		return r.closedErr()
 	}
 	link := mb.links[src]
 	if link == nil {

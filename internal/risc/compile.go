@@ -2,6 +2,8 @@ package risc
 
 import (
 	"fmt"
+	"maps"
+	"math"
 	"sort"
 
 	"repro/internal/fir"
@@ -20,9 +22,10 @@ func Compile(prog *fir.Program) (*Module, error) {
 		externIdx: make(map[string]int),
 	}
 	m := &Module{
-		FnEntry:  make([]int, len(prog.Funcs)),
-		FnParams: make([][]Loc, len(prog.Funcs)),
-		FnName:   make([]string, len(prog.Funcs)),
+		FnEntry:      make([]int, len(prog.Funcs)),
+		FnParams:     make([][]Loc, len(prog.Funcs)),
+		FnParamKinds: make([][]heap.Kind, len(prog.Funcs)),
+		FnName:       make([]string, len(prog.Funcs)),
 	}
 	for i, f := range prog.Funcs {
 		fc := &fnCompiler{c: c, fn: f}
@@ -36,6 +39,7 @@ func Compile(prog *fir.Program) (*Module, error) {
 		}
 		m.FnEntry[i] = len(m.Code)
 		m.FnParams[i] = params
+		m.FnParamKinds[i] = paramKinds(f)
 		m.FnName[i] = f.Name
 		m.Code = append(m.Code, code...)
 		if spills > m.SpillSlots {
@@ -48,6 +52,7 @@ func Compile(prog *fir.Program) (*Module, error) {
 	}
 	m.Entry = m.FnEntry[entryIdx]
 	m.Externs = c.externs
+	m.Consts = c.consts
 	return m, nil
 }
 
@@ -55,6 +60,24 @@ type compiler struct {
 	prog      *fir.Program
 	externs   []string
 	externIdx map[string]int
+	consts    []heap.Value
+	constIdx  map[constKey]int
+}
+
+// constKey interns constants by exact bit pattern: float payloads go
+// through Float64bits so -0.0 and +0.0 (which compare equal in Go) keep
+// distinct pool entries — the immediate the old OLdi path carried must
+// survive bit-for-bit — and NaN literals (never equal to themselves)
+// still dedupe.
+type constKey struct {
+	kind heap.Kind
+	i    int64
+	off  int64
+	f    uint64
+}
+
+func keyOf(v heap.Value) constKey {
+	return constKey{kind: v.Kind, i: v.I, off: v.Off, f: math.Float64bits(v.F)}
 }
 
 func (c *compiler) extern(name string) int {
@@ -67,17 +90,70 @@ func (c *compiler) extern(name string) int {
 	return i
 }
 
-// vinstr is an instruction over virtual registers; -1 marks an absent
-// operand. target holds a label id for branches until fixup.
+// paramKinds resolves each parameter's FIR type to the runtime tag the
+// call convention checks; unresolvable kinds fall back to the slow path.
+func paramKinds(f *fir.Function) []heap.Kind {
+	if len(f.Params) == 0 {
+		return nil
+	}
+	out := make([]heap.Kind, len(f.Params))
+	for i, prm := range f.Params {
+		switch prm.Type.Kind {
+		case fir.KindInt:
+			out[i] = heap.KInt
+		case fir.KindFloat:
+			out[i] = heap.KFloat
+		case fir.KindPtr:
+			out[i] = heap.KPtr
+		case fir.KindFun:
+			out[i] = heap.KFun
+		case fir.KindUnit:
+			out[i] = heap.KUnit
+		default:
+			out[i] = KindCheckSlow
+		}
+	}
+	return out
+}
+
+// constant interns a literal value in the module constant pool.
+func (c *compiler) constant(v heap.Value) int {
+	if c.constIdx == nil {
+		c.constIdx = make(map[constKey]int)
+	}
+	k := keyOf(v)
+	if i, ok := c.constIdx[k]; ok {
+		return i
+	}
+	i := len(c.consts)
+	c.consts = append(c.consts, v)
+	c.constIdx[k] = i
+	return i
+}
+
+// vop is a virtual operand: a virtual register, a constant-pool index, or
+// absent (both negative).
+type vop struct {
+	v int // virtual register, -1 when not a register
+	c int // constant-pool index, -1 when not a constant
+}
+
+var noOp = vop{v: -1, c: -1}
+
+func vreg(v int) vop   { return vop{v: v, c: -1} }
+func vconst(c int) vop { return vop{v: -1, c: c} }
+
+// vinstr is an instruction over virtual operands. target holds a label id
+// for branches until fixup.
 type vinstr struct {
 	op       OpCode
 	alu      fir.Op
 	dst      int
-	a, b, cc int
+	a, b, cc vop
 	imm      heap.Value
 	loadTy   fir.Type
 	target   int
-	args     []int
+	args     []vop
 }
 
 type fnCompiler struct {
@@ -108,42 +184,36 @@ func (fc *fnCompiler) emit(in vinstr) {
 	fc.code = append(fc.code, in)
 }
 
-// atom lowers an atom to a vreg, emitting OLdi for literals.
-func (fc *fnCompiler) atom(a fir.Atom, env map[string]int) (int, error) {
+// atom lowers an atom to a virtual operand: variables stay in vregs,
+// literals are interned in the module constant pool (no load instruction
+// on the execution path).
+func (fc *fnCompiler) atom(a fir.Atom, env map[string]int) (vop, error) {
 	switch a := a.(type) {
 	case fir.Var:
 		v, ok := env[a.Name]
 		if !ok {
-			return 0, fmt.Errorf("risc: unbound variable %q in %s", a.Name, fc.fn.Name)
+			return noOp, fmt.Errorf("risc: unbound variable %q in %s", a.Name, fc.fn.Name)
 		}
-		return v, nil
+		return vreg(v), nil
 	case fir.IntLit:
-		v := fc.newVreg()
-		fc.emit(vinstr{op: OLdi, dst: v, a: -1, b: -1, cc: -1, imm: heap.IntVal(a.V)})
-		return v, nil
+		return vconst(fc.c.constant(heap.IntVal(a.V))), nil
 	case fir.FloatLit:
-		v := fc.newVreg()
-		fc.emit(vinstr{op: OLdi, dst: v, a: -1, b: -1, cc: -1, imm: heap.FloatVal(a.V)})
-		return v, nil
+		return vconst(fc.c.constant(heap.FloatVal(a.V))), nil
 	case fir.FunLit:
 		_, idx := fc.c.prog.Lookup(a.Name)
 		if idx < 0 {
-			return 0, fmt.Errorf("risc: undefined function %q in %s", a.Name, fc.fn.Name)
+			return noOp, fmt.Errorf("risc: undefined function %q in %s", a.Name, fc.fn.Name)
 		}
-		v := fc.newVreg()
-		fc.emit(vinstr{op: OLdi, dst: v, a: -1, b: -1, cc: -1, imm: heap.FunVal(int64(idx))})
-		return v, nil
+		return vconst(fc.c.constant(heap.FunVal(int64(idx)))), nil
 	case fir.UnitLit:
-		v := fc.newVreg()
-		fc.emit(vinstr{op: OLdi, dst: v, a: -1, b: -1, cc: -1, imm: heap.UnitVal()})
-		return v, nil
+		return vconst(fc.c.constant(heap.UnitVal())), nil
 	default:
-		return 0, fmt.Errorf("risc: unknown atom %T in %s", a, fc.fn.Name)
+		return noOp, fmt.Errorf("risc: unknown atom %T in %s", a, fc.fn.Name)
 	}
 }
 
-func (fc *fnCompiler) atoms(as []fir.Atom, env map[string]int) ([]int, error) {
-	out := make([]int, len(as))
+func (fc *fnCompiler) atoms(as []fir.Atom, env map[string]int) ([]vop, error) {
+	out := make([]vop, len(as))
 	for i, a := range as {
 		v, err := fc.atom(a, env)
 		if err != nil {
@@ -174,9 +244,9 @@ func (fc *fnCompiler) expr(e fir.Expr, env map[string]int) error {
 				return err
 			}
 			dst := fc.newVreg()
-			in := vinstr{op: OAlu, alu: e2.Op, dst: dst, a: -1, b: -1, cc: -1, loadTy: e2.DstType}
+			in := vinstr{op: OAlu, alu: e2.Op, dst: dst, a: noOp, b: noOp, cc: noOp, loadTy: e2.DstType}
 			if e2.Op == fir.OpMove {
-				in = vinstr{op: OMov, dst: dst, a: args[0], b: -1, cc: -1}
+				in = vinstr{op: OMov, dst: dst, a: args[0], b: noOp, cc: noOp}
 			} else {
 				switch len(args) {
 				case 0:
@@ -200,7 +270,7 @@ func (fc *fnCompiler) expr(e fir.Expr, env map[string]int) error {
 				return err
 			}
 			dst := fc.newVreg()
-			fc.emit(vinstr{op: OExt, dst: dst, a: -1, b: -1, cc: -1, target: fc.c.extern(e2.Name), args: args, loadTy: e2.DstType})
+			fc.emit(vinstr{op: OExt, dst: dst, a: noOp, b: noOp, cc: noOp, target: fc.c.extern(e2.Name), args: args, loadTy: e2.DstType})
 			env = extendEnv(env, e2.Dst, dst)
 			e = e2.Body
 
@@ -210,8 +280,10 @@ func (fc *fnCompiler) expr(e fir.Expr, env map[string]int) error {
 				return err
 			}
 			elseL := fc.newLabel()
-			fc.emit(vinstr{op: OBrz, dst: -1, a: cv, b: -1, cc: -1, target: elseL})
-			if err := fc.expr(e2.Then, env); err != nil {
+			fc.emit(vinstr{op: OBrz, dst: -1, a: cv, b: noOp, cc: noOp, target: elseL})
+			// The then branch gets a clone so its bindings stay invisible
+			// to the else branch; extendEnv can then mutate in place.
+			if err := fc.expr(e2.Then, maps.Clone(env)); err != nil {
 				return err
 			}
 			fc.place(elseL)
@@ -226,7 +298,7 @@ func (fc *fnCompiler) expr(e fir.Expr, env map[string]int) error {
 			if err != nil {
 				return err
 			}
-			fc.emit(vinstr{op: OCall, dst: -1, a: fv, b: -1, cc: -1, args: args})
+			fc.emit(vinstr{op: OCall, dst: -1, a: fv, b: noOp, cc: noOp, args: args})
 			return nil
 
 		case fir.Halt:
@@ -234,7 +306,7 @@ func (fc *fnCompiler) expr(e fir.Expr, env map[string]int) error {
 			if err != nil {
 				return err
 			}
-			fc.emit(vinstr{op: OHalt, dst: -1, a: cv, b: -1, cc: -1})
+			fc.emit(vinstr{op: OHalt, dst: -1, a: cv, b: noOp, cc: noOp})
 			return nil
 
 		case fir.Speculate:
@@ -246,7 +318,7 @@ func (fc *fnCompiler) expr(e fir.Expr, env map[string]int) error {
 			if err != nil {
 				return err
 			}
-			fc.emit(vinstr{op: OSpec, dst: -1, a: fv, b: -1, cc: -1, args: args})
+			fc.emit(vinstr{op: OSpec, dst: -1, a: fv, b: noOp, cc: noOp, args: args})
 			return nil
 
 		case fir.Commit:
@@ -262,7 +334,7 @@ func (fc *fnCompiler) expr(e fir.Expr, env map[string]int) error {
 			if err != nil {
 				return err
 			}
-			fc.emit(vinstr{op: OCommit, dst: -1, a: lv, b: fv, cc: -1, args: args})
+			fc.emit(vinstr{op: OCommit, dst: -1, a: lv, b: fv, cc: noOp, args: args})
 			return nil
 
 		case fir.Rollback:
@@ -274,7 +346,7 @@ func (fc *fnCompiler) expr(e fir.Expr, env map[string]int) error {
 			if err != nil {
 				return err
 			}
-			fc.emit(vinstr{op: ORollbk, dst: -1, a: lv, b: cv, cc: -1})
+			fc.emit(vinstr{op: ORollbk, dst: -1, a: lv, b: cv, cc: noOp})
 			return nil
 
 		case fir.Migrate:
@@ -304,12 +376,11 @@ func (fc *fnCompiler) expr(e fir.Expr, env map[string]int) error {
 }
 
 func extendEnv(env map[string]int, name string, v int) map[string]int {
-	out := make(map[string]int, len(env)+1)
-	for k, vv := range env {
-		out[k] = vv
-	}
-	out[name] = v
-	return out
+	// In-place extension: a CPS chain never forks, so sibling-branch
+	// independence is preserved by the clone at the If branch point.
+	// Copying per binding made lowering O(bindings²).
+	env[name] = v
+	return env
 }
 
 // interval is a virtual register's live range over linear vcode positions.
@@ -345,11 +416,11 @@ func (fc *fnCompiler) allocate() ([]Loc, int) {
 	}
 	for pos, in := range fc.code {
 		touch(in.dst, pos)
-		touch(in.a, pos)
-		touch(in.b, pos)
-		touch(in.cc, pos)
+		touch(in.a.v, pos)
+		touch(in.b.v, pos)
+		touch(in.cc.v, pos)
 		for _, v := range in.args {
-			touch(v, pos)
+			touch(v.v, pos)
 		}
 	}
 
@@ -425,7 +496,17 @@ func (fc *fnCompiler) allocate() ([]Loc, int) {
 // and absolute branch targets (base is this function's offset in the
 // module).
 func (fc *fnCompiler) finalize(locs []Loc, base int) ([]Instr, []Loc, error) {
-	loc := func(v int) Loc {
+	loc := func(o vop) Loc {
+		switch {
+		case o.v >= 0:
+			return locs[o.v]
+		case o.c >= 0:
+			return Const(o.c)
+		default:
+			return Loc{}
+		}
+	}
+	dloc := func(v int) Loc {
 		if v < 0 {
 			return Loc{}
 		}
@@ -435,7 +516,7 @@ func (fc *fnCompiler) finalize(locs []Loc, base int) ([]Instr, []Loc, error) {
 	for i, in := range fc.code {
 		out := Instr{
 			Op: in.op, Alu: in.alu,
-			Dst: loc(in.dst), A: loc(in.a), B: loc(in.b), C: loc(in.cc),
+			Dst: dloc(in.dst), A: loc(in.a), B: loc(in.b), C: loc(in.cc),
 			Imm: in.imm, LoadTy: in.loadTy, Target: in.target,
 		}
 		if in.args != nil {

@@ -35,6 +35,11 @@ const (
 	// is a tail call) frames never nest, so one flat spill area serves the
 	// whole machine.
 	LocSpill
+	// LocConst is an index into the module's constant pool. Literal
+	// operands are materialized at compile time instead of through OLdi
+	// instructions, so the simulator executes one instruction per FIR
+	// operation on the hot path.
+	LocConst
 )
 
 // Loc is an operand location assigned by the register allocator.
@@ -49,14 +54,21 @@ func (l Loc) String() string {
 		return fmt.Sprintf("r%d", l.Idx)
 	case LocSpill:
 		return fmt.Sprintf("[sp+%d]", l.Idx)
+	case LocConst:
+		return fmt.Sprintf("c%d", l.Idx)
 	default:
 		return "_"
 	}
 }
 
-// Reg and Spill are Loc constructors.
+// Reg, Spill and Const are Loc constructors.
 func Reg(i int) Loc   { return Loc{Kind: LocReg, Idx: i} }
 func Spill(i int) Loc { return Loc{Kind: LocSpill, Idx: i} }
+func Const(i int) Loc { return Loc{Kind: LocConst, Idx: i} }
+
+// KindCheckSlow marks a parameter whose kind cannot be resolved to a
+// single runtime tag at compile time; enter then runs ops.CheckKind.
+const KindCheckSlow heap.Kind = 0xFF
 
 // OpCode enumerates the machine instructions.
 type OpCode uint8
@@ -181,10 +193,17 @@ type Module struct {
 	// FnParams gives each function's parameter locations; calls write
 	// argument values there before jumping.
 	FnParams [][]Loc
+	// FnParamKinds gives each parameter's expected runtime tag, resolved
+	// from the FIR types at compile time so the per-call dynamic check is
+	// a tag comparison instead of a type translation. The sentinel
+	// KindCheckSlow forces the full ops.CheckKind path.
+	FnParamKinds [][]heap.Kind
 	// FnName mirrors the FIR function names for diagnostics.
 	FnName []string
 	// Externs is the extern name table referenced by OExt.Target.
 	Externs []string
+	// Consts is the constant pool referenced by LocConst operands.
+	Consts []heap.Value
 	// SpillSlots is the spill-frame size in words.
 	SpillSlots int
 }

@@ -45,12 +45,13 @@ type Machine struct {
 	externs rt.Registry
 	migrate rt.MigrateHandler
 
-	regs   [NumRegs]heap.Value
-	spill  []heap.Value
-	pc     int
-	status rt.Status
-	halt   int64
-	err    error
+	regs    [NumRegs]heap.Value
+	spill   []heap.Value
+	extVals []rt.Extern // extern table resolved from mod.Externs at Start
+	pc      int
+	status  rt.Status
+	halt    int64
+	err     error
 
 	stdout io.Writer
 	fuel   uint64
@@ -60,6 +61,13 @@ type Machine struct {
 	args   []int64
 	rng    uint64
 	yield  bool
+
+	// Hot-path scratch, reused across instructions. Callees never retain
+	// these slices (rt.ExternFn documents the contract); the speculation
+	// manager and migration handlers get fresh copies.
+	alubuf  [3]heap.Value
+	argbuf  []heap.Value
+	callbuf []heap.Value
 
 	trapSpec bool
 }
@@ -222,6 +230,25 @@ func (m *Machine) SetMigrateHandler(h rt.MigrateHandler) { m.migrate = h }
 // RegisterExtern adds or replaces an external function; call before Start.
 func (m *Machine) RegisterExtern(name string, sig fir.ExternSig, fn rt.ExternFn) {
 	m.externs[name] = rt.Extern{Sig: sig, Fn: fn}
+	if m.extVals != nil {
+		for i, n := range m.mod.Externs {
+			if n == name {
+				m.extVals[i] = m.externs[name]
+			}
+		}
+	}
+}
+
+// resolveExterns builds the extern table OExt dispatches through, keeping
+// the per-call map lookup off the hot path. Missing externs stay nil and
+// trap at the call site, matching the lazy-lookup behaviour.
+func (m *Machine) resolveExterns() {
+	m.extVals = make([]rt.Extern, len(m.mod.Externs))
+	for i, n := range m.mod.Externs {
+		if e, ok := m.externs[n]; ok {
+			m.extVals[i] = e
+		}
+	}
 }
 
 // ExternSigs returns the signature registry for type checking.
@@ -244,6 +271,7 @@ func (m *Machine) Start() error {
 		m.mod = mod
 	}
 	m.spill = make([]heap.Value, m.mod.SpillSlots)
+	m.resolveExterns()
 	m.pc = m.mod.Entry
 	m.status = rt.StatusRunning
 	return nil
@@ -265,6 +293,7 @@ func (m *Machine) StartAt(fnIdx int64, args []heap.Value) error {
 		m.mod = mod
 	}
 	m.spill = make([]heap.Value, m.mod.SpillSlots)
+	m.resolveExterns()
 	m.status = rt.StatusRunning
 	if err := m.enter(fnIdx, args); err != nil {
 		m.status = rt.StatusFailed
@@ -287,6 +316,8 @@ func (m *Machine) read(l Loc) heap.Value {
 		return m.regs[l.Idx]
 	case LocSpill:
 		return m.spill[l.Idx]
+	case LocConst:
+		return m.mod.Consts[l.Idx]
 	default:
 		return heap.Value{}
 	}
@@ -304,6 +335,9 @@ func (m *Machine) write(l Loc, v heap.Value) {
 
 // enter performs the tail-call convention: argument values are written
 // into the callee's parameter locations and the pc moves to its entry.
+// The dynamic argument check compares the compile-resolved runtime tags
+// (Module.FnParamKinds); only a mismatch pays for the full type check and
+// its error formatting.
 func (m *Machine) enter(fnIdx int64, args []heap.Value) error {
 	if fnIdx < 0 || fnIdx >= int64(len(m.mod.FnEntry)) {
 		return fmt.Errorf("risc: function index %d out of range", fnIdx)
@@ -312,13 +346,16 @@ func (m *Machine) enter(fnIdx int64, args []heap.Value) error {
 	if len(args) != len(params) {
 		return fmt.Errorf("risc: %s takes %d arguments, given %d", m.mod.FnName[fnIdx], len(params), len(args))
 	}
-	fn, err := m.prog.FuncByIndex(int(fnIdx))
-	if err != nil {
-		return err
-	}
+	kinds := m.mod.FnParamKinds[fnIdx]
 	for i, a := range args {
-		if err := ops.CheckKind(a, fn.Params[i].Type); err != nil {
-			return fmt.Errorf("risc: %s argument %d: %w", fn.Name, i, err)
+		if a.Kind != kinds[i] {
+			fn, err := m.prog.FuncByIndex(int(fnIdx))
+			if err != nil {
+				return err
+			}
+			if err := ops.CheckKind(a, fn.Params[i].Type); err != nil {
+				return fmt.Errorf("risc: %s argument %d: %w", fn.Name, i, err)
+			}
 		}
 	}
 	// Two-phase write: arguments may come from locations about to be
@@ -330,7 +367,20 @@ func (m *Machine) enter(fnIdx int64, args []heap.Value) error {
 	return nil
 }
 
+// gather reads an operand list into the reused argument scratch buffer.
+// The result is valid until the next gather; callees must not retain it.
 func (m *Machine) gather(locs []Loc) []heap.Value {
+	out := m.argbuf[:0]
+	for _, l := range locs {
+		out = append(out, m.read(l))
+	}
+	m.argbuf = out
+	return out
+}
+
+// gatherFresh reads an operand list into a fresh slice for callees that
+// retain their arguments (speculation continuations, migration handlers).
+func (m *Machine) gatherFresh(locs []Loc) []heap.Value {
 	out := make([]heap.Value, len(locs))
 	for i, l := range locs {
 		out[i] = m.read(l)
@@ -400,7 +450,7 @@ func (m *Machine) step() error {
 	if m.pc < 0 || m.pc >= len(m.mod.Code) {
 		return fmt.Errorf("risc: pc %d outside code [0,%d)", m.pc, len(m.mod.Code))
 	}
-	in := m.mod.Code[m.pc]
+	in := &m.mod.Code[m.pc]
 	switch in.Op {
 	case ONop:
 		m.pc++
@@ -411,13 +461,20 @@ func (m *Machine) step() error {
 		m.write(in.Dst, m.read(in.A))
 		m.pc++
 	case OAlu:
-		var args []heap.Value
-		for _, l := range []Loc{in.A, in.B, in.C} {
-			if l.Kind != LocNone {
-				args = append(args, m.read(l))
+		n := 0
+		if in.A.Kind != LocNone {
+			m.alubuf[0] = m.read(in.A)
+			n = 1
+			if in.B.Kind != LocNone {
+				m.alubuf[1] = m.read(in.B)
+				n = 2
+				if in.C.Kind != LocNone {
+					m.alubuf[2] = m.read(in.C)
+					n = 3
+				}
 			}
 		}
-		v, err := ops.Eval(m.h, in.Alu, args, in.LoadTy)
+		v, err := ops.Eval(m.h, in.Alu, m.alubuf[:n], in.LoadTy)
 		if err != nil {
 			return err
 		}
@@ -449,10 +506,9 @@ func (m *Machine) step() error {
 		m.status = rt.StatusHalted
 		m.halt = c.I
 	case OExt:
-		name := m.mod.Externs[in.Target]
-		ext, ok := m.externs[name]
-		if !ok {
-			return fmt.Errorf("risc: unknown extern %q", name)
+		ext := &m.extVals[in.Target]
+		if ext.Fn == nil {
+			return fmt.Errorf("risc: unknown extern %q", m.mod.Externs[in.Target])
 		}
 		v, err := ext.Fn(m, m.gather(in.Args))
 		m.pins = m.pins[:0]
@@ -460,7 +516,7 @@ func (m *Machine) step() error {
 			return err
 		}
 		if err := ops.CheckKind(v, ext.Sig.Result); err != nil {
-			return fmt.Errorf("risc: extern %q result: %w", name, err)
+			return fmt.Errorf("risc: extern %q result: %w", m.mod.Externs[in.Target], err)
 		}
 		m.write(in.Dst, v)
 		m.pc++
@@ -469,11 +525,12 @@ func (m *Machine) step() error {
 		if fv.Kind != heap.KFun {
 			return fmt.Errorf("risc: speculate target is %s, want fun", fv)
 		}
-		args := m.gather(in.Args)
-		saved := make([]heap.Value, len(args))
-		copy(saved, args)
+		saved := m.gatherFresh(in.Args)
 		m.mgr.Enter(spec.Continuation{FnIndex: fv.I, Args: saved})
-		return m.enter(fv.I, append([]heap.Value{heap.IntVal(0)}, args...))
+		call := append(m.callbuf[:0], heap.IntVal(0))
+		call = append(call, saved...)
+		m.callbuf = call
+		return m.enter(fv.I, call)
 	case OCommit:
 		lv := m.read(in.A)
 		fv := m.read(in.B)
@@ -495,7 +552,10 @@ func (m *Machine) step() error {
 		if err != nil {
 			return err
 		}
-		return m.enter(cont.FnIndex, append([]heap.Value{cv}, cont.Args...))
+		call := append(m.callbuf[:0], cv)
+		call = append(call, cont.Args...)
+		m.callbuf = call
+		return m.enter(cont.FnIndex, call)
 	case OMigr:
 		tp := m.read(in.A)
 		ov := m.read(in.B)
@@ -509,7 +569,9 @@ func (m *Machine) step() error {
 		if err != nil {
 			return err
 		}
-		args := m.gather(in.Args)
+		// Migration handlers may retain the arguments (pack, remote
+		// handoff): fresh slice, never scratch.
+		args := m.gatherFresh(in.Args)
 		if m.migrate == nil {
 			return ErrNoMigration
 		}

@@ -103,7 +103,9 @@ type MigrationRequest struct {
 // MigrateHandler implements the pack/transmit half of process migration.
 type MigrateHandler func(req *MigrationRequest) (MigrateOutcome, error)
 
-// ExternFn is a runtime-provided external function.
+// ExternFn is a runtime-provided external function. The args slice is a
+// scratch buffer owned by the backend and only valid for the duration of
+// the call: implementations must copy any values they retain.
 type ExternFn func(r Runtime, args []heap.Value) (heap.Value, error)
 
 // Extern pairs an external's type signature with its implementation.
@@ -140,4 +142,18 @@ type Proc interface {
 	HaltCode() int64
 	Err() error
 	Steps() uint64
+}
+
+// Exec is the full execution-engine surface the cluster and the workload
+// harness drive: a Proc plus its lifecycle entry points. Start positions a
+// fresh process at its entry function (type-checking first); StartAt is
+// the unpack resume path, invoking the function at table index fnIdx with
+// already-validated argument values; Yield asks the backend to end the
+// current bounded RunSteps quantum after the active step. Engines are
+// constructed through internal/engine's registry.
+type Exec interface {
+	Proc
+	Start() error
+	StartAt(fnIdx int64, args []heap.Value) error
+	Yield()
 }

@@ -30,8 +30,39 @@ const errNoChunkedPut = "transport: no chunked put in progress"
 // chunkHash is a content address.
 type chunkHash = [sha256.Size]byte
 
+// splitScratch pools the chunk-list/hash-list scratch splitChunksPooled
+// hands out: checkpoint puts and gets recur with the same chunk counts,
+// so the slices are reused instead of reallocated per store operation.
+var splitScratch = sync.Pool{
+	New: func() any { return &splitBufs{} },
+}
+
+type splitBufs struct {
+	chunks [][]byte
+	hashes []chunkHash
+}
+
 // splitChunks cuts data into chunkSize pieces and hashes each.
 func splitChunks(data []byte) (chunks [][]byte, hashes []chunkHash) {
+	return split(data, nil, nil)
+}
+
+// splitChunksPooled is splitChunks over pooled scratch. The caller must
+// invoke release exactly once when the chunk and hash slices are dead;
+// values copied out of them (cache inserts copy, frame encoders copy)
+// survive the release.
+func splitChunksPooled(data []byte) (chunks [][]byte, hashes []chunkHash, release func()) {
+	bufs := splitScratch.Get().(*splitBufs)
+	bufs.chunks, bufs.hashes = split(data, bufs.chunks[:0], bufs.hashes[:0])
+	return bufs.chunks, bufs.hashes, func() {
+		for i := range bufs.chunks {
+			bufs.chunks[i] = nil // drop payload references while pooled
+		}
+		splitScratch.Put(bufs)
+	}
+}
+
+func split(data []byte, chunks [][]byte, hashes []chunkHash) ([][]byte, []chunkHash) {
 	for off := 0; off < len(data); off += chunkSize {
 		end := off + chunkSize
 		if end > len(data) {

@@ -267,8 +267,10 @@ func (c *Client) readLoop(fc FrameConn, gen int) {
 				c.mu.Unlock()
 				if err != nil {
 					// The hub is gone for good: release any parked
-					// receiver so the process can observe shutdown.
-					c.cfg.Router.Close()
+					// receiver so the process can observe shutdown, and
+					// record the transport failure so later sends surface
+					// it instead of an orderly-looking router close.
+					c.cfg.Router.CloseErr(fmt.Errorf("transport: hub %s unreachable: %w", c.cfg.Addr, err))
 				}
 			} else {
 				c.mu.Unlock()
@@ -478,7 +480,8 @@ func (c *Client) rpc(build func(id uint32) []byte) (rpcReply, error) {
 // the announce is cheap and chunks already shipped are in the hub's
 // cache, so the retry converges fast.
 func (c *Client) putChunked(name string, data []byte) error {
-	chunks, hashes := splitChunks(data)
+	chunks, hashes, release := splitChunksPooled(data)
+	defer release()
 	deadline := time.Now().Add(c.cfg.RPCTimeout)
 	for {
 		rep, id, ok, err := c.round(0, deadline, func(id uint32) [][]byte {

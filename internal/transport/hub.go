@@ -503,7 +503,8 @@ func (s *session) handleGet(id uint32, name string, full bool) {
 		_ = s.write(encodeData(id, errString(err), data))
 		return
 	}
-	chunks, hashes := splitChunks(data)
+	chunks, hashes, release := splitChunksPooled(data)
+	defer release()
 	for i, c := range chunks {
 		s.hub.chunks.put(hashes[i], c)
 	}

@@ -94,12 +94,21 @@ type Config struct {
 	Args []int64
 	// Seed seeds the deterministic rand_int extern.
 	Seed int64
+	// Compiled, when set, is the precompiled slot code for the process's
+	// program (Precompile); Start/StartAt then skip compilation. It is
+	// ignored when it was built from a different program.
+	Compiled *Compiled
 }
 
 // Process is one executing FIR program: the paper's unit of migration and
-// speculation. All process state lives in the heap, the current
-// environment, and the speculation manager — which is exactly what pack
-// captures.
+// speculation. All process state lives in the heap, the current frame, and
+// the speculation manager — which is exactly what pack captures (the frame
+// itself never crosses a pack boundary: the continuation and its arguments
+// are written into the heap, so images stay frame-layout-independent).
+//
+// Execution runs on the slot-resolved core (slots.go): Start/StartAt
+// compile the program to linear instructions whose variables are dense
+// frame-slot indices, replacing the historical per-step name→value map.
 type Process struct {
 	name    string
 	prog    *fir.Program
@@ -108,12 +117,15 @@ type Process struct {
 	externs rt.Registry
 	migrate MigrateHandler
 
-	env    map[string]heap.Value
-	cur    fir.Expr
-	curFn  string
-	status Status
-	halt   int64
-	err    error
+	compiled *Compiled
+	fp       *frameProg
+	frame    []heap.Value
+	extVals  []rt.Extern // extern table resolved from fp.extNames
+	pc       int
+	curFn    string
+	status   Status
+	halt     int64
+	err      error
 
 	stdout io.Writer
 	fuel   uint64 // remaining; only enforced when fuelCap is true
@@ -123,6 +135,14 @@ type Process struct {
 	args   []int64
 	rng    uint64
 	yield  bool
+
+	// Hot-path scratch, reused across steps. Callees never retain these
+	// slices (rt.ExternFn documents the contract); paths that hand values
+	// to components that do retain them (speculation continuations,
+	// migration handlers) copy into fresh slices.
+	letbuf  [3]heap.Value
+	argbuf  []heap.Value
+	callbuf []heap.Value
 
 	trapSpec bool
 }
@@ -152,17 +172,25 @@ func NewProcess(prog *fir.Program, cfg Config) *Process {
 		args:     cfg.Args,
 		rng:      uint64(cfg.Seed)*2862933555777941757 + 3037000493,
 		trapSpec: cfg.TrapSpeculation,
+		compiled: cfg.Compiled,
 	}
-	h.AddRoots(func(yield func(heap.Value)) {
-		for _, v := range p.env {
-			yield(v)
-		}
-		for _, v := range p.pins {
-			yield(v)
-		}
-	})
+	h.AddRoots(p.yieldRoots)
 	registerStdExterns(p)
 	return p
+}
+
+// yieldRoots enumerates the process's GC roots: the live frame slots of
+// the current instruction plus the extern pins. frame[:depth] is exactly
+// the value set of the historical environment map at this program point.
+func (p *Process) yieldRoots(yield func(heap.Value)) {
+	if p.fp != nil && p.pc < len(p.fp.code) {
+		for _, v := range p.frame[:p.fp.code[p.pc].depth] {
+			yield(v)
+		}
+	}
+	for _, v := range p.pins {
+		yield(v)
+	}
 }
 
 // Accessors used by the migration subsystem, the scheduler, and tests.
@@ -201,6 +229,13 @@ func (p *Process) SetMigrateHandler(h MigrateHandler) { p.migrate = h }
 // before Start so the type checker sees its signature.
 func (p *Process) RegisterExtern(name string, sig fir.ExternSig, fn ExternFn) {
 	p.externs[name] = rt.Extern{Sig: sig, Fn: fn}
+	if p.fp != nil {
+		for i, n := range p.fp.extNames {
+			if n == name {
+				p.extVals[i] = p.externs[name]
+			}
+		}
+	}
 }
 
 // ExternSigs returns the signature registry for type checking.
@@ -213,8 +248,8 @@ func (p *Process) ExternSigs() map[string]fir.ExternSig {
 // one block use it; pins are cleared automatically after every extern.
 func (p *Process) Pin(v heap.Value) { p.pins = append(p.pins, v) }
 
-// Start type-checks the program and positions the process at its entry
-// point.
+// Start type-checks the program, compiles it to slot-resolved code, and
+// positions the process at its entry point.
 func (p *Process) Start() error {
 	if p.status != StatusReady {
 		return fmt.Errorf("vm: Start on a %s process", p.status)
@@ -222,11 +257,37 @@ func (p *Process) Start() error {
 	if err := fir.Check(p.prog, p.ExternSigs()); err != nil {
 		return err
 	}
-	entry, _ := p.prog.Lookup(p.prog.Entry)
-	p.cur = entry.Body
-	p.curFn = entry.Name
-	p.env = make(map[string]heap.Value)
+	if err := p.prepare(); err != nil {
+		return err
+	}
+	_, idx := p.prog.Lookup(p.prog.Entry)
+	f := &p.fp.fns[idx]
+	p.pc = f.entry
+	p.curFn = f.fn.Name
 	p.status = StatusRunning
+	return nil
+}
+
+// prepare compiles the program to slot-resolved code (or adopts the
+// precompiled artifact) and sizes the frame and extern table.
+func (p *Process) prepare() error {
+	var fp *frameProg
+	if p.compiled != nil && p.compiled.prog == p.prog {
+		fp = p.compiled.fp
+	} else {
+		var err error
+		if fp, err = compileFrames(p.prog); err != nil {
+			return err
+		}
+	}
+	p.fp = fp
+	p.frame = make([]heap.Value, fp.slots)
+	p.extVals = make([]rt.Extern, len(fp.extNames))
+	for i, n := range fp.extNames {
+		if e, ok := p.externs[n]; ok {
+			p.extVals[i] = e
+		}
+	}
 	return nil
 }
 
@@ -242,6 +303,11 @@ func (p *Process) StartAt(fnIdx int64, args []heap.Value) error {
 	// No type check here: StartAt is the unpack resume path, where the
 	// caller has already verified the program (or deliberately skipped
 	// verification under the trusted binary protocol, experiment E2).
+	if err := p.prepare(); err != nil {
+		p.status = StatusFailed
+		p.err = err
+		return err
+	}
 	p.status = StatusRunning
 	if err := p.invoke(fnIdx, args); err != nil {
 		p.status = StatusFailed
@@ -276,41 +342,37 @@ func ResumeProcess(prog *fir.Program, h *heap.Heap, conts []spec.Continuation, c
 		args:     cfg.Args,
 		rng:      uint64(cfg.Seed)*2862933555777941757 + 3037000493,
 		trapSpec: cfg.TrapSpeculation,
+		compiled: cfg.Compiled,
 	}
 	if err := p.mgr.RestoreStack(conts); err != nil {
 		return nil, err
 	}
-	h.AddRoots(func(yield func(heap.Value)) {
-		for _, v := range p.env {
-			yield(v)
-		}
-		for _, v := range p.pins {
-			yield(v)
-		}
-	})
+	h.AddRoots(p.yieldRoots)
 	registerStdExterns(p)
 	return p, nil
 }
 
 // invoke positions the process at function fnIdx with args bound to its
-// parameters, applying the runtime type checks on every value.
+// parameter slots, applying the runtime type checks on every value. args
+// may be a scratch buffer: the values are copied into the frame before
+// invoke returns.
 func (p *Process) invoke(fnIdx int64, args []heap.Value) error {
-	fn, err := p.prog.FuncByIndex(int(fnIdx))
-	if err != nil {
+	if fnIdx < 0 || fnIdx >= int64(len(p.fp.fns)) {
+		_, err := p.prog.FuncByIndex(int(fnIdx))
 		return err
 	}
+	f := &p.fp.fns[fnIdx]
+	fn := f.fn
 	if len(args) != len(fn.Params) {
 		return fmt.Errorf("vm: %s takes %d arguments, given %d", fn.Name, len(fn.Params), len(args))
 	}
-	env := make(map[string]heap.Value, len(args))
 	for i, a := range args {
 		if err := checkKind(a, fn.Params[i].Type); err != nil {
 			return fmt.Errorf("vm: %s argument %d (%s): %w", fn.Name, i, fn.Params[i].Name, err)
 		}
-		env[fn.Params[i].Name] = a
 	}
-	p.env = env
-	p.cur = fn.Body
+	copy(p.frame[:len(args)], args)
+	p.pc = f.entry
 	p.curFn = fn.Name
 	return nil
 }
@@ -401,118 +463,97 @@ func (p *Process) rterrf(format string, args ...any) error {
 	return &RuntimeError{Fn: p.curFn, Err: fmt.Errorf(format, args...)}
 }
 
-// atom evaluates an atomic expression.
-func (p *Process) atom(a fir.Atom) (heap.Value, error) {
-	switch a := a.(type) {
-	case fir.Var:
-		v, ok := p.env[a.Name]
-		if !ok {
-			return heap.Value{}, p.rterrf("unbound variable %q", a.Name)
-		}
-		return v, nil
-	case fir.IntLit:
-		return heap.IntVal(a.V), nil
-	case fir.FloatLit:
-		return heap.FloatVal(a.V), nil
-	case fir.FunLit:
-		_, idx := p.prog.Lookup(a.Name)
-		if idx < 0 {
-			return heap.Value{}, p.rterrf("undefined function %q", a.Name)
-		}
-		return heap.FunVal(int64(idx)), nil
-	case fir.UnitLit:
-		return heap.UnitVal(), nil
-	default:
-		return heap.Value{}, p.rterrf("unknown atom %T", a)
+// operand reads one resolved operand: a live frame slot or an immediate.
+func (p *Process) operand(a *fatom) heap.Value {
+	if a.slot >= 0 {
+		return p.frame[a.slot]
 	}
+	return a.imm
 }
 
-func (p *Process) atoms(as []fir.Atom) ([]heap.Value, error) {
-	out := make([]heap.Value, len(as))
-	for i, a := range as {
-		v, err := p.atom(a)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
+// gather reads an operand list into the reused argument scratch buffer.
+// The result is valid until the next gather; callees must not retain it.
+func (p *Process) gather(args []fatom) []heap.Value {
+	buf := p.argbuf[:0]
+	for i := range args {
+		buf = append(buf, p.operand(&args[i]))
 	}
-	return out, nil
+	p.argbuf = buf
+	return buf
 }
 
-// step executes one FIR node.
+// step executes one instruction — exactly one FIR node.
 func (p *Process) step() error {
-	switch e := p.cur.(type) {
-	case fir.Let:
-		args, err := p.atoms(e.Args)
-		if err != nil {
-			return err
+	in := &p.fp.code[p.pc]
+	switch in.op {
+	case fLet:
+		var args []heap.Value
+		if in.args == nil {
+			switch in.nargs {
+			case 1:
+				p.letbuf[0] = p.operand(&in.a)
+			case 2:
+				p.letbuf[0] = p.operand(&in.a)
+				p.letbuf[1] = p.operand(&in.b)
+			case 3:
+				p.letbuf[0] = p.operand(&in.a)
+				p.letbuf[1] = p.operand(&in.b)
+				p.letbuf[2] = p.operand(&in.c)
+			}
+			args = p.letbuf[:in.nargs]
+		} else {
+			args = p.gather(in.args)
 		}
-		v, err := p.applyOp(e.Op, args, e.DstType)
+		v, err := ops.Eval(p.h, in.alu, args, in.dstTy)
 		if err != nil {
-			return err
+			return p.rterr(err)
 		}
-		p.env[e.Dst] = v
-		p.cur = e.Body
+		p.frame[in.dst] = v
+		p.pc++
 		return nil
 
-	case fir.Extern:
-		ext, ok := p.externs[e.Name]
-		if !ok {
-			return p.rterrf("unknown extern %q", e.Name)
+	case fExtern:
+		ext := &p.extVals[in.extIdx]
+		if ext.Fn == nil {
+			return p.rterrf("unknown extern %q", p.fp.extNames[in.extIdx])
 		}
-		args, err := p.atoms(e.Args)
-		if err != nil {
-			return err
-		}
+		args := p.gather(in.args)
 		v, err := ext.Fn(p, args)
 		p.pins = p.pins[:0]
 		if err != nil {
 			return p.rterr(err)
 		}
 		if err := checkKind(v, ext.Sig.Result); err != nil {
-			return p.rterrf("extern %q result: %v", e.Name, err)
+			return p.rterrf("extern %q result: %v", p.fp.extNames[in.extIdx], err)
 		}
-		p.env[e.Dst] = v
-		p.cur = e.Body
+		p.frame[in.dst] = v
+		p.pc++
 		return nil
 
-	case fir.If:
-		c, err := p.atom(e.Cond)
-		if err != nil {
-			return err
-		}
+	case fIf:
+		c := p.operand(&in.a)
 		if c.Kind != heap.KInt {
 			return p.rterrf("if condition is %s, want int", c.Kind)
 		}
 		if c.I != 0 {
-			p.cur = e.Then
+			p.pc++
 		} else {
-			p.cur = e.Else
+			p.pc = int(in.target)
 		}
 		return nil
 
-	case fir.Call:
-		fnv, err := p.atom(e.Fn)
-		if err != nil {
-			return err
-		}
+	case fCall:
+		fnv := p.operand(&in.a)
 		if fnv.Kind != heap.KFun {
 			return p.rterrf("call target is %s, want fun", fnv)
 		}
-		args, err := p.atoms(e.Args)
-		if err != nil {
-			return err
-		}
-		if err := p.invoke(fnv.I, args); err != nil {
+		if err := p.invoke(fnv.I, p.gather(in.args)); err != nil {
 			return p.rterr(err)
 		}
 		return nil
 
-	case fir.Halt:
-		c, err := p.atom(e.Code)
-		if err != nil {
-			return err
-		}
+	case fHalt:
+		c := p.operand(&in.a)
 		if c.Kind != heap.KInt {
 			return p.rterrf("halt code is %s, want int", c.Kind)
 		}
@@ -520,46 +561,36 @@ func (p *Process) step() error {
 		p.halt = c.I
 		return nil
 
-	case fir.Speculate:
-		fnv, err := p.atom(e.Fn)
-		if err != nil {
-			return err
-		}
+	case fSpeculate:
+		fnv := p.operand(&in.a)
 		if fnv.Kind != heap.KFun {
 			return p.rterrf("speculate target is %s, want fun", fnv)
 		}
-		args, err := p.atoms(e.Args)
-		if err != nil {
-			return err
+		// The continuation's arguments outlive this step inside the
+		// speculation manager: they need a fresh slice.
+		saved := make([]heap.Value, len(in.args))
+		for i := range in.args {
+			saved[i] = p.operand(&in.args[i])
 		}
-		saved := make([]heap.Value, len(args))
-		copy(saved, args)
 		p.mgr.Enter(spec.Continuation{FnIndex: fnv.I, Args: saved})
-		call := append([]heap.Value{heap.IntVal(0)}, args...)
+		call := append(p.callbuf[:0], heap.IntVal(0))
+		call = append(call, saved...)
+		p.callbuf = call
 		if err := p.invoke(fnv.I, call); err != nil {
 			return p.rterr(err)
 		}
 		return nil
 
-	case fir.Commit:
-		lv, err := p.atom(e.Level)
-		if err != nil {
-			return err
-		}
+	case fCommit:
+		lv := p.operand(&in.a)
 		if lv.Kind != heap.KInt {
 			return p.rterrf("commit level is %s, want int", lv.Kind)
 		}
-		fnv, err := p.atom(e.Fn)
-		if err != nil {
-			return err
-		}
+		fnv := p.operand(&in.b)
 		if fnv.Kind != heap.KFun {
 			return p.rterrf("commit target is %s, want fun", fnv)
 		}
-		args, err := p.atoms(e.Args)
-		if err != nil {
-			return err
-		}
+		args := p.gather(in.args)
 		if err := p.mgr.Commit(int(lv.I)); err != nil {
 			return p.rterr(err)
 		}
@@ -568,15 +599,9 @@ func (p *Process) step() error {
 		}
 		return nil
 
-	case fir.Rollback:
-		lv, err := p.atom(e.Level)
-		if err != nil {
-			return err
-		}
-		cv, err := p.atom(e.C)
-		if err != nil {
-			return err
-		}
+	case fRollback:
+		lv := p.operand(&in.a)
+		cv := p.operand(&in.b)
 		if lv.Kind != heap.KInt || cv.Kind != heap.KInt {
 			return p.rterrf("rollback operands must be int")
 		}
@@ -584,21 +609,17 @@ func (p *Process) step() error {
 		if err != nil {
 			return p.rterr(err)
 		}
-		args := append([]heap.Value{cv}, cont.Args...)
-		if err := p.invoke(cont.FnIndex, args); err != nil {
+		call := append(p.callbuf[:0], cv)
+		call = append(call, cont.Args...)
+		p.callbuf = call
+		if err := p.invoke(cont.FnIndex, call); err != nil {
 			return p.rterr(err)
 		}
 		return nil
 
-	case fir.Migrate:
-		tp, err := p.atom(e.Target)
-		if err != nil {
-			return err
-		}
-		toff, err := p.atom(e.TargetOff)
-		if err != nil {
-			return err
-		}
+	case fMigrate:
+		tp := p.operand(&in.a)
+		toff := p.operand(&in.b)
 		if tp.Kind != heap.KPtr || toff.Kind != heap.KInt {
 			return p.rterrf("migrate target must be (ptr, int)")
 		}
@@ -608,22 +629,21 @@ func (p *Process) step() error {
 		if err != nil {
 			return p.rterr(err)
 		}
-		fnv, err := p.atom(e.Fn)
-		if err != nil {
-			return err
-		}
+		fnv := p.operand(&in.c)
 		if fnv.Kind != heap.KFun {
 			return p.rterrf("migrate continuation is %s, want fun", fnv)
 		}
-		args, err := p.atoms(e.Args)
-		if err != nil {
-			return err
+		// Migration handlers may retain the arguments (pack, remote
+		// handoff): fresh slice, never scratch.
+		args := make([]heap.Value, len(in.args))
+		for i := range in.args {
+			args[i] = p.operand(&in.args[i])
 		}
 		if p.migrate == nil {
 			return p.rterr(ErrNoMigration)
 		}
 		outcome, err := p.migrate(&rt.MigrationRequest{
-			Rt: p, Label: e.Label, Target: target, FnIndex: fnv.I, Args: args,
+			Rt: p, Label: int(in.target), Target: target, FnIndex: fnv.I, Args: args,
 		})
 		p.pins = p.pins[:0]
 		if err != nil {
@@ -644,16 +664,6 @@ func (p *Process) step() error {
 		return nil
 
 	default:
-		return p.rterrf("unknown expression %T", e)
+		return p.rterrf("unknown opcode %d", in.op)
 	}
-}
-
-// applyOp evaluates a primitive operator through the shared semantics in
-// internal/ops, wrapping failures as trappable runtime errors.
-func (p *Process) applyOp(op fir.Op, a []heap.Value, dst fir.Type) (heap.Value, error) {
-	v, err := ops.Eval(p.h, op, a, dst)
-	if err != nil {
-		return heap.Value{}, p.rterr(err)
-	}
-	return v, nil
 }

@@ -94,22 +94,26 @@ func TestDefaultsValidate(t *testing.T) {
 	}
 }
 
-// TestInProcessMatchesReference: every app, on the in-process engine,
-// with worker-pool widths 1, 2 and 4, produces halt codes bit-identical
-// to its sequential reference.
+// TestInProcessMatchesReference: every app, on both execution engines,
+// with worker-pool widths 0 (unbounded), 1, 2 and 4, produces halt codes
+// bit-identical to its sequential reference.
 func TestInProcessMatchesReference(t *testing.T) {
 	for _, w := range all(t) {
 		w := w
-		for _, workers := range []int{1, 2, 4} {
-			workers := workers
-			t.Run(fmt.Sprintf("%s/workers=%d", w.Name(), workers), func(t *testing.T) {
-				t.Parallel()
-				p := smallParams(w)
-				p.Workers = workers
-				if _, err := workload.RunVerified(w, p, workload.RunConfig{Timeout: time.Minute}); err != nil {
-					t.Fatal(err)
-				}
-			})
+		for _, engine := range []string{"vm", "risc"} {
+			engine := engine
+			for _, workers := range []int{0, 1, 2, 4} {
+				workers := workers
+				t.Run(fmt.Sprintf("%s/%s/workers=%d", w.Name(), engine, workers), func(t *testing.T) {
+					t.Parallel()
+					p := smallParams(w)
+					p.Workers = workers
+					p.Engine = engine
+					if _, err := workload.RunVerified(w, p, workload.RunConfig{Timeout: time.Minute}); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
 		}
 	}
 }
@@ -121,12 +125,16 @@ func TestInProcessMatchesReference(t *testing.T) {
 func TestMultiFailureScriptConverges(t *testing.T) {
 	for _, w := range all(t) {
 		w := w
-		for _, workers := range []int{0, 2} {
-			workers := workers
-			t.Run(fmt.Sprintf("%s/workers=%d", w.Name(), workers), func(t *testing.T) {
+		for _, tc := range []struct {
+			engine  string
+			workers int
+		}{{"vm", 0}, {"vm", 2}, {"risc", 0}, {"risc", 2}} {
+			engine, workers := tc.engine, tc.workers
+			t.Run(fmt.Sprintf("%s/%s/workers=%d", w.Name(), engine, workers), func(t *testing.T) {
 				t.Parallel()
 				p := smallParams(w)
 				p.Workers = workers
+				p.Engine = engine
 				script := multiFailureScript(w)
 				res, err := workload.RunVerified(w, p, workload.RunConfig{Script: script, Timeout: 2 * time.Minute})
 				if err != nil {
@@ -168,21 +176,25 @@ func goSpawn(t *testing.T, w workload.Workload, p workload.Params) workload.Spaw
 func TestDistributedMatchesReference(t *testing.T) {
 	for _, w := range all(t) {
 		w := w
-		t.Run(w.Name(), func(t *testing.T) {
-			t.Parallel()
-			p := smallParams(w)
-			res, err := workload.RunDistributed(w, p, nil,
-				workload.DistributedConfig{Spawn: goSpawn(t, w, p)}, time.Minute)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := w.Verify(p, res.Nodes); err != nil {
-				t.Fatal(err)
-			}
-			if res.Resurrections != 0 {
-				t.Fatalf("failure-free run saw %d resurrections", res.Resurrections)
-			}
-		})
+		for _, engine := range []string{"vm", "risc"} {
+			engine := engine
+			t.Run(w.Name()+"/"+engine, func(t *testing.T) {
+				t.Parallel()
+				p := smallParams(w)
+				p.Engine = engine
+				res, err := workload.RunDistributed(w, p, nil,
+					workload.DistributedConfig{Spawn: goSpawn(t, w, p)}, time.Minute)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Verify(p, res.Nodes); err != nil {
+					t.Fatal(err)
+				}
+				if res.Resurrections != 0 {
+					t.Fatalf("failure-free run saw %d resurrections", res.Resurrections)
+				}
+			})
+		}
 	}
 }
 
@@ -193,22 +205,26 @@ func TestDistributedMatchesReference(t *testing.T) {
 func TestDistributedMultiFailureConverges(t *testing.T) {
 	for _, w := range all(t) {
 		w := w
-		t.Run(w.Name(), func(t *testing.T) {
-			t.Parallel()
-			p := smallParams(w)
-			script := multiFailureScript(w)
-			res, err := workload.RunDistributed(w, p, script,
-				workload.DistributedConfig{Spawn: goSpawn(t, w, p)}, 2*time.Minute)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := w.Verify(p, res.Nodes); err != nil {
-				t.Fatal(err)
-			}
-			if res.Resurrections != len(script.Events) {
-				t.Fatalf("resurrections = %d, want %d", res.Resurrections, len(script.Events))
-			}
-		})
+		for _, engine := range []string{"vm", "risc"} {
+			engine := engine
+			t.Run(w.Name()+"/"+engine, func(t *testing.T) {
+				t.Parallel()
+				p := smallParams(w)
+				p.Engine = engine
+				script := multiFailureScript(w)
+				res, err := workload.RunDistributed(w, p, script,
+					workload.DistributedConfig{Spawn: goSpawn(t, w, p)}, 2*time.Minute)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Verify(p, res.Nodes); err != nil {
+					t.Fatal(err)
+				}
+				if res.Resurrections != len(script.Events) {
+					t.Fatalf("resurrections = %d, want %d", res.Resurrections, len(script.Events))
+				}
+			})
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/engine"
 	"repro/internal/migrate"
 	"repro/internal/workload"
 )
@@ -87,6 +88,7 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 	fs.IntVar(&opt.params.Workers, "workers", 0, "concurrently executing node quanta (0 = unbounded)")
 	fs.StringVar(&opt.params.Ckpt, "ckpt", "", `checkpoint pipeline mode: "full" (default), "delta", or "async"`)
 	fs.IntVar(&opt.params.CkptK, "ckptk", 0, "force a full image every K delta checkpoints (0 = pipeline default)")
+	fs.StringVar(&opt.params.Engine, "engine", "", `execution engine: "vm" (slot-resolved interpreter, default) or "risc" (compiled RISC simulator)`)
 	fs.Var(&opt.fails, "fail", `inject a failure: "node@checkpoints[@delay]", e.g. "1@2" (repeatable)`)
 	fs.StringVar(&opt.script, "script", "", "fault-scenario script file (fail lines; see README)")
 	fs.DurationVar(&opt.timeout, "timeout", 2*time.Minute, "run timeout")
@@ -147,8 +149,12 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 	if mode == "" {
 		mode = "full"
 	}
-	fmt.Fprintf(stdout, "%s: nodes %d, size %d, aux %d, steps %d, checkpoint every %d (%s), workers %d\n",
-		opt.app, p.Nodes, p.Size, p.Aux, p.Steps, p.CheckpointInterval, mode, p.Workers)
+	eng := p.Engine
+	if eng == "" {
+		eng = engine.DefaultName
+	}
+	fmt.Fprintf(stdout, "%s: nodes %d, size %d, aux %d, steps %d, checkpoint every %d (%s), workers %d, engine %s\n",
+		opt.app, p.Nodes, p.Size, p.Aux, p.Steps, p.CheckpointInterval, mode, p.Workers, eng)
 	if script != nil {
 		for _, ev := range script.Events {
 			fmt.Fprintf(stdout, "%s: will kill node %d after checkpoint %d and resurrect it after %s\n",
@@ -290,6 +296,7 @@ func runCoordinator(w workload.Workload, p workload.Params, script *workload.Fau
 				"-ck", strconv.Itoa(p.CheckpointInterval),
 				"-ckpt", p.Ckpt,
 				"-ckptk", strconv.Itoa(p.CkptK),
+				"-engine", p.Engine,
 				"-timeout", opt.timeout.String(),
 			}
 			cmd := exec.Command(self, args...)

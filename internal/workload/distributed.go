@@ -117,6 +117,7 @@ func RunWorker(w Workload, cfg WorkerConfig) (*cluster.ProcState, error) {
 		return nil, err
 	}
 	engine = cluster.NewEngine(cluster.EngineConfig{
+		Engine:        p.Engine,
 		Store:         client.RemoteStore(),
 		Router:        router,
 		Stdout:        cfg.Stdout,

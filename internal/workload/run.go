@@ -115,6 +115,7 @@ func Run(w Workload, p Params, cfg RunConfig) (*Result, error) {
 	}
 	store := &observableStore{Store: cluster.NewMemStore()}
 	eng := cluster.NewEngine(cluster.EngineConfig{
+		Engine:  p.Engine,
 		Store:   store,
 		Stdout:  cfg.Stdout,
 		Quantum: quantum,

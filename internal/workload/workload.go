@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"repro/internal/ckpt"
+	"repro/internal/engine"
 	"repro/internal/fir"
 	"repro/internal/heap"
 	"repro/internal/rt"
@@ -54,6 +55,10 @@ type Params struct {
 	// CkptK bounds delta chains: a full image is forced every CkptK
 	// deltas (0 = the pipeline default).
 	CkptK int
+	// Engine names the execution engine node processes run on: "" or
+	// "vm" (slot-resolved interpreter), or "risc" (compiled RISC
+	// simulator). Results are bit-identical on every engine.
+	Engine string
 }
 
 // CkptOptions parses the checkpoint-pipeline fields.
@@ -91,6 +96,9 @@ func Normalize(w Workload, p Params) (Params, error) {
 	p = p.withDefaults(w.Defaults())
 	if p.Workers < 0 {
 		return p, fmt.Errorf("workload: worker count %d must be non-negative", p.Workers)
+	}
+	if _, err := engine.Get(p.Engine); err != nil {
+		return p, err
 	}
 	if _, err := p.CkptOptions(); err != nil {
 		return p, err

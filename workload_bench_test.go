@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/workload"
 
 	_ "repro/internal/workload/apps" // register grid, allreduce, taskfarm, pipeline
@@ -53,7 +54,10 @@ func benchWorkload(b *testing.B, w workload.Workload, p workload.Params, script 
 		b.Fatal(err)
 	}
 	var rollbacks, ckpts, ckBytes, ckPause, recNs, recoveries uint64
+	var mem memProbe
+	b.ReportAllocs()
 	b.ResetTimer()
+	mem.start()
 	for i := 0; i < b.N; i++ {
 		res, err := workload.Run(w, p, workload.RunConfig{
 			Script: script, Timeout: 2 * time.Minute, Program: prog,
@@ -72,12 +76,20 @@ func benchWorkload(b *testing.B, w workload.Workload, p workload.Params, script 
 		recoveries += res.Ckpt.Recoveries
 	}
 	b.StopTimer()
+	allocs, bytes := mem.perOp(b.N)
 	b.ReportMetric(float64(rollbacks)/float64(b.N), "rollbacks/op")
+	eng := p.Engine
+	if eng == "" {
+		eng = engine.DefaultName
+	}
 	rec := BenchRecord{
 		App:            w.Name(),
 		Name:           b.Name(),
+		Engine:         eng,
 		Iterations:     b.N,
 		NsPerOp:        float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		AllocsPerOp:    allocs,
+		BytesPerOp:     bytes,
 		RollbacksPerOp: float64(rollbacks) / float64(b.N),
 		Nodes:          p.Nodes,
 		Size:           p.Size,
@@ -110,18 +122,23 @@ func BenchmarkWorkloads(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		// Every app crossed with every checkpoint pipeline mode, so the
-		// BENCH_<app>.json trajectories record bytes-per-checkpoint and
-		// checkpoint pause for full vs delta vs async side by side.
-		for _, mode := range []string{"full", "delta", "async"} {
-			p := benchWorkloadParams(name)
-			p.Ckpt = mode
-			b.Run(name+"/"+mode+"/failurefree", func(b *testing.B) {
-				benchWorkload(b, w, p, nil)
-			})
-			b.Run(name+"/"+mode+"/recovery", func(b *testing.B) {
-				benchWorkload(b, w, p, benchFailure(name))
-			})
+		// Every app crossed with both execution engines and every
+		// checkpoint pipeline mode, so the BENCH_<app>.json trajectories
+		// record the interpreter-vs-compiled speedup next to
+		// bytes-per-checkpoint and checkpoint pause for full vs delta vs
+		// async.
+		for _, eng := range engine.Names() {
+			for _, mode := range []string{"full", "delta", "async"} {
+				p := benchWorkloadParams(name)
+				p.Engine = eng
+				p.Ckpt = mode
+				b.Run(name+"/"+eng+"/"+mode+"/failurefree", func(b *testing.B) {
+					benchWorkload(b, w, p, nil)
+				})
+				b.Run(name+"/"+eng+"/"+mode+"/recovery", func(b *testing.B) {
+					benchWorkload(b, w, p, benchFailure(name))
+				})
+			}
 		}
 	}
 }
