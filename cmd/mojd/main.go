@@ -1,0 +1,105 @@
+// Command mojd is the multi-tenant serving daemon: it accepts workload
+// submissions over TCP and multiplexes many concurrent cluster runs over
+// one shared bounded worker pool and one shared checkpoint store. Every
+// accepted run executes to completion and is verified bit-exactly
+// against its workload's sequential reference; an overloaded daemon
+// refuses new submissions explicitly instead of hanging or dropping
+// them. See the README's "Serving mode (mojd)" section for the protocol
+// and the admission semantics.
+//
+// Usage:
+//
+//	mojd [flags]
+//
+//	-listen ADDR   TCP listen address (default 127.0.0.1:9444)
+//	-pool N        shared worker pool: max node quanta executing at once
+//	               across ALL runs (default GOMAXPROCS)
+//	-maxruns N     max engines running concurrently (default 16)
+//	-queue N       admission queue depth beyond the running set; a full
+//	               queue rejects with an explicit throttle (default 64)
+//	-run-timeout D per-run execution bound (default 2m)
+//	-idle D        per-connection idle timeout (default 60s)
+//	-storedir DIR  back the shared checkpoint store with a directory
+//	               (default: in-memory)
+//	-v             log accepts, rejects and gc failures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/migrate"
+	"repro/internal/serve"
+
+	_ "repro/internal/workload/apps" // register grid, allreduce, taskfarm, pipeline
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:9444", "listen address")
+		pool       = flag.Int("pool", 0, "shared worker pool size (0 = GOMAXPROCS)")
+		maxRuns    = flag.Int("maxruns", 16, "max concurrently executing runs")
+		queue      = flag.Int("queue", 64, "admission queue depth")
+		runTimeout = flag.Duration("run-timeout", 2*time.Minute, "per-run execution bound")
+		idle       = flag.Duration("idle", 60*time.Second, "connection idle timeout")
+		storeDir   = flag.String("storedir", "", "checkpoint store directory (default: in-memory)")
+		verbose    = flag.Bool("v", false, "log daemon events")
+	)
+	flag.Parse()
+
+	var store migrate.Store
+	if *storeDir != "" {
+		ds, err := cluster.NewDirStore(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mojd: %v\n", err)
+			os.Exit(1)
+		}
+		store = ds
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mojd: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := serve.Config{
+		PoolWorkers: *pool,
+		MaxRuns:     *maxRuns,
+		QueueDepth:  *queue,
+		RunTimeout:  *runTimeout,
+		IdleTimeout: *idle,
+		Store:       store,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mojd: "+format+"\n", args...)
+		}
+	}
+	s := serve.NewServer(l, cfg)
+	fmt.Printf("mojd: serving on %s (pool %d, maxruns %d, queue %d)\n",
+		s.Addr(), cfg.PoolWorkers, cfg.MaxRuns, cfg.QueueDepth)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	closed := make(chan struct{})
+	go func() {
+		<-sig
+		fmt.Println("mojd: shutting down")
+		_ = s.Close()
+		close(closed)
+	}()
+	if err := s.Serve(); err != nil {
+		fmt.Fprintf(os.Stderr, "mojd: %v\n", err)
+		os.Exit(1)
+	}
+	<-closed // Serve returned because Close fired; let it finish draining.
+	m := s.Snapshot()
+	fmt.Printf("mojd: served %d runs (%d completed, %d failed, %d rejected)\n",
+		m.Accepted, m.Completed, m.Failed, m.Rejected)
+}

@@ -1,0 +1,244 @@
+// Command mojload is the serving-mode load generator: it drives a mojd
+// daemon with hundreds of concurrent workload submissions — across every
+// registered app and both execution engines — measures sustained
+// jobs/sec, and writes a BENCH_serve.json record including the daemon's
+// own per-tenant metrics.
+//
+// Throttled submissions (the daemon's explicit admission refusals) are
+// retried with backoff and counted; anything else failing is an error.
+// Every completed run was verified bit-exactly by the daemon against the
+// workload's sequential reference, so a clean mojload exit is also a
+// correctness statement about everything it submitted.
+//
+// Usage:
+//
+//	mojload [flags]
+//
+//	-addr ADDR     daemon address; with -selfhost, an in-process daemon
+//	               is started instead and ADDR is ignored
+//	-selfhost      run an in-process daemon (for CI and benchmarks)
+//	-jobs N        total submissions (default 200)
+//	-concurrency C in-flight submissions (default 32)
+//	-tenants T     distinct tenants to spread the jobs over (default 8)
+//	-apps LIST     comma-separated workloads (default all registered)
+//	-engines LIST  comma-separated engines (default "vm,risc")
+//	-script S      fault script (mojrun -script syntax, semicolons for
+//	               newlines) attached to tenant t0's submissions
+//	-retries N     max throttle retries per job (default 50)
+//	-out FILE      write the benchmark record here (default
+//	               BENCH_serve.json; "-" for stdout only)
+//	-pool/-maxruns/-queue  daemon sizing with -selfhost
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/workload"
+
+	_ "repro/internal/workload/apps" // register grid, allreduce, taskfarm, pipeline
+)
+
+// smallParams is the per-app shrunk problem shape the generator submits:
+// big enough to checkpoint and roll back, small enough to sustain
+// hundreds of runs.
+func smallParams(app string) workload.Params {
+	switch app {
+	case "grid":
+		return workload.Params{Nodes: 3, Size: 4, Aux: 8, Steps: 12, CheckpointInterval: 4}
+	case "allreduce":
+		return workload.Params{Nodes: 3, Size: 4, Steps: 8, CheckpointInterval: 2}
+	case "taskfarm":
+		return workload.Params{Nodes: 3, Size: 4, Steps: 6, CheckpointInterval: 2}
+	case "pipeline":
+		return workload.Params{Nodes: 4, Size: 3, Aux: 4, Steps: 8, CheckpointInterval: 2}
+	}
+	return workload.Params{}
+}
+
+// benchRecord is the BENCH_serve.json schema.
+type benchRecord struct {
+	Schema      string         `json:"schema"`
+	Jobs        int            `json:"jobs"`
+	Completed   int64          `json:"completed"`
+	Failed      int64          `json:"failed"`
+	Throttles   int64          `json:"throttles"`
+	Concurrency int            `json:"concurrency"`
+	Tenants     int            `json:"tenants"`
+	Apps        []string       `json:"apps"`
+	Engines     []string       `json:"engines"`
+	ElapsedNs   int64          `json:"elapsed_ns"`
+	JobsPerSec  float64        `json:"jobs_per_sec"`
+	Server      *serve.Metrics `json:"server_metrics,omitempty"`
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:9444", "daemon address")
+		selfhost    = flag.Bool("selfhost", false, "start an in-process daemon")
+		jobs        = flag.Int("jobs", 200, "total submissions")
+		concurrency = flag.Int("concurrency", 32, "in-flight submissions")
+		tenants     = flag.Int("tenants", 8, "distinct tenants")
+		appsFlag    = flag.String("apps", "", "comma-separated workloads (default: all registered)")
+		engines     = flag.String("engines", "vm,risc", "comma-separated engines")
+		script      = flag.String("script", "", "fault script for tenant t0 (semicolons for newlines)")
+		retries     = flag.Int("retries", 50, "max throttle retries per job")
+		out         = flag.String("out", "BENCH_serve.json", `output file ("-" for stdout only)`)
+		pool        = flag.Int("pool", 0, "daemon pool size with -selfhost (0 = GOMAXPROCS)")
+		maxRuns     = flag.Int("maxruns", 16, "daemon maxruns with -selfhost")
+		queue       = flag.Int("queue", 64, "daemon queue depth with -selfhost")
+	)
+	flag.Parse()
+	if code := run(*addr, *selfhost, *jobs, *concurrency, *tenants, *appsFlag, *engines,
+		*script, *retries, *out, *pool, *maxRuns, *queue); code != 0 {
+		os.Exit(code)
+	}
+}
+
+func run(addr string, selfhost bool, jobs, concurrency, tenants int, appsFlag, enginesFlag,
+	script string, retries int, out string, pool, maxRuns, queue int) int {
+	apps := workload.Names()
+	if appsFlag != "" {
+		apps = strings.Split(appsFlag, ",")
+	}
+	engines := strings.Split(enginesFlag, ",")
+	for _, app := range apps {
+		if _, err := workload.Get(app); err != nil {
+			fmt.Fprintf(os.Stderr, "mojload: %v\n", err)
+			return 1
+		}
+	}
+	script = strings.ReplaceAll(script, ";", "\n")
+
+	if selfhost {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mojload: %v\n", err)
+			return 1
+		}
+		s := serve.NewServer(l, serve.Config{PoolWorkers: pool, MaxRuns: maxRuns, QueueDepth: queue})
+		go func() { _ = s.Serve() }()
+		defer s.Close()
+		addr = s.Addr()
+		fmt.Printf("mojload: self-hosted daemon on %s\n", addr)
+	}
+	client := &serve.Client{Addr: addr, SubmitTimeout: 5 * time.Minute}
+
+	var completed, failed, throttles int64
+	var firstErr atomic.Value
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < concurrency; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(worker)))
+			for idx := range work {
+				req := serve.SubmitRequest{
+					Tenant: fmt.Sprintf("t%d", idx%tenants),
+					App:    apps[idx%len(apps)],
+					Params: smallParams(apps[idx%len(apps)]),
+				}
+				req.Params.Engine = engines[(idx/len(apps))%len(engines)]
+				if script != "" && idx%tenants == 0 {
+					req.Script = script
+				}
+				err := submitWithRetry(client, req, retries, rnd, &throttles)
+				if err != nil {
+					atomic.AddInt64(&failed, 1)
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				atomic.AddInt64(&completed, 1)
+			}
+		}(i)
+	}
+	for idx := 0; idx < jobs; idx++ {
+		work <- idx
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rec := benchRecord{
+		Schema:      "mojd-load/v1",
+		Jobs:        jobs,
+		Completed:   completed,
+		Failed:      failed,
+		Throttles:   throttles,
+		Concurrency: concurrency,
+		Tenants:     tenants,
+		Apps:        apps,
+		Engines:     engines,
+		ElapsedNs:   elapsed.Nanoseconds(),
+		JobsPerSec:  float64(completed) / elapsed.Seconds(),
+	}
+	if m, err := client.Metrics(); err == nil {
+		rec.Server = m
+	} else {
+		fmt.Fprintf(os.Stderr, "mojload: fetching server metrics: %v\n", err)
+	}
+
+	fmt.Printf("mojload: %d jobs in %s (%.1f jobs/sec), %d throttle retries, %d failed\n",
+		rec.Completed, elapsed.Round(time.Millisecond), rec.JobsPerSec, rec.Throttles, rec.Failed)
+	if rec.Server != nil {
+		fmt.Printf("mojload: server: accepted %d, rejected %d, rollbacks %d, ckpt bytes %d, gc %d objects (%d failures)\n",
+			rec.Server.Accepted, rec.Server.Rejected, rec.Server.Rollbacks,
+			rec.Server.CkptBytes, rec.Server.GCObjects, rec.Server.GCFailures)
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mojload: %v\n", err)
+		return 1
+	}
+	if out == "-" {
+		fmt.Println(string(data))
+	} else if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mojload: %v\n", err)
+		return 1
+	}
+
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "mojload: %d jobs failed; first: %v\n", failed, firstErr.Load())
+		return 1
+	}
+	return 0
+}
+
+// submitWithRetry retries explicit throttles with jittered backoff —
+// the daemon's admission control is the backpressure signal — and
+// returns any other failure as final.
+func submitWithRetry(c *serve.Client, req serve.SubmitRequest, retries int,
+	rnd *rand.Rand, throttles *int64) error {
+	for attempt := 0; ; attempt++ {
+		_, err := c.Submit(req)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, serve.ErrThrottled) || attempt >= retries {
+			return err
+		}
+		atomic.AddInt64(throttles, 1)
+		window := 5 * time.Millisecond << uint(min(attempt, 6))
+		time.Sleep(time.Duration(rnd.Int63n(int64(window))))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -84,20 +84,27 @@ type Options struct {
 	Mode Mode
 	// K bounds delta chains (default DefaultK). Ignored in ModeFull.
 	K int
+	// OnPruneError, when set, observes every failed best-effort delete of
+	// a superseded chain member. Pruning stays best-effort — a failure
+	// only leaves dead objects behind — but the failures are no longer
+	// silent: they also count in Stats.PruneFailures.
+	OnPruneError func(name string, err error)
 }
 
 // Stats counts pipeline activity. All times are cumulative nanoseconds.
 type Stats struct {
-	Checkpoints  uint64 // checkpoints captured
-	Fulls        uint64 // full images among them
-	Deltas       uint64 // delta images among them
-	BytesWritten uint64 // store bytes written (payloads + head refs)
-	PauseNs      uint64 // time the node was quiesced in the checkpoint path
-	CaptureNs    uint64 // GC + snapshot part of the pause
-	CommitNs     uint64 // encode + store-write time (background in async)
-	Aborted      uint64 // commits discarded because the owner failed first
-	Recoveries   uint64 // checkpoint restores observed
-	RecoveryNs   uint64 // chain fetch + unpack time
+	Checkpoints   uint64 // checkpoints captured
+	Fulls         uint64 // full images among them
+	Deltas        uint64 // delta images among them
+	BytesWritten  uint64 // store bytes written (payloads + head refs)
+	PauseNs       uint64 // time the node was quiesced in the checkpoint path
+	CaptureNs     uint64 // GC + snapshot part of the pause
+	CommitNs      uint64 // encode + store-write time (background in async)
+	Aborted       uint64 // commits discarded because the owner failed first
+	Recoveries    uint64 // checkpoint restores observed
+	RecoveryNs    uint64 // chain fetch + unpack time
+	Pruned        uint64 // superseded chain members deleted
+	PruneFailures uint64 // best-effort deletes that failed (objects leaked)
 }
 
 // job is one captured checkpoint awaiting encode + write.
@@ -541,7 +548,9 @@ func (c *Committer) commit(ch *chain, j job) error {
 // prune deletes chain members older than a just-published full image:
 // the head now resolves without them. Best-effort and only on stores
 // that support Delete — a failure (or an unsupporting store, like the
-// remote one) merely leaves dead objects behind.
+// remote one) merely leaves dead objects behind. Failures are counted
+// (Stats.PruneFailures) and reported through Options.OnPruneError so a
+// leaking store is visible instead of silently filling up.
 func (c *Committer) prune(ch *chain, fullSeq int) {
 	d, ok := c.raw.(deleter)
 	if !ok {
@@ -559,8 +568,22 @@ func (c *Committer) prune(ch *chain, fullSeq int) {
 	}
 	ch.members = kept
 	c.mu.Unlock()
+	var pruned, failed uint64
 	for _, name := range dead {
-		_ = d.Delete(name)
+		if err := d.Delete(name); err != nil {
+			failed++
+			if c.opts.OnPruneError != nil {
+				c.opts.OnPruneError(name, err)
+			}
+		} else {
+			pruned++
+		}
+	}
+	if pruned+failed > 0 {
+		c.mu.Lock()
+		c.stats.Pruned += pruned
+		c.stats.PruneFailures += failed
+		c.mu.Unlock()
 	}
 }
 

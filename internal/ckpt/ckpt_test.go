@@ -197,6 +197,72 @@ func TestAfterOwnerDurableSpansChains(t *testing.T) {
 	}
 }
 
+// flakyDeleteStore is a fakeStore whose Delete fails for names in bad.
+type flakyDeleteStore struct {
+	*fakeStore
+	bad map[string]bool
+}
+
+func (s *flakyDeleteStore) Delete(name string) error {
+	if s.bad[name] {
+		return fmt.Errorf("ckpt_test: delete %q refused", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, name)
+	return nil
+}
+
+// TestPruneObservability: best-effort chain pruning stays best-effort,
+// but failed deletes are counted and surfaced through OnPruneError
+// instead of being swallowed.
+func TestPruneObservability(t *testing.T) {
+	store := &flakyDeleteStore{fakeStore: newFakeStore(), bad: map[string]bool{"ck@1": true}}
+	var failures []string
+	c := New(store, Options{
+		Mode: ModeDelta,
+		OnPruneError: func(name string, err error) {
+			if err == nil {
+				t.Errorf("OnPruneError(%q) with nil error", name)
+			}
+			failures = append(failures, name)
+		},
+	})
+	ch, err := c.chainFor("ck", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 0; seq < 4; seq++ {
+		_ = store.Put(MemberName("ck", seq), []byte("member"))
+		ch.members = append(ch.members, memberRec{name: MemberName("ck", seq), seq: seq})
+	}
+
+	// Publishing full image @3 makes @0..@2 dead; @1's delete fails.
+	c.prune(ch, 3)
+
+	st := c.Stats()
+	if st.Pruned != 2 || st.PruneFailures != 1 {
+		t.Fatalf("stats Pruned=%d PruneFailures=%d, want 2/1", st.Pruned, st.PruneFailures)
+	}
+	if len(failures) != 1 || failures[0] != "ck@1" {
+		t.Fatalf("OnPruneError saw %v, want [ck@1]", failures)
+	}
+	if len(ch.members) != 1 || ch.members[0].name != "ck@3" {
+		t.Fatalf("surviving members %v, want just ck@3", ch.members)
+	}
+	names, _ := store.List()
+	want := []string{"ck@1", "ck@3"} // @1 leaked (delete refused), @3 is live
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("store holds %v, want %v", names, want)
+	}
+
+	// A second prune with nothing dead touches no counters.
+	c.prune(ch, 3)
+	if st2 := c.Stats(); st2.Pruned != 2 || st2.PruneFailures != 1 {
+		t.Fatalf("idle prune moved counters: %+v", st2)
+	}
+}
+
 // TestAdapterResolveChain: the generic 3-method adapter resolves chains
 // through the linkage inside the images (no native store support).
 func TestAdapterResolveChain(t *testing.T) {

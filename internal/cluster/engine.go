@@ -44,6 +44,13 @@ type EngineConfig struct {
 	// A node parked in a border receive does not hold a worker slot, so
 	// Workers=1 serializes execution without deadlocking on the exchange.
 	Workers int
+	// Slots, when set, is a pre-made worker semaphore shared with other
+	// engines: a multi-tenant server runs many engines against ONE
+	// machine-wide pool, so the aggregate quantum concurrency stays
+	// bounded no matter how many runs are in flight. Overrides Workers.
+	// The channel's capacity is the pool size; it must be used empty-able
+	// (the engine sends to acquire, receives to release).
+	Slots chan struct{}
 	// Extra, when set, supplies application externs for nodes the engine
 	// creates itself (the target of a node://K handoff that was never
 	// explicitly started).
@@ -139,7 +146,9 @@ func NewEngine(cfg EngineConfig) *Engine {
 		killed:    make(map[int64]bool),
 	}
 	e.activeCond = sync.NewCond(&e.activeMu)
-	if cfg.Workers > 0 {
+	if cfg.Slots != nil {
+		e.slots = cfg.Slots
+	} else if cfg.Workers > 0 {
 		e.slots = make(chan struct{}, cfg.Workers)
 	}
 	return e

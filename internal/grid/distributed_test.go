@@ -109,6 +109,16 @@ func TestDistributedDupReorderConverges(t *testing.T) {
 	}
 }
 
+// tagged reports whether tags contains tag.
+func tagged(tags []int64, tag int64) bool {
+	for _, t := range tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
 // TestDistributedDropRecoversViaRoll: drop the first transmission of one
 // border message. The receiver wedges waiting for it — exactly the state
 // an undetected message loss would leave a real cluster in — until the
@@ -159,12 +169,31 @@ func TestDistributedDropRecoversViaRoll(t *testing.T) {
 		t.Fatalf("checkpoint missing at drop time: %v", err)
 	}
 
-	// Let the receiver wedge on the lost border, then play failure
-	// detector: kill node 0 and resurrect it from the shared store. The
-	// replacement worker runs without the fault injector.
-	time.Sleep(100 * time.Millisecond)
+	// Wait until the receiver has wedged on the lost border: grid sends
+	// both borders before receiving, so once the hub buffers node 1's own
+	// step-6 border for node 0, node 1 is parked in its step-6 receive of
+	// the frame the injector dropped — it has nowhere else to go.
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		if tagged(hub.BufferedTags(0, 1), 6) {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("receiver never reached the wedge point (hub buffers %v)", hub.BufferedTags(0, 1))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Play failure detector: kill node 0, wait for the kill to actually
+	// tear down its session (the event the old sleep guessed at), then
+	// resurrect it from the shared store. The replacement worker runs
+	// without the fault injector.
 	hub.Fail(0)
-	time.Sleep(20 * time.Millisecond)
+	for deadline := time.Now().Add(30 * time.Second); hub.HasSession(0); {
+		if !time.Now().Before(deadline) {
+			t.Fatal("failed node's session never closed")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	if err := goSpawn(t, p, nil)(hub.Addr(), 0, CheckpointName(0)); err != nil {
 		t.Fatal(err)
 	}

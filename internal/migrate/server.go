@@ -208,6 +208,13 @@ type ServerConfig struct {
 	// processes so they can migrate onward, checkpoint, or suspend from
 	// this node.
 	Migrator *Migrator
+	// IdleTimeout bounds how long a session may go without transferring a
+	// single byte (default 60s). It is refreshed on every read and write,
+	// so a large chunked transfer that keeps making progress never trips
+	// it — only a genuinely stalled peer does. (The old behaviour pinned
+	// one 60s deadline on the whole connection, which cut off big, slow
+	// but healthy transfers mid-stream.)
+	IdleTimeout time.Duration
 }
 
 // ProcessConfig is the subset of backend configuration a server applies to
@@ -292,9 +299,31 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(60 * time.Second))
+// idleConn refreshes a rolling deadline before every I/O operation: the
+// connection dies after IdleTimeout without progress, not after a fixed
+// wall-clock budget regardless of progress.
+type idleConn struct {
+	net.Conn
+	idle time.Duration
+}
+
+func (c idleConn) Read(p []byte) (int, error) {
+	_ = c.Conn.SetDeadline(time.Now().Add(c.idle))
+	return c.Conn.Read(p)
+}
+
+func (c idleConn) Write(p []byte) (int, error) {
+	_ = c.Conn.SetDeadline(time.Now().Add(c.idle))
+	return c.Conn.Write(p)
+}
+
+func (s *Server) handle(raw net.Conn) {
+	defer raw.Close()
+	idle := s.cfg.IdleTimeout
+	if idle <= 0 {
+		idle = 60 * time.Second
+	}
+	conn := idleConn{Conn: raw, idle: idle}
 
 	var mode [1]byte
 	if _, err := io.ReadFull(conn, mode[:]); err != nil {

@@ -1,0 +1,78 @@
+package migrate
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestServerIdleDeadlineRefreshesPerFrame: a transfer that keeps making
+// progress survives past the idle timeout — the deadline is per I/O
+// operation, not one fixed budget pinned at accept time. A 300ms idle
+// server must finish reading a frame trickled over ~900ms as long as no
+// single gap exceeds the idle window (the pre-fix behaviour set one
+// deadline for the whole connection and cut such transfers off
+// mid-stream).
+func TestServerIdleDeadlineRefreshesPerFrame(t *testing.T) {
+	srv, addr := runServer(t, ServerConfig{IdleTimeout: 300 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Mode byte, then a framed payload trickled in small pieces with
+	// sub-idle gaps. The payload is garbage: the server reads the whole
+	// frame (the part under test), fails to decode it, and answers ERR.
+	payload := make([]byte, 64)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write([]byte{modeUntrusted}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(payload); off += 16 {
+		time.Sleep(220 * time.Millisecond) // < idle, but 4 gaps ≈ 3× idle total
+		if _, err := conn.Write(payload[off : off+16]); err != nil {
+			t.Fatalf("trickled write at offset %d: %v (server dropped a progressing transfer)", off, err)
+		}
+	}
+
+	if err := readStatus(conn); err == nil {
+		t.Fatal("garbage code frame was acked OK")
+	} else if _, ok := err.(net.Error); ok {
+		t.Fatalf("no status reply: %v (server dropped a progressing transfer)", err)
+	}
+	if srv.Stats().Rejected == 0 {
+		t.Fatal("server never processed the trickled frame")
+	}
+}
+
+// TestServerIdleDeadlineDropsStalledPeer: a peer that stops sending bytes
+// entirely is cut off after the idle timeout instead of holding a server
+// slot forever.
+func TestServerIdleDeadlineDropsStalledPeer(t *testing.T) {
+	_, addr := runServer(t, ServerConfig{IdleTimeout: 200 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{modeUntrusted}); err != nil {
+		t.Fatal(err)
+	}
+	// Send nothing further. The server should drop us; a blocking read
+	// observes the close well before the test's own safety deadline.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var one [1]byte
+	if _, err := conn.Read(one[:]); err == nil {
+		t.Fatal("read returned data from a server that should have dropped us")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server kept a fully stalled session open past the idle timeout")
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// ErrThrottled is returned (wrapped, with the server's reason) when the
+// daemon refused a submission because its admission queue was full. The
+// submission was NOT run; retrying later is reasonable.
+var ErrThrottled = errors.New("serve: submission throttled")
+
+// ErrRejected is returned (wrapped) when the daemon refused a
+// submission as invalid — retrying the identical request will fail the
+// same way.
+var ErrRejected = errors.New("serve: submission rejected")
+
+// Client submits workloads to a serving daemon. One connection per
+// request (the migrate-protocol convention); the zero value plus an
+// Addr is usable, and a Client is safe for concurrent use.
+type Client struct {
+	// Addr is the daemon address.
+	Addr string
+	// Dial overrides net.Dial("tcp", addr) (tests, shaped links).
+	Dial func(addr string) (net.Conn, error)
+	// SubmitTimeout bounds a Submit round trip, INCLUDING the run itself
+	// (default 5m).
+	SubmitTimeout time.Duration
+	// RPCTimeout bounds short round trips like Metrics (default 30s).
+	RPCTimeout time.Duration
+}
+
+func (c *Client) dial(timeout time.Duration) (net.Conn, error) {
+	dial := c.Dial
+	if dial == nil {
+		dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	conn, err := dial(c.Addr)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	return conn, nil
+}
+
+// Submit runs one workload on the daemon and returns its verified
+// result. A non-nil RunReply with a non-nil error means the run executed
+// but failed (or diverged from the reference); the reply still carries
+// its counters.
+func (c *Client) Submit(req SubmitRequest) (*RunReply, error) {
+	timeout := c.SubmitTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Minute
+	}
+	conn, err := c.dial(timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := writeMsg(conn, frameSubmit, req); err != nil {
+		return nil, err
+	}
+	kind, body, err := readMsg(conn)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case frameResult:
+		var reply RunReply
+		if err := unmarshalStrict(body, &reply); err != nil {
+			return nil, err
+		}
+		if !reply.Verified {
+			return &reply, fmt.Errorf("serve: run %d failed: %s", reply.ID, reply.Err)
+		}
+		return &reply, nil
+	case frameReject:
+		var rej rejectReply
+		if err := unmarshalStrict(body, &rej); err != nil {
+			return nil, err
+		}
+		base := ErrRejected
+		if rej.Throttled {
+			base = ErrThrottled
+		}
+		return nil, fmt.Errorf("%w: %s", base, rej.Reason)
+	default:
+		return nil, fmt.Errorf("serve: unexpected reply kind %q", kind)
+	}
+}
+
+// Metrics fetches the daemon's status snapshot.
+func (c *Client) Metrics() (*Metrics, error) {
+	timeout := c.RPCTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := c.dial(timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := writeMsg(conn, frameMetrics, struct{}{}); err != nil {
+		return nil, err
+	}
+	kind, body, err := readMsg(conn)
+	if err != nil {
+		return nil, err
+	}
+	if kind != frameStats {
+		return nil, fmt.Errorf("serve: unexpected reply kind %q", kind)
+	}
+	var m Metrics
+	if err := unmarshalStrict(body, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

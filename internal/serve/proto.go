@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/frame"
+	"repro/internal/workload"
+)
+
+// The serving protocol is one RPC per connection over the shared
+// internal/frame codec (the same length-prefixed framing the cluster
+// transport and the migration servers speak): the client writes a single
+// request frame — a kind byte followed by a JSON body — and the server
+// answers with a single reply frame. Submissions keep the connection
+// open for the duration of the run; the reply is the verified result.
+//
+// Kinds:
+//
+//	'S' SubmitRequest  → 'R' RunReply | 'T' reject (throttled/invalid)
+//	'M' (empty body)   → 'm' Metrics
+//
+// A 'T' reject is the explicit admission-control answer: an overloaded
+// server refuses loudly and immediately instead of hanging the client or
+// silently dropping the job.
+const (
+	frameSubmit  = 'S'
+	frameMetrics = 'M'
+	frameResult  = 'R'
+	frameReject  = 'T'
+	frameStats   = 'm'
+)
+
+// SubmitRequest asks the daemon to run one workload to completion and
+// verify it bit-exactly against the sequential reference.
+type SubmitRequest struct {
+	// Tenant namespaces the submission in the daemon's metrics. Empty is
+	// the anonymous tenant "".
+	Tenant string `json:"tenant,omitempty"`
+	// App is the registered workload name (grid, allreduce, ...).
+	App string `json:"app"`
+	// Params tunes the workload; zero fields take the app's defaults.
+	// Workers is ignored: every run draws from the daemon's one shared
+	// worker pool.
+	Params workload.Params `json:"params"`
+	// Script, when non-empty, is a fault scenario in the mojrun -script
+	// syntax ("fail node@checkpoints [delay=D]" lines).
+	Script string `json:"script,omitempty"`
+}
+
+// RunReply is the daemon's answer to an accepted submission.
+type RunReply struct {
+	// ID is the daemon-assigned run ID (also the checkpoint namespace
+	// "r<ID>." inside the shared store while the run was live).
+	ID uint64 `json:"id"`
+	// Verified reports that the run completed AND matched the workload's
+	// sequential reference bit-exactly.
+	Verified bool `json:"verified"`
+	// Err carries the failure when Verified is false.
+	Err string `json:"err,omitempty"`
+	// ElapsedNs is the run's wall-clock duration.
+	ElapsedNs int64 `json:"elapsed_ns"`
+	// Rollbacks / Resurrections / checkpoint counters echo the run result.
+	Rollbacks     uint64 `json:"rollbacks"`
+	Resurrections int    `json:"resurrections"`
+	Checkpoints   uint64 `json:"checkpoints"`
+	CkptBytes     uint64 `json:"ckpt_bytes"`
+}
+
+// rejectReply is the explicit admission refusal ('T').
+type rejectReply struct {
+	// Throttled distinguishes overload (retry later) from an invalid
+	// submission (retrying is pointless).
+	Throttled bool   `json:"throttled"`
+	Reason    string `json:"reason"`
+}
+
+// TenantMetrics is one tenant's slice of the daemon counters.
+type TenantMetrics struct {
+	Submitted   uint64 `json:"submitted"`
+	Completed   uint64 `json:"completed"`
+	Failed      uint64 `json:"failed"`
+	Rejected    uint64 `json:"rejected"`
+	Rollbacks   uint64 `json:"rollbacks"`
+	Checkpoints uint64 `json:"checkpoints"`
+	CkptBytes   uint64 `json:"ckpt_bytes"`
+}
+
+// Metrics is the daemon status snapshot ('m').
+type Metrics struct {
+	Accepted  uint64 `json:"accepted"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+
+	// QueueDepth / Running are instantaneous; the Cap fields echo the
+	// daemon's configuration so a client can interpret them.
+	QueueDepth  int `json:"queue_depth"`
+	Running     int `json:"running"`
+	QueueCap    int `json:"queue_cap"`
+	MaxRuns     int `json:"max_runs"`
+	PoolWorkers int `json:"pool_workers"`
+
+	Rollbacks   uint64 `json:"rollbacks"`
+	Checkpoints uint64 `json:"checkpoints"`
+	CkptBytes   uint64 `json:"ckpt_bytes"`
+
+	// GCObjects / GCFailures count the post-run checkpoint sweep: every
+	// completed run's namespace is deleted from the shared store, and a
+	// failed delete is an explicit error, not a silent leak.
+	GCObjects  uint64 `json:"gc_objects"`
+	GCFailures uint64 `json:"gc_failures"`
+
+	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
+}
+
+// writeMsg writes one kind-tagged JSON frame.
+func writeMsg(w io.Writer, kind byte, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return frame.Write(w, append([]byte{kind}, body...))
+}
+
+// unmarshalStrict decodes JSON, refusing unknown fields: a client
+// speaking a newer protocol gets a loud error, not silently ignored
+// options.
+func unmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// readMsg reads one frame and returns its kind and JSON body.
+func readMsg(r io.Reader) (byte, []byte, error) {
+	f, err := frame.Read(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(f) == 0 {
+		return 0, nil, fmt.Errorf("serve: empty frame")
+	}
+	return f[0], f[1:], nil
+}

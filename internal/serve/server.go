@@ -1,0 +1,387 @@
+// Package serve is the multi-tenant serving layer: a long-lived daemon
+// (cmd/mojd) that accepts workload submissions over the wire and
+// multiplexes many concurrent cluster.Engine runs over ONE shared
+// bounded worker pool and ONE shared checkpoint store. Each accepted run
+// executes to completion, is verified bit-exactly against the workload's
+// sequential reference, and answers with its result; an overloaded
+// daemon refuses new submissions explicitly (never hangs them, never
+// drops them silently).
+//
+// Isolation is by namespace, not by copy: run N's checkpoint chains live
+// under "rN." inside the shared store, so hundreds of tenants running
+// the same app (whose nodes all checkpoint under the same names) never
+// collide, and a finished run's namespace is swept from the store with
+// explicit error accounting. Programs compile once per distinct
+// (app, shape) and are shared by pointer, so the execution-engine
+// artifact cache amortizes compilation across tenants.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fir"
+	"repro/internal/migrate"
+	"repro/internal/workload"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// PoolWorkers sizes the one shared worker pool: the maximum number of
+	// node quanta executing concurrently across ALL runs (default:
+	// GOMAXPROCS). Individual runs' Params.Workers is ignored.
+	PoolWorkers int
+	// MaxRuns bounds how many engines execute concurrently (default 16).
+	MaxRuns int
+	// QueueDepth bounds submissions waiting for a run slot, beyond the
+	// MaxRuns already running (default 64). A full queue rejects.
+	QueueDepth int
+	// RunTimeout bounds each accepted run (default 2m).
+	RunTimeout time.Duration
+	// IdleTimeout bounds how long a connection may stall between frames
+	// (default 60s). A submission waiting for its result is not idle —
+	// the reply write refreshes the deadline.
+	IdleTimeout time.Duration
+	// Store is the shared checkpoint store (default: one MemStore for
+	// the daemon's lifetime).
+	Store migrate.Store
+	// Stdout receives process output from every run (default: discard).
+	Stdout io.Writer
+	// Logf, when set, receives daemon events (accepts, rejects, gc
+	// failures).
+	Logf func(format string, args ...any)
+}
+
+// job is one accepted submission waiting for (or on) a runner.
+type job struct {
+	id     uint64
+	req    SubmitRequest
+	w      workload.Workload
+	params workload.Params
+	script *workload.FaultScript
+	done   chan RunReply
+}
+
+// Server is the serving daemon.
+type Server struct {
+	cfg   Config
+	l     net.Listener
+	slots chan struct{} // THE worker pool, shared by every engine
+	store migrate.Store
+	queue chan *job
+
+	mu      sync.Mutex
+	closing bool
+	nextID  uint64
+	running int
+	m       Metrics
+	tenants map[string]*TenantMetrics
+
+	progMu sync.Mutex
+	progs  map[progKey]*fir.Program
+
+	connWg sync.WaitGroup
+	runWg  sync.WaitGroup
+}
+
+// progKey identifies a compiled program: the app plus every parameter
+// its generator shapes code from. Execution-side knobs (engine, workers,
+// checkpoint pipeline mode) deliberately do not split the cache — the
+// same FIR runs on every engine, so tenants submitting the same problem
+// shape share one *fir.Program and, through pointer identity, one
+// compiled artifact per engine.
+type progKey struct {
+	app                             string
+	nodes, size, aux, steps, ckIntv int
+}
+
+// NewServer wraps a listener; call Serve to accept.
+func NewServer(l net.Listener, cfg Config) *Server {
+	if cfg.PoolWorkers <= 0 {
+		cfg.PoolWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = 16
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RunTimeout <= 0 {
+		cfg.RunTimeout = 2 * time.Minute
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 60 * time.Second
+	}
+	if cfg.Store == nil {
+		cfg.Store = cluster.NewMemStore()
+	}
+	s := &Server{
+		cfg:     cfg,
+		l:       l,
+		slots:   make(chan struct{}, cfg.PoolWorkers),
+		store:   cfg.Store,
+		queue:   make(chan *job, cfg.QueueDepth),
+		tenants: make(map[string]*TenantMetrics),
+		progs:   make(map[progKey]*fir.Program),
+	}
+	for i := 0; i < cfg.MaxRuns; i++ {
+		s.runWg.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return nil
+			}
+			return err
+		}
+		s.connWg.Add(1)
+		go func() {
+			defer s.connWg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, waits for in-flight connections (and therefore
+// the runs they are waiting on), then stops the runners.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	err := s.l.Close()
+	s.connWg.Wait()
+	close(s.queue)
+	s.runWg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	kind, body, err := readMsg(conn)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case frameSubmit:
+		s.handleSubmit(conn, body)
+	case frameMetrics:
+		_ = s.reply(conn, frameStats, s.Snapshot())
+	default:
+		_ = s.reply(conn, frameReject, rejectReply{Reason: fmt.Sprintf("unknown request kind %q", kind)})
+	}
+}
+
+// reply writes one frame with a fresh write deadline: a submission's
+// result may come minutes after the request frame, and only a stalled
+// peer should trip the idle timeout.
+func (s *Server) reply(conn net.Conn, kind byte, v any) error {
+	_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	return writeMsg(conn, kind, v)
+}
+
+func (s *Server) handleSubmit(conn net.Conn, body []byte) {
+	j, rej := s.admit(body)
+	if rej != nil {
+		_ = s.reply(conn, frameReject, *rej)
+		return
+	}
+	_ = s.reply(conn, frameResult, <-j.done)
+}
+
+// admit validates and enqueues one submission. It never blocks: a full
+// queue is an immediate, explicit throttle.
+func (s *Server) admit(body []byte) (*job, *rejectReply) {
+	var req SubmitRequest
+	reject := func(throttled bool, format string, args ...any) (*job, *rejectReply) {
+		reason := fmt.Sprintf(format, args...)
+		s.mu.Lock()
+		s.m.Rejected++
+		s.tenantLocked(req.Tenant).Rejected++
+		s.mu.Unlock()
+		s.logf("reject tenant=%q app=%q throttled=%v: %s", req.Tenant, req.App, throttled, reason)
+		return nil, &rejectReply{Throttled: throttled, Reason: reason}
+	}
+	if err := unmarshalStrict(body, &req); err != nil {
+		return reject(false, "bad submit frame: %v", err)
+	}
+	w, err := workload.Get(req.App)
+	if err != nil {
+		return reject(false, "%v", err)
+	}
+	params, err := workload.Normalize(w, req.Params)
+	if err != nil {
+		return reject(false, "invalid parameters: %v", err)
+	}
+	var script *workload.FaultScript
+	if req.Script != "" {
+		if script, err = workload.ParseScriptString(req.Script); err != nil {
+			return reject(false, "invalid fault script: %v", err)
+		}
+	}
+
+	j := &job{req: req, w: w, params: params, script: script, done: make(chan RunReply, 1)}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return reject(false, "server shutting down")
+	}
+	s.nextID++
+	j.id = s.nextID
+	select {
+	case s.queue <- j:
+		s.m.Accepted++
+		s.tenantLocked(req.Tenant).Submitted++
+		s.mu.Unlock()
+		return j, nil
+	default:
+		s.mu.Unlock()
+		return reject(true, "queue full (%d queued, %d running)", s.cfg.QueueDepth, s.cfg.MaxRuns)
+	}
+}
+
+// tenantLocked returns (creating if needed) a tenant's counter block.
+// Callers hold s.mu.
+func (s *Server) tenantLocked(tenant string) *TenantMetrics {
+	tm := s.tenants[tenant]
+	if tm == nil {
+		tm = &TenantMetrics{}
+		s.tenants[tenant] = tm
+	}
+	return tm
+}
+
+// runner executes queued jobs until the queue closes. MaxRuns runners
+// bound how many engines are live at once; the engines themselves share
+// s.slots, so aggregate quantum concurrency never exceeds PoolWorkers no
+// matter how the runs overlap.
+func (s *Server) runner() {
+	defer s.runWg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		s.running++
+		s.mu.Unlock()
+		j.done <- s.execute(j)
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}
+}
+
+// execute runs one admitted job to completion and sweeps its checkpoint
+// namespace from the shared store.
+func (s *Server) execute(j *job) RunReply {
+	reply := RunReply{ID: j.id}
+	store := prefixStore{prefix: runPrefix(j.id), inner: s.store}
+	prog, err := s.program(j.w, j.params)
+	if err == nil {
+		var res *workload.Result
+		res, err = workload.RunVerified(j.w, j.params, workload.RunConfig{
+			Script:  j.script,
+			Timeout: s.cfg.RunTimeout,
+			Stdout:  s.cfg.Stdout,
+			Program: prog,
+			Store:   store,
+			Slots:   s.slots,
+		})
+		if res != nil {
+			reply.ElapsedNs = res.Elapsed.Nanoseconds()
+			reply.Rollbacks = res.Rollbacks
+			reply.Resurrections = res.Resurrections
+			reply.Checkpoints = res.Ckpt.Checkpoints
+			reply.CkptBytes = res.Ckpt.BytesWritten
+		}
+	}
+	reply.Verified = err == nil
+	if err != nil {
+		reply.Err = err.Error()
+	}
+
+	deleted, failed, gcErr := store.sweep()
+	if gcErr != nil {
+		s.logf("run %d: checkpoint gc: %v (%d more failures)", j.id, gcErr, failed-1)
+	}
+
+	s.mu.Lock()
+	tm := s.tenantLocked(j.req.Tenant)
+	if err == nil {
+		s.m.Completed++
+		tm.Completed++
+	} else {
+		s.m.Failed++
+		tm.Failed++
+	}
+	s.m.Rollbacks += reply.Rollbacks
+	s.m.Checkpoints += reply.Checkpoints
+	s.m.CkptBytes += reply.CkptBytes
+	tm.Rollbacks += reply.Rollbacks
+	tm.Checkpoints += reply.Checkpoints
+	tm.CkptBytes += reply.CkptBytes
+	s.m.GCObjects += uint64(deleted)
+	s.m.GCFailures += uint64(failed)
+	s.mu.Unlock()
+	return reply
+}
+
+// program returns the cached compiled program for a job's shape,
+// compiling on first use. Sharing the *fir.Program pointer across runs
+// is what lets the execution-engine registry reuse compiled artifacts
+// across tenants.
+func (s *Server) program(w workload.Workload, p workload.Params) (*fir.Program, error) {
+	key := progKey{
+		app: w.Name(), nodes: p.Nodes, size: p.Size, aux: p.Aux,
+		steps: p.Steps, ckIntv: p.CheckpointInterval,
+	}
+	s.progMu.Lock()
+	defer s.progMu.Unlock()
+	if prog := s.progs[key]; prog != nil {
+		return prog, nil
+	}
+	prog, err := w.Program(p)
+	if err != nil {
+		return nil, err
+	}
+	s.progs[key] = prog
+	return prog, nil
+}
+
+// Snapshot returns a copy of the daemon metrics.
+func (s *Server) Snapshot() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.m
+	m.QueueDepth = len(s.queue)
+	m.Running = s.running
+	m.QueueCap = s.cfg.QueueDepth
+	m.MaxRuns = s.cfg.MaxRuns
+	m.PoolWorkers = s.cfg.PoolWorkers
+	m.Tenants = make(map[string]TenantMetrics, len(s.tenants))
+	for name, tm := range s.tenants {
+		m.Tenants[name] = *tm
+	}
+	return m
+}

@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffWindowGrowsAndCaps: with a worst-case rng (always the top of
+// the window), the schedule doubles from RetryBase and saturates at
+// RetryMax — the uncapped runaway that motivated the fix is gone.
+func TestBackoffWindowGrowsAndCaps(t *testing.T) {
+	top := func(n int64) int64 { return n - 1 } // deterministic: window top
+	base := 25 * time.Millisecond
+	max := 200 * time.Millisecond
+	want := []time.Duration{
+		25 * time.Millisecond,  // attempt 1: window = base
+		50 * time.Millisecond,  // attempt 2
+		100 * time.Millisecond, // attempt 3
+		200 * time.Millisecond, // attempt 4: capped
+		200 * time.Millisecond, // attempt 5: stays capped
+		200 * time.Millisecond, // attempt 6
+	}
+	for i, w := range want {
+		got := backoffDelay(i+1, base, max, top)
+		if got != w-1 { // rng returns window-1 (top of [0, window))
+			t.Errorf("attempt %d: delay %v, want window top %v", i+1, got, w-1)
+		}
+	}
+}
+
+// TestBackoffFullJitterBounds: every sampled delay lies in [0, window),
+// and the samples are not all equal — the schedule is actually jittered,
+// not a fixed ladder that stampedes in lockstep.
+func TestBackoffFullJitterBounds(t *testing.T) {
+	base := 10 * time.Millisecond
+	max := 80 * time.Millisecond
+	for attempt := 1; attempt <= 6; attempt++ {
+		window := base << uint(attempt-1)
+		if window > max {
+			window = max
+		}
+		seen := make(map[time.Duration]bool)
+		for i := 0; i < 64; i++ {
+			d := backoffDelay(attempt, base, max, pseudoRand(int64(attempt*1000+i)))
+			if d < 0 || d >= window {
+				t.Fatalf("attempt %d sample %d: delay %v outside [0, %v)", attempt, i, d, window)
+			}
+			seen[d] = true
+		}
+		if len(seen) < 2 {
+			t.Errorf("attempt %d: all 64 samples identical (%v) — no jitter", attempt, firstKey(seen))
+		}
+	}
+}
+
+// TestBackoffOverflowSaturates: a pathological attempt count cannot
+// overflow the window into a negative (or zero) sleep.
+func TestBackoffOverflowSaturates(t *testing.T) {
+	top := func(n int64) int64 { return n - 1 }
+	max := time.Second
+	for _, attempt := range []int{40, 63, 64, 100} {
+		got := backoffDelay(attempt, 25*time.Millisecond, max, top)
+		if got != max-1 {
+			t.Errorf("attempt %d: delay %v, want saturated window top %v", attempt, got, max-1)
+		}
+	}
+}
+
+// pseudoRand builds a deterministic rand.Int63n-shaped sampler from a
+// seed (a tiny LCG — no shared state, safe for parallel tests).
+func pseudoRand(seed int64) func(int64) int64 {
+	state := seed*6364136223846793005 + 1442695040888963407
+	return func(n int64) int64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		v := state >> 1
+		if v < 0 {
+			v = -v
+		}
+		return v % n
+	}
+}
+
+func firstKey(m map[time.Duration]bool) time.Duration {
+	for k := range m {
+		return k
+	}
+	return 0
+}

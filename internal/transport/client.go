@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -53,11 +54,17 @@ type ClientConfig struct {
 	// Wrap, when set, wraps each new connection's framing — the fault
 	// injection hook.
 	Wrap func(FrameConn) FrameConn
-	// DialAttempts bounds connect/reconnect tries (default 8, exponential
-	// backoff from RetryBase).
+	// DialAttempts bounds connect/reconnect tries (default 8, full-jitter
+	// exponential backoff from RetryBase, capped at RetryMax).
 	DialAttempts int
-	// RetryBase is the initial backoff (default 25ms, doubling, capped 1s).
+	// RetryBase is the initial backoff window (default 25ms, doubling).
 	RetryBase time.Duration
+	// RetryMax caps the backoff window (default 1s). Each retry sleeps a
+	// uniformly random duration inside the current window ("full jitter"),
+	// so a hub restart with hundreds of workers — or hundreds of mojd
+	// tenants — does not produce a synchronized reconnect stampede that
+	// knocks the hub over again the moment it comes back.
+	RetryMax time.Duration
 	// RPCTimeout bounds each store/handoff round trip (default 30s).
 	RPCTimeout time.Duration
 }
@@ -114,6 +121,12 @@ func Dial(cfg ClientConfig) (*Client, error) {
 	if cfg.RetryBase <= 0 {
 		cfg.RetryBase = 25 * time.Millisecond
 	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = time.Second
+	}
+	if cfg.RetryMax < cfg.RetryBase {
+		cfg.RetryMax = cfg.RetryBase
+	}
 	if cfg.RPCTimeout <= 0 {
 		cfg.RPCTimeout = 30 * time.Second
 	}
@@ -164,23 +177,18 @@ func (c *Client) ensureLocked() error {
 	if c.conn != nil {
 		return nil
 	}
-	backoff := c.cfg.RetryBase
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.DialAttempts; attempt++ {
 		if attempt > 0 {
 			// Sleep without blocking readers delivering into the router.
 			c.mu.Unlock()
-			time.Sleep(backoff)
+			time.Sleep(backoffDelay(attempt, c.cfg.RetryBase, c.cfg.RetryMax, rand.Int63n))
 			c.mu.Lock()
 			if c.closed {
 				return ErrClientClosed
 			}
 			if c.conn != nil { // another writer reconnected meanwhile
 				return nil
-			}
-			backoff *= 2
-			if backoff > time.Second {
-				backoff = time.Second
 			}
 		}
 		if err := c.connectLocked(); err != nil {
@@ -190,6 +198,32 @@ func (c *Client) ensureLocked() error {
 		return nil
 	}
 	return fmt.Errorf("transport: cannot reach hub %s: %w", c.cfg.Addr, lastErr)
+}
+
+// backoffDelay computes the sleep before reconnect attempt n (n ≥ 1):
+// a uniformly random duration in [0, window) where the window doubles
+// from base and is capped at max — AWS-style "full jitter". The cap
+// bounds worst-case reconnect latency; the jitter decorrelates the
+// retry clocks of workers that all lost the same hub at the same
+// instant, spreading their redials across the whole window instead of
+// hammering the recovering hub in lockstep. rnd is rand.Int63n-shaped
+// (injected so the schedule is unit-testable).
+func backoffDelay(attempt int, base, max time.Duration, rnd func(int64) int64) time.Duration {
+	window := base
+	for i := 1; i < attempt; i++ {
+		window *= 2
+		if window >= max || window <= 0 { // <= 0: shift overflow
+			window = max
+			break
+		}
+	}
+	if window > max {
+		window = max
+	}
+	if window <= 0 {
+		return 0
+	}
+	return time.Duration(rnd(int64(window)))
 }
 
 func (c *Client) connectLocked() error {

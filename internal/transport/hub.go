@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -127,6 +128,42 @@ func (h *Hub) Epoch() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.epoch
+}
+
+// SessionNodes returns the node IDs currently registered through live
+// worker sessions, sorted. Coordinators and fault-injection tests use it
+// to observe joins, kills and reconnects as events instead of sleeping.
+func (h *Hub) SessionNodes() []int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int64, 0, len(h.sessions))
+	for n := range h.sessions {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasSession reports whether a live worker session currently owns node.
+func (h *Hub) HasSession(node int64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sessions[node] != nil
+}
+
+// BufferedTags returns the tags the hub's store-and-forward buffer holds
+// for dst from src, sorted — an observable proxy for how far the sender
+// has progressed (and what a rejoining dst would have replayed).
+func (h *Hub) BufferedTags(dst, src int64) []int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	tags := h.buf[dst][src]
+	out := make([]int64, 0, len(tags))
+	for t := range tags {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func (h *Hub) acceptLoop() {

@@ -116,12 +116,19 @@ func TestLiveRelayBothDirections(t *testing.T) {
 	r1, _ := joinNode(t, h, 1, ClientConfig{})
 	r2, _ := joinNode(t, h, 2, ClientConfig{})
 
+	// The receiver parks first — OnBlock fires exactly when it does, so
+	// the send below provably lands on a parked receiver (no sleep race).
+	parked := make(chan struct{})
 	done := make(chan []heap.Value, 1)
 	go func() {
-		w, _ := r2.Recv(2, 1, 5) // parks until the remote send lands
+		w, _ := r2.RecvHooked(2, 1, 5, &msg.BlockHooks{OnBlock: func() { close(parked) }})
 		done <- w
 	}()
-	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-parked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver never parked")
+	}
 	if err := r1.Send(1, 2, 5, iv(42)); err != nil {
 		t.Fatal(err)
 	}

@@ -49,6 +49,14 @@ type RunConfig struct {
 	// program can halt cleanly inside the quantum the kill was posted in,
 	// and the "failure" would miss its victim.
 	Quantum uint64
+	// Store, when set, backs the run's checkpoints instead of a private
+	// MemStore. A multi-tenant server hands every run a namespaced view
+	// of one shared store.
+	Store migrate.Store
+	// Slots, when set, is a shared worker semaphore (see
+	// cluster.EngineConfig.Slots): concurrent runs draw their quanta from
+	// one bounded machine-wide pool. Overrides Params.Workers.
+	Slots chan struct{}
 }
 
 // observableStore wraps a checkpoint store with a put callback: the
@@ -113,13 +121,18 @@ func Run(w Workload, p Params, cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	store := &observableStore{Store: cluster.NewMemStore()}
+	backing := cfg.Store
+	if backing == nil {
+		backing = cluster.NewMemStore()
+	}
+	store := &observableStore{Store: backing}
 	eng := cluster.NewEngine(cluster.EngineConfig{
 		Engine:  p.Engine,
 		Store:   store,
 		Stdout:  cfg.Stdout,
 		Quantum: quantum,
 		Workers: p.Workers,
+		Slots:   cfg.Slots,
 		Ckpt:    ckptOpts,
 		// The target of a node://K handoff may never have been started
 		// explicitly; the factory binds its externs on arrival.
