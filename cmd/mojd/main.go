@@ -21,15 +21,30 @@
 //	-idle D        per-connection idle timeout (default 60s)
 //	-storedir DIR  back the shared checkpoint store with a directory
 //	               (default: in-memory)
+//	-pprof ADDR    serve net/http/pprof on ADDR (e.g. 127.0.0.1:6060);
+//	               off by default — profiling is strictly opt-in
+//	-rtrace FILE   capture a runtime/trace of the daemon into FILE
+//	-rtrace-window D
+//	               stop the runtime/trace capture after D (default:
+//	               capture until shutdown)
 //	-v             log accepts, rejects and gc failures
+//
+// Observability RPCs ride the serving port: 'O' returns the daemon's
+// metrics-registry snapshot (admission counters, per-tenant queue-wait
+// and run-duration histograms) and 'D' drains the admission-lifecycle
+// trace ring as JSON events (see internal/obs and cmd/mojtrace).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/trace"
+	"sync"
 	"syscall"
 	"time"
 
@@ -49,9 +64,46 @@ func main() {
 		runTimeout = flag.Duration("run-timeout", 2*time.Minute, "per-run execution bound")
 		idle       = flag.Duration("idle", 60*time.Second, "connection idle timeout")
 		storeDir   = flag.String("storedir", "", "checkpoint store directory (default: in-memory)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (off by default)")
+		rtraceFile = flag.String("rtrace", "", "capture a runtime/trace into this file")
+		rtraceWin  = flag.Duration("rtrace-window", 0, "stop the runtime/trace capture after this long (0: until shutdown)")
 		verbose    = flag.Bool("v", false, "log daemon events")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// DefaultServeMux carries the pprof handlers via the blank import.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "mojd: pprof endpoint: %v\n", err)
+			}
+		}()
+		fmt.Printf("mojd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *rtraceFile != "" {
+		f, err := os.Create(*rtraceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mojd: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mojd: runtime/trace: %v\n", err)
+			os.Exit(1)
+		}
+		var once sync.Once
+		stop := func() {
+			once.Do(func() {
+				trace.Stop()
+				_ = f.Close()
+			})
+		}
+		// Stop at the window's end if one was given, and in any case at
+		// shutdown — whichever comes first.
+		if *rtraceWin > 0 {
+			time.AfterFunc(*rtraceWin, stop)
+		}
+		defer stop()
+	}
 
 	var store migrate.Store
 	if *storeDir != "" {

@@ -27,6 +27,10 @@
 //	-retries N     max throttle retries per job (default 50)
 //	-out FILE      write the benchmark record here (default
 //	               BENCH_serve.json; "-" for stdout only)
+//	-trace FILE    drain the daemon's event trace after the load and
+//	               write it as JSONL (cmd/mojtrace's input)
+//	-obs FILE      fetch the daemon's metrics-registry snapshot after
+//	               the load and write it as JSON
 //	-pool/-maxruns/-queue  daemon sizing with -selfhost
 package main
 
@@ -38,11 +42,13 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/workload"
 
@@ -66,7 +72,30 @@ func smallParams(app string) workload.Params {
 	return workload.Params{}
 }
 
-// benchRecord is the BENCH_serve.json schema.
+// latQuantiles summarizes one client-side latency distribution (ns).
+type latQuantiles struct {
+	Count int   `json:"count"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+	Max   int64 `json:"max"`
+}
+
+// quantiles computes the summary from raw samples (sorts its argument).
+func quantiles(ns []int64) latQuantiles {
+	q := latQuantiles{Count: len(ns)}
+	if len(ns) == 0 {
+		return q
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	at := func(p float64) int64 { return ns[int(p*float64(len(ns)-1))] }
+	q.P50, q.P95, q.P99, q.Max = at(0.50), at(0.95), at(0.99), ns[len(ns)-1]
+	return q
+}
+
+// benchRecord is the BENCH_serve.json schema. v2 added the client-side
+// latency quantiles (end-to-end submit round trip and the daemon-reported
+// admission-queue wait); everything v1 carried is unchanged.
 type benchRecord struct {
 	Schema      string         `json:"schema"`
 	Jobs        int            `json:"jobs"`
@@ -79,6 +108,8 @@ type benchRecord struct {
 	Engines     []string       `json:"engines"`
 	ElapsedNs   int64          `json:"elapsed_ns"`
 	JobsPerSec  float64        `json:"jobs_per_sec"`
+	E2ELatency  latQuantiles   `json:"e2e_latency"`
+	QueueWait   latQuantiles   `json:"queue_wait"`
 	Server      *serve.Metrics `json:"server_metrics,omitempty"`
 }
 
@@ -94,19 +125,21 @@ func main() {
 		script      = flag.String("script", "", "fault script for tenant t0 (semicolons for newlines)")
 		retries     = flag.Int("retries", 50, "max throttle retries per job")
 		out         = flag.String("out", "BENCH_serve.json", `output file ("-" for stdout only)`)
+		traceOut    = flag.String("trace", "", "drain the daemon's trace into this JSONL file")
+		obsOut      = flag.String("obs", "", "write the daemon's metrics-registry snapshot into this JSON file")
 		pool        = flag.Int("pool", 0, "daemon pool size with -selfhost (0 = GOMAXPROCS)")
 		maxRuns     = flag.Int("maxruns", 16, "daemon maxruns with -selfhost")
 		queue       = flag.Int("queue", 64, "daemon queue depth with -selfhost")
 	)
 	flag.Parse()
 	if code := run(*addr, *selfhost, *jobs, *concurrency, *tenants, *appsFlag, *engines,
-		*script, *retries, *out, *pool, *maxRuns, *queue); code != 0 {
+		*script, *retries, *out, *traceOut, *obsOut, *pool, *maxRuns, *queue); code != 0 {
 		os.Exit(code)
 	}
 }
 
 func run(addr string, selfhost bool, jobs, concurrency, tenants int, appsFlag, enginesFlag,
-	script string, retries int, out string, pool, maxRuns, queue int) int {
+	script string, retries int, out, traceOut, obsOut string, pool, maxRuns, queue int) int {
 	apps := workload.Names()
 	if appsFlag != "" {
 		apps = strings.Split(appsFlag, ",")
@@ -136,6 +169,8 @@ func run(addr string, selfhost bool, jobs, concurrency, tenants int, appsFlag, e
 
 	var completed, failed, throttles int64
 	var firstErr atomic.Value
+	var latMu sync.Mutex
+	var e2eNs, queueNs []int64
 	work := make(chan int)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -154,13 +189,18 @@ func run(addr string, selfhost bool, jobs, concurrency, tenants int, appsFlag, e
 				if script != "" && idx%tenants == 0 {
 					req.Script = script
 				}
-				err := submitWithRetry(client, req, retries, rnd, &throttles)
+				jobStart := time.Now()
+				reply, err := submitWithRetry(client, req, retries, rnd, &throttles)
 				if err != nil {
 					atomic.AddInt64(&failed, 1)
 					firstErr.CompareAndSwap(nil, err)
 					continue
 				}
 				atomic.AddInt64(&completed, 1)
+				latMu.Lock()
+				e2eNs = append(e2eNs, time.Since(jobStart).Nanoseconds())
+				queueNs = append(queueNs, reply.QueueWaitNs)
+				latMu.Unlock()
 			}
 		}(i)
 	}
@@ -172,7 +212,7 @@ func run(addr string, selfhost bool, jobs, concurrency, tenants int, appsFlag, e
 	elapsed := time.Since(start)
 
 	rec := benchRecord{
-		Schema:      "mojd-load/v1",
+		Schema:      "mojd-load/v2",
 		Jobs:        jobs,
 		Completed:   completed,
 		Failed:      failed,
@@ -183,15 +223,54 @@ func run(addr string, selfhost bool, jobs, concurrency, tenants int, appsFlag, e
 		Engines:     engines,
 		ElapsedNs:   elapsed.Nanoseconds(),
 		JobsPerSec:  float64(completed) / elapsed.Seconds(),
+		E2ELatency:  quantiles(e2eNs),
+		QueueWait:   quantiles(queueNs),
 	}
 	if m, err := client.Metrics(); err == nil {
 		rec.Server = m
 	} else {
 		fmt.Fprintf(os.Stderr, "mojload: fetching server metrics: %v\n", err)
 	}
+	if traceOut != "" {
+		events, err := client.TraceDrain()
+		if err == nil {
+			var f *os.File
+			if f, err = os.Create(traceOut); err == nil {
+				err = obs.WriteJSONL(f, events)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mojload: draining daemon trace: %v\n", err)
+			return 1
+		}
+		fmt.Printf("mojload: drained %d trace events into %s\n", len(events), traceOut)
+	}
+	if obsOut != "" {
+		snap, err := client.ObsSnapshot()
+		if err == nil {
+			var data []byte
+			if data, err = json.MarshalIndent(snap, "", "  "); err == nil {
+				err = os.WriteFile(obsOut, append(data, '\n'), 0o644)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mojload: fetching registry snapshot: %v\n", err)
+			return 1
+		}
+	}
 
 	fmt.Printf("mojload: %d jobs in %s (%.1f jobs/sec), %d throttle retries, %d failed\n",
 		rec.Completed, elapsed.Round(time.Millisecond), rec.JobsPerSec, rec.Throttles, rec.Failed)
+	fmt.Printf("mojload: e2e latency p50 %s p95 %s p99 %s, queue wait p50 %s p95 %s p99 %s\n",
+		time.Duration(rec.E2ELatency.P50).Round(time.Microsecond),
+		time.Duration(rec.E2ELatency.P95).Round(time.Microsecond),
+		time.Duration(rec.E2ELatency.P99).Round(time.Microsecond),
+		time.Duration(rec.QueueWait.P50).Round(time.Microsecond),
+		time.Duration(rec.QueueWait.P95).Round(time.Microsecond),
+		time.Duration(rec.QueueWait.P99).Round(time.Microsecond))
 	if rec.Server != nil {
 		fmt.Printf("mojload: server: accepted %d, rejected %d, rollbacks %d, ckpt bytes %d, gc %d objects (%d failures)\n",
 			rec.Server.Accepted, rec.Server.Rejected, rec.Server.Rollbacks,
@@ -221,14 +300,14 @@ func run(addr string, selfhost bool, jobs, concurrency, tenants int, appsFlag, e
 // the daemon's admission control is the backpressure signal — and
 // returns any other failure as final.
 func submitWithRetry(c *serve.Client, req serve.SubmitRequest, retries int,
-	rnd *rand.Rand, throttles *int64) error {
+	rnd *rand.Rand, throttles *int64) (*serve.RunReply, error) {
 	for attempt := 0; ; attempt++ {
-		_, err := c.Submit(req)
+		reply, err := c.Submit(req)
 		if err == nil {
-			return nil
+			return reply, nil
 		}
 		if !errors.Is(err, serve.ErrThrottled) || attempt >= retries {
-			return err
+			return nil, err
 		}
 		atomic.AddInt64(throttles, 1)
 		window := 5 * time.Millisecond << uint(min(attempt, 6))

@@ -1,0 +1,384 @@
+// Command mojtrace analyzes event traces produced by the observability
+// layer (mojrun -trace, the mojd 'D' drain RPC): it reconstructs
+// rollback cascades from failure events, breaks down where checkpoint
+// time went, measures migration handoff latency, and summarizes the
+// serving layer's admission behavior — all from the JSONL event log, no
+// live process required.
+//
+// Usage:
+//
+//	mojtrace [flags] FILE...
+//
+//	FILE           trace files in the JSONL format written by
+//	               mojrun -trace ("-" reads stdin); multiple files are
+//	               merged (e.g. a coordinator trace plus per-worker
+//	               traces from a distributed run)
+//	-cascades      print rollback cascade trees only
+//	-ckpt          print the checkpoint breakdown only
+//	-handoff       print handoff latencies only
+//	-serve         print the serving-layer summary only
+//
+// Without a section flag every section that has events is printed.
+//
+// Each cascade tree groups one failure's fallout by rollback epoch: the
+// fail event, then every survivor's MSG_ROLL delivery and speculation
+// rollback, then the victim's resurrection — offsets are wall-clock
+// relative to the failure. Logical fields (node, epoch, step) are the
+// deterministic skeleton; wall offsets are presentation only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mojtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		cascades = fs.Bool("cascades", false, "print rollback cascade trees only")
+		ckpt     = fs.Bool("ckpt", false, "print the checkpoint breakdown only")
+		handoff  = fs.Bool("handoff", false, "print handoff latencies only")
+		serveSec = fs.Bool("serve", false, "print the serving-layer summary only")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "mojtrace: no trace files (see -h)")
+		return 2
+	}
+
+	var events []obs.Event
+	for _, path := range fs.Args() {
+		var r io.Reader = os.Stdin
+		if path != "-" {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "mojtrace: %v\n", err)
+				return 1
+			}
+			evs, err := obs.ReadJSONL(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(stderr, "mojtrace: %s: %v\n", path, err)
+				return 1
+			}
+			events = append(events, evs...)
+			continue
+		}
+		evs, err := obs.ReadJSONL(r)
+		if err != nil {
+			fmt.Fprintf(stderr, "mojtrace: stdin: %v\n", err)
+			return 1
+		}
+		events = append(events, evs...)
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(stdout, "mojtrace: trace is empty")
+		return 0
+	}
+	// Merged multi-file traces interleave; wall order is the one total
+	// order that spans streams.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Wall < events[j].Wall })
+
+	all := !*cascades && !*ckpt && !*handoff && !*serveSec
+	fmt.Fprintf(stdout, "trace: %d events, %d streams, %s span\n",
+		len(events), countStreams(events), span(events).Round(time.Microsecond))
+	if all || *cascades {
+		printCascades(stdout, events)
+	}
+	if all || *ckpt {
+		printCkpt(stdout, events)
+	}
+	if all || *handoff {
+		printHandoffs(stdout, events)
+	}
+	if all || *serveSec {
+		printServe(stdout, events)
+	}
+	return 0
+}
+
+func countStreams(events []obs.Event) int {
+	seen := map[string]bool{}
+	for i := range events {
+		seen[events[i].Stream] = true
+	}
+	return len(seen)
+}
+
+func span(events []obs.Event) time.Duration {
+	lo, hi := events[0].Wall, events[0].Wall
+	for i := range events {
+		if events[i].Wall < lo {
+			lo = events[i].Wall
+		}
+		if events[i].Wall > hi {
+			hi = events[i].Wall
+		}
+	}
+	return time.Duration(hi - lo)
+}
+
+// cascade is one failure's reconstructed fallout, keyed by the rollback
+// epoch the failure advanced the cluster to.
+type cascade struct {
+	epoch  uint64
+	fail   *obs.Event
+	rolls  []obs.Event // MSG_ROLL deliveries observed by survivors
+	specRB []obs.Event // speculation rollbacks on survivors
+	resur  *obs.Event
+}
+
+// buildCascades groups failure fallout by epoch: a fail event opens the
+// epoch its router advance produced, survivors' msg.roll and
+// spec.rollback events carry the epoch they rolled to, and the
+// resurrection closes it.
+func buildCascades(events []obs.Event) []*cascade {
+	byEpoch := map[uint64]*cascade{}
+	get := func(epoch uint64) *cascade {
+		c := byEpoch[epoch]
+		if c == nil {
+			c = &cascade{epoch: epoch}
+			byEpoch[epoch] = c
+		}
+		return c
+	}
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case obs.EvFail.String():
+			c := get(ev.Epoch)
+			if c.fail == nil {
+				// The engine and the hub both record the failure; keep the
+				// first sighting.
+				c.fail = ev
+			}
+		case obs.EvMsgRoll.String():
+			get(ev.Epoch).rolls = append(get(ev.Epoch).rolls, *ev)
+		case obs.EvSpecRollback.String():
+			get(ev.Epoch).specRB = append(get(ev.Epoch).specRB, *ev)
+		case obs.EvResurrect.String():
+			c := get(ev.Epoch)
+			if c.resur == nil {
+				c.resur = ev
+			}
+		}
+	}
+	var out []*cascade
+	for _, c := range byEpoch {
+		if c.fail != nil {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].epoch < out[j].epoch })
+	return out
+}
+
+func printCascades(w io.Writer, events []obs.Event) {
+	cascades := buildCascades(events)
+	if len(cascades) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nrollback cascades: %d failure(s)\n", len(cascades))
+	for _, c := range cascades {
+		t0 := c.fail.Wall
+		off := func(wall int64) string {
+			return "+" + time.Duration(wall-t0).Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "  epoch %d: fail node %d\n", c.epoch, c.fail.Node)
+		for _, ev := range c.rolls {
+			fmt.Fprintf(w, "    msg.roll      node %-3d %s (%s)\n", ev.Node, off(ev.Wall), ev.Stream)
+		}
+		for _, ev := range c.specRB {
+			fmt.Fprintf(w, "    spec.rollback node %-3d step %-6d discarded %d  %s\n",
+				ev.Node, ev.Step, ev.B, off(ev.Wall))
+		}
+		if c.resur != nil {
+			fmt.Fprintf(w, "    resurrect     node %-3d from %q recovery %s  %s\n",
+				c.resur.Node, c.resur.Name,
+				time.Duration(c.resur.B).Round(time.Microsecond), off(c.resur.Wall))
+		} else {
+			fmt.Fprintf(w, "    (no resurrection recorded)\n")
+		}
+	}
+}
+
+// nsStats is a tiny accumulator for duration-valued event payloads.
+type nsStats struct {
+	n          int
+	total, max int64
+}
+
+func (s *nsStats) add(v int64) {
+	s.n++
+	s.total += v
+	if v > s.max {
+		s.max = v
+	}
+}
+
+func (s nsStats) String() string {
+	if s.n == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%d × mean %s, max %s, total %s",
+		s.n,
+		time.Duration(s.total/int64(s.n)).Round(time.Microsecond),
+		time.Duration(s.max).Round(time.Microsecond),
+		time.Duration(s.total).Round(time.Microsecond))
+}
+
+func printCkpt(w io.Writer, events []obs.Event) {
+	captures := map[int]*nsStats{} // node → capture pause
+	var commits nsStats            // async/delta commit publish latency
+	var bytes int64
+	puts := 0
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case obs.EvCkptCapture.String():
+			s := captures[ev.Node]
+			if s == nil {
+				s = &nsStats{}
+				captures[ev.Node] = s
+			}
+			s.add(ev.B)
+		case obs.EvCkptPut.String():
+			puts++
+			bytes += ev.B
+		case obs.EvCkptPublish.String():
+			if ev.B > 0 {
+				commits.add(ev.B)
+			}
+		}
+	}
+	if len(captures) == 0 && puts == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\ncheckpoints: %d store puts, %d bytes\n", puts, bytes)
+	for _, node := range sortedKeys(captures) {
+		fmt.Fprintf(w, "  node %-3d capture pause: %s\n", node, captures[node])
+	}
+	if commits.n > 0 {
+		fmt.Fprintf(w, "  commit publish latency: %s\n", commits)
+	}
+}
+
+func sortedKeys(m map[int]*nsStats) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func printHandoffs(w io.Writer, events []obs.Event) {
+	type pending struct {
+		ev   *obs.Event
+		done bool
+	}
+	var handoffs []*pending
+	var lines []string
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case obs.EvHandoff.String():
+			handoffs = append(handoffs, &pending{ev: ev})
+		case obs.EvAdopt.String():
+			// Pair with the earliest unmatched handoff targeting this node
+			// (events are wall-sorted, so first match is the right one).
+			for _, h := range handoffs {
+				if !h.done && h.ev.A == int64(ev.Node) {
+					h.done = true
+					lines = append(lines, fmt.Sprintf("  node %d → node %d: %s",
+						h.ev.Node, ev.Node,
+						time.Duration(ev.Wall-h.ev.Wall).Round(time.Microsecond)))
+					break
+				}
+			}
+		}
+	}
+	for _, h := range handoffs {
+		if !h.done {
+			lines = append(lines, fmt.Sprintf("  node %d → node %d: never adopted", h.ev.Node, h.ev.A))
+		}
+	}
+	if len(lines) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nhandoffs: %d\n%s\n", len(lines), strings.Join(lines, "\n"))
+}
+
+// pct picks the p-th percentile from sorted samples.
+func pct(sorted []int64, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return time.Duration(sorted[int(p*float64(len(sorted)-1))])
+}
+
+func printServe(w io.Writer, events []obs.Event) {
+	var admits, rejects, throttled, sweeps int
+	var verified, unverified int
+	var waits, runs []int64
+	var gcDeleted, gcFailed int64
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case obs.EvServeAdmit.String():
+			admits++
+		case obs.EvServeReject.String():
+			rejects++
+			if ev.A == 1 {
+				throttled++
+			}
+		case obs.EvServeStart.String():
+			waits = append(waits, ev.A)
+		case obs.EvServeVerify.String():
+			if ev.A == 1 {
+				verified++
+			} else {
+				unverified++
+			}
+			runs = append(runs, ev.B)
+		case obs.EvServeSweep.String():
+			sweeps++
+			gcDeleted += ev.A
+			gcFailed += ev.B
+		}
+	}
+	if admits == 0 && rejects == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nserving: %d admitted, %d rejected (%d throttled), %d verified, %d failed\n",
+		admits, rejects, throttled, verified, unverified)
+	sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+	sort.Slice(runs, func(i, j int) bool { return runs[i] < runs[j] })
+	if len(waits) > 0 {
+		fmt.Fprintf(w, "  queue wait: p50 %s p95 %s p99 %s max %s (%d runs)\n",
+			pct(waits, 0.50).Round(time.Microsecond), pct(waits, 0.95).Round(time.Microsecond),
+			pct(waits, 0.99).Round(time.Microsecond), pct(waits, 1).Round(time.Microsecond), len(waits))
+	}
+	if len(runs) > 0 {
+		fmt.Fprintf(w, "  run time:   p50 %s p95 %s p99 %s max %s\n",
+			pct(runs, 0.50).Round(time.Millisecond), pct(runs, 0.95).Round(time.Millisecond),
+			pct(runs, 0.99).Round(time.Millisecond), pct(runs, 1).Round(time.Millisecond))
+	}
+	if sweeps > 0 {
+		fmt.Fprintf(w, "  gc: %d sweeps, %d objects deleted, %d failures\n", sweeps, gcDeleted, gcFailed)
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+
+	_ "repro/internal/workload/apps" // register grid
+)
+
+// TestAnalyzeFaultTrace runs a real two-failure grid run, writes its
+// trace the way mojrun -trace does, and checks the analyzer
+// reconstructs the cascade (fail → rolls → rollbacks → resurrect),
+// the checkpoint breakdown, and nothing spurious.
+func TestAnalyzeFaultTrace(t *testing.T) {
+	w, err := workload.Get("grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.Params{Nodes: 3, Size: 4, Aux: 8, Steps: 24, CheckpointInterval: 4}
+	script := &workload.FaultScript{Events: []workload.FaultEvent{
+		{Node: 1, AfterCheckpoints: 1, Delay: 20 * time.Millisecond},
+		{Node: 2, AfterCheckpoints: 3, Delay: 20 * time.Millisecond},
+	}}
+	tr := obs.NewTracer(0)
+	if _, err := workload.RunVerified(w, p, workload.RunConfig{
+		Script: script, Timeout: time.Minute, Trace: tr,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(f, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("mojtrace exited %d: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"rollback cascades: 2 failure(s)",
+		"epoch 1: fail node 1",
+		"epoch 2: fail node 2",
+		"resurrect     node 1",
+		"resurrect     node 2",
+		"msg.roll",
+		"spec.rollback",
+		"checkpoints:",
+		"capture pause:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("analyzer output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "no resurrection recorded") {
+		t.Errorf("cascade left open:\n%s", text)
+	}
+}
+
+// TestAnalyzeEmptyAndMissing: empty input is not an error; a missing
+// file is.
+func TestAnalyzeEmptyAndMissing(t *testing.T) {
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{empty}, &out, &errOut); code != 0 {
+		t.Fatalf("empty trace exited %d", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "nope.jsonl")}, &out, &errOut); code != 1 {
+		t.Fatalf("missing file exited %d, want 1", code)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/migrate"
+	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/wire"
 )
@@ -89,6 +90,10 @@ type Options struct {
 	// only leaves dead objects behind — but the failures are no longer
 	// silent: they also count in Stats.PruneFailures.
 	OnPruneError func(name string, err error)
+	// Trace, when set, records commit-side pipeline events (member put,
+	// watermark publish) on the "ckpt/<head>" streams. Capture-side events
+	// are the engine's: only it knows the node's logical time.
+	Trace *obs.Tracer
 }
 
 // Stats counts pipeline activity. All times are cumulative nanoseconds.
@@ -114,6 +119,7 @@ type job struct {
 	seq    int
 	base   string
 	full   bool
+	owner  int64
 	img    *wire.Image
 	delta  *wire.DeltaImage
 }
@@ -194,6 +200,15 @@ func New(store migrate.Store, opts Options) *Committer {
 
 // Mode returns the configured pipeline mode.
 func (c *Committer) Mode() Mode { return c.opts.Mode }
+
+// traceStream returns the commit-side trace stream for head, nil when
+// tracing is off (one branch on the untraced path).
+func (c *Committer) traceStream(head string) *obs.Stream {
+	if c.opts.Trace == nil {
+		return nil
+	}
+	return c.opts.Trace.Stream("ckpt/" + head)
+}
 
 // Stats returns a copy of the activity counters.
 func (c *Committer) Stats() Stats {
@@ -286,6 +301,12 @@ func (c *Committer) Checkpoint(req *rt.MigrationRequest, head string, owner int6
 			return err
 		}
 		pause := time.Since(t0)
+		if s := c.traceStream(head); s != nil {
+			// In full mode the head write is both the member and the
+			// watermark: one put that is immediately the published state.
+			s.Emit(obs.EvCkptPut, int(owner), 0, 0, 0, int64(len(data)), head)
+			s.Emit(obs.EvCkptPublish, int(owner), 0, 0, 0, 0, head)
+		}
 		c.mu.Lock()
 		c.stats.Checkpoints++
 		c.stats.Fulls++
@@ -330,7 +351,7 @@ func (c *Committer) Checkpoint(req *rt.MigrationRequest, head string, owner int6
 	}
 	c.mu.Unlock()
 
-	j := job{head: head, member: member, seq: seq, base: base, full: full}
+	j := job{head: head, member: member, seq: seq, base: base, full: full, owner: owner}
 	if full {
 		j.img, err = migrate.Pack(req.Rt, req.Label, req.FnIndex, req.Args)
 		if err == nil {
@@ -517,6 +538,13 @@ func (c *Committer) commit(ch *chain, j job) error {
 	published := false
 	if err == nil {
 		written += len(data)
+		if s := c.traceStream(j.head); s != nil {
+			full := int64(0)
+			if j.full {
+				full = 1
+			}
+			s.Emit(obs.EvCkptPut, int(j.owner), 0, uint64(j.seq), full, int64(len(data)), j.member)
+		}
 		c.mu.Lock()
 		ch.members = append(ch.members, memberRec{name: j.member, seq: j.seq})
 		aborted := ch.aborted
@@ -526,6 +554,10 @@ func (c *Committer) commit(ch *chain, j job) error {
 			if err = c.store.Put(j.head, ref); err == nil {
 				written += len(ref)
 				published = true
+				if s := c.traceStream(j.head); s != nil {
+					s.Emit(obs.EvCkptPublish, int(j.owner), 0, uint64(j.seq),
+						0, time.Since(t0).Nanoseconds(), j.member)
+				}
 			}
 		}
 	}

@@ -14,7 +14,9 @@ import (
 	"repro/internal/heap"
 	"repro/internal/migrate"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/rt"
+	"repro/internal/spec"
 	"repro/internal/vm"
 	"repro/internal/wire"
 )
@@ -69,6 +71,15 @@ type EngineConfig struct {
 	// delta-chain bound K. The zero value is the classic synchronous
 	// full-image path.
 	Ckpt ckpt.Options
+	// Trace, when set, records lifecycle events on per-node streams
+	// ("node/<id>": spec enter/commit/rollback, MSG_ROLL observation,
+	// checkpoint capture, handoff, halt) and a control stream ("ctl":
+	// quiesce/resume/fail/resurrect/adopt), each stamped with logical time
+	// (node, rollback epoch, step count). Nil disables tracing: every
+	// event site degrades to one predictable branch with no allocation —
+	// the execution hot path itself (RunSteps) is never touched either
+	// way.
+	Trace *obs.Tracer
 }
 
 // Engine is the parallel cluster execution runtime: each simulated node
@@ -83,6 +94,8 @@ type Engine struct {
 	Router    *msg.Router
 	Store     migrate.Store
 	committer *ckpt.Committer
+	trace     *obs.Tracer
+	ctl       *obs.Stream // "ctl" stream; nil when tracing is off
 
 	slots chan struct{} // worker semaphore; nil = unbounded
 
@@ -135,17 +148,31 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if router == nil {
 		router = msg.NewRouter()
 	}
+	if cfg.Ckpt.Trace == nil {
+		cfg.Ckpt.Trace = cfg.Trace
+	}
 	e := &Engine{
 		cfg:       cfg,
 		Router:    router,
 		Store:     cfg.Store,
 		committer: ckpt.New(cfg.Store, cfg.Ckpt),
+		trace:     cfg.Trace,
 		drivers:   make(map[int64]*driver),
 		states:    make(map[int64]*ProcState),
 		extras:    make(map[int64]rt.Registry),
 		killed:    make(map[int64]bool),
 	}
 	e.activeCond = sync.NewCond(&e.activeMu)
+	if e.trace != nil {
+		e.ctl = e.trace.Stream("ctl")
+		// MSG_ROLL observations land on the observing node's own stream:
+		// the hook fires on that node's goroutine, inside its receive.
+		tr := e.trace
+		router.SetRollHook(func(node, epoch int64) {
+			tr.Stream("node/"+strconv.FormatInt(node, 10)).
+				Emit(obs.EvMsgRoll, int(node), uint64(epoch), 0, 0, 0, "")
+		})
+	}
 	if cfg.Slots != nil {
 		e.slots = cfg.Slots
 	} else if cfg.Workers > 0 {
@@ -251,6 +278,7 @@ func (e *Engine) StartProcess(node int64, prog *fir.Program, args []int64, extra
 		p.RegisterExtern(n, x.Sig, x.Fn)
 	}
 	p.SetMigrateHandler(e.migrateHandler(node))
+	e.observeSpec(node, p)
 	if err := p.Start(); err != nil {
 		return err
 	}
@@ -293,6 +321,7 @@ func (e *Engine) unpackAs(node int64, img *wire.Image, extra rt.Registry, tag st
 		return nil, err
 	}
 	proc.SetMigrateHandler(e.migrateHandler(node))
+	e.observeSpec(node, proc)
 	box.proc = proc
 	return proc, nil
 }
@@ -311,6 +340,94 @@ func (e *Engine) heapConfig() heap.Config {
 // CkptStats returns the checkpoint pipeline counters.
 func (e *Engine) CkptStats() ckpt.Stats { return e.committer.Stats() }
 
+// stream returns the trace stream for a node, nil when tracing is off.
+func (e *Engine) stream(node int64) *obs.Stream {
+	if e.trace == nil {
+		return nil
+	}
+	return e.trace.Stream("node/" + strconv.FormatInt(node, 10))
+}
+
+// stepsOf reads a node's step counter. Only safe from the node's own
+// execution goroutine (a migrate handler or extern it is running) or
+// while it is provably parked.
+func (e *Engine) stepsOf(node int64) uint64 {
+	if d := e.driver(node); d != nil {
+		return d.proc.Steps()
+	}
+	return 0
+}
+
+// observeSpec wires a process's speculation lifecycle onto its node trace
+// stream. The callbacks run on the node's own goroutine, so reading the
+// step counter there is race-free.
+func (e *Engine) observeSpec(node int64, p rt.Proc) {
+	if e.trace == nil {
+		return
+	}
+	s := e.stream(node)
+	seen := func() uint64 { return uint64(e.Router.Seen(node)) }
+	p.Spec().SetObserver(spec.Observer{
+		Enter: func(ord int, id int64) {
+			s.Emit(obs.EvSpecEnter, int(node), seen(), p.Steps(), int64(ord), id, "")
+		},
+		Commit: func(ord int, id int64) {
+			s.Emit(obs.EvSpecCommit, int(node), seen(), p.Steps(), int64(ord), id, "")
+		},
+		Rollback: func(ord int, id int64, discarded int) {
+			s.Emit(obs.EvSpecRollback, int(node), seen(), p.Steps(), int64(ord), int64(discarded), "")
+		},
+	})
+}
+
+// RegisterMetrics registers this engine's per-package Stats surfaces as
+// snapshot sources on reg: "msg.*" (router), "ckpt.*" (checkpoint
+// pipeline) and "spec.*" (speculation counters aggregated across live
+// node processes — race-free because the spec counters are atomics).
+func (e *Engine) RegisterMetrics(reg *obs.Registry) {
+	reg.AddSource("msg", func() map[string]uint64 {
+		s := e.Router.Stats()
+		return map[string]uint64{
+			"sends": s.Sends, "recvs": s.Recvs, "rolls": s.Rolls,
+			"failures": s.Failures, "gced": s.GCed, "words_sent": s.WordsSent,
+		}
+	})
+	reg.AddSource("ckpt", func() map[string]uint64 {
+		s := e.committer.Stats()
+		return map[string]uint64{
+			"checkpoints": s.Checkpoints, "fulls": s.Fulls, "deltas": s.Deltas,
+			"bytes_written": s.BytesWritten, "pause_ns": s.PauseNs,
+			"capture_ns": s.CaptureNs, "commit_ns": s.CommitNs,
+			"aborted": s.Aborted, "recoveries": s.Recoveries,
+			"recovery_ns": s.RecoveryNs, "pruned": s.Pruned,
+			"prune_failures": s.PruneFailures,
+		}
+	})
+	reg.AddSource("spec", func() map[string]uint64 {
+		e.mu.Lock()
+		procs := make([]rt.Proc, 0, len(e.drivers))
+		for _, d := range e.drivers {
+			procs = append(procs, d.proc)
+		}
+		e.mu.Unlock()
+		var enters, commits, rollbacks, discarded, maxDepth uint64
+		for _, p := range procs {
+			st := p.Spec().Stats()
+			enters += st.Enters
+			commits += st.Commits
+			rollbacks += st.Rollbacks
+			discarded += st.LevelsDiscarded
+			if d := uint64(st.MaxDepth); d > maxDepth {
+				maxDepth = d
+			}
+		}
+		return map[string]uint64{
+			"enters": enters, "commits": commits, "rollbacks": rollbacks,
+			"levels_discarded": discarded, "max_depth": maxDepth,
+		}
+	})
+}
+
 // migrateHandler routes migrate targets: "node://K" is an in-engine
 // handoff to another simulated node; checkpoint:// goes through the
 // engine's checkpoint pipeline (full, delta or async per EngineConfig);
@@ -327,8 +444,20 @@ func (e *Engine) migrateHandler(node int64) rt.MigrateHandler {
 			return e.handoff(node, dst, req)
 		}
 		if proto, addr, err := migrate.ParseTarget(req.Target); err == nil && proto == migrate.ProtoCheckpoint {
+			s := e.stream(node)
+			var t0 time.Time
+			if s != nil {
+				t0 = time.Now()
+			}
 			if err := e.committer.Checkpoint(req, addr, node); err != nil {
 				return rt.OutcomeContinueLocal, err
+			}
+			if s != nil {
+				// B is the checkpoint pause as the node experienced it:
+				// capture+commit in the synchronous modes, capture only
+				// under write-behind. We run on the node's goroutine here.
+				s.Emit(obs.EvCkptCapture, int(node), uint64(e.Router.Seen(node)),
+					e.stepsOf(node), 0, time.Since(t0).Nanoseconds(), addr)
 			}
 			return rt.OutcomeContinueLocal, nil
 		}
@@ -344,6 +473,11 @@ func (e *Engine) migrateHandler(node int64) rt.MigrateHandler {
 func (e *Engine) handoff(src, dst int64, req *rt.MigrationRequest) (rt.MigrateOutcome, error) {
 	if dst == src {
 		return rt.OutcomeContinueLocal, nil
+	}
+	if s := e.stream(src); s != nil {
+		// On the source node's goroutine, at its migrate instruction.
+		s.Emit(obs.EvHandoff, int(src), uint64(e.Router.Seen(src)),
+			e.stepsOf(src), dst, 0, "")
 	}
 	if e.cfg.RemoteHandoff != nil && !e.Router.Local(dst) {
 		// The target node lives in another OS process: pack here, ship the
@@ -403,6 +537,7 @@ func (e *Engine) handoff(src, dst int64, req *rt.MigrationRequest) (rt.MigrateOu
 	// The incoming incarnation has observed exactly the rollback epochs
 	// its source had.
 	e.Router.InheritSeen(src, dst)
+	e.ctl.Emit(obs.EvAdopt, int(dst), uint64(e.Router.Seen(dst)), 0, src, 0, "")
 	e.startDriver(dst, proc)
 	return rt.OutcomeMigrated, nil
 }
@@ -436,6 +571,7 @@ func (e *Engine) Adopt(node int64, img *wire.Image, seen int64, extra rt.Registr
 	e.extras[node] = extra
 	e.mu.Unlock()
 	e.Router.SetSeen(node, seen)
+	e.ctl.Emit(obs.EvAdopt, int(node), uint64(seen), 0, -1, 0, "")
 	e.startDriver(node, proc)
 	return nil
 }
@@ -536,6 +672,16 @@ func (e *Engine) record(node int64, p rt.Proc, killed bool) {
 	// no later than its result. A failed node's queued commits were
 	// discarded by AbortOwner, so this never stalls a kill.
 	e.committer.DrainOwner(node)
+	if s := e.stream(node); s != nil {
+		// On the exiting driver's own goroutine: the final state of this
+		// incarnation, with A = halt code and B = 1 when it died to a kill.
+		var k int64
+		if killed {
+			k = 1
+		}
+		s.Emit(obs.EvHalt, int(node), uint64(e.Router.Seen(node)),
+			p.Steps(), p.HaltCode(), k, "")
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.states[node] = &ProcState{
@@ -571,6 +717,9 @@ func (e *Engine) Fail(node int64) {
 	// in-flight one.
 	e.committer.AbortOwner(node)
 	e.Router.Fail(node)
+	// Emitted after the epoch bump so the event carries the epoch this
+	// failure created — survivors' msg.roll events reference it.
+	e.ctl.Emit(obs.EvFail, int(node), uint64(e.Router.Epoch()), 0, 0, 0, "")
 }
 
 // Quiesce parks a node's driver at its next quantum boundary and returns
@@ -592,6 +741,11 @@ func (e *Engine) Quiesce(node int64) error {
 		d.pauses--
 		return fmt.Errorf("cluster: node %d terminated before quiescing", node)
 	}
+	if e.ctl != nil {
+		// The driver is parked under d.mu, so its step counter is stable.
+		e.ctl.Emit(obs.EvQuiesce, int(node), uint64(e.Router.Seen(node)),
+			d.proc.Steps(), 0, 0, "")
+	}
 	return nil
 }
 
@@ -602,6 +756,13 @@ func (e *Engine) Resume(node int64) error {
 		return fmt.Errorf("cluster: node %d has no process", node)
 	}
 	d.mu.Lock()
+	if e.ctl != nil {
+		var step uint64
+		if d.parked {
+			step = d.proc.Steps()
+		}
+		e.ctl.Emit(obs.EvResume, int(node), uint64(e.Router.Seen(node)), step, 0, 0, "")
+	}
 	if d.pauses > 0 {
 		d.pauses--
 	}
@@ -681,6 +842,8 @@ func (e *Engine) Resurrect(node int64, checkpoint string, extra rt.Registry) err
 	}
 	e.committer.RecordRecovery(time.Since(t0))
 	e.committer.ResumeOwner(node)
+	e.ctl.Emit(obs.EvResurrect, int(node), uint64(e.Router.Epoch()), 0,
+		0, time.Since(t0).Nanoseconds(), checkpoint)
 	e.mu.Lock()
 	delete(e.killed, node) // the new incarnation is alive again
 	e.extras[node] = extra // remembered for a later handoff or resurrect

@@ -1,0 +1,79 @@
+package conformance
+
+// Tracing must be observationally free: attaching a tracer to a run may
+// not change a single observable — output bytes, halt codes, or per-node
+// step counts — on either execution engine. This is the conformance-level
+// check behind the engine hot path's "tracing off is a nop, tracing on
+// never touches program state" contract.
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/rt"
+	"repro/internal/workload"
+)
+
+// runAppTraced mirrors runApp with a tracer attached.
+func runAppTraced(t *testing.T, w workload.Workload, eng string) appRun {
+	t.Helper()
+	p := appParams(w.Name())
+	p.Engine = eng
+	p.Workers = 2
+	var out bytes.Buffer
+	tr := obs.NewTracer(0)
+	res, err := workload.RunVerified(w, p, workload.RunConfig{Timeout: time.Minute, Stdout: &out, Trace: tr})
+	if err != nil {
+		t.Fatalf("%s on %s (traced): %v", w.Name(), eng, err)
+	}
+	if len(tr.Snapshot()) == 0 {
+		t.Fatalf("%s on %s: tracer attached but recorded nothing", w.Name(), eng)
+	}
+	run := appRun{halts: make(map[int64]int64), steps: make(map[int64]uint64)}
+	for n, st := range res.Nodes {
+		if st.Status == rt.StatusHalted {
+			run.halts[n] = st.Halt
+		}
+		run.steps[n] = st.Steps
+	}
+	lines := strings.Split(out.String(), "\n")
+	sort.Strings(lines)
+	run.out = strings.Join(lines, "\n")
+	return run
+}
+
+// TestAppsBitExactWithTracing: every workload, on every engine, produces
+// byte-identical observables with and without a tracer attached.
+func TestAppsBitExactWithTracing(t *testing.T) {
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, err := workload.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eng := range engine.Names() {
+				plain := runApp(t, w, eng)
+				traced := runAppTraced(t, w, eng)
+				if haltString(traced.halts) != haltString(plain.halts) {
+					t.Errorf("%s: tracing changed halt codes: %s vs %s",
+						eng, haltString(traced.halts), haltString(plain.halts))
+				}
+				if traced.out != plain.out {
+					t.Errorf("%s: tracing changed output:\ntraced: %q\nplain:  %q", eng, traced.out, plain.out)
+				}
+				for n, s := range plain.steps {
+					if traced.steps[n] != s {
+						t.Errorf("%s: tracing changed node %d steps: %d vs %d", eng, n, traced.steps[n], s)
+					}
+				}
+			}
+		})
+	}
+}

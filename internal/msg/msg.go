@@ -115,6 +115,9 @@ type Router struct {
 	local  map[int64]bool
 
 	sends, recvs, rolls, failures, gced, wordsSent atomic.Uint64
+
+	// onRoll, when set, observes every MSG_ROLL delivery (SetRollHook).
+	onRoll atomic.Value // func(node, epoch int64)
 }
 
 // Stats counts router activity.
@@ -328,6 +331,15 @@ func (r *Router) InheritSeen(from, to int64) {
 	r.SetSeen(to, r.Seen(from))
 }
 
+// SetRollHook installs fn, invoked on the receiving node's own goroutine
+// at every MSG_ROLL delivery with that node's id and the epoch it just
+// observed. It runs under the mailbox lock: fn must be cheap and must not
+// call back into the router. The tracing layer records rollback cascades
+// through this hook without the router depending on it.
+func (r *Router) SetRollHook(fn func(node, epoch int64)) {
+	r.onRoll.Store(fn)
+}
+
 // Failed reports whether a node is currently failed.
 func (r *Router) Failed(node int64) bool {
 	r.failMu.Lock()
@@ -416,6 +428,9 @@ func (r *Router) tryLocked(mb *mailbox, dst, src, tag int64) ([]heap.Value, int6
 	if epoch := r.epoch.Load(); mb.seen < epoch {
 		mb.seen = epoch
 		r.rolls.Add(1)
+		if fn := r.onRoll.Load(); fn != nil {
+			fn.(func(node, epoch int64))(dst, epoch)
+		}
 		return nil, StatusRoll, true
 	}
 	if m, ok := mb.links[src][tag]; ok {

@@ -1,0 +1,360 @@
+// Package obs is the unified observability layer: a metrics registry the
+// per-package Stats surfaces register into, a structured event tracer
+// recording lifecycle events in logical time, and the JSON/JSONL export
+// both are drained through (mojrun -metrics/-trace, mojd's obs RPCs,
+// cmd/mojtrace).
+//
+// The package is a leaf: it imports nothing from the rest of the system,
+// so any subsystem (msg, ckpt, cluster, transport, serve) can depend on
+// it without cycles. Every entry point is nil-receiver safe — an
+// uninstrumented run passes nil and pays one predictable branch, no
+// allocation and no atomic traffic, which is what keeps the engine hot
+// path at its PR 5 numbers when observability is off (the CI
+// trace-overhead gate enforces it).
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a named monotonic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter. Nil-safe.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. Nil-safe (zero).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a named instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value. Nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta. Nil-safe.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value. Nil-safe (zero).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count: one bucket per bit length of the
+// recorded value (0..63), so the histogram covers the full uint64 range
+// with power-of-two resolution and needs no configuration.
+const histBuckets = 65
+
+// Histogram accumulates a distribution of non-negative values (typically
+// durations in nanoseconds) into power-of-two buckets, race-free: Record
+// touches only atomics, so scrapes under load never block recorders.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // offset by +1 so zero means "unset"
+	max     atomic.Uint64
+}
+
+// Record adds one observation. Negative values clamp to zero. Nil-safe.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	u := uint64(v)
+	if v < 0 {
+		u = 0
+	}
+	h.buckets[bits.Len64(u)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(u)
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur <= u+1 {
+			break
+		}
+		if h.min.CompareAndSwap(cur, u+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= u {
+			break
+		}
+		if h.max.CompareAndSwap(cur, u) {
+			break
+		}
+	}
+}
+
+// LatencySummary is a histogram's JSON-ready digest. Quantiles are upper
+// bounds of the power-of-two bucket the quantile falls in — within 2× of
+// the true value, which is the right resolution for spotting a latency
+// regression without per-sample storage.
+type LatencySummary struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Min   uint64 `json:"min"`
+	Max   uint64 `json:"max"`
+	Mean  uint64 `json:"mean"`
+	P50   uint64 `json:"p50"`
+	P95   uint64 `json:"p95"`
+	P99   uint64 `json:"p99"`
+}
+
+// Summary digests the histogram. Nil-safe (zero summary).
+func (h *Histogram) Summary() LatencySummary {
+	if h == nil {
+		return LatencySummary{}
+	}
+	var s LatencySummary
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = s.Sum / s.Count
+	if m := h.min.Load(); m > 0 {
+		s.Min = m - 1
+	}
+	s.Max = h.max.Load()
+	s.P50 = h.quantile(0.50, s.Count)
+	s.P95 = h.quantile(0.95, s.Count)
+	s.P99 = h.quantile(0.99, s.Count)
+	// The top bucket's upper bound overshoots the largest recorded value;
+	// clamp every quantile to the observed max.
+	for _, q := range []*uint64{&s.P50, &s.P95, &s.P99} {
+		if *q > s.Max {
+			*q = s.Max
+		}
+	}
+	return s
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile.
+func (h *Histogram) quantile(q float64, count uint64) uint64 {
+	rank := uint64(math.Ceil(q * float64(count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			if i >= 64 {
+				return math.MaxUint64
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return math.MaxUint64
+}
+
+// Registry is a named set of instruments plus snapshot sources — the
+// adapters existing per-package Stats structs register through, so one
+// Snapshot call yields a single coherent JSON document without rewriting
+// any of those packages' counters.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	sources  map[string]func() map[string]uint64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		sources:  make(map[string]func() map[string]uint64),
+	}
+}
+
+// Counter returns (creating on first use) the named counter. Nil-safe:
+// a nil registry returns a nil counter, whose methods are nops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram. Nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// AddSource registers a snapshot adapter: fn is called at every Snapshot
+// and its keys appear as "<name>.<key>". The function must be safe to
+// call concurrently with whatever mutates the underlying counters (the
+// per-package Stats() copies built on atomics qualify). Registering a
+// name again replaces the previous source. Nil-safe.
+func (r *Registry) AddSource(name string, fn func() map[string]uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sources[name] = fn
+	r.mu.Unlock()
+}
+
+// RemoveSource drops a snapshot adapter. Nil-safe.
+func (r *Registry) RemoveSource(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.sources, name)
+	r.mu.Unlock()
+}
+
+// Snapshot captures every instrument and source into one flat, JSON-ready
+// document: counters and sources as numbers, gauges as numbers,
+// histograms as LatencySummary objects. The map is a fresh copy — safe to
+// marshal while recording continues.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	sources := make(map[string]func() map[string]uint64, len(r.sources))
+	for k, v := range r.sources {
+		sources[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		out[k] = c.Value()
+	}
+	for k, g := range gauges {
+		out[k] = g.Value()
+	}
+	for k, h := range hists {
+		out[k] = h.Summary()
+	}
+	for name, fn := range sources {
+		for k, v := range fn() {
+			out[name+"."+k] = v
+		}
+	}
+	return out
+}
+
+// WriteJSON marshals a Snapshot with deterministic key order (sorted),
+// one document, trailing newline.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make([]byte, 0, 64*len(keys))
+	ordered = append(ordered, '{')
+	for i, k := range keys {
+		if i > 0 {
+			ordered = append(ordered, ',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return err
+		}
+		vb, err := json.Marshal(snap[k])
+		if err != nil {
+			return err
+		}
+		ordered = append(ordered, kb...)
+		ordered = append(ordered, ':')
+		ordered = append(ordered, vb...)
+	}
+	ordered = append(ordered, '}', '\n')
+	_, err := w.Write(ordered)
+	return err
+}

@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrThrottled is returned (wrapped, with the server's reason) when the
@@ -91,8 +94,9 @@ func (c *Client) Submit(req SubmitRequest) (*RunReply, error) {
 	}
 }
 
-// Metrics fetches the daemon's status snapshot.
-func (c *Client) Metrics() (*Metrics, error) {
+// rpc performs one short empty-body round trip and returns the reply
+// body after checking its kind.
+func (c *Client) rpc(req, want byte) ([]byte, error) {
 	timeout := c.RPCTimeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
@@ -102,19 +106,58 @@ func (c *Client) Metrics() (*Metrics, error) {
 		return nil, err
 	}
 	defer conn.Close()
-	if err := writeMsg(conn, frameMetrics, struct{}{}); err != nil {
+	if err := writeMsg(conn, req, struct{}{}); err != nil {
 		return nil, err
 	}
 	kind, body, err := readMsg(conn)
 	if err != nil {
 		return nil, err
 	}
-	if kind != frameStats {
+	if kind != want {
 		return nil, fmt.Errorf("serve: unexpected reply kind %q", kind)
+	}
+	return body, nil
+}
+
+// Metrics fetches the daemon's status snapshot.
+func (c *Client) Metrics() (*Metrics, error) {
+	body, err := c.rpc(frameMetrics, frameStats)
+	if err != nil {
+		return nil, err
 	}
 	var m Metrics
 	if err := unmarshalStrict(body, &m); err != nil {
 		return nil, err
 	}
 	return &m, nil
+}
+
+// ObsSnapshot fetches the daemon's full metrics-registry snapshot: one
+// flat name → value document (counters and sources as numbers,
+// histograms as latency-summary objects).
+func (c *Client) ObsSnapshot() (map[string]json.RawMessage, error) {
+	body, err := c.rpc(frameObs, frameObsReply)
+	if err != nil {
+		return nil, err
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// TraceDrain drains the daemon's trace rings: every buffered event is
+// returned once and removed from the daemon (repeated drains stream the
+// event log incrementally).
+func (c *Client) TraceDrain() ([]obs.Event, error) {
+	body, err := c.rpc(frameTrace, frameTraceReply)
+	if err != nil {
+		return nil, err
+	}
+	var events []obs.Event
+	if err := json.Unmarshal(body, &events); err != nil {
+		return nil, err
+	}
+	return events, nil
 }

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestObsAndTraceRPCs: the 'O' snapshot RPC exposes the daemon's
+// admission counters and latency histograms, the 'D' drain RPC streams
+// the admission-lifecycle events exactly once, and the submit reply
+// carries the queue wait the daemon measured.
+func TestObsAndTraceRPCs(t *testing.T) {
+	s, c := startServer(t, Config{PoolWorkers: 2, MaxRuns: 2, QueueDepth: 8})
+	reply, err := c.Submit(SubmitRequest{Tenant: "alice", App: "grid", Params: smallParams("grid")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.QueueWaitNs < 0 {
+		t.Fatalf("negative queue wait %d", reply.QueueWaitNs)
+	}
+
+	snap, err := c.ObsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted uint64
+	if err := json.Unmarshal(snap["serve.accepted"], &accepted); err != nil || accepted != 1 {
+		t.Fatalf("serve.accepted = %s (%v), want 1", snap["serve.accepted"], err)
+	}
+	var qw obs.LatencySummary
+	if err := json.Unmarshal(snap["serve.tenant.alice.queue_wait_ns"], &qw); err != nil || qw.Count != 1 {
+		t.Fatalf("tenant queue-wait summary %+v (%v), want one sample", qw, err)
+	}
+	var rd obs.LatencySummary
+	if err := json.Unmarshal(snap["serve.tenant.alice.run_ns"], &rd); err != nil || rd.Count != 1 || rd.Max == 0 {
+		t.Fatalf("tenant run-duration summary %+v (%v), want one non-zero sample", rd, err)
+	}
+
+	// The wire Metrics snapshot carries the same aggregates (satellite
+	// cross-check surface for mojload).
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.QueueWait.Count != 1 || m.RunDuration.Count != 1 {
+		t.Fatalf("metrics aggregates %+v / %+v, want one sample each", m.QueueWait, m.RunDuration)
+	}
+	if tm := m.Tenants["alice"]; tm.QueueWait.Count != 1 || tm.RunDuration.Count != 1 {
+		t.Fatalf("tenant aggregates %+v", tm)
+	}
+
+	events, err := c.TraceDrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	var queueWaitFromTrace int64 = -1
+	for _, ev := range events {
+		kinds[ev.Kind]++
+		if ev.Kind == obs.EvServeStart.String() {
+			queueWaitFromTrace = ev.A
+		}
+	}
+	for _, want := range []obs.Kind{obs.EvServeAdmit, obs.EvServeStart, obs.EvServeVerify, obs.EvServeSweep} {
+		if kinds[want.String()] != 1 {
+			t.Errorf("drained %v, want exactly one %q", kinds, want)
+		}
+	}
+	if queueWaitFromTrace != reply.QueueWaitNs {
+		t.Errorf("trace queue wait %d, reply %d", queueWaitFromTrace, reply.QueueWaitNs)
+	}
+	// Drains are destructive: a second drain returns nothing new.
+	again, err := c.TraceDrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("second drain returned %d events, want 0", len(again))
+	}
+	_ = s
+}
+
+// TestRejectIsTraced: an admission refusal leaves a serve.reject event
+// with the throttle flag.
+func TestRejectIsTraced(t *testing.T) {
+	s, c := startServer(t, Config{PoolWorkers: 1, MaxRuns: 1, QueueDepth: 1})
+	if _, err := c.Submit(SubmitRequest{Tenant: "bob", App: "no-such-app"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	found := false
+	for _, ev := range s.Tracer().Drain() {
+		if ev.Kind == obs.EvServeReject.String() {
+			found = true
+			if ev.A != 0 {
+				t.Errorf("invalid submission traced as throttled: %+v", ev)
+			}
+			if ev.Name != "bob/no-such-app" {
+				t.Errorf("reject event name %q", ev.Name)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no serve.reject event recorded")
+	}
+}
+
+// TestMetricsScrapeUnderLoad: every observability surface — the wire
+// Metrics snapshot, the registry snapshot, and the destructive trace
+// drain — is scraped continuously while submissions run. Run under
+// -race, this is the regression test for scrape-vs-serve data races.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	s, c := startServer(t, Config{PoolWorkers: 4, MaxRuns: 4, QueueDepth: 32})
+	c.SubmitTimeout = 2 * time.Minute
+
+	const jobs = 12
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		scrapers.Add(1)
+		go func(i int) {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i {
+				case 0:
+					if _, err := c.Metrics(); err != nil {
+						t.Errorf("metrics scrape: %v", err)
+						return
+					}
+				case 1:
+					if _, err := c.ObsSnapshot(); err != nil {
+						t.Errorf("obs scrape: %v", err)
+						return
+					}
+				case 2:
+					if _, err := c.TraceDrain(); err != nil {
+						t.Errorf("trace drain: %v", err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			app := allApps[i%len(allApps)]
+			req := SubmitRequest{Tenant: fmt.Sprintf("t%d", i%3), App: app, Params: smallParams(app)}
+			if i%4 == 0 {
+				req.Script = "fail 1@1 delay=5ms"
+			}
+			if _, err := c.Submit(req); err != nil {
+				errs <- fmt.Errorf("%s: %w", app, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	m := s.Snapshot()
+	if m.Completed != jobs {
+		t.Fatalf("completed %d, want %d", m.Completed, jobs)
+	}
+	if m.QueueWait.Count != jobs || m.RunDuration.Count != jobs {
+		t.Fatalf("latency aggregates %+v / %+v, want %d samples", m.QueueWait, m.RunDuration, jobs)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"repro/internal/frame"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -21,16 +22,22 @@ import (
 //
 //	'S' SubmitRequest  → 'R' RunReply | 'T' reject (throttled/invalid)
 //	'M' (empty body)   → 'm' Metrics
+//	'O' (empty body)   → 'o' metrics-registry snapshot (flat name → value)
+//	'D' (empty body)   → 'd' trace drain ([]obs.Event, destructive)
 //
 // A 'T' reject is the explicit admission-control answer: an overloaded
 // server refuses loudly and immediately instead of hanging the client or
 // silently dropping the job.
 const (
-	frameSubmit  = 'S'
-	frameMetrics = 'M'
-	frameResult  = 'R'
-	frameReject  = 'T'
-	frameStats   = 'm'
+	frameSubmit     = 'S'
+	frameMetrics    = 'M'
+	frameResult     = 'R'
+	frameReject     = 'T'
+	frameStats      = 'm'
+	frameObs        = 'O'
+	frameObsReply   = 'o'
+	frameTrace      = 'D'
+	frameTraceReply = 'd'
 )
 
 // SubmitRequest asks the daemon to run one workload to completion and
@@ -62,6 +69,10 @@ type RunReply struct {
 	Err string `json:"err,omitempty"`
 	// ElapsedNs is the run's wall-clock duration.
 	ElapsedNs int64 `json:"elapsed_ns"`
+	// QueueWaitNs is how long the submission sat admitted-but-queued
+	// before a runner picked it up — the serving layer's own latency
+	// contribution, separate from the run itself.
+	QueueWaitNs int64 `json:"queue_wait_ns"`
 	// Rollbacks / Resurrections / checkpoint counters echo the run result.
 	Rollbacks     uint64 `json:"rollbacks"`
 	Resurrections int    `json:"resurrections"`
@@ -86,6 +97,14 @@ type TenantMetrics struct {
 	Rollbacks   uint64 `json:"rollbacks"`
 	Checkpoints uint64 `json:"checkpoints"`
 	CkptBytes   uint64 `json:"ckpt_bytes"`
+
+	// QueueWait / RunDuration aggregate this tenant's admission-queue
+	// wait and run wall time (nanoseconds), fed from the daemon's metrics
+	// registry — the same histograms the 'O' snapshot RPC exposes, so a
+	// load generator can cross-check its own measurements against the
+	// daemon's.
+	QueueWait   obs.LatencySummary `json:"queue_wait"`
+	RunDuration obs.LatencySummary `json:"run_duration"`
 }
 
 // Metrics is the daemon status snapshot ('m').
@@ -112,6 +131,11 @@ type Metrics struct {
 	// failed delete is an explicit error, not a silent leak.
 	GCObjects  uint64 `json:"gc_objects"`
 	GCFailures uint64 `json:"gc_failures"`
+
+	// QueueWait / RunDuration are the daemon-wide latency aggregates
+	// (nanoseconds) across every tenant.
+	QueueWait   obs.LatencySummary `json:"queue_wait"`
+	RunDuration obs.LatencySummary `json:"run_duration"`
 
 	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fir"
 	"repro/internal/migrate"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -55,16 +56,27 @@ type Config struct {
 	// Logf, when set, receives daemon events (accepts, rejects, gc
 	// failures).
 	Logf func(format string, args ...any)
+	// Registry, when set, is the daemon's metrics registry; nil makes a
+	// private one. Either way the daemon registers its admission counters
+	// as the "serve" source and feeds per-tenant queue-wait / run-duration
+	// histograms, all exposed over the 'O' snapshot RPC.
+	Registry *obs.Registry
+	// Trace, when set, is the daemon's event tracer; nil makes a private
+	// one. Admission lifecycle events (admit, reject, start, verify,
+	// sweep) land on the "serve" stream and drain over the 'D' RPC.
+	Trace *obs.Tracer
 }
 
 // job is one accepted submission waiting for (or on) a runner.
 type job struct {
-	id     uint64
-	req    SubmitRequest
-	w      workload.Workload
-	params workload.Params
-	script *workload.FaultScript
-	done   chan RunReply
+	id       uint64
+	req      SubmitRequest
+	w        workload.Workload
+	params   workload.Params
+	script   *workload.FaultScript
+	admitted time.Time     // when admit enqueued it
+	wait     time.Duration // queue wait, stamped by the runner
+	done     chan RunReply
 }
 
 // Server is the serving daemon.
@@ -74,6 +86,12 @@ type Server struct {
 	slots chan struct{} // THE worker pool, shared by every engine
 	store migrate.Store
 	queue chan *job
+
+	reg     *obs.Registry
+	trace   *obs.Tracer
+	ev      *obs.Stream    // the "serve" admission-lifecycle stream
+	qwAll   *obs.Histogram // daemon-wide queue wait (ns)
+	runAll  *obs.Histogram // daemon-wide run duration (ns)
 
 	mu      sync.Mutex
 	closing bool
@@ -120,6 +138,12 @@ func NewServer(l net.Listener, cfg Config) *Server {
 	if cfg.Store == nil {
 		cfg.Store = cluster.NewMemStore()
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = obs.NewTracer(0)
+	}
 	s := &Server{
 		cfg:     cfg,
 		l:       l,
@@ -128,7 +152,29 @@ func NewServer(l net.Listener, cfg Config) *Server {
 		queue:   make(chan *job, cfg.QueueDepth),
 		tenants: make(map[string]*TenantMetrics),
 		progs:   make(map[progKey]*fir.Program),
+		reg:     cfg.Registry,
+		trace:   cfg.Trace,
 	}
+	s.ev = s.trace.Stream("serve")
+	s.qwAll = s.reg.Histogram("serve.queue_wait_ns")
+	s.runAll = s.reg.Histogram("serve.run_ns")
+	s.reg.AddSource("serve", func() map[string]uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return map[string]uint64{
+			"accepted":    s.m.Accepted,
+			"rejected":    s.m.Rejected,
+			"completed":   s.m.Completed,
+			"failed":      s.m.Failed,
+			"rollbacks":   s.m.Rollbacks,
+			"checkpoints": s.m.Checkpoints,
+			"ckpt_bytes":  s.m.CkptBytes,
+			"gc_objects":  s.m.GCObjects,
+			"gc_failures": s.m.GCFailures,
+			"queue_depth": uint64(len(s.queue)),
+			"running":     uint64(s.running),
+		}
+	})
 	for i := 0; i < cfg.MaxRuns; i++ {
 		s.runWg.Add(1)
 		go s.runner()
@@ -138,6 +184,12 @@ func NewServer(l net.Listener, cfg Config) *Server {
 
 // Addr returns the listen address.
 func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Registry returns the daemon's metrics registry (the 'O' RPC's source).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Tracer returns the daemon's event tracer (the 'D' RPC's source).
+func (s *Server) Tracer() *obs.Tracer { return s.trace }
 
 // Serve accepts connections until the listener closes.
 func (s *Server) Serve() error {
@@ -191,6 +243,10 @@ func (s *Server) handle(conn net.Conn) {
 		s.handleSubmit(conn, body)
 	case frameMetrics:
 		_ = s.reply(conn, frameStats, s.Snapshot())
+	case frameObs:
+		_ = s.reply(conn, frameObsReply, s.reg.Snapshot())
+	case frameTrace:
+		_ = s.reply(conn, frameTraceReply, s.trace.Drain())
 	default:
 		_ = s.reply(conn, frameReject, rejectReply{Reason: fmt.Sprintf("unknown request kind %q", kind)})
 	}
@@ -223,6 +279,11 @@ func (s *Server) admit(body []byte) (*job, *rejectReply) {
 		s.m.Rejected++
 		s.tenantLocked(req.Tenant).Rejected++
 		s.mu.Unlock()
+		var thr int64
+		if throttled {
+			thr = 1
+		}
+		s.ev.Emit(obs.EvServeReject, 0, 0, 0, thr, 0, req.Tenant+"/"+req.App)
 		s.logf("reject tenant=%q app=%q throttled=%v: %s", req.Tenant, req.App, throttled, reason)
 		return nil, &rejectReply{Throttled: throttled, Reason: reason}
 	}
@@ -252,11 +313,14 @@ func (s *Server) admit(body []byte) (*job, *rejectReply) {
 	}
 	s.nextID++
 	j.id = s.nextID
+	j.admitted = time.Now()
 	select {
 	case s.queue <- j:
 		s.m.Accepted++
 		s.tenantLocked(req.Tenant).Submitted++
+		depth := len(s.queue)
 		s.mu.Unlock()
+		s.ev.Emit(obs.EvServeAdmit, int(j.id), 0, 0, int64(depth), 0, req.Tenant+"/"+req.App)
 		return j, nil
 	default:
 		s.mu.Unlock()
@@ -275,6 +339,14 @@ func (s *Server) tenantLocked(tenant string) *TenantMetrics {
 	return tm
 }
 
+// tenantHists returns a tenant's registry-backed latency histograms
+// (queue wait, run duration) — get-or-create, so the runner path and the
+// Snapshot path always see the same instruments.
+func (s *Server) tenantHists(tenant string) (queueWait, runDur *obs.Histogram) {
+	return s.reg.Histogram("serve.tenant." + tenant + ".queue_wait_ns"),
+		s.reg.Histogram("serve.tenant." + tenant + ".run_ns")
+}
+
 // runner executes queued jobs until the queue closes. MaxRuns runners
 // bound how many engines are live at once; the engines themselves share
 // s.slots, so aggregate quantum concurrency never exceeds PoolWorkers no
@@ -282,6 +354,11 @@ func (s *Server) tenantLocked(tenant string) *TenantMetrics {
 func (s *Server) runner() {
 	defer s.runWg.Done()
 	for j := range s.queue {
+		j.wait = time.Since(j.admitted)
+		qw, _ := s.tenantHists(j.req.Tenant)
+		qw.Record(j.wait.Nanoseconds())
+		s.qwAll.Record(j.wait.Nanoseconds())
+		s.ev.Emit(obs.EvServeStart, int(j.id), 0, 0, j.wait.Nanoseconds(), 0, j.req.Tenant+"/"+j.req.App)
 		s.mu.Lock()
 		s.running++
 		s.mu.Unlock()
@@ -295,7 +372,7 @@ func (s *Server) runner() {
 // execute runs one admitted job to completion and sweeps its checkpoint
 // namespace from the shared store.
 func (s *Server) execute(j *job) RunReply {
-	reply := RunReply{ID: j.id}
+	reply := RunReply{ID: j.id, QueueWaitNs: j.wait.Nanoseconds()}
 	store := prefixStore{prefix: runPrefix(j.id), inner: s.store}
 	prog, err := s.program(j.w, j.params)
 	if err == nil {
@@ -320,11 +397,22 @@ func (s *Server) execute(j *job) RunReply {
 	if err != nil {
 		reply.Err = err.Error()
 	}
+	if reply.ElapsedNs > 0 {
+		_, rd := s.tenantHists(j.req.Tenant)
+		rd.Record(reply.ElapsedNs)
+		s.runAll.Record(reply.ElapsedNs)
+	}
+	var ok int64
+	if reply.Verified {
+		ok = 1
+	}
+	s.ev.Emit(obs.EvServeVerify, int(j.id), 0, 0, ok, reply.ElapsedNs, j.req.Tenant+"/"+j.req.App)
 
 	deleted, failed, gcErr := store.sweep()
 	if gcErr != nil {
 		s.logf("run %d: checkpoint gc: %v (%d more failures)", j.id, gcErr, failed-1)
 	}
+	s.ev.Emit(obs.EvServeSweep, int(j.id), 0, 0, int64(deleted), int64(failed), "")
 
 	s.mu.Lock()
 	tm := s.tenantLocked(j.req.Tenant)
@@ -379,9 +467,15 @@ func (s *Server) Snapshot() Metrics {
 	m.QueueCap = s.cfg.QueueDepth
 	m.MaxRuns = s.cfg.MaxRuns
 	m.PoolWorkers = s.cfg.PoolWorkers
+	m.QueueWait = s.qwAll.Summary()
+	m.RunDuration = s.runAll.Summary()
 	m.Tenants = make(map[string]TenantMetrics, len(s.tenants))
 	for name, tm := range s.tenants {
-		m.Tenants[name] = *tm
+		cp := *tm
+		qw, rd := s.tenantHists(name)
+		cp.QueueWait = qw.Summary()
+		cp.RunDuration = rd.Summary()
+		m.Tenants[name] = cp
 	}
 	return m
 }

@@ -1,0 +1,67 @@
+package spec
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStatsConcurrentScrape is the -race regression for the metrics
+// path: one goroutine drives the enter/commit/rollback lifecycle (the
+// engine worker) while others call Stats() (a metrics scrape). Before
+// the counters moved to atomics this was a plain-read/plain-write race
+// on Manager.stats.
+func TestStatsConcurrentScrape(t *testing.T) {
+	m, _ := newMgr(t)
+	var events int
+	m.SetObserver(Observer{
+		Enter:    func(int, int64) { events++ },
+		Commit:   func(int, int64) { events++ },
+		Rollback: func(int, int64, int) { events++ },
+	})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Stats()
+			}
+		}()
+	}
+
+	const iters = 500
+	for i := 0; i < iters; i++ {
+		m.Enter(Continuation{FnIndex: int64(i)})
+		m.Enter(Continuation{FnIndex: int64(i)})
+		if _, err := m.Rollback(2); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Commit(2); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Commit(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	s := m.Stats()
+	if s.Enters != 2*iters || s.Commits != 2*iters || s.Rollbacks != iters {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MaxDepth != 2 {
+		t.Fatalf("MaxDepth = %d", s.MaxDepth)
+	}
+	// Observer fires once per transition, on the driving goroutine.
+	if want := 5 * iters; events != want {
+		t.Fatalf("observer events = %d, want %d", events, want)
+	}
+}

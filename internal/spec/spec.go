@@ -9,6 +9,7 @@ package spec
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/heap"
 )
@@ -29,7 +30,7 @@ type Continuation struct {
 	Args    []heap.Value
 }
 
-// Stats counts speculation activity.
+// Stats is a point-in-time copy of the speculation counters.
 type Stats struct {
 	Enters    uint64
 	Commits   uint64
@@ -40,16 +41,37 @@ type Stats struct {
 	MaxDepth        int
 }
 
+// Observer receives speculation lifecycle callbacks, invoked on the
+// process's own goroutine immediately after each transition. The fields
+// are plain funcs (any of which may be nil) so the tracing layer can
+// hook in without this package depending on it. Callbacks must be cheap:
+// they run on the execution hot path.
+type Observer struct {
+	Enter    func(ordinal int, id int64)
+	Commit   func(ordinal int, id int64)
+	Rollback func(ordinal int, id int64, discarded int)
+}
+
 // Manager tracks the speculation level stack for one process. Levels are
 // addressed two ways: by 1-based ordinal (the paper's l ∈ {1..N}, which
 // shifts when a lower level commits) and by stable ID (what the C-level
 // specid holds; IDs survive renumbering).
+//
+// All execution-path methods are single-goroutine (the owning process
+// driver), but Stats() may be called concurrently by metrics scrapes, so
+// the counters are atomics — the same discipline msg.Router uses.
 type Manager struct {
 	h     *heap.Heap
 	conts []Continuation // parallel to the heap's level stack
 	ids   []int64        // stable IDs, parallel to conts
 	next  int64
-	stats Stats
+	obs   Observer
+
+	enters          atomic.Uint64
+	commits         atomic.Uint64
+	rollbacks       atomic.Uint64
+	levelsDiscarded atomic.Uint64
+	maxDepth        atomic.Int64
 }
 
 // New creates a manager bound to a heap and registers the saved
@@ -67,8 +89,22 @@ func New(h *heap.Heap) *Manager {
 	return m
 }
 
-// Stats returns a copy of the counters.
-func (m *Manager) Stats() Stats { return m.stats }
+// Stats returns a copy of the counters. Safe to call from any goroutine
+// while the owning process is running.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Enters:          m.enters.Load(),
+		Commits:         m.commits.Load(),
+		Rollbacks:       m.rollbacks.Load(),
+		LevelsDiscarded: m.levelsDiscarded.Load(),
+		MaxDepth:        int(m.maxDepth.Load()),
+	}
+}
+
+// SetObserver installs lifecycle callbacks. Must be called before the
+// owning process starts executing (it is not synchronized against the
+// execution path).
+func (m *Manager) SetObserver(o Observer) { m.obs = o }
 
 // Depth returns the number of open levels (the paper's N).
 func (m *Manager) Depth() int { return len(m.conts) }
@@ -81,14 +117,17 @@ func (m *Manager) Enter(c Continuation) (ordinal int, id int64) {
 	m.next++
 	m.conts = append(m.conts, c)
 	m.ids = append(m.ids, id)
-	m.stats.Enters++
-	if len(m.conts) > m.stats.MaxDepth {
-		m.stats.MaxDepth = len(m.conts)
+	m.enters.Add(1)
+	if d := int64(len(m.conts)); d > m.maxDepth.Load() {
+		m.maxDepth.Store(d)
 	}
 	if ordinal != len(m.conts) {
 		// The heap's level stack and ours move in lockstep; disagreement
 		// means the heap was driven directly behind the manager's back.
 		panic(fmt.Sprintf("spec: level stacks diverged (heap %d, manager %d)", ordinal, len(m.conts)))
+	}
+	if m.obs.Enter != nil {
+		m.obs.Enter(ordinal, id)
 	}
 	return ordinal, id
 }
@@ -130,9 +169,13 @@ func (m *Manager) Commit(ordinal int) error {
 		return err
 	}
 	i := ordinal - 1
+	id := m.ids[i]
 	m.conts = append(m.conts[:i], m.conts[i+1:]...)
 	m.ids = append(m.ids[:i], m.ids[i+1:]...)
-	m.stats.Commits++
+	m.commits.Add(1)
+	if m.obs.Commit != nil {
+		m.obs.Commit(ordinal, id)
+	}
 	return nil
 }
 
@@ -159,8 +202,11 @@ func (m *Manager) Rollback(ordinal int) (Continuation, error) {
 	if reOrd != ordinal {
 		panic(fmt.Sprintf("spec: re-entered level has ordinal %d, want %d", reOrd, ordinal))
 	}
-	m.stats.Rollbacks++
-	m.stats.LevelsDiscarded += uint64(discarded)
+	m.rollbacks.Add(1)
+	m.levelsDiscarded.Add(uint64(discarded))
+	if m.obs.Rollback != nil {
+		m.obs.Rollback(ordinal, id, discarded)
+	}
 	return cont, nil
 }
 

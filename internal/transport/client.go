@@ -13,6 +13,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/migrate"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -67,6 +68,10 @@ type ClientConfig struct {
 	RetryMax time.Duration
 	// RPCTimeout bounds each store/handoff round trip (default 30s).
 	RPCTimeout time.Duration
+	// Trace, when set, records this worker's wire activity (frame
+	// send/recv, outbound replay on reconnect, inbound ROLL) on the
+	// "wire/<node>" stream.
+	Trace *obs.Tracer
 }
 
 // Client is the worker end of the cluster transport: a msg.Uplink whose
@@ -88,6 +93,10 @@ type Client struct {
 	closed  bool
 
 	chunks *chunkCache // content-addressed cache for store streaming
+
+	// ev is the worker's wire trace stream; nil when tracing is off, in
+	// which case every Emit is a single branch.
+	ev *obs.Stream
 
 	wg sync.WaitGroup
 }
@@ -135,6 +144,9 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		out:     make(map[int64]map[int64][]heap.Value),
 		pending: make(map[uint32]chan rpcReply),
 		chunks:  newChunkCache(1024),
+	}
+	if cfg.Trace != nil {
+		c.ev = cfg.Trace.Stream(fmt.Sprintf("wire/%d", cfg.Node))
 	}
 	c.mu.Lock()
 	err := c.ensureLocked()
@@ -264,6 +276,7 @@ func (c *Client) connectLocked() error {
 	}
 	// Replay the outbound keyed buffer: anything the old connection may
 	// have lost in flight is re-delivered; duplicates overwrite equals.
+	replayed := 0
 	for dst, tags := range c.out {
 		batch := make([]msg.Batched, 0, len(tags))
 		for tag, words := range tags {
@@ -280,6 +293,10 @@ func (c *Client) connectLocked() error {
 			c.teardownLocked()
 			return err
 		}
+		replayed++
+	}
+	if replayed > 0 {
+		c.ev.Emit(obs.EvFrameReplay, int(c.cfg.Node), uint64(epoch), 0, int64(replayed), 0, "")
 	}
 	c.wg.Add(1)
 	go c.readLoop(fc, c.gen)
@@ -318,10 +335,12 @@ func (c *Client) readLoop(fc FrameConn, gen int) {
 		case fMsg:
 			src, dst, batch, err := decodeMsg(b)
 			if err == nil && c.cfg.Router.Local(dst) {
+				c.ev.Emit(obs.EvFrameRecv, int(dst), 0, 0, src, int64(len(batch)), "msg")
 				_ = c.cfg.Router.SendBatch(src, dst, batch)
 			}
 		case fRoll:
 			if epoch, err := decodeEpoch(b); err == nil {
+				c.ev.Emit(obs.EvMsgRoll, int(c.cfg.Node), uint64(epoch), 0, 0, 0, "wire")
 				c.cfg.Router.SetEpoch(epoch)
 			}
 		case fFail:
@@ -432,6 +451,7 @@ func (c *Client) SendBatch(src, dst int64, batch []msg.Batched) error {
 		tags[b.Tag] = cp
 	}
 	c.mu.Unlock()
+	c.ev.Emit(obs.EvFrameSend, int(src), 0, 0, dst, int64(len(batch)), "msg")
 	f, err := encodeMsg(src, dst, batch)
 	if err != nil {
 		return err

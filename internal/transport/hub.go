@@ -13,6 +13,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/migrate"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/rt"
 )
 
@@ -38,6 +39,12 @@ type Hub struct {
 	// checkpoint write with its per-name count — the hook failure plans
 	// trigger on. Called without internal locks held.
 	OnPut func(name string, count int)
+
+	// Trace, when set before workers connect, records relay activity
+	// (frame recv/send/replay, failure broadcasts, handoff relays) on the
+	// "hub" stream. Hub events carry wall-clock ordering only — the hub
+	// has no step counter; logical time lives in the workers' events.
+	Trace *obs.Tracer
 
 	chunks *chunkCache // content-addressed chunk cache for store streaming
 	// chunksIn counts put chunks actually shipped by workers — the dedup
@@ -119,6 +126,14 @@ func Listen(addr string, store migrate.Store) (*Hub, error) {
 
 // Addr returns the hub's listen address — what workers -join.
 func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// ev returns the hub trace stream, nil when tracing is off.
+func (h *Hub) ev() *obs.Stream {
+	if h.Trace == nil {
+		return nil
+	}
+	return h.Trace.Stream("hub")
+}
 
 // Store returns the backing checkpoint store (coordinator-side access).
 func (h *Hub) Store() migrate.Store { return h.store }
@@ -238,6 +253,7 @@ func (h *Hub) Fail(node int64) {
 	sessions := h.sessionSetLocked()
 	h.mu.Unlock()
 
+	h.ev().Emit(obs.EvFail, int(node), uint64(epoch), 0, int64(len(sessions)), 0, "")
 	roll := encodeEpoch(fRoll, epoch)
 	for _, s := range sessions {
 		if s == victim {
@@ -462,6 +478,9 @@ func (h *Hub) register(s *session, node int64, hello, resurrect bool) {
 	if hello {
 		_ = s.write(encodeEpoch(fWelcome, epoch))
 	}
+	if len(replay) > 0 {
+		h.ev().Emit(obs.EvFrameReplay, int(node), uint64(epoch), 0, int64(len(replay)), 0, "")
+	}
 	for _, f := range replay {
 		_ = s.write(f)
 	}
@@ -512,6 +531,12 @@ func (h *Hub) relayMsg(src, dst int64, batch []msg.Batched, raw []byte) {
 		target = nil // the node is dead; its resurrection will replay
 	}
 	h.mu.Unlock()
+	if s := h.ev(); s != nil {
+		s.Emit(obs.EvFrameRecv, int(src), 0, 0, dst, int64(len(batch)), "msg")
+		if target != nil {
+			s.Emit(obs.EvFrameSend, int(dst), 0, 0, src, int64(len(batch)), "msg")
+		}
+	}
 	if target != nil {
 		_ = target.write(raw)
 	}
@@ -681,6 +706,7 @@ func (h *Hub) relayMigrate(origin *session, id uint32, src, dst, seen int64, ima
 		h.relays[hubID] = relayOrigin{sess: origin, id: id}
 	}
 	h.mu.Unlock()
+	h.ev().Emit(obs.EvHandoff, int(src), 0, 0, dst, int64(len(image)), reason)
 	if target == nil {
 		_ = origin.write(encodeAck(id, "transport: "+reason))
 		return

@@ -1,0 +1,190 @@
+package apps
+
+// Observability-layer guarantees at the workload level: the event trace
+// of a seeded failure-free run is logically deterministic (identical
+// per-stream sequences run to run, wall clocks excluded), a fault-script
+// run's trace carries the full failure cascade with consistent epochs,
+// and the metrics registry's snapshot agrees with the run's own result
+// counters.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// tracedRun executes one verified run with a tracer (and optional
+// registry) attached and returns the run result plus the trace.
+func tracedRun(t *testing.T, w workload.Workload, p workload.Params,
+	script *workload.FaultScript, reg *obs.Registry) (*workload.Result, []obs.Event) {
+	t.Helper()
+	tr := obs.NewTracer(0)
+	res, err := workload.RunVerified(w, p, workload.RunConfig{
+		Script: script, Timeout: time.Minute, Trace: tr, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name(), err)
+	}
+	return res, tr.Snapshot()
+}
+
+// logicalKey reduces an event to its deterministic skeleton: stream, seq
+// and the logical fields. Wall time goes; so do the payloads that carry
+// measured durations (checkpoint pause, commit latency, recovery time) —
+// those are real time, not logical time.
+func logicalKey(ev obs.Event) obs.Event {
+	ev.Wall = 0
+	switch ev.Kind {
+	case obs.EvCkptCapture.String(), obs.EvCkptPublish.String(), obs.EvResurrect.String():
+		ev.B = 0
+	}
+	return ev
+}
+
+// byStream groups a trace into per-stream logical sequences.
+func byStream(events []obs.Event) map[string][]obs.Event {
+	out := make(map[string][]obs.Event)
+	for _, ev := range events {
+		out[ev.Stream] = append(out[ev.Stream], logicalKey(ev))
+	}
+	return out
+}
+
+// TestTraceDeterminism: two identical failure-free runs produce
+// identical logical event sequences on every stream. This is the
+// observability pledge that matters most: attaching a tracer must not
+// perturb the run, and the trace itself must be replay-stable so two
+// traces can be diffed.
+func TestTraceDeterminism(t *testing.T) {
+	for _, w := range all(t) {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			p := smallParams(w)
+			p.Workers = 2
+			_, first := tracedRun(t, w, p, nil, nil)
+			_, second := tracedRun(t, w, p, nil, nil)
+			a, b := byStream(first), byStream(second)
+			if len(a) != len(b) {
+				t.Fatalf("stream sets differ: %d vs %d", len(a), len(b))
+			}
+			for name, evs := range a {
+				other, ok := b[name]
+				if !ok {
+					t.Fatalf("stream %q missing from second run", name)
+				}
+				if len(evs) != len(other) {
+					t.Fatalf("stream %q: %d events vs %d", name, len(evs), len(other))
+				}
+				for i := range evs {
+					if evs[i] != other[i] {
+						t.Fatalf("stream %q event %d diverged:\n  %+v\n  %+v", name, i, evs[i], other[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTraceCascadeInvariants: a two-failure grid run's trace contains
+// the complete cascade for every failure — the fail event opening a new
+// rollback epoch, MSG_ROLL deliveries and speculation rollbacks carrying
+// that epoch on the affected nodes, and a resurrection closing it — with
+// logically consistent timestamps throughout.
+func TestTraceCascadeInvariants(t *testing.T) {
+	w, err := workload.Get("grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := smallParams(w)
+	p.Steps = 24
+	script := multiFailureScript(w)
+	res, events := tracedRun(t, w, p, script, nil)
+	if res.Resurrections != len(script.Events) {
+		t.Fatalf("resurrections %d, want %d", res.Resurrections, len(script.Events))
+	}
+
+	fails := map[uint64]int{}      // epoch → victim node
+	rolls := map[uint64][]int{}    // epoch → nodes that observed MSG_ROLL
+	specRB := map[uint64][]int{}   // epoch → nodes that rolled back speculation
+	resurrects := map[uint64]int{} // epoch → resurrected node
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.EvFail.String():
+			if _, dup := fails[ev.Epoch]; dup {
+				t.Fatalf("two fail events claim epoch %d", ev.Epoch)
+			}
+			fails[ev.Epoch] = ev.Node
+		case obs.EvMsgRoll.String():
+			rolls[ev.Epoch] = append(rolls[ev.Epoch], ev.Node)
+		case obs.EvSpecRollback.String():
+			specRB[ev.Epoch] = append(specRB[ev.Epoch], ev.Node)
+		case obs.EvResurrect.String():
+			resurrects[ev.Epoch] = ev.Node
+			if ev.Name == "" {
+				t.Fatalf("resurrect event without a checkpoint name: %+v", ev)
+			}
+		}
+	}
+	if len(fails) != len(script.Events) {
+		t.Fatalf("fail events for epochs %v, want %d failures", fails, len(script.Events))
+	}
+	for epoch, victim := range fails {
+		if epoch == 0 {
+			t.Fatal("failure recorded in epoch 0 — failures must advance the epoch")
+		}
+		survivorRolled := false
+		for _, n := range rolls[epoch] {
+			if n != victim {
+				survivorRolled = true
+			}
+		}
+		if !survivorRolled {
+			t.Errorf("epoch %d (victim %d): no survivor observed MSG_ROLL; rolls %v", epoch, victim, rolls[epoch])
+		}
+		if len(specRB[epoch]) == 0 {
+			t.Errorf("epoch %d: no speculation rollback recorded", epoch)
+		}
+		if n, ok := resurrects[epoch]; !ok {
+			t.Errorf("epoch %d: no resurrection recorded (have %v)", epoch, resurrects)
+		} else if n != victim {
+			t.Errorf("epoch %d: resurrected node %d, victim was %d", epoch, n, victim)
+		}
+	}
+	// Epochs outside the failures' must not roll anything back.
+	for epoch := range rolls {
+		if _, ok := fails[epoch]; !ok {
+			t.Errorf("MSG_ROLL in epoch %d without a recorded failure", epoch)
+		}
+	}
+}
+
+// TestMetricsRegistryAgreesWithResult: the registry snapshot a run feeds
+// ("msg.*", "ckpt.*", "spec.*" sources) is consistent with the result
+// counters the runner itself reports.
+func TestMetricsRegistryAgreesWithResult(t *testing.T) {
+	w, err := workload.Get("grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	res, _ := tracedRun(t, w, smallParams(w), multiFailureScript(w), reg)
+	snap := reg.Snapshot()
+	if got := snap["msg.rolls"].(uint64); got != res.Rollbacks {
+		t.Errorf("msg.rolls %d, result rollbacks %d", got, res.Rollbacks)
+	}
+	if got := snap["ckpt.checkpoints"].(uint64); got != res.Ckpt.Checkpoints {
+		t.Errorf("ckpt.checkpoints %d, result %d", got, res.Ckpt.Checkpoints)
+	}
+	if got := snap["ckpt.recoveries"].(uint64); got != res.Ckpt.Recoveries {
+		t.Errorf("ckpt.recoveries %d, result %d", got, res.Ckpt.Recoveries)
+	}
+	if got := snap["spec.rollbacks"].(uint64); got == 0 {
+		t.Error("spec.rollbacks is zero although the fault script forced rollbacks")
+	}
+	if got := snap["msg.failures"].(uint64); got != uint64(len(multiFailureScript(w).Events)) {
+		t.Errorf("msg.failures %d, want %d", got, len(multiFailureScript(w).Events))
+	}
+}

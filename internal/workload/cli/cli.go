@@ -19,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/migrate"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -53,6 +54,8 @@ type options struct {
 	script  string
 	timeout time.Duration
 	verbose bool
+	trace   string
+	metrics string
 
 	distributed bool
 	coordOnly   bool
@@ -93,6 +96,8 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 	fs.StringVar(&opt.script, "script", "", "fault-scenario script file (fail lines; see README)")
 	fs.DurationVar(&opt.timeout, "timeout", 2*time.Minute, "run timeout")
 	fs.BoolVar(&opt.verbose, "v", false, "print per-node halt codes")
+	fs.StringVar(&opt.trace, "trace", "", `write the run's event trace as JSONL to this file ("-" for stdout; see cmd/mojtrace)`)
+	fs.StringVar(&opt.metrics, "metrics", "", `write the run's metrics snapshot as JSON to this file ("-" for stdout)`)
 
 	fs.BoolVar(&opt.distributed, "distributed", false, "spawn one worker OS process per node over loopback TCP")
 	fs.BoolVar(&opt.coordOnly, "coordinator", false, "coordinate externally started -join workers")
@@ -162,12 +167,33 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 		}
 	}
 
+	// Observability sinks are strictly opt-in: without the flags both
+	// stay nil and every instrumented site is a predictable nop.
+	var tracer *obs.Tracer
+	var reg *obs.Registry
+	if opt.trace != "" {
+		tracer = obs.NewTracer(0)
+	}
+	if opt.metrics != "" {
+		reg = obs.NewRegistry()
+	}
+
 	var res *workload.Result
 	switch {
 	case opt.distributed, opt.coordOnly:
-		res, err = runCoordinator(w, p, script, opt, prog, stderr)
+		res, err = runCoordinator(w, p, script, opt, tracer, prog, stderr)
 	default:
-		res, err = workload.Run(w, p, workload.RunConfig{Script: script, Timeout: opt.timeout})
+		res, err = workload.Run(w, p, workload.RunConfig{
+			Script: script, Timeout: opt.timeout, Trace: tracer, Metrics: reg,
+		})
+	}
+	// Flush the artifacts even when the run errored — a trace of a
+	// failed run is exactly what the analyzer is for.
+	if derr := dumpObs(tracer, reg, opt, stdout); derr != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", prog, derr)
+		if err == nil {
+			return 1
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
@@ -206,6 +232,41 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 	return 0
 }
 
+// dumpObs writes the opt-in observability artifacts: the event trace as
+// JSONL (one event per line, cmd/mojtrace's input) and the metrics
+// snapshot as a single JSON document.
+func dumpObs(tracer *obs.Tracer, reg *obs.Registry, opt options, stdout io.Writer) error {
+	if tracer != nil {
+		if err := writeSink(opt.trace, stdout, func(w io.Writer) error {
+			return obs.WriteJSONL(w, tracer.Snapshot())
+		}); err != nil {
+			return fmt.Errorf("writing trace %s: %w", opt.trace, err)
+		}
+	}
+	if reg != nil {
+		if err := writeSink(opt.metrics, stdout, reg.WriteJSON); err != nil {
+			return fmt.Errorf("writing metrics %s: %w", opt.metrics, err)
+		}
+	}
+	return nil
+}
+
+// writeSink writes through the callback to a file, or to stdout for "-".
+func writeSink(path string, stdout io.Writer, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func sortedNodes(want map[int64]int64) []int64 {
 	out := make([]int64, 0, len(want))
 	for n := range want {
@@ -241,10 +302,24 @@ func buildScript(opt options) (*workload.FaultScript, error) {
 // runWorker is the -join mode: host one node, exit 0 on a clean finish
 // and 3 when the coordinator's failure injection killed us.
 func runWorker(w workload.Workload, opt options, prog string, stdout, stderr io.Writer) int {
+	var tracer *obs.Tracer
+	if opt.trace != "" {
+		tracer = obs.NewTracer(0)
+	}
 	st, err := workload.RunWorker(w, workload.WorkerConfig{
 		Join: opt.join, Node: opt.node, Params: opt.params, Resume: opt.resume,
-		Timeout: opt.timeout, Stdout: stdout,
+		Timeout: opt.timeout, Stdout: stdout, Trace: tracer,
 	})
+	// The trace is a debugging artifact, not run state: flush it even for
+	// an incarnation the coordinator killed (its last events show what the
+	// node was doing when the failure landed).
+	if tracer != nil {
+		if derr := writeSink(opt.trace, stdout, func(w io.Writer) error {
+			return obs.WriteJSONL(w, tracer.Snapshot())
+		}); derr != nil {
+			fmt.Fprintf(stderr, "%s: worker %d: writing trace: %v\n", prog, opt.node, derr)
+		}
+	}
 	if err == workload.ErrNodeFailed {
 		fmt.Fprintf(stderr, "%s: worker %d: killed by coordinator (simulated crash)\n", prog, opt.node)
 		return 3
@@ -262,7 +337,7 @@ func runWorker(w workload.Workload, opt options, prog string, stdout, stderr io.
 
 // runCoordinator is the -distributed / -coordinator mode.
 func runCoordinator(w workload.Workload, p workload.Params, script *workload.FaultScript,
-	opt options, prog string, stderr io.Writer) (*workload.Result, error) {
+	opt options, tracer *obs.Tracer, prog string, stderr io.Writer) (*workload.Result, error) {
 	var store migrate.Store
 	if opt.storeDir != "" {
 		ds, err := cluster.NewDirStore(opt.storeDir)
@@ -274,6 +349,7 @@ func runCoordinator(w workload.Workload, p workload.Params, script *workload.Fau
 	cfg := workload.DistributedConfig{
 		Listen: opt.listen,
 		Store:  store,
+		Trace:  tracer,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, prog+": "+format+"\n", args...)
 		},
@@ -298,6 +374,16 @@ func runCoordinator(w workload.Workload, p workload.Params, script *workload.Fau
 				"-ckptk", strconv.Itoa(p.CkptK),
 				"-engine", p.Engine,
 				"-timeout", opt.timeout.String(),
+			}
+			if opt.trace != "" && opt.trace != "-" {
+				// Per-process trace files next to the coordinator's own:
+				// FILE.node<N> for the first incarnation, FILE.node<N>.resumed
+				// for a resurrection (the latest resurrection wins).
+				tf := fmt.Sprintf("%s.node%d", opt.trace, node)
+				if resume != "" {
+					tf += ".resumed"
+				}
+				args = append(args, "-trace", tf)
 			}
 			cmd := exec.Command(self, args...)
 			cmd.Stdout = os.Stdout

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/migrate"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -52,6 +53,9 @@ type WorkerConfig struct {
 	Fault *transport.FaultSpec
 	// RetryBase overrides the client reconnect backoff (tests).
 	RetryBase time.Duration
+	// Trace, when set, records this worker's engine lifecycle and wire
+	// events (see cluster.EngineConfig.Trace, transport.ClientConfig.Trace).
+	Trace *obs.Tracer
 }
 
 // RunWorker hosts one node of a workload in this OS process: a
@@ -101,6 +105,7 @@ func RunWorker(w Workload, cfg WorkerConfig) (*cluster.ProcState, error) {
 		},
 		Resurrect: cfg.Resume != "",
 		RetryBase: cfg.RetryBase,
+		Trace:     cfg.Trace,
 	}
 	if cfg.Fault != nil {
 		clientCfg.Wrap = cfg.Fault.Wrap
@@ -124,6 +129,7 @@ func RunWorker(w Workload, cfg WorkerConfig) (*cluster.ProcState, error) {
 		RemoteHandoff: client.Handoff,
 		Extra:         func(node int64) rt.Registry { return w.Externs(p, node) },
 		Ckpt:          ckptOpts,
+		Trace:         cfg.Trace,
 	})
 	defer engine.Close()
 	close(engineReady)
@@ -227,6 +233,9 @@ type DistributedConfig struct {
 	Spawn SpawnFunc
 	// Logf, when set, receives coordinator progress lines.
 	Logf func(format string, args ...any)
+	// Trace, when set, records the hub's relay activity on the "hub"
+	// stream (coordinator-side view of the run).
+	Trace *obs.Tracer
 }
 
 // RunDistributed executes a workload across worker processes joined
@@ -258,6 +267,7 @@ func RunDistributed(w Workload, p Params, script *FaultScript, cfg DistributedCo
 		return nil, err
 	}
 	defer hub.Close()
+	hub.Trace = cfg.Trace
 
 	driver := newScriptDriver(script, w.CheckpointName,
 		func(node int64) {

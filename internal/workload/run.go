@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fir"
 	"repro/internal/migrate"
+	"repro/internal/obs"
 	"repro/internal/rt"
 )
 
@@ -57,6 +58,13 @@ type RunConfig struct {
 	// cluster.EngineConfig.Slots): concurrent runs draw their quanta from
 	// one bounded machine-wide pool. Overrides Params.Workers.
 	Slots chan struct{}
+	// Trace, when set, records the run's lifecycle events (see
+	// cluster.EngineConfig.Trace). Nil keeps every event site a
+	// predictable nop.
+	Trace *obs.Tracer
+	// Metrics, when set, has the run's engine register its stats surfaces
+	// ("msg.*", "ckpt.*", "spec.*") as snapshot sources.
+	Metrics *obs.Registry
 }
 
 // observableStore wraps a checkpoint store with a put callback: the
@@ -134,11 +142,15 @@ func Run(w Workload, p Params, cfg RunConfig) (*Result, error) {
 		Workers: p.Workers,
 		Slots:   cfg.Slots,
 		Ckpt:    ckptOpts,
+		Trace:   cfg.Trace,
 		// The target of a node://K handoff may never have been started
 		// explicitly; the factory binds its externs on arrival.
 		Extra: func(node int64) rt.Registry { return w.Externs(p, node) },
 	})
 	defer eng.Close()
+	if cfg.Metrics != nil {
+		eng.RegisterMetrics(cfg.Metrics)
+	}
 
 	driver := newScriptDriver(cfg.Script, w.CheckpointName,
 		eng.Fail,

@@ -1,0 +1,86 @@
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+
+	_ "repro/internal/workload/apps" // register grid
+)
+
+// ---------------------------------------------------------------------------
+// Trace overhead gate: the same failure-free grid run as
+// BenchmarkWorkloads/grid/vm/full/failurefree, once with tracing off
+// (every event site must be a predictable nop — CI holds this within a
+// few percent of the plain row from the same invocation) and once with a
+// live tracer attached (CI bounds the recording cost). Records land in
+// BENCH_trace.json with -benchdir.
+
+func benchTraceVariant(b *testing.B, traced bool) {
+	w, err := workload.Get("grid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := workload.Normalize(w, benchWorkloadParams("grid"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := w.Program(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events uint64
+	var mem memProbe
+	b.ReportAllocs()
+	b.ResetTimer()
+	mem.start()
+	for i := 0; i < b.N; i++ {
+		var tr *obs.Tracer
+		if traced {
+			tr = obs.NewTracer(0)
+		}
+		res, err := workload.Run(w, p, workload.RunConfig{
+			Timeout: 2 * time.Minute, Program: prog, Trace: tr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Verify(p, res.Nodes); err != nil {
+			b.Fatal(err)
+		}
+		if traced {
+			n := len(tr.Snapshot())
+			if n == 0 {
+				b.Fatal("tracer attached but recorded nothing")
+			}
+			events += uint64(n)
+		}
+	}
+	b.StopTimer()
+	allocs, bytes := mem.perOp(b.N)
+	if traced {
+		b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	}
+	recordBench(BenchRecord{
+		App:         "trace",
+		Name:        b.Name(),
+		Engine:      "vm",
+		Iterations:  b.N,
+		NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+		Nodes:       p.Nodes,
+		Size:        p.Size,
+		Aux:         p.Aux,
+		Steps:       p.Steps,
+		CkInterval:  p.CheckpointInterval,
+		Workers:     p.Workers,
+	})
+}
+
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) { benchTraceVariant(b, false) })
+	b.Run("on", func(b *testing.B) { benchTraceVariant(b, true) })
+}
