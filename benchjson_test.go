@@ -54,6 +54,17 @@ type BenchRecord struct {
 	CkptBytesPerCkpt  float64 `json:"ckpt_bytes_per_checkpoint,omitempty"`
 	CkptPauseNsPerCk  float64 `json:"ckpt_pause_ns_per_checkpoint,omitempty"`
 	RecoveryNsPerRest float64 `json:"recovery_ns_per_restore,omitempty"`
+
+	// Checkpoint-store tier metrics (the BenchmarkStore* rows). Bytes at
+	// rest is what the backing directory holds after the run — the
+	// compressed-at-rest gate compares it across store specs. Put-wait
+	// percentiles come from the storm gate's registry histogram.
+	StoreSpec         string  `json:"store_spec,omitempty"`
+	StoreBytesAtRest  float64 `json:"store_bytes_at_rest,omitempty"`
+	StoreBytesPerCkpt float64 `json:"store_bytes_at_rest_per_checkpoint,omitempty"`
+	StorePutWaitP50Ns float64 `json:"store_put_wait_p50_ns,omitempty"`
+	StorePutWaitP95Ns float64 `json:"store_put_wait_p95_ns,omitempty"`
+	StorePutWaitP99Ns float64 `json:"store_put_wait_p99_ns,omitempty"`
 }
 
 var benchRecords struct {

@@ -20,7 +20,15 @@
 //	-run-timeout D per-run execution bound (default 2m)
 //	-idle D        per-connection idle timeout (default 60s)
 //	-storedir DIR  back the shared checkpoint store with a directory
-//	               (default: in-memory)
+//	               (sugar for -store dir:DIR; default: in-memory)
+//	-store SPEC    checkpoint store backend spec: "mem", "dir:PATH",
+//	               "zdir:PATH" (compression at rest), "tcp:ADDR", or
+//	               "repl:N,SPEC,..." (N-way quorum replication); see
+//	               internal/store
+//	-storegate N   bound concurrent checkpoint Puts through a FIFO
+//	               admission gate (the checkpoint-storm scheduler)
+//	-storegc D     background retention GC interval over the shared
+//	               store (0 = off)
 //	-pprof ADDR    serve net/http/pprof on ADDR (e.g. 127.0.0.1:6060);
 //	               off by default — profiling is strictly opt-in
 //	-rtrace FILE   capture a runtime/trace of the daemon into FILE
@@ -48,9 +56,10 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/cluster"
 	"repro/internal/migrate"
+	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/store"
 
 	_ "repro/internal/workload/apps" // register grid, allreduce, taskfarm, pipeline
 )
@@ -63,7 +72,10 @@ func main() {
 		queue      = flag.Int("queue", 64, "admission queue depth")
 		runTimeout = flag.Duration("run-timeout", 2*time.Minute, "per-run execution bound")
 		idle       = flag.Duration("idle", 60*time.Second, "connection idle timeout")
-		storeDir   = flag.String("storedir", "", "checkpoint store directory (default: in-memory)")
+		storeDir   = flag.String("storedir", "", "checkpoint store directory (sugar for -store dir:PATH)")
+		storeSpec  = flag.String("store", "", `checkpoint store backend spec: "mem", "dir:PATH", "zdir:PATH", "tcp:ADDR" or "repl:N,SPEC,..."`)
+		storeGate  = flag.Int("storegate", 0, "bound concurrent checkpoint Puts through a FIFO admission gate (0 = unbounded)")
+		storeGC    = flag.Duration("storegc", 0, "run background retention GC over the shared store at this interval (0 = off)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (off by default)")
 		rtraceFile = flag.String("rtrace", "", "capture a runtime/trace into this file")
 		rtraceWin  = flag.Duration("rtrace-window", 0, "stop the runtime/trace capture after this long (0: until shutdown)")
@@ -105,14 +117,36 @@ func main() {
 		defer stop()
 	}
 
-	var store migrate.Store
-	if *storeDir != "" {
-		ds, err := cluster.NewDirStore(*storeDir)
+	// The daemon's registry and tracer are created up front so the store
+	// tier's instruments (gate wait, replication, GC) land in the same
+	// snapshot the 'O' RPC serves.
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
+
+	spec := *storeSpec
+	if spec == "" && *storeDir != "" {
+		spec = "dir:" + *storeDir
+	}
+	var st migrate.Store
+	if spec != "" || *storeGate > 0 {
+		var err error
+		st, err = store.Open(spec, store.Options{
+			Registry:  reg,
+			Trace:     tracer,
+			GateLimit: *storeGate,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mojd: %v\n", err)
 			os.Exit(1)
 		}
-		store = ds
+	}
+	if *storeGC > 0 {
+		if st == nil {
+			fmt.Fprintln(os.Stderr, "mojd: -storegc needs a shared store (-store or -storedir)")
+			os.Exit(1)
+		}
+		gc := store.StartGC(st, *storeGC, store.Options{Registry: reg, Trace: tracer})
+		defer gc.Stop()
 	}
 
 	l, err := net.Listen("tcp", *listen)
@@ -126,7 +160,9 @@ func main() {
 		QueueDepth:  *queue,
 		RunTimeout:  *runTimeout,
 		IdleTimeout: *idle,
-		Store:       store,
+		Store:       st,
+		Registry:    reg,
+		Trace:       tracer,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {

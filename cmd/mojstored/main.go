@@ -1,0 +1,72 @@
+// Command mojstored serves a checkpoint store over TCP: the endpoint a
+// "tcp:ADDR" store spec (or one arm of a "repl:N,tcp:...,tcp:..."
+// quorum) points at. Run one per storage machine to spread a replicated
+// checkpoint store across hosts.
+//
+// Usage:
+//
+//	mojstored [flags]
+//
+//	-listen ADDR   TCP listen address (default 127.0.0.1:9445)
+//	-store SPEC    backing store spec: "mem", "dir:PATH" or
+//	               "zdir:PATH" (compression at rest); see
+//	               internal/store (default mem)
+//	-storedir DIR  sugar for -store dir:DIR
+//	-storegc D     background retention GC interval (0 = off). Only
+//	               enable on the replica that owns cleanup: a GC that
+//	               sees one arm of a quorum would sweep chains whose
+//	               heads live elsewhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:9445", "listen address")
+		storeSpec = flag.String("store", "", `backing store spec: "mem", "dir:PATH" or "zdir:PATH"`)
+		storeDir  = flag.String("storedir", "", "backing store directory (sugar for -store dir:PATH)")
+		storeGC   = flag.Duration("storegc", 0, "background retention GC interval (0 = off)")
+	)
+	flag.Parse()
+
+	spec := *storeSpec
+	if spec == "" && *storeDir != "" {
+		spec = "dir:" + *storeDir
+	}
+	backing, err := store.Open(spec, store.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mojstored: %v\n", err)
+		os.Exit(1)
+	}
+	if *storeGC > 0 {
+		gc := store.StartGC(backing, *storeGC, store.Options{})
+		defer gc.Stop()
+	}
+
+	s, err := store.Serve(*listen, backing)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mojstored: %v\n", err)
+		os.Exit(1)
+	}
+	if spec == "" {
+		spec = "mem"
+	}
+	fmt.Printf("mojstored: serving %s on %s\n", spec, s.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("mojstored: shutting down")
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "mojstored: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,9 @@
 //	-ckpt          print the checkpoint breakdown only
 //	-handoff       print handoff latencies only
 //	-serve         print the serving-layer summary only
+//	-store         print the checkpoint-store summary only (put and
+//	               gate-wait latency percentiles, replication repairs,
+//	               retention-GC sweeps)
 //
 // Without a section flag every section that has events is printed.
 //
@@ -51,6 +54,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		ckpt     = fs.Bool("ckpt", false, "print the checkpoint breakdown only")
 		handoff  = fs.Bool("handoff", false, "print handoff latencies only")
 		serveSec = fs.Bool("serve", false, "print the serving-layer summary only")
+		storeSec = fs.Bool("store", false, "print the checkpoint-store summary only")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -93,7 +97,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	// order that spans streams.
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Wall < events[j].Wall })
 
-	all := !*cascades && !*ckpt && !*handoff && !*serveSec
+	all := !*cascades && !*ckpt && !*handoff && !*serveSec && !*storeSec
 	fmt.Fprintf(stdout, "trace: %d events, %d streams, %s span\n",
 		len(events), countStreams(events), span(events).Round(time.Microsecond))
 	if all || *cascades {
@@ -107,6 +111,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if all || *serveSec {
 		printServe(stdout, events)
+	}
+	if all || *storeSec {
+		printStore(stdout, events)
 	}
 	return 0
 }
@@ -380,5 +387,56 @@ func printServe(w io.Writer, events []obs.Event) {
 	}
 	if sweeps > 0 {
 		fmt.Fprintf(w, "  gc: %d sweeps, %d objects deleted, %d failures\n", sweeps, gcDeleted, gcFailed)
+	}
+}
+
+// printStore summarizes the checkpoint-store tier's "store" stream:
+// put latency and bytes at the backend, storm-gate waits, replication
+// read-repairs and retention-GC sweeps.
+func printStore(w io.Writer, events []obs.Event) {
+	var putLat, gateLat []int64
+	var putBytes, repairBytes int64
+	var repairs, gcRuns int
+	var gcSwept, gcBytes int64
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case obs.EvStorePut.String():
+			putLat = append(putLat, ev.B)
+			putBytes += ev.A
+		case obs.EvStoreGate.String():
+			gateLat = append(gateLat, ev.B)
+		case obs.EvStoreRepair.String():
+			repairs++
+			repairBytes += ev.B
+		case obs.EvStoreGC.String():
+			gcRuns++
+			gcSwept += ev.A
+			gcBytes += ev.B
+		}
+	}
+	if len(putLat) == 0 && len(gateLat) == 0 && repairs == 0 && gcRuns == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nstore: %d puts, %d bytes at rest\n", len(putLat), putBytes)
+	sort.Slice(putLat, func(i, j int) bool { return putLat[i] < putLat[j] })
+	sort.Slice(gateLat, func(i, j int) bool { return gateLat[i] < gateLat[j] })
+	if len(putLat) > 0 {
+		fmt.Fprintf(w, "  put latency:  p50 %s p95 %s p99 %s max %s\n",
+			pct(putLat, 0.50).Round(time.Microsecond), pct(putLat, 0.95).Round(time.Microsecond),
+			pct(putLat, 0.99).Round(time.Microsecond), pct(putLat, 1).Round(time.Microsecond))
+	}
+	if len(gateLat) > 0 {
+		// The gate only emits events for contended puts: these are the
+		// waits a storm actually caused, not zero-filled noise.
+		fmt.Fprintf(w, "  gate wait:    p50 %s p95 %s p99 %s max %s (%d contended puts)\n",
+			pct(gateLat, 0.50).Round(time.Microsecond), pct(gateLat, 0.95).Round(time.Microsecond),
+			pct(gateLat, 0.99).Round(time.Microsecond), pct(gateLat, 1).Round(time.Microsecond), len(gateLat))
+	}
+	if repairs > 0 {
+		fmt.Fprintf(w, "  read-repair:  %d replicas repaired, %d bytes re-pushed\n", repairs, repairBytes)
+	}
+	if gcRuns > 0 {
+		fmt.Fprintf(w, "  retention gc: %d sweeps, %d objects (%d bytes) swept\n", gcRuns, gcSwept, gcBytes)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/workload"
 
 	_ "repro/internal/workload/apps" // register grid
@@ -69,6 +70,61 @@ func TestAnalyzeFaultTrace(t *testing.T) {
 	}
 	if strings.Contains(text, "no resurrection recorded") {
 		t.Errorf("cascade left open:\n%s", text)
+	}
+}
+
+// TestAnalyzeStoreSection: a grid run against a gated, GC'd,
+// compressed store leaves "store" stream events, and -store summarizes
+// puts, gate waits and retention sweeps from them.
+func TestAnalyzeStoreSection(t *testing.T) {
+	w, err := workload.Get("grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(0)
+	st, err := store.Open("zmem", store.Options{Trace: tr, GateLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.Params{Nodes: 3, Size: 4, Aux: 8, Steps: 12, CheckpointInterval: 4, Ckpt: "delta", CkptK: 1}
+	if _, err := workload.RunVerified(w, p, workload.RunConfig{
+		Timeout: time.Minute, Trace: tr, Store: st, NoInlinePrune: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.RunGC(st, store.Options{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(f, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-store", path}, &out, &errOut); code != 0 {
+		t.Fatalf("mojtrace exited %d: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"store:",
+		"bytes at rest",
+		"put latency:",
+		"retention gc: 1 sweeps",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("store section missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "rollback cascades") {
+		t.Errorf("-store printed other sections:\n%s", text)
 	}
 }
 

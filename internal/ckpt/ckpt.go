@@ -90,6 +90,12 @@ type Options struct {
 	// only leaves dead objects behind — but the failures are no longer
 	// silent: they also count in Stats.PruneFailures.
 	OnPruneError func(name string, err error)
+	// NoInlinePrune disables the best-effort inline prune on published
+	// full images. Deployments running the store tier's retention GC
+	// (internal/store.RunGC) set it: the GC recomputes the live set from
+	// durable state and sweeps authoritatively, so the inline path would
+	// only duplicate deletes.
+	NoInlinePrune bool
 	// Trace, when set, records commit-side pipeline events (member put,
 	// watermark publish) on the "ckpt/<head>" streams. Capture-side events
 	// are the engine's: only it knows the node's logical time.
@@ -571,7 +577,7 @@ func (c *Committer) commit(ch *chain, j job) error {
 	if err != nil {
 		return fmt.Errorf("ckpt: committing %q: %w", j.member, err)
 	}
-	if published && j.full {
+	if published && j.full && !c.opts.NoInlinePrune {
 		c.prune(ch, j.seq)
 	}
 	return nil

@@ -103,9 +103,26 @@ func (s *DirStore) path(name string) (string, error) {
 	return filepath.Join(s.Dir, name+".mcc"), nil
 }
 
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss. A package variable so tests can assert the call happens on the
+// Put path (and simulate a store medium that fails the sync).
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
 // Put writes a checkpoint file (mode 0755: checkpoints are executables).
 // The write is crash-safe: data goes to a uniquely named temp file in the
-// store directory, is fsynced, and is atomically renamed into place — a
+// store directory, is fsynced, is atomically renamed into place, and the
+// directory itself is fsynced so the rename survives power loss (the
+// temp-file fsync alone makes the *bytes* durable, not the entry) — a
 // node that dies mid-checkpoint can never leave a truncated image behind
 // to poison a later Resurrect, and concurrent writers of the same name
 // never stomp each other's temp file.
@@ -136,7 +153,7 @@ func (s *DirStore) Put(name string, data []byte) error {
 		_ = os.Remove(tmp)
 		return werr
 	}
-	return nil
+	return syncDir(s.Dir)
 }
 
 // Get reads a checkpoint file. A missing checkpoint keeps its

@@ -44,6 +44,51 @@ func TestMemStoreNotExistAndCopy(t *testing.T) {
 	}
 }
 
+// TestDirStorePutSyncsDir: after the atomic rename, Put fsyncs the
+// store directory so the entry itself — not just the file's bytes —
+// survives a power loss; a failing directory sync surfaces as a Put
+// error instead of a silent durability gap.
+func TestDirStorePutSyncsDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := syncDir
+	defer func() { syncDir = orig }()
+
+	var synced []string
+	syncDir = func(d string) error {
+		synced = append(synced, d)
+		return orig(d)
+	}
+	if err := s.Put("ck", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("Put synced %v, want exactly [%q]", synced, dir)
+	}
+
+	wantErr := errors.New("medium failed the sync")
+	syncDir = func(string) error { return wantErr }
+	if err := s.Put("ck2", []byte("y")); !errors.Is(err, wantErr) {
+		t.Fatalf("Put with failing directory sync: %v, want %v", err, wantErr)
+	}
+
+	// A failed Put still must not leave temp litter or a half-entry that
+	// poisons List.
+	syncDir = orig
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if n != "ck" && n != "ck2" {
+			t.Fatalf("unexpected leftover entry %q in %v", n, names)
+		}
+	}
+}
+
 // TestDirStoreNotExist: a missing checkpoint file keeps its
 // os.ErrNotExist identity through the wrapping, and a vanished store
 // directory lists as empty rather than erroring.

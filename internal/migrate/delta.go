@@ -7,6 +7,7 @@
 package migrate
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/heap"
@@ -116,36 +117,94 @@ func (a deltaAdapter) ResolveChain(name string) ([]string, error) {
 	return ResolveChain(a.Store, name)
 }
 
+// ErrBadHeadRef is the errors.Is identity of every BadHeadRefError:
+// the durable watermark under a head name does not resolve to a chain.
+var ErrBadHeadRef = errors.New("migrate: bad head ref")
+
+// BadHeadRefError reports a chain that cannot be resolved from its head:
+// the head record itself is corrupt or truncated, or the chain it names
+// is broken (a member missing or unreadable mid-walk). It names the
+// chain so an operator sweeping a shared store knows which process's
+// watermark is damaged. errors.Is(err, ErrBadHeadRef) matches.
+type BadHeadRefError struct {
+	Chain  string // head name the resolution started from
+	Member string // offending chain member ("" when the head record itself is bad)
+	Detail string
+	Err    error // underlying cause, when one exists
+}
+
+func (e *BadHeadRefError) Error() string {
+	at := e.Chain
+	if e.Member != "" {
+		at = fmt.Sprintf("%s (member %q)", e.Chain, e.Member)
+	}
+	if e.Err != nil {
+		return fmt.Sprintf("migrate: bad head ref at %q: %s: %v", at, e.Detail, e.Err)
+	}
+	return fmt.Sprintf("migrate: bad head ref at %q: %s", at, e.Detail)
+}
+
+func (e *BadHeadRefError) Unwrap() error { return e.Err }
+
+// Is matches ErrBadHeadRef, so callers need no type assertion.
+func (e *BadHeadRefError) Is(target error) bool { return target == ErrBadHeadRef }
+
 // walkChain is the one chain walk both ResolveChain and FetchImage sit
 // on: it resolves name (following a head ref once) back to the full
 // root, returning member names newest-first, the decoded deltas
 // (newest-first, one per member except the root) and the root's raw
 // bytes. Each member is read and decoded exactly once — recovery
 // latency is what the delta pipeline exists to shrink.
+//
+// A Get failure on the entry name itself passes through untouched (a
+// missing checkpoint keeps its os.ErrNotExist identity — "no checkpoint
+// yet" is an ordinary answer); every failure past that first read means
+// a published watermark is damaged and surfaces as *BadHeadRefError.
 func walkChain(store Store, name string) (names []string, deltas []*wire.DeltaImage, root []byte, err error) {
 	cur := name
 	for hops := 0; ; hops++ {
 		if hops > maxChain {
-			return nil, nil, nil, fmt.Errorf("migrate: checkpoint chain at %q exceeds %d members (cycle?)", name, maxChain)
+			return nil, nil, nil, &BadHeadRefError{Chain: name, Member: cur,
+				Detail: fmt.Sprintf("chain exceeds %d members (cycle?)", maxChain)}
 		}
 		data, err := store.Get(cur)
 		if err != nil {
+			if hops > 0 {
+				return nil, nil, nil, &BadHeadRefError{Chain: name, Member: cur,
+					Detail: "chain member unreadable", Err: err}
+			}
 			return nil, nil, nil, err
 		}
-		if target, ok := wire.DecodeRef(data); ok {
+		if wire.IsRefHeader(data) {
+			target, ok := wire.DecodeRef(data)
+			if !ok {
+				// Member stays empty at hop 0: the damaged record IS the
+				// head, not something it points at.
+				e := &BadHeadRefError{Chain: name, Detail: "corrupt or truncated head ref record"}
+				if hops > 0 {
+					e.Member = cur
+				}
+				return nil, nil, nil, e
+			}
 			if hops > 0 {
-				return nil, nil, nil, fmt.Errorf("migrate: checkpoint %q: head ref inside a chain", cur)
+				return nil, nil, nil, &BadHeadRefError{Chain: name, Member: cur,
+					Detail: "head ref inside a chain"}
 			}
 			cur = target
 			continue
 		}
 		names = append(names, cur)
 		if !wire.IsDeltaImage(data) {
+			if !wire.IsImage(data) {
+				return nil, nil, nil, &BadHeadRefError{Chain: name, Member: cur,
+					Detail: "chain root is neither a full nor a delta checkpoint"}
+			}
 			return names, deltas, data, nil // the full root
 		}
 		d, err := wire.DecodeDeltaImage(data)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("migrate: checkpoint %q: %w", cur, err)
+			return nil, nil, nil, &BadHeadRefError{Chain: name, Member: cur,
+				Detail: "corrupt delta member", Err: err}
 		}
 		deltas = append(deltas, d)
 		cur = d.Base

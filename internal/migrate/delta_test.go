@@ -1,6 +1,7 @@
 package migrate
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -95,15 +96,84 @@ func TestFetchImageBrokenChain(t *testing.T) {
 
 func TestFetchImageRefCycleGuard(t *testing.T) {
 	s := newMemStore()
-	// Two deltas referencing each other: resolution must terminate.
+	// Two deltas referencing each other: resolution must terminate, and
+	// the cycle surfaces under the typed head-ref identity.
 	d1 := &wire.DeltaImage{Base: "b", Seq: 1, Code: wire.CodePart{Name: "p"}}
 	d2 := &wire.DeltaImage{Base: "a", Seq: 2, Code: wire.CodePart{Name: "p"}}
 	_ = s.Put("a", wire.EncodeDeltaImage(d1))
 	_ = s.Put("b", wire.EncodeDeltaImage(d2))
-	if _, err := FetchImage(s, "a"); err == nil {
-		t.Fatal("cyclic chain resolved without error")
+	if _, err := FetchImage(s, "a"); !errors.Is(err, ErrBadHeadRef) {
+		t.Fatalf("cyclic chain: %v, want ErrBadHeadRef", err)
 	}
-	if _, err := ResolveChain(s, "a"); err == nil {
-		t.Fatal("cyclic chain listed without error")
+	if _, err := ResolveChain(s, "a"); !errors.Is(err, ErrBadHeadRef) {
+		t.Fatalf("cyclic chain listed: %v, want ErrBadHeadRef", err)
+	}
+}
+
+// TestResolveChainBadHeadRef: every way a published watermark can be
+// damaged resolves to a typed *BadHeadRefError (errors.Is ErrBadHeadRef)
+// that names the chain — never a generic decode error, and never a
+// silent success.
+func TestResolveChainBadHeadRef(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(s *memStore)
+		member  string // expected BadHeadRefError.Member ("" = head record)
+	}{
+		{"truncated head ref (no target)", func(s *memStore) {
+			s.m["n"] = []byte(wire.RefHeader)
+		}, ""},
+		{"corrupt head ref (newline in target)", func(s *memStore) {
+			s.m["n"] = []byte(wire.RefHeader + "n@2\nextra")
+		}, ""},
+		{"missing mid-chain member", func(s *memStore) {
+			delete(s.m, "n@1")
+		}, "n@1"},
+		{"corrupt delta member", func(s *memStore) {
+			s.m["n@1"] = append([]byte(wire.DeltaHeader), "garbage"...)
+		}, "n@1"},
+		{"junk chain root", func(s *memStore) {
+			s.m["n@0"] = []byte("not a checkpoint at all")
+		}, "n@0"},
+		{"head ref pointing at another head ref", func(s *memStore) {
+			s.m["n@2"] = wire.EncodeRef("n@1")
+		}, "n@2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, _ := chainStore(t)
+			tc.corrupt(s)
+			_, err := ResolveChain(s, "n")
+			if !errors.Is(err, ErrBadHeadRef) {
+				t.Fatalf("ResolveChain: %v, want ErrBadHeadRef", err)
+			}
+			var bad *BadHeadRefError
+			if !errors.As(err, &bad) {
+				t.Fatalf("ResolveChain: %v, want *BadHeadRefError", err)
+			}
+			if bad.Chain != "n" {
+				t.Fatalf("BadHeadRefError.Chain = %q, want %q", bad.Chain, "n")
+			}
+			if bad.Member != tc.member {
+				t.Fatalf("BadHeadRefError.Member = %q, want %q", bad.Member, tc.member)
+			}
+			if _, err := FetchImage(s, "n"); !errors.Is(err, ErrBadHeadRef) {
+				t.Fatalf("FetchImage: %v, want ErrBadHeadRef", err)
+			}
+		})
+	}
+}
+
+// TestResolveChainMissingHeadStaysNotFound: "no checkpoint yet" on the
+// entry name itself is an ordinary answer, not a damaged watermark —
+// it must NOT acquire the ErrBadHeadRef identity.
+func TestResolveChainMissingHeadStaysNotFound(t *testing.T) {
+	s := newMemStore()
+	_, err := ResolveChain(s, "ghost")
+	if err == nil {
+		t.Fatal("missing head resolved without error")
+	}
+	if errors.Is(err, ErrBadHeadRef) {
+		t.Fatalf("missing head: %v must not be ErrBadHeadRef", err)
 	}
 }

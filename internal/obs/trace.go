@@ -49,6 +49,13 @@ const (
 	EvServeStart
 	EvServeVerify
 	EvServeSweep
+
+	// Checkpoint store tier (store stream): backend puts, replica
+	// read-repair, retention GC sweeps, storm-gate admissions.
+	EvStorePut
+	EvStoreRepair
+	EvStoreGC
+	EvStoreGate
 )
 
 var kindNames = [...]string{
@@ -75,6 +82,10 @@ var kindNames = [...]string{
 	EvServeStart:   "serve.start",
 	EvServeVerify:  "serve.verify",
 	EvServeSweep:   "serve.sweep",
+	EvStorePut:     "store.put",
+	EvStoreRepair:  "store.repair",
+	EvStoreGC:      "store.gc",
+	EvStoreGate:    "store.gate",
 }
 
 // String returns the stable event-kind name used in JSONL.

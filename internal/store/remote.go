@@ -1,0 +1,288 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/frame"
+	"repro/internal/migrate"
+)
+
+// Remote store protocol: a replica endpoint a repl: spec can point at
+// over TCP, so quorum members live on separate machines (the paper's
+// NFS mount generalized to a replica set). It speaks the repo-standard
+// length-prefixed framing.
+//
+// Request frame:  op byte + u16 name length + name + payload
+//	'P' put, 'G' get, 'L' list (empty name), 'D' delete
+// Response frame: status byte + body
+//	'+' ok (body: data for get, '\n'-joined names for list)
+//	'0' not-exist (get only)
+//	'-' error (body: message)
+//
+// One request is in flight per connection at a time; the client
+// serializes callers and reconnects on a broken connection.
+
+const (
+	opPut    = 'P'
+	opGet    = 'G'
+	opList   = 'L'
+	opDelete = 'D'
+
+	statusOK       = '+'
+	statusNotExist = '0'
+	statusError    = '-'
+)
+
+// Server serves a migrate.Store over TCP (cmd/mojstored wraps it).
+type Server struct {
+	backing migrate.Store
+	ln      net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+}
+
+// Serve listens on addr and serves backing until Close.
+func Serve(addr string, backing migrate.Store) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{backing: backing, ln: ln, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and open connections, then waits for the
+// handler goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	fc := frame.NewConn(conn)
+	for {
+		req, err := fc.ReadFrame()
+		if err != nil {
+			return
+		}
+		resp := s.dispatch(req)
+		if err := fc.WriteFrame(resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request and encodes the response.
+func (s *Server) dispatch(req []byte) []byte {
+	op, name, payload, err := decodeRequest(req)
+	if err != nil {
+		return statusResp(statusError, err.Error())
+	}
+	switch op {
+	case opPut:
+		if err := s.backing.Put(name, payload); err != nil {
+			return statusResp(statusError, err.Error())
+		}
+		return []byte{statusOK}
+	case opGet:
+		data, err := s.backing.Get(name)
+		if errors.Is(err, os.ErrNotExist) {
+			return []byte{statusNotExist}
+		}
+		if err != nil {
+			return statusResp(statusError, err.Error())
+		}
+		resp := make([]byte, 1+len(data))
+		resp[0] = statusOK
+		copy(resp[1:], data)
+		return resp
+	case opList:
+		names, err := s.backing.List()
+		if err != nil {
+			return statusResp(statusError, err.Error())
+		}
+		return statusResp(statusOK, strings.Join(names, "\n"))
+	case opDelete:
+		if err := deleteFrom(s.backing, name); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return statusResp(statusError, err.Error())
+		}
+		return []byte{statusOK}
+	default:
+		return statusResp(statusError, fmt.Sprintf("unknown op %q", op))
+	}
+}
+
+func statusResp(status byte, body string) []byte {
+	resp := make([]byte, 1+len(body))
+	resp[0] = status
+	copy(resp[1:], body)
+	return resp
+}
+
+func encodeRequest(op byte, name string, payload []byte) ([]byte, error) {
+	if len(name) > 1<<16-1 {
+		return nil, fmt.Errorf("store: name of %d bytes too long for wire", len(name))
+	}
+	req := make([]byte, 3+len(name)+len(payload))
+	req[0] = op
+	binary.BigEndian.PutUint16(req[1:3], uint16(len(name)))
+	copy(req[3:], name)
+	copy(req[3+len(name):], payload)
+	return req, nil
+}
+
+func decodeRequest(req []byte) (op byte, name string, payload []byte, err error) {
+	if len(req) < 3 {
+		return 0, "", nil, errors.New("short request")
+	}
+	nameLen := int(binary.BigEndian.Uint16(req[1:3]))
+	if len(req) < 3+nameLen {
+		return 0, "", nil, errors.New("truncated request name")
+	}
+	return req[0], string(req[3 : 3+nameLen]), req[3+nameLen:], nil
+}
+
+// Remote is the client side: a migrate.Store proxying to a Server. It
+// holds one connection, serializes requests, and redials a broken
+// connection on the next call — a restarted store server is picked up
+// transparently.
+type Remote struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	fc   *frame.Conn
+}
+
+// DialRemote creates a client for addr. The connection is established
+// lazily on first use, so constructing a replica set does not require
+// every endpoint to be up yet.
+func DialRemote(addr string) *Remote { return &Remote{addr: addr} }
+
+// Close drops the connection (a later call redials).
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn != nil {
+		err := r.conn.Close()
+		r.conn, r.fc = nil, nil
+		return err
+	}
+	return nil
+}
+
+// roundTrip sends one request and reads the response, holding the
+// connection lock. A transport error tears the connection down so the
+// next call redials.
+func (r *Remote) roundTrip(op byte, name string, payload []byte) ([]byte, error) {
+	req, err := encodeRequest(op, name, payload)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn == nil {
+		conn, err := net.Dial("tcp", r.addr)
+		if err != nil {
+			return nil, fmt.Errorf("store: dial %s: %w", r.addr, err)
+		}
+		r.conn, r.fc = conn, frame.NewConn(conn)
+	}
+	if err := r.fc.WriteFrame(req); err != nil {
+		r.conn.Close()
+		r.conn, r.fc = nil, nil
+		return nil, fmt.Errorf("store: %s: %w", r.addr, err)
+	}
+	resp, err := r.fc.ReadFrame()
+	if err != nil {
+		r.conn.Close()
+		r.conn, r.fc = nil, nil
+		return nil, fmt.Errorf("store: %s: %w", r.addr, err)
+	}
+	if len(resp) == 0 {
+		return nil, fmt.Errorf("store: %s: empty response", r.addr)
+	}
+	switch resp[0] {
+	case statusOK:
+		return resp[1:], nil
+	case statusNotExist:
+		return nil, fmt.Errorf("store: checkpoint %q: %w", name, os.ErrNotExist)
+	case statusError:
+		return nil, fmt.Errorf("store: %s: %s", r.addr, resp[1:])
+	default:
+		return nil, fmt.Errorf("store: %s: bad status %q", r.addr, resp[0])
+	}
+}
+
+func (r *Remote) Put(name string, data []byte) error {
+	_, err := r.roundTrip(opPut, name, data)
+	return err
+}
+
+func (r *Remote) Get(name string) ([]byte, error) {
+	return r.roundTrip(opGet, name, nil)
+}
+
+func (r *Remote) List() ([]string, error) {
+	body, err := r.roundTrip(opList, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		return nil, nil
+	}
+	return strings.Split(string(body), "\n"), nil
+}
+
+func (r *Remote) Delete(name string) error {
+	_, err := r.roundTrip(opDelete, name, nil)
+	return err
+}

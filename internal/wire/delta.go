@@ -78,6 +78,17 @@ func IsDeltaImage(data []byte) bool {
 	return bytes.HasPrefix(data, []byte(DeltaHeader))
 }
 
+// IsImage reports whether data starts like a full checkpoint file.
+func IsImage(data []byte) bool {
+	return bytes.HasPrefix(data, []byte(ExecHeader))
+}
+
+// IsRefHeader reports whether data claims to be a head record (whether
+// or not the record decodes — DecodeRef validates the target).
+func IsRefHeader(data []byte) bool {
+	return bytes.HasPrefix(data, []byte(RefHeader))
+}
+
 // encodeDeltaPart serializes the delta-specific payload (everything but
 // the code part).
 func encodeDeltaPart(d *DeltaImage) []byte {

@@ -16,10 +16,10 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/migrate"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -61,9 +61,39 @@ type options struct {
 	coordOnly   bool
 	listen      string
 	storeDir    string
+	storeSpec   string
+	storeGate   int
+	storeGC     time.Duration
 	join        string
 	node        int64
 	resume      string
+}
+
+// storeOpenSpec resolves the effective -store spec: -store wins, the
+// legacy -storedir is sugar for "dir:PATH", and the empty string means
+// "no shared store configured" (runners default to a private MemStore).
+func (o *options) storeOpenSpec() string {
+	if o.storeSpec != "" {
+		return o.storeSpec
+	}
+	if o.storeDir != "" {
+		return "dir:" + o.storeDir
+	}
+	return ""
+}
+
+// openStore builds the checkpoint store tier from the flags, nil when
+// none is configured and no gate is requested.
+func openStore(opt options, tracer *obs.Tracer, reg *obs.Registry) (migrate.Store, error) {
+	spec := opt.storeOpenSpec()
+	if spec == "" && opt.storeGate == 0 {
+		return nil, nil
+	}
+	return store.Open(spec, store.Options{
+		Registry:  reg,
+		Trace:     tracer,
+		GateLimit: opt.storeGate,
+	})
 }
 
 // Main is the shared entry point: prog names the binary in messages
@@ -93,7 +123,7 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 	fs.IntVar(&opt.params.CkptK, "ckptk", 0, "force a full image every K delta checkpoints (0 = pipeline default)")
 	fs.StringVar(&opt.params.Engine, "engine", "", `execution engine: "vm" (slot-resolved interpreter, default) or "risc" (compiled RISC simulator)`)
 	fs.Var(&opt.fails, "fail", `inject a failure: "node@checkpoints[@delay]", e.g. "1@2" (repeatable)`)
-	fs.StringVar(&opt.script, "script", "", "fault-scenario script file (fail lines; see README)")
+	fs.StringVar(&opt.script, "script", "", "fault-scenario script file (fail/storekill lines; see README)")
 	fs.DurationVar(&opt.timeout, "timeout", 2*time.Minute, "run timeout")
 	fs.BoolVar(&opt.verbose, "v", false, "print per-node halt codes")
 	fs.StringVar(&opt.trace, "trace", "", `write the run's event trace as JSONL to this file ("-" for stdout; see cmd/mojtrace)`)
@@ -102,7 +132,10 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 	fs.BoolVar(&opt.distributed, "distributed", false, "spawn one worker OS process per node over loopback TCP")
 	fs.BoolVar(&opt.coordOnly, "coordinator", false, "coordinate externally started -join workers")
 	fs.StringVar(&opt.listen, "listen", "127.0.0.1:0", "coordinator listen address")
-	fs.StringVar(&opt.storeDir, "storedir", "", "directory for the shared checkpoint store (default: in-memory)")
+	fs.StringVar(&opt.storeDir, "storedir", "", `directory for the shared checkpoint store (sugar for -store dir:PATH)`)
+	fs.StringVar(&opt.storeSpec, "store", "", `checkpoint store backend spec: "mem", "dir:PATH", "zdir:PATH" (compressed at rest), "tcp:ADDR", or "repl:N,SPEC,..." (N-way quorum replication)`)
+	fs.IntVar(&opt.storeGate, "storegate", 0, "bound concurrent checkpoint Puts through a FIFO admission gate (0 = unbounded)")
+	fs.DurationVar(&opt.storeGC, "storegc", 0, "run background retention GC over the store at this interval (0 = off; disables the committer's inline prune)")
 	fs.StringVar(&opt.join, "join", "", "run as a worker joined to this coordinator address")
 	fs.Int64Var(&opt.node, "node", 0, "node id hosted by this worker (with -join)")
 	fs.StringVar(&opt.resume, "resume", "", "checkpoint name to resurrect from (with -join)")
@@ -162,8 +195,17 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 		opt.app, p.Nodes, p.Size, p.Aux, p.Steps, p.CheckpointInterval, mode, p.Workers, eng)
 	if script != nil {
 		for _, ev := range script.Events {
-			fmt.Fprintf(stdout, "%s: will kill node %d after checkpoint %d and resurrect it after %s\n",
-				opt.app, ev.Node, ev.AfterCheckpoints, ev.Delay)
+			switch {
+			case ev.Kind == workload.KindStoreKill && ev.NoRevive:
+				fmt.Fprintf(stdout, "%s: will kill store replica %d after store write %d and leave it down\n",
+					opt.app, ev.Node, ev.AfterCheckpoints)
+			case ev.Kind == workload.KindStoreKill:
+				fmt.Fprintf(stdout, "%s: will kill store replica %d after store write %d and revive it after %s\n",
+					opt.app, ev.Node, ev.AfterCheckpoints, ev.Delay)
+			default:
+				fmt.Fprintf(stdout, "%s: will kill node %d after checkpoint %d and resurrect it after %s\n",
+					opt.app, ev.Node, ev.AfterCheckpoints, ev.Delay)
+			}
 		}
 	}
 
@@ -178,14 +220,44 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 		reg = obs.NewRegistry()
 	}
 
+	// The checkpoint store tier: built from -store/-storedir/-storegate,
+	// shared by the in-process and distributed paths. Retention GC, when
+	// enabled, sweeps in the background during the run and once more at
+	// the end, and replaces the committer's inline prune.
+	st, err := openStore(opt, tracer, reg)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+		return 1
+	}
+	var gcStop func()
+	if opt.storeGC > 0 {
+		if st == nil {
+			fmt.Fprintf(stderr, "%s: -storegc needs a shared store (-store or -storedir)\n", prog)
+			return 1
+		}
+		g := store.StartGC(st, opt.storeGC, store.Options{Registry: reg, Trace: tracer})
+		gcStop = g.Stop
+	}
+
 	var res *workload.Result
 	switch {
 	case opt.distributed, opt.coordOnly:
-		res, err = runCoordinator(w, p, script, opt, tracer, prog, stderr)
+		res, err = runCoordinator(w, p, script, opt, st, tracer, prog, stderr)
 	default:
 		res, err = workload.Run(w, p, workload.RunConfig{
 			Script: script, Timeout: opt.timeout, Trace: tracer, Metrics: reg,
+			Store: st, NoInlinePrune: opt.storeGC > 0,
 		})
+	}
+	if gcStop != nil {
+		gcStop()
+		stats, gerr := store.RunGC(st, store.Options{Registry: reg, Trace: tracer})
+		if gerr != nil {
+			fmt.Fprintf(stderr, "%s: final retention sweep: %v\n", prog, gerr)
+		} else if opt.verbose {
+			fmt.Fprintf(stdout, "%s: retention GC: %d live, %d swept (%d bytes), %d failures\n",
+				opt.app, stats.Live, stats.Swept, stats.SweptBytes, stats.Failures)
+		}
 	}
 	// Flush the artifacts even when the run errored — a trace of a
 	// failed run is exactly what the analyzer is for.
@@ -335,20 +407,15 @@ func runWorker(w workload.Workload, opt options, prog string, stdout, stderr io.
 	return 0
 }
 
-// runCoordinator is the -distributed / -coordinator mode.
+// runCoordinator is the -distributed / -coordinator mode. The store
+// tier lives in the coordinator: workers reach it through the
+// transport's remote-store protocol, so compression, replication and
+// the admission gate apply to every worker's checkpoints.
 func runCoordinator(w workload.Workload, p workload.Params, script *workload.FaultScript,
-	opt options, tracer *obs.Tracer, prog string, stderr io.Writer) (*workload.Result, error) {
-	var store migrate.Store
-	if opt.storeDir != "" {
-		ds, err := cluster.NewDirStore(opt.storeDir)
-		if err != nil {
-			return nil, err
-		}
-		store = ds
-	}
+	opt options, st migrate.Store, tracer *obs.Tracer, prog string, stderr io.Writer) (*workload.Result, error) {
 	cfg := workload.DistributedConfig{
 		Listen: opt.listen,
-		Store:  store,
+		Store:  st,
 		Trace:  tracer,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, prog+": "+format+"\n", args...)

@@ -283,6 +283,7 @@ func RunDistributed(w Workload, p Params, script *FaultScript, cfg DistributedCo
 			return cfg.Spawn(hub.Addr(), node, checkpoint)
 		})
 	hub.OnPut = driver.OnPut
+	wireStoreFaults(driver, cfg.Store)
 
 	starts := w.StartNodes(p)
 	spares := w.SpareNodes(p)

@@ -65,6 +65,9 @@ type RunConfig struct {
 	// Metrics, when set, has the run's engine register its stats surfaces
 	// ("msg.*", "ckpt.*", "spec.*") as snapshot sources.
 	Metrics *obs.Registry
+	// NoInlinePrune disables the committer's best-effort inline prune —
+	// set when the store tier's retention GC owns dead-object cleanup.
+	NoInlinePrune bool
 }
 
 // observableStore wraps a checkpoint store with a put callback: the
@@ -129,6 +132,7 @@ func Run(w Workload, p Params, cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ckptOpts.NoInlinePrune = cfg.NoInlinePrune
 	backing := cfg.Store
 	if backing == nil {
 		backing = cluster.NewMemStore()
@@ -158,6 +162,7 @@ func Run(w Workload, p Params, cfg RunConfig) (*Result, error) {
 			return eng.Resurrect(node, checkpoint, w.Externs(p, node))
 		})
 	store.onPut = driver.OnPut
+	wireStoreFaults(driver, backing)
 
 	start := time.Now()
 	deadline := start.Add(cfg.Timeout)

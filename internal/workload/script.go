@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/migrate"
 )
 
 // DefaultRestartDelay is the restart delay a fault event without an
@@ -15,14 +17,29 @@ import (
 // daemon would need.
 const DefaultRestartDelay = 25 * time.Millisecond
 
-// FaultEvent is one scripted failure: kill Node after it has written
-// AfterCheckpoints checkpoints (cumulative since run start), then
-// resurrect it from its latest checkpoint after Delay.
+// FaultEvent is one scripted failure. The default kind kills Node after
+// it has written AfterCheckpoints checkpoints (cumulative since run
+// start), then resurrects it from its latest checkpoint after Delay.
+// KindStoreKill instead kills store replica Node (an index into the
+// replicated store's replica set) after AfterCheckpoints total store
+// writes, reviving it after Delay unless NoRevive is set.
 type FaultEvent struct {
 	Node             int64
 	AfterCheckpoints int
 	Delay            time.Duration
+	// Kind is "" / KindFail for a node kill, KindStoreKill for a store
+	// replica kill.
+	Kind string
+	// NoRevive leaves a killed store replica down for the rest of the
+	// run — the surviving quorum must carry it.
+	NoRevive bool
 }
+
+// Fault event kinds.
+const (
+	KindFail      = "fail"
+	KindStoreKill = "storekill"
+)
 
 // FaultScript is a declarative fault scenario: an ordered list of
 // events. Events fire strictly in order — event i+1 arms only once event
@@ -79,6 +96,10 @@ func ParseFailSpec(spec string) (FaultEvent, error) {
 //	fail 1@2
 //	# then kill node 0 after its 4th checkpoint, resurrect after 50ms
 //	fail 0@4 delay=50ms
+//	# kill store replica 2 after the 3rd store write, revive after 10ms
+//	storekill 2@3 delay=10ms
+//	# kill store replica 1 after the 5th store write, leave it down
+//	storekill 1@5 delay=never
 func ParseScript(r io.Reader) (*FaultScript, error) {
 	s := &FaultScript{}
 	sc := bufio.NewScanner(r)
@@ -93,23 +114,33 @@ func ParseScript(r io.Reader) (*FaultScript, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if fields[0] != "fail" || len(fields) < 2 || len(fields) > 3 {
-			return nil, fmt.Errorf("script line %d: want \"fail node@checkpoints [delay=D]\", got %q", lineno, line)
+		if (fields[0] != "fail" && fields[0] != "storekill") || len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("script line %d: want \"fail node@checkpoints [delay=D]\" or \"storekill replica@puts [delay=D|delay=never]\", got %q", lineno, line)
 		}
 		ev, err := ParseFailSpec(fields[1])
 		if err != nil {
 			return nil, fmt.Errorf("script line %d: %v", lineno, err)
+		}
+		if fields[0] == "storekill" {
+			ev.Kind = KindStoreKill
 		}
 		if len(fields) == 3 {
 			val, ok := strings.CutPrefix(fields[2], "delay=")
 			if !ok {
 				return nil, fmt.Errorf("script line %d: unknown option %q", lineno, fields[2])
 			}
-			d, err := time.ParseDuration(val)
-			if err != nil || d < 0 {
-				return nil, fmt.Errorf("script line %d: bad delay %q", lineno, val)
+			if val == "never" {
+				if ev.Kind != KindStoreKill {
+					return nil, fmt.Errorf("script line %d: delay=never only applies to storekill (a dead node would hang the run)", lineno)
+				}
+				ev.NoRevive = true
+			} else {
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("script line %d: bad delay %q", lineno, val)
+				}
+				ev.Delay = d
 			}
-			ev.Delay = d
 		}
 		s.Events = append(s.Events, ev)
 	}
@@ -138,13 +169,21 @@ type scriptDriver struct {
 	fail      func(node int64)
 	resurrect func(node int64, checkpoint string) error
 
-	mu       sync.Mutex
-	events   []FaultEvent
-	next     int  // index of the armed event
-	inFlight bool // armed event fired, resurrection pending
-	counts   map[string]int
-	errs     []error
-	fired    int
+	// killReplica/reviveReplica drive storekill events against the
+	// replicated store layer, when the run's store has one (see
+	// setStoreFaults). Nil until set; a storekill event with no
+	// controller is reported by finish.
+	killReplica   func(replica int) error
+	reviveReplica func(replica int) error
+
+	mu        sync.Mutex
+	events    []FaultEvent
+	next      int  // index of the armed event
+	inFlight  bool // armed event fired, resurrection pending
+	counts    map[string]int
+	totalPuts int // cumulative store writes across all names
+	errs      []error
+	fired     int
 }
 
 func newScriptDriver(script *FaultScript, ckName func(int64) string,
@@ -161,6 +200,66 @@ func newScriptDriver(script *FaultScript, ckName func(int64) string,
 	return d
 }
 
+// replicaFaults is the replica fault-injection surface storekill events
+// drive. The quorum-replicated store layer (internal/store.Replicated)
+// implements it; matching structurally keeps workload decoupled from
+// the store package.
+type replicaFaults interface {
+	KillReplica(i int)
+	ReviveReplica(i int)
+	NReplicas() int
+}
+
+// wireStoreFaults finds the replica fault surface inside s — walking
+// Unwrap wrappers (gate, instrumentation) down the store tier — and
+// arms the driver's storekill controls against it. No-op when s has no
+// replicated layer; a storekill event then fails with a clear error
+// instead of wedging the script.
+func wireStoreFaults(d *scriptDriver, s migrate.Store) {
+	for s != nil {
+		if rf, ok := s.(replicaFaults); ok {
+			n := rf.NReplicas()
+			check := func(i int) error {
+				if i < 0 || i >= n {
+					return fmt.Errorf("replica %d out of range (store has %d replicas)", i, n)
+				}
+				return nil
+			}
+			d.setStoreFaults(
+				func(i int) error {
+					if err := check(i); err != nil {
+						return err
+					}
+					rf.KillReplica(i)
+					return nil
+				},
+				func(i int) error {
+					if err := check(i); err != nil {
+						return err
+					}
+					rf.ReviveReplica(i)
+					return nil
+				})
+			return
+		}
+		u, ok := s.(interface{ Unwrap() migrate.Store })
+		if !ok {
+			return
+		}
+		s = u.Unwrap()
+	}
+}
+
+// setStoreFaults hands the driver the replica kill/revive controls of
+// the run's replicated store layer. Runners call it after construction
+// when (and only when) the configured store has such a layer.
+func (d *scriptDriver) setStoreFaults(kill, revive func(replica int) error) {
+	d.mu.Lock()
+	d.killReplica = kill
+	d.reviveReplica = revive
+	d.mu.Unlock()
+}
+
 // OnPut observes one successful checkpoint write. Safe for concurrent
 // use; may fire an event.
 func (d *scriptDriver) OnPut(name string, count int) {
@@ -168,6 +267,7 @@ func (d *scriptDriver) OnPut(name string, count int) {
 	if count > d.counts[name] {
 		d.counts[name] = count
 	}
+	d.totalPuts++
 	d.maybeFireLocked()
 	d.mu.Unlock()
 }
@@ -179,6 +279,10 @@ func (d *scriptDriver) maybeFireLocked() {
 		return
 	}
 	ev := d.events[d.next]
+	if ev.Kind == KindStoreKill {
+		d.maybeFireStoreKillLocked(ev)
+		return
+	}
 	name := d.ckName(ev.Node)
 	if d.counts[name] < ev.AfterCheckpoints {
 		return
@@ -197,6 +301,47 @@ func (d *scriptDriver) maybeFireLocked() {
 		d.inFlight = false
 		// The next event's trigger may already be satisfied by
 		// checkpoints written while this one was resurrecting.
+		d.maybeFireLocked()
+		d.mu.Unlock()
+	}()
+}
+
+// maybeFireStoreKillLocked fires an armed storekill event once enough
+// total store writes have landed. The replica dies mid-commit from the
+// committer's point of view: the next Put fans out to one fewer
+// replica and must still reach the write quorum.
+func (d *scriptDriver) maybeFireStoreKillLocked(ev FaultEvent) {
+	if d.totalPuts < ev.AfterCheckpoints {
+		return
+	}
+	if d.killReplica == nil {
+		// No replicated layer to kill into; finish will report the
+		// unfired event. Advance so later events are not wedged behind
+		// a permanently unsatisfiable one.
+		d.errs = append(d.errs, fmt.Errorf("workload: storekill event %d: store has no replicated layer (need -store repl:N,...)", d.next))
+		d.next++
+		return
+	}
+	if err := d.killReplica(int(ev.Node)); err != nil {
+		d.errs = append(d.errs, fmt.Errorf("workload: storekill event %d: killing replica %d: %w", d.next, ev.Node, err))
+		d.next++
+		return
+	}
+	d.fired++
+	if ev.NoRevive {
+		d.next++
+		return
+	}
+	d.inFlight = true
+	go func() {
+		time.Sleep(ev.Delay)
+		err := d.reviveReplica(int(ev.Node))
+		d.mu.Lock()
+		if err != nil {
+			d.errs = append(d.errs, fmt.Errorf("workload: storekill event %d: reviving replica %d: %w", d.next, ev.Node, err))
+		}
+		d.next++
+		d.inFlight = false
 		d.maybeFireLocked()
 		d.mu.Unlock()
 	}()
@@ -239,8 +384,12 @@ func (d *scriptDriver) finish() (fired int, err error) {
 	}
 	if d.next < len(d.events) || d.inFlight {
 		ev := d.events[d.next]
-		return d.fired, fmt.Errorf("workload: fault event %d never completed (node %d after %d checkpoints; run too short for the script?)",
-			d.next, ev.Node, ev.AfterCheckpoints)
+		what := fmt.Sprintf("node %d after %d checkpoints", ev.Node, ev.AfterCheckpoints)
+		if ev.Kind == KindStoreKill {
+			what = fmt.Sprintf("store replica %d after %d puts", ev.Node, ev.AfterCheckpoints)
+		}
+		return d.fired, fmt.Errorf("workload: fault event %d never completed (%s; run too short for the script?)",
+			d.next, what)
 	}
 	return d.fired, nil
 }

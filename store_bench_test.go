@@ -1,0 +1,205 @@
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/workload"
+
+	_ "repro/internal/workload/apps" // register grid
+)
+
+// ---------------------------------------------------------------------------
+// Checkpoint-store tier benchmarks. With -benchdir they leave
+// BENCH_store.json: bytes-at-rest rows for the plain and compressed
+// directory backends on the same grid delta run (CI gates compressed <
+// plain), and storm put-wait percentiles from the FIFO gate's registry
+// histogram.
+//
+//	go test -bench Store -benchtime 1x -benchdir . .
+
+// dirBytes sums the sizes of every file in dir — what the backend
+// actually holds at rest.
+func dirBytes(b *testing.B, dir string) int64 {
+	b.Helper()
+	var total int64
+	err := filepath.WalkDir(dir, func(_ string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		total += info.Size()
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return total
+}
+
+// benchStoreAtRest runs the grid workload in delta mode against a
+// directory-backed store and measures the bytes left at rest.
+func benchStoreAtRest(b *testing.B, scheme string) {
+	w, err := workload.Get("grid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchWorkloadParams("grid")
+	p.Ckpt = "delta"
+	p, err = workload.Normalize(w, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := w.Program(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var atRest, ckpts uint64
+	var mem memProbe
+	b.ReportAllocs()
+	b.ResetTimer()
+	mem.start()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir() // fresh backend per op: at-rest bytes are per run
+		b.StartTimer()
+		st, err := store.Open(scheme+":"+dir, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := workload.Run(w, p, workload.RunConfig{
+			Timeout: 2 * time.Minute, Program: prog, Store: st,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Verify(p, res.Nodes); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		atRest += uint64(dirBytes(b, dir))
+		ckpts += res.Ckpt.Checkpoints
+		b.StartTimer()
+	}
+	b.StopTimer()
+	allocs, bytes := mem.perOp(b.N)
+	b.ReportMetric(float64(atRest)/float64(b.N), "at-rest-B/op")
+	rec := BenchRecord{
+		App:              "store",
+		Name:             b.Name(),
+		Engine:           "vm",
+		Iterations:       b.N,
+		NsPerOp:          float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		AllocsPerOp:      allocs,
+		BytesPerOp:       bytes,
+		Nodes:            p.Nodes,
+		Size:             p.Size,
+		Aux:              p.Aux,
+		Steps:            p.Steps,
+		CkInterval:       p.CheckpointInterval,
+		Workers:          p.Workers,
+		CkptMode:         "delta",
+		CkptPerOp:        float64(ckpts) / float64(b.N),
+		StoreSpec:        scheme,
+		StoreBytesAtRest: float64(atRest) / float64(b.N),
+	}
+	if ckpts > 0 {
+		rec.StoreBytesPerCkpt = float64(atRest) / float64(ckpts)
+	}
+	recordBench(rec)
+}
+
+// BenchmarkStoreAtRest compares what the plain and compressed directory
+// backends leave on disk for the identical grid delta run. CI gates
+// the compressed row strictly below the plain one.
+func BenchmarkStoreAtRest(b *testing.B) {
+	b.Run("plain", func(b *testing.B) { benchStoreAtRest(b, "dir") })
+	b.Run("compressed", func(b *testing.B) { benchStoreAtRest(b, "zdir") })
+}
+
+// BenchmarkStoreStorm drives checkpoint storms — many concurrent
+// writers, one FIFO admission gate, a directory backend doing real file
+// I/O — and records the put-wait percentiles the gate's registry
+// histogram observed. One op is one whole storm (stormPuts puts), so
+// even a -benchtime 1x CI smoke run produces real contention and
+// meaningful percentiles. The backend must actually block (the dir
+// store's write + rename + parent fsync): against an in-memory store a
+// single-core scheduler serializes the writers and the gate never
+// queues.
+func BenchmarkStoreStorm(b *testing.B) {
+	const (
+		writers   = 32
+		gateLimit = 4
+		stormPuts = 256
+	)
+	reg := obs.NewRegistry()
+	st, err := store.Open("dir:"+b.TempDir(), store.Options{Registry: reg, GateLimit: gateLimit})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i / 997)
+	}
+	var mem memProbe
+	b.ReportAllocs()
+	b.ResetTimer()
+	mem.start()
+	var errCount atomic.Int64
+	for i := 0; i < b.N; i++ {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < writers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for {
+					k := next.Add(1) - 1
+					if k >= stormPuts {
+						return
+					}
+					if err := st.Put(fmt.Sprintf("storm-%d-%d@%d", i, g, k), payload); err != nil {
+						b.Error(err)
+						errCount.Add(1)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	if errCount.Load() > 0 {
+		b.Fatal("storm puts failed")
+	}
+	allocs, bytes := mem.perOp(b.N)
+	sum := reg.Histogram("store.gate.wait_ns").Summary()
+	if sum.Count == 0 {
+		b.Fatal("gate histogram recorded nothing: the storm never hit the gate")
+	}
+	b.ReportMetric(float64(sum.P95), "p95-wait-ns")
+	recordBench(BenchRecord{
+		App:               "store",
+		Name:              b.Name(),
+		Engine:            "none",
+		Iterations:        b.N,
+		NsPerOp:           float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		AllocsPerOp:       allocs,
+		BytesPerOp:        bytes,
+		Workers:           writers,
+		StoreSpec:         fmt.Sprintf("dir+gate:%d", gateLimit),
+		StorePutWaitP50Ns: float64(sum.P50),
+		StorePutWaitP95Ns: float64(sum.P95),
+		StorePutWaitP99Ns: float64(sum.P99),
+	})
+}
