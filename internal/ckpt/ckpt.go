@@ -79,6 +79,11 @@ func ParseMode(s string) (Mode, error) {
 // deltas so recovery never replays an unbounded chain.
 const DefaultK = 8
 
+// imgBufPool recycles full-image encode buffers across checkpoint
+// intervals (Checkpoint may run concurrently for different nodes, so
+// the scratch cannot live on the Committer itself).
+var imgBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // Options configures a Committer.
 type Options struct {
 	// Mode selects the pipeline behaviour (default ModeFull).
@@ -302,7 +307,13 @@ func (c *Committer) Checkpoint(req *rt.MigrationRequest, head string, owner int6
 			return err
 		}
 		capture := time.Since(t0)
-		data := wire.EncodeImage(img)
+		// The encode buffer is recycled across intervals: migrate.Store
+		// forbids Put from retaining data, and every interval writes an
+		// image of roughly the same size under the same head name.
+		bufp := imgBufPool.Get().(*[]byte)
+		data := wire.AppendImage((*bufp)[:0], img)
+		*bufp = data[:0]
+		defer imgBufPool.Put(bufp)
 		if err := c.store.Put(head, data); err != nil {
 			return err
 		}

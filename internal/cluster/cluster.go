@@ -36,11 +36,18 @@ type MemStore struct {
 // NewMemStore creates an empty in-memory store.
 func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
 
-// Put stores a checkpoint.
+// Put stores a checkpoint. The copy overwrites the previous buffer for
+// name when it fits: Get only ever hands out copies, so the old bytes
+// are unaliased, and a steady checkpoint loop (same head name, same
+// image size every interval) stores without allocating.
 func (s *MemStore) Put(name string, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cp := make([]byte, len(data))
+	cp := s.m[name]
+	if cap(cp) < len(data) {
+		cp = make([]byte, len(data))
+	}
+	cp = cp[:len(data)]
 	copy(cp, data)
 	s.m[name] = cp
 	return nil

@@ -382,9 +382,11 @@ func (e *Engine) observeSpec(node int64, p rt.Proc) {
 
 // RegisterMetrics registers this engine's per-package Stats surfaces as
 // snapshot sources on reg: "msg.*" (router), "ckpt.*" (checkpoint
-// pipeline) and "spec.*" (speculation counters aggregated across live
-// node processes — race-free because the spec counters are atomics).
+// pipeline), "spec.*" (speculation counters aggregated across live
+// node processes — race-free because the spec counters are atomics) and
+// "engine.*" (execution-engine artifact-cache hit/miss/evict counters).
 func (e *Engine) RegisterMetrics(reg *obs.Registry) {
+	reg.AddSource("engine", engine.CacheStats)
 	reg.AddSource("msg", func() map[string]uint64 {
 		s := e.Router.Stats()
 		return map[string]uint64{

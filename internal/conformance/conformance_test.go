@@ -1,8 +1,9 @@
 // Package conformance is the differential backend test suite: every MojC
-// program in testdata is compiled once and executed on both runtime
-// backends — the FIR interpreter (internal/vm) and the RISC simulator
-// (internal/risc) — which must produce byte-identical output, the same
-// exit status and the same halt code. The paper's migration story (§3,
+// program in testdata is compiled once and executed on every runtime
+// backend — the FIR interpreter (internal/vm), the RISC simulator
+// (internal/risc) and the threaded-code engine (internal/jit) — which
+// must produce byte-identical output, the same exit status and the same
+// halt code. The paper's migration story (§3,
 // §4.2) depends on exactly this property: a process may hop between
 // heterogeneous nodes mid-run, so the backends cannot be allowed to
 // drift. Each program is additionally run through the FIR optimizer and
@@ -91,8 +92,10 @@ func TestBackendsAgree(t *testing.T) {
 			variants := []variant{
 				{"vm", prog, core.BackendVM},
 				{"risc", prog, core.BackendRISC},
+				{"jit", prog, core.BackendJIT},
 				{"vm+opt", opt, core.BackendVM},
 				{"risc+opt", opt, core.BackendRISC},
+				{"jit+opt", opt, core.BackendJIT},
 			}
 			baseSt, baseHalt, baseOut := run(t, variants[0].prog, variants[0].backend, variants[0].label)
 			if baseSt != rt.StatusHalted {
@@ -124,7 +127,7 @@ func TestBackendsDeterministic(t *testing.T) {
 			if err != nil {
 				t.Fatalf("compile: %v", err)
 			}
-			for _, backend := range []core.Backend{core.BackendVM, core.BackendRISC} {
+			for _, backend := range []core.Backend{core.BackendVM, core.BackendRISC, core.BackendJIT} {
 				_, h1, o1 := run(t, prog, backend, fmt.Sprintf("%v/first", backend))
 				_, h2, o2 := run(t, prog, backend, fmt.Sprintf("%v/second", backend))
 				if h1 != h2 || o1 != o2 {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/fir"
 	"repro/internal/gc"
 	"repro/internal/heap"
+	"repro/internal/jit"
 	"repro/internal/lang"
 	"repro/internal/migrate"
 	"repro/internal/risc"
@@ -44,6 +45,9 @@ const (
 	// BackendRISC compiles to the RISC target and simulates it (the
 	// paper's machine-code runtime).
 	BackendRISC
+	// BackendJIT compiles to threaded code with fused superinstructions
+	// (the fastest backend; bit-exact with the other two).
+	BackendJIT
 )
 
 // Program is a compiled MCC program.
@@ -125,6 +129,12 @@ type Process struct {
 // Start.
 func NewProcess(p *Program, cfg ProcessConfig) (*Process, error) {
 	switch cfg.Backend {
+	case BackendJIT:
+		return &Process{proc: jit.NewMachine(p.FIR, jit.Config{
+			Heap: cfg.Heap, Stdout: cfg.Stdout, Fuel: cfg.Fuel,
+			TrapSpeculation: cfg.TrapSpeculation, Name: cfg.Name,
+			Args: cfg.Args, Seed: cfg.Seed,
+		})}, nil
 	case BackendRISC:
 		m, err := risc.NewMachine(p.FIR, nil, risc.Config{
 			Heap: cfg.Heap, Stdout: cfg.Stdout, Fuel: cfg.Fuel,
@@ -163,6 +173,8 @@ func (p *Process) Start() error {
 	case *vm.Process:
 		return q.Start()
 	case *risc.Machine:
+		return q.Start()
+	case *jit.Machine:
 		return q.Start()
 	default:
 		return errors.New("core: unknown backend process type")

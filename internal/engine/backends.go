@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/fir"
 	"repro/internal/heap"
+	"repro/internal/jit"
 	"repro/internal/risc"
 	"repro/internal/rt"
 	"repro/internal/spec"
@@ -18,6 +19,7 @@ import (
 func init() {
 	Register(vmFactory{})
 	Register(riscFactory{})
+	Register(jitFactory{})
 }
 
 // artifactCache memoizes per-program compiled artifacts by program
@@ -26,20 +28,28 @@ func init() {
 // fanned out to every node, run after run). Resume paths never consult it:
 // unpack decodes a fresh program each time.
 type artifactCache struct {
+	name  string
 	mu    sync.Mutex
 	m     map[*fir.Program]any
 	order []*fir.Program
 	max   int
+
+	hits, misses, evicts uint64
 }
 
-func newArtifactCache(max int) *artifactCache {
-	return &artifactCache{m: make(map[*fir.Program]any), max: max}
+func newArtifactCache(name string, max int) *artifactCache {
+	return &artifactCache{name: name, m: make(map[*fir.Program]any), max: max}
 }
 
 func (c *artifactCache) get(p *fir.Program) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	v, ok := c.m[p]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
 	return v, ok
 }
 
@@ -55,13 +65,36 @@ func (c *artifactCache) put(p *fir.Program, v any) {
 		old := c.order[0]
 		c.order = c.order[1:]
 		delete(c.m, old)
+		c.evicts++
 	}
 }
 
+// stats reports the cache's counters under "<engine>_<counter>" keys.
+func (c *artifactCache) stats(into map[string]uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	into[c.name+"_hits"] = c.hits
+	into[c.name+"_misses"] = c.misses
+	into[c.name+"_evicts"] = c.evicts
+	into[c.name+"_entries"] = uint64(len(c.order))
+}
+
 var (
-	vmCache   = newArtifactCache(16)
-	riscCache = newArtifactCache(16)
+	vmCache   = newArtifactCache("vm", 16)
+	riscCache = newArtifactCache("risc", 16)
+	jitCache  = newArtifactCache("jit", 16)
 )
+
+// CacheStats snapshots the per-engine artifact-cache counters (hits,
+// misses, evictions, live entries). Wire it into an obs.Registry as the
+// "engine" source to see compile reuse in daemon snapshots and traces.
+func CacheStats() map[string]uint64 {
+	out := make(map[string]uint64, 12)
+	vmCache.stats(out)
+	riscCache.stats(out)
+	jitCache.stats(out)
+	return out
+}
 
 type vmFactory struct{}
 
@@ -141,6 +174,49 @@ func (riscFactory) ResumeWith(art any, prog *fir.Program, h *heap.Heap, conts []
 
 func riscConfig(cfg Config) risc.Config {
 	return risc.Config{
+		Heap: cfg.Heap, Collector: cfg.Collector, Stdout: cfg.Stdout,
+		Fuel: cfg.Fuel, TrapSpeculation: cfg.TrapSpeculation,
+		Name: cfg.Name, Args: cfg.Args, Seed: cfg.Seed,
+	}
+}
+
+type jitFactory struct{}
+
+func (jitFactory) Name() string { return "jit" }
+
+func (jitFactory) Description() string {
+	return "threaded-code engine: specialized opcodes + fused superinstructions (compare-and-branch, load/store runs)"
+}
+
+func (jitFactory) New(prog *fir.Program, cfg Config) (rt.Exec, error) {
+	c := jitConfig(cfg)
+	if v, ok := jitCache.get(prog); ok {
+		c.Compiled = v.(*jit.Compiled)
+	} else if comp, err := jit.Precompile(prog); err == nil {
+		// A compile error is left for Start to surface after the type
+		// check, matching the uncached path's error order.
+		jitCache.put(prog, comp)
+		c.Compiled = comp
+	}
+	return jit.NewMachine(prog, c), nil
+}
+
+func (jitFactory) Resume(prog *fir.Program, h *heap.Heap, conts []spec.Continuation, cfg Config) (rt.Exec, error) {
+	return jit.ResumeMachine(prog, h, conts, jitConfig(cfg))
+}
+
+func (jitFactory) Precompile(prog *fir.Program) (any, error) {
+	return jit.Precompile(prog)
+}
+
+func (jitFactory) ResumeWith(art any, prog *fir.Program, h *heap.Heap, conts []spec.Continuation, cfg Config) (rt.Exec, error) {
+	c := jitConfig(cfg)
+	c.Compiled = art.(*jit.Compiled)
+	return jit.ResumeMachine(prog, h, conts, c)
+}
+
+func jitConfig(cfg Config) jit.Config {
+	return jit.Config{
 		Heap: cfg.Heap, Collector: cfg.Collector, Stdout: cfg.Stdout,
 		Fuel: cfg.Fuel, TrapSpeculation: cfg.TrapSpeculation,
 		Name: cfg.Name, Args: cfg.Args, Seed: cfg.Seed,

@@ -13,6 +13,7 @@ package grid
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/fir"
@@ -202,20 +203,36 @@ func CheckpointName(node int64) string { return fmt.Sprintf("grid-ck-%d", node) 
 // CheckpointExtern builds the ck_name extern for a node: the target
 // string its migrate pseudo-instruction checkpoints to.
 func CheckpointExtern(node int64) rt.Registry {
+	target := "checkpoint://" + CheckpointName(node)
 	return rt.Registry{
 		"ck_name": {
 			Sig: fir.ExternSig{Result: fir.TyPtr},
 			Fn: func(r rt.Runtime, a []heap.Value) (heap.Value, error) {
-				return r.Heap().AllocString("checkpoint://" + CheckpointName(node))
+				return r.Heap().AllocString(target)
 			},
 		},
 	}
 }
 
+// refCache memoizes Reference per parameter set: the oracle is pure and
+// every verification of the same configuration replays it. Cached slices
+// are shared — callers treat the result as read-only.
+var refCache sync.Map // Params -> []int64
+
 // Reference runs the identical computation sequentially in Go, replaying
 // the same floating-point operations in the same order, and returns the
 // expected checksum (halt code) per node.
 func Reference(p Params) []int64 {
+	p.Workers = 0 // the oracle is independent of cluster parallelism
+	if v, ok := refCache.Load(p); ok {
+		return v.([]int64)
+	}
+	out := reference(p)
+	refCache.Store(p, out)
+	return out
+}
+
+func reference(p Params) []int64 {
 	nodes, rows, cols := p.Nodes, p.RowsPerNode, p.Cols
 	total := nodes * rows
 	initial := func(gr, j int) float64 {

@@ -2,7 +2,7 @@ package heap
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // This file implements the collection *mechanism*: generational mark-sweep
@@ -31,7 +31,7 @@ func (h *Heap) validLive(idx int64) bool {
 // markFrom marks entries transitively reachable from idx. When youngOnly is
 // set, traversal stops at old-generation entries (minor collection relies
 // on the remembered set and pinning to cover old→young edges).
-func (h *Heap) markFrom(idx int64, youngOnly bool, stack *[]int64) {
+func (h *Heap) markFrom(idx int64, youngOnly bool) {
 	if !h.validLive(idx) || h.table[idx].Mark {
 		return
 	}
@@ -39,24 +39,24 @@ func (h *Heap) markFrom(idx int64, youngOnly bool, stack *[]int64) {
 		return
 	}
 	h.table[idx].Mark = true
-	*stack = append(*stack, idx)
+	h.markScratch = append(h.markScratch, idx)
 }
 
 // scanRun pushes every pointer word in an arena run onto the mark stack.
-func (h *Heap) scanRun(addr, size int, youngOnly bool, stack *[]int64) {
+func (h *Heap) scanRun(addr, size int, youngOnly bool) {
 	for i := addr; i < addr+size; i++ {
 		if w := h.arena[i]; w.Kind == KPtr && w.I >= 0 {
-			h.markFrom(w.I, youngOnly, stack)
+			h.markFrom(w.I, youngOnly)
 		}
 	}
 }
 
-func (h *Heap) drainMarkStack(youngOnly bool, stack *[]int64) {
-	for len(*stack) > 0 {
-		idx := (*stack)[len(*stack)-1]
-		*stack = (*stack)[:len(*stack)-1]
+func (h *Heap) drainMarkStack(youngOnly bool) {
+	for n := len(h.markScratch); n > 0; n = len(h.markScratch) {
+		idx := h.markScratch[n-1]
+		h.markScratch = h.markScratch[:n-1]
 		e := &h.table[idx]
-		h.scanRun(e.Addr, e.Size, youngOnly, stack)
+		h.scanRun(e.Addr, e.Size, youngOnly)
 	}
 }
 
@@ -72,7 +72,7 @@ type run struct {
 // liveRuns collects every live run at or above the floor address, sorted by
 // address. Runs never overlap: every run is a distinct allocation.
 func (h *Heap) liveRuns(floor int) []run {
-	var runs []run
+	runs := h.runsScratch[:0]
 	for i := range h.table {
 		e := &h.table[i]
 		if e.Addr >= floor && e.Mark {
@@ -87,7 +87,8 @@ func (h *Heap) liveRuns(floor int) []run {
 			}
 		}
 	}
-	sort.Slice(runs, func(a, b int) bool { return runs[a].addr < runs[b].addr })
+	slices.SortFunc(runs, func(a, b run) int { return a.addr - b.addr })
+	h.runsScratch = runs
 	return runs
 }
 
@@ -109,28 +110,24 @@ func (h *Heap) relocate(r run, dst int) {
 // preserved originals are pinned — they are the "valid blocks in the heap
 // whose pointer table entry refers to a different block" of §4.1.
 func (h *Heap) markMajor() {
-	var stack []int64
-	h.gatherRoots(func(v Value) {
-		if v.Kind == KPtr && v.I >= 0 {
-			h.markFrom(v.I, false, &stack)
-		}
-	})
-	h.drainMarkStack(false, &stack)
+	h.markScratch = h.markScratch[:0]
+	h.gatherRoots(h.markRootMajor)
+	h.drainMarkStack(false)
 	for lp := range h.levels {
 		lv := &h.levels[lp]
 		for sp := range lv.shadows {
 			s := &lv.shadows[sp]
-			h.markFrom(s.Idx, false, &stack)
-			h.drainMarkStack(false, &stack)
-			h.scanRun(s.OldAddr, s.OldSize, false, &stack)
-			h.drainMarkStack(false, &stack)
+			h.markFrom(s.Idx, false)
+			h.drainMarkStack(false)
+			h.scanRun(s.OldAddr, s.OldSize, false)
+			h.drainMarkStack(false)
 		}
 		// Blocks owned by open levels are pinned conservatively: the saved
 		// continuation may be the only path back to them after a rollback.
 		for _, r := range lv.owned {
 			if h.refValid(r) {
-				h.markFrom(r.idx, false, &stack)
-				h.drainMarkStack(false, &stack)
+				h.markFrom(r.idx, false)
+				h.drainMarkStack(false)
 			}
 		}
 	}
@@ -174,8 +171,8 @@ func (h *Heap) promoteAll() {
 		}
 	}
 	h.watermark = h.allocPtr
-	h.remembered = make(map[int64]bool)
-	h.clonedOld = make(map[int64]bool)
+	clear(h.remembered)
+	clear(h.clonedOld)
 }
 
 // CollectMajor performs a full mark-sweep-compact collection: mark from
@@ -201,42 +198,38 @@ func (h *Heap) CollectMajor() {
 // checkpoint records; free dead young entries; slide surviving young runs
 // down to the watermark; promote survivors.
 func (h *Heap) CollectMinor() {
-	var stack []int64
-	h.gatherRoots(func(v Value) {
-		if v.Kind == KPtr && v.I >= 0 {
-			h.markFrom(v.I, true, &stack)
-		}
-	})
-	h.drainMarkStack(true, &stack)
+	h.markScratch = h.markScratch[:0]
+	h.gatherRoots(h.markRootMinor)
+	h.drainMarkStack(true)
 	// Remembered old entries may hold the only references to young blocks.
 	for idx := range h.remembered {
 		if h.validLive(idx) {
 			e := &h.table[idx]
-			h.scanRun(e.Addr, e.Size, true, &stack)
+			h.scanRun(e.Addr, e.Size, true)
 		}
 	}
-	h.drainMarkStack(true, &stack)
+	h.drainMarkStack(true)
 	// Young clones of previously old entries are referenced from old blocks
 	// the write barrier never saw change; pin them like roots.
 	for idx := range h.clonedOld {
-		h.markFrom(idx, true, &stack)
+		h.markFrom(idx, true)
 	}
-	h.drainMarkStack(true, &stack)
+	h.drainMarkStack(true)
 	// Checkpoint records pin their entries and their preserved copies may
 	// reference young blocks regardless of the record's own region.
 	for lp := range h.levels {
 		lv := &h.levels[lp]
 		for sp := range lv.shadows {
 			s := &lv.shadows[sp]
-			h.markFrom(s.Idx, true, &stack)
-			h.drainMarkStack(true, &stack)
-			h.scanRun(s.OldAddr, s.OldSize, true, &stack)
-			h.drainMarkStack(true, &stack)
+			h.markFrom(s.Idx, true)
+			h.drainMarkStack(true)
+			h.scanRun(s.OldAddr, s.OldSize, true)
+			h.drainMarkStack(true)
 		}
 		for _, r := range lv.owned {
 			if h.refValid(r) {
-				h.markFrom(r.idx, true, &stack)
-				h.drainMarkStack(true, &stack)
+				h.markFrom(r.idx, true)
+				h.drainMarkStack(true)
 			}
 		}
 	}
@@ -341,7 +334,15 @@ func (h *Heap) TemporalLocalityScore() float64 {
 	if len(blocks) < 2 {
 		return 0
 	}
-	sort.Slice(blocks, func(a, b int) bool { return blocks[a].seq < blocks[b].seq })
+	slices.SortFunc(blocks, func(a, b sb) int {
+		switch {
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		}
+		return 0
+	})
 	total := 0.0
 	for i := 1; i < len(blocks); i++ {
 		d := blocks[i].addr - blocks[i-1].addr
@@ -410,7 +411,7 @@ func (h *Heap) CheckInvariants() error {
 			spans = append(spans, span{s.OldAddr, s.OldAddr + s.OldSize})
 		}
 	}
-	sort.Slice(spans, func(a, b int) bool { return spans[a].lo < spans[b].lo })
+	slices.SortFunc(spans, func(a, b span) int { return a.lo - b.lo })
 	for i := 1; i < len(spans); i++ {
 		if spans[i].lo < spans[i-1].hi {
 			return fmt.Errorf("overlapping runs [%d,%d) and [%d,%d)", spans[i-1].lo, spans[i-1].hi, spans[i].lo, spans[i].hi)

@@ -2,7 +2,7 @@ package heap
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // This file implements incremental snapshots: the heap tracks which
@@ -113,7 +113,7 @@ func (h *Heap) SnapshotDelta() *DeltaSnapshot {
 			idxs = append(idxs, idx)
 		}
 	}
-	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	slices.Sort(idxs)
 	for _, idx := range idxs {
 		if idx < 0 || idx >= int64(len(h.table)) {
 			continue // the table never shrinks; this is unreachable, but stay safe
@@ -186,6 +186,14 @@ func RebuildSnapshot(base *Snapshot, deltas ...*DeltaSnapshot) (*Snapshot, error
 	for _, e := range byIdx {
 		out.Entries = append(out.Entries, e)
 	}
-	sort.Slice(out.Entries, func(a, b int) bool { return out.Entries[a].Idx < out.Entries[b].Idx })
+	slices.SortFunc(out.Entries, func(a, b EntrySnap) int {
+		switch {
+		case a.Idx < b.Idx:
+			return -1
+		case a.Idx > b.Idx:
+			return 1
+		}
+		return 0
+	})
 	return out, nil
 }

@@ -37,7 +37,9 @@ type Collector interface {
 
 // Config configures a heap instance.
 type Config struct {
-	// InitialWords is the starting arena capacity in words (default 4096).
+	// InitialWords is the starting arena capacity in words (default 1024).
+	// The arena doubles on demand up to MaxWords, so the default only
+	// decides how much zeroed memory a short-lived heap pays for up front.
 	InitialWords int
 	// MaxWords caps arena growth (default 1<<24 words).
 	MaxWords int
@@ -52,7 +54,7 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if c.InitialWords <= 0 {
-		c.InitialWords = 4096
+		c.InitialWords = 1024
 	}
 	if c.MaxWords <= 0 {
 		c.MaxWords = 1 << 24
@@ -152,6 +154,23 @@ type Heap struct {
 	hasBase         bool
 	deltaIdxScratch []int64
 
+	// runsScratch and markScratch are reused across collections (the run
+	// list by liveRuns, the mark stack by the mark phases); both are
+	// consumed within the same collection, never retained.
+	runsScratch []run
+	markScratch []int64
+	// markRootMajor/Minor are the persistent root callbacks the mark phases
+	// hand to gatherRoots, built once in New so collections allocate no
+	// closures.
+	markRootMajor func(Value)
+	markRootMinor func(Value)
+
+	// levelPool recycles the slice backing of removed speculation levels:
+	// a checkpointing loop enters and commits one level per interval, and
+	// without reuse every level regrows its shadow/alloc/owned lists from
+	// scratch. Pooled levels hold zero-length slices with retained capacity.
+	levelPool []level
+
 	collector Collector
 	roots     []func(yield func(Value))
 
@@ -167,9 +186,24 @@ func New(cfg Config) *Heap {
 		nextLevel:  1,
 		remembered: make(map[int64]bool),
 		clonedOld:  make(map[int64]bool),
+		// Pre-size the pointer table and its free list: short-lived heaps
+		// (one per node per run) otherwise spend a handful of allocations
+		// each just growing these from nil.
+		table:    make([]entry, 0, 64),
+		freeList: make([]int64, 0, 64),
 	}
 	if cfg.TrackDirty {
 		h.EnableDeltaTracking()
+	}
+	h.markRootMajor = func(v Value) {
+		if v.Kind == KPtr && v.I >= 0 {
+			h.markFrom(v.I, false)
+		}
+	}
+	h.markRootMinor = func(v Value) {
+		if v.Kind == KPtr && v.I >= 0 {
+			h.markFrom(v.I, true)
+		}
 	}
 	return h
 }
@@ -449,8 +483,30 @@ func (h *Heap) BlockSize(ptr Value) (int64, error) {
 func (h *Heap) EnterLevel() int {
 	id := h.nextLevel
 	h.nextLevel++
-	h.levels = append(h.levels, level{id: id})
+	lv := level{id: id}
+	if n := len(h.levelPool); n > 0 {
+		p := h.levelPool[n-1]
+		h.levelPool = h.levelPool[:n-1]
+		lv.shadows, lv.allocs, lv.owned = p.shadows, p.allocs, p.owned
+	} else {
+		// Pre-size the ref slices so a fresh level doesn't pay the
+		// append-doubling ladder on its first few allocations.
+		lv.allocs = make([]ref, 0, 16)
+		lv.owned = make([]ref, 0, 16)
+	}
+	h.levels = append(h.levels, lv)
 	return len(h.levels)
+}
+
+// recycleLevel returns a removed level's slice backing to the pool. The
+// caller must have copied out (or abandoned) the contents already.
+func (h *Heap) recycleLevel(lv level) {
+	if len(h.levelPool) >= 8 {
+		return
+	}
+	h.levelPool = append(h.levelPool, level{
+		shadows: lv.shadows[:0], allocs: lv.allocs[:0], owned: lv.owned[:0],
+	})
 }
 
 // ordinalToPos validates a 1-based level ordinal.
@@ -517,6 +573,7 @@ func (h *Heap) CommitLevel(n int) error {
 		h.levelsChanged = true
 	}
 	h.levels = append(h.levels[:pos], h.levels[pos+1:]...)
+	h.recycleLevel(lv)
 	return nil
 }
 
@@ -553,6 +610,9 @@ func (h *Heap) RollbackLevel(n int) error {
 				h.freeEntry(r.idx)
 			}
 		}
+	}
+	for p := len(h.levels) - 1; p >= pos; p-- {
+		h.recycleLevel(h.levels[p])
 	}
 	h.levels = h.levels[:pos]
 	return nil

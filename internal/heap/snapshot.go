@@ -59,20 +59,25 @@ func (h *Heap) ordOf(id int64) int {
 // a minimal image.
 func (h *Heap) Snapshot() *Snapshot {
 	s := &Snapshot{TableLen: len(h.table)}
-	live := 0
+	live, total := 0, 0
 	for i := range h.table {
 		if h.table[i].Addr >= 0 {
 			live++
+			total += h.table[i].Size
 		}
 	}
 	s.Entries = make([]EntrySnap, 0, live)
+	// One backing array for every entry's words; three-index slicing keeps
+	// the per-entry views from aliasing on append.
+	backing := make([]Value, 0, total)
 	for i := range h.table {
 		e := &h.table[i]
 		if e.Addr < 0 {
 			continue
 		}
-		words := make([]Value, e.Size)
-		copy(words, h.arena[e.Addr:e.Addr+e.Size])
+		lo := len(backing)
+		backing = append(backing, h.arena[e.Addr:e.Addr+e.Size]...)
+		words := backing[lo:len(backing):len(backing)]
 		s.Entries = append(s.Entries, EntrySnap{Idx: int64(i), Level: h.ordOf(e.Level), Words: words})
 	}
 	for _, lv := range h.levels {

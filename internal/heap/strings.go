@@ -2,7 +2,7 @@ package heap
 
 import (
 	"fmt"
-	"strings"
+	"unicode/utf8"
 )
 
 // Strings in the MCC runtime are heap blocks of character words terminated
@@ -15,17 +15,19 @@ import (
 // AllocString allocates a NUL-terminated string block and returns a
 // pointer to it.
 func (h *Heap) AllocString(s string) (Value, error) {
-	runes := []rune(s)
-	ptr, err := h.Alloc(int64(len(runes)) + 1)
+	n := int64(utf8.RuneCountInString(s))
+	ptr, err := h.Alloc(n + 1)
 	if err != nil {
 		return Value{}, err
 	}
-	for i, r := range runes {
-		if err := h.Store(ptr, int64(i), IntVal(int64(r))); err != nil {
+	i := int64(0)
+	for _, r := range s {
+		if err := h.Store(ptr, i, IntVal(int64(r))); err != nil {
 			return Value{}, err
 		}
+		i++
 	}
-	if err := h.Store(ptr, int64(len(runes)), IntVal(0)); err != nil {
+	if err := h.Store(ptr, n, IntVal(0)); err != nil {
 		return Value{}, err
 	}
 	return ptr, nil
@@ -35,23 +37,33 @@ func (h *Heap) AllocString(s string) (Value, error) {
 // pointer's offset component). Reading stops at the first zero word or the
 // end of the block.
 func (h *Heap) LoadString(ptr Value) (string, error) {
-	size, err := h.BlockSize(ptr)
+	b, err := h.AppendString(nil, ptr)
 	if err != nil {
 		return "", err
 	}
-	var b strings.Builder
+	return string(b), nil
+}
+
+// AppendString appends the string at ptr to buf and returns the extended
+// slice. Hot callers that read the same target repeatedly (the migrate
+// loop) use this with a reusable buffer to avoid per-call allocation.
+func (h *Heap) AppendString(buf []byte, ptr Value) ([]byte, error) {
+	size, err := h.BlockSize(ptr)
+	if err != nil {
+		return nil, err
+	}
 	for i := int64(0); ptr.Off+i < size; i++ {
 		w, err := h.Load(ptr, i)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		if w.Kind != KInt {
-			return "", fmt.Errorf("heap: string block holds %s word at offset %d", w.Kind, ptr.Off+i)
+			return nil, fmt.Errorf("heap: string block holds %s word at offset %d", w.Kind, ptr.Off+i)
 		}
 		if w.I == 0 {
-			return b.String(), nil
+			break
 		}
-		b.WriteRune(rune(w.I))
+		buf = utf8.AppendRune(buf, rune(w.I))
 	}
-	return b.String(), nil
+	return buf, nil
 }

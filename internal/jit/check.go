@@ -1,0 +1,116 @@
+package jit
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/fir"
+	"repro/internal/rt"
+)
+
+// checkCacheMax bounds the memoized type-check results. Entries pin their
+// program, so the cache evicts FIFO like the engine artifact cache.
+const checkCacheMax = 16
+
+type checkKey struct {
+	prog *fir.Program
+	sigs string
+}
+
+var (
+	checkMu sync.Mutex
+	// checkSeen is keyed program-first so the hot-path lookup can index the
+	// inner map with string(fpScratch) — a conversion the compiler elides.
+	checkSeen  = map[*fir.Program]map[string]error{}
+	checkOrder []checkKey
+
+	// Fingerprint scratch, reused across calls (guarded by checkMu).
+	fpNames []string
+	fpBuf   []byte
+)
+
+// fingerprint canonicalizes the signature set of std overlaid with extra
+// into fpBuf so machines with identical registries share a type-check
+// verdict. Requires checkMu; the result is valid until the next call.
+func fingerprint(std, extra rt.Registry) []byte {
+	fpNames = fpNames[:0]
+	for n := range std {
+		if _, shadowed := extra[n]; !shadowed {
+			fpNames = append(fpNames, n)
+		}
+	}
+	for n := range extra {
+		fpNames = append(fpNames, n)
+	}
+	sort.Strings(fpNames)
+	b := fpBuf[:0]
+	for _, n := range fpNames {
+		e, ok := extra[n]
+		if !ok {
+			e = std[n]
+		}
+		s := e.Sig
+		b = append(b, n...)
+		b = append(b, '(')
+		for i, a := range s.Args {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, a.String()...)
+		}
+		b = append(b, ")->"...)
+		b = append(b, s.Result.String()...)
+		b = append(b, ';')
+	}
+	fpBuf = b
+	return b
+}
+
+// checkCached runs fir.Check once per (program, signature set). Programs
+// are immutable after construction (the compiler and the engine artifact
+// cache already rely on this), so a verdict never goes stale. Every
+// machine in a multi-worker run starts the same program with the same
+// std extern registry; without the cache each Start re-walks the whole
+// program, which dominated short-run latency.
+func checkCached(prog *fir.Program, std, extra rt.Registry) error {
+	checkMu.Lock()
+	fp := fingerprint(std, extra)
+	if inner := checkSeen[prog]; inner != nil {
+		if err, ok := inner[string(fp)]; ok {
+			checkMu.Unlock()
+			return err
+		}
+	}
+	checkMu.Unlock()
+
+	sigs := std.Sigs()
+	for n, e := range extra {
+		sigs[n] = e.Sig
+	}
+	err := fir.Check(prog, sigs)
+
+	checkMu.Lock()
+	defer checkMu.Unlock()
+	fp = fingerprint(std, extra) // recompute: the scratch may have been reused
+	inner := checkSeen[prog]
+	if inner == nil {
+		inner = map[string]error{}
+		checkSeen[prog] = inner
+	}
+	if _, ok := inner[string(fp)]; !ok {
+		if len(checkOrder) >= checkCacheMax {
+			old := checkOrder[0]
+			checkOrder = checkOrder[1:]
+			if in := checkSeen[old.prog]; in != nil {
+				delete(in, old.sigs)
+				if len(in) == 0 {
+					delete(checkSeen, old.prog)
+				}
+			}
+		}
+		key := string(fp)
+		inner[key] = err
+		checkOrder = append(checkOrder, checkKey{prog, key})
+	}
+	return err
+}

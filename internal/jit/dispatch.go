@@ -1,0 +1,580 @@
+package jit
+
+import (
+	"fmt"
+
+	"repro/internal/fir"
+	"repro/internal/heap"
+	"repro/internal/ops"
+	"repro/internal/rt"
+	"repro/internal/spec"
+)
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// runSeg executes up to budget FIR nodes starting at m.pc and returns how
+// many were executed (including a node that errored — the interpreter
+// charges failed steps too). m.pc is kept current for every node that can
+// reach the collector or trap, so GC root windows match the interpreter's
+// exactly; on return m.pc points at the next node (or the failed one).
+//
+// Fast paths handle the common well-typed cases inline; any precondition
+// miss (wrong operand kind, division by zero, shift range) falls back to
+// the generic ops.Eval path so error text and evaluation order stay
+// identical to the interpreter's. Fused superinstructions execute only
+// when the remaining budget covers all their nodes and their runtime
+// preconditions hold; otherwise they delegate to their unfused component
+// instructions, which immediately follow them in the stream.
+func (m *Machine) runSeg(budget uint64) (uint64, error) {
+	code := m.code
+	frame := m.frame
+	fns := m.fns()
+	h := m.h
+	pc := m.pc
+	var exec uint64
+
+	for exec < budget {
+		m.pc = pc
+		in := &code[pc]
+		switch in.op {
+
+		case jAdd, jSub, jMul, jAnd, jOr, jXor, jEq, jNe, jLt, jLe, jGt, jGe:
+			a, b := ld(frame, &in.a), ld(frame, &in.b)
+			if a.Kind == heap.KInt && b.Kind == heap.KInt {
+				var v int64
+				switch in.op {
+				case jAdd:
+					v = a.I + b.I
+				case jSub:
+					v = a.I - b.I
+				case jMul:
+					v = a.I * b.I
+				case jAnd:
+					v = a.I & b.I
+				case jOr:
+					v = a.I | b.I
+				case jXor:
+					v = a.I ^ b.I
+				case jEq:
+					v = b2i(a.I == b.I)
+				case jNe:
+					v = b2i(a.I != b.I)
+				case jLt:
+					v = b2i(a.I < b.I)
+				case jLe:
+					v = b2i(a.I <= b.I)
+				case jGt:
+					v = b2i(a.I > b.I)
+				case jGe:
+					v = b2i(a.I >= b.I)
+				}
+				frame[in.dst] = heap.IntVal(v)
+			} else if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		case jDiv, jMod, jShl, jShr:
+			a, b := ld(frame, &in.a), ld(frame, &in.b)
+			ok := a.Kind == heap.KInt && b.Kind == heap.KInt
+			if ok {
+				switch in.op {
+				case jDiv, jMod:
+					ok = b.I != 0
+				case jShl, jShr:
+					ok = b.I >= 0 && b.I <= 63
+				}
+			}
+			if ok {
+				var v int64
+				switch in.op {
+				case jDiv:
+					v = a.I / b.I
+				case jMod:
+					v = a.I % b.I
+				case jShl:
+					v = a.I << uint(b.I)
+				case jShr:
+					v = a.I >> uint(b.I)
+				}
+				frame[in.dst] = heap.IntVal(v)
+			} else if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		case jNeg, jNot:
+			a := ld(frame, &in.a)
+			if a.Kind == heap.KInt {
+				if in.op == jNeg {
+					frame[in.dst] = heap.IntVal(-a.I)
+				} else {
+					frame[in.dst] = heap.IntVal(b2i(a.I == 0))
+				}
+			} else if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		case jFAdd, jFSub, jFMul, jFDiv, jFEq, jFNe, jFLt, jFLe, jFGt, jFGe:
+			a, b := ld(frame, &in.a), ld(frame, &in.b)
+			if a.Kind == heap.KFloat && b.Kind == heap.KFloat {
+				switch in.op {
+				case jFAdd:
+					frame[in.dst] = heap.FloatVal(a.F + b.F)
+				case jFSub:
+					frame[in.dst] = heap.FloatVal(a.F - b.F)
+				case jFMul:
+					frame[in.dst] = heap.FloatVal(a.F * b.F)
+				case jFDiv:
+					frame[in.dst] = heap.FloatVal(a.F / b.F)
+				case jFEq:
+					frame[in.dst] = heap.BoolVal(a.F == b.F)
+				case jFNe:
+					frame[in.dst] = heap.BoolVal(a.F != b.F)
+				case jFLt:
+					frame[in.dst] = heap.BoolVal(a.F < b.F)
+				case jFLe:
+					frame[in.dst] = heap.BoolVal(a.F <= b.F)
+				case jFGt:
+					frame[in.dst] = heap.BoolVal(a.F > b.F)
+				case jFGe:
+					frame[in.dst] = heap.BoolVal(a.F >= b.F)
+				}
+			} else if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		case jFNeg:
+			a := ld(frame, &in.a)
+			if a.Kind == heap.KFloat {
+				frame[in.dst] = heap.FloatVal(-a.F)
+			} else if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		case jItoF:
+			a := ld(frame, &in.a)
+			if a.Kind == heap.KInt {
+				frame[in.dst] = heap.FloatVal(float64(a.I))
+			} else if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		case jFtoI:
+			a := ld(frame, &in.a)
+			if a.Kind == heap.KFloat {
+				frame[in.dst] = heap.IntVal(int64(a.F))
+			} else if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		case jMove:
+			frame[in.dst] = ld(frame, &in.a)
+			pc++
+			exec++
+
+		case jAlloc:
+			if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		case jLoad:
+			a, b := ld(frame, &in.a), ld(frame, &in.b)
+			if a.Kind == heap.KPtr && b.Kind == heap.KInt && in.want != kindSlow {
+				v, err := h.Load(a, b.I)
+				if err != nil {
+					return exec + 1, m.rterr(err)
+				}
+				if v.Kind != in.want {
+					return exec + 1, m.rterr(ops.CheckKind(v, in.dstTy))
+				}
+				frame[in.dst] = v
+			} else if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		case jStore:
+			a, b := ld(frame, &in.a), ld(frame, &in.b)
+			if a.Kind == heap.KPtr && b.Kind == heap.KInt {
+				if err := h.Store(a, b.I, ld(frame, &in.c)); err != nil {
+					return exec + 1, m.rterr(err)
+				}
+				frame[in.dst] = heap.UnitVal()
+			} else if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		case jLen:
+			a := ld(frame, &in.a)
+			if a.Kind == heap.KPtr {
+				n, err := h.BlockSize(a)
+				if err != nil {
+					return exec + 1, m.rterr(err)
+				}
+				frame[in.dst] = heap.IntVal(n)
+			} else if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		case jPtrAdd:
+			a, b := ld(frame, &in.a), ld(frame, &in.b)
+			if a.Kind == heap.KPtr && b.Kind == heap.KInt {
+				a.Off += b.I
+				frame[in.dst] = a
+			} else if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		case jPtrBase:
+			a := ld(frame, &in.a)
+			if a.Kind == heap.KPtr {
+				a.Off = 0
+				frame[in.dst] = a
+			} else if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		case jPtrOff:
+			a := ld(frame, &in.a)
+			if a.Kind == heap.KPtr {
+				frame[in.dst] = heap.IntVal(a.Off)
+			} else if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		case jPtrEq:
+			a, b := ld(frame, &in.a), ld(frame, &in.b)
+			if a.Kind == heap.KPtr && b.Kind == heap.KPtr {
+				frame[in.dst] = heap.BoolVal(a.Equal(b))
+			} else if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		case jPtrNull:
+			frame[in.dst] = heap.Null()
+			pc++
+			exec++
+
+		case jPtrIsNil:
+			a := ld(frame, &in.a)
+			if a.Kind == heap.KPtr {
+				frame[in.dst] = heap.BoolVal(a.IsNull())
+			} else if err := m.evalGen(in); err != nil {
+				return exec + 1, err
+			}
+			pc++
+			exec++
+
+		// --- fused superinstructions ---
+
+		case jCmpBr:
+			// Covers the compare and the branch. Delegate to the components
+			// (immediately following) when the quantum cannot cover both
+			// nodes or an operand is not an int.
+			if uint64(in.nodes) > budget-exec {
+				pc++
+				continue
+			}
+			a, b := ld(frame, &in.a), ld(frame, &in.b)
+			if a.Kind != heap.KInt || b.Kind != heap.KInt {
+				pc++
+				continue
+			}
+			var t bool
+			switch in.alu {
+			case fir.OpEq:
+				t = a.I == b.I
+			case fir.OpNe:
+				t = a.I != b.I
+			case fir.OpLt:
+				t = a.I < b.I
+			case fir.OpLe:
+				t = a.I <= b.I
+			case fir.OpGt:
+				t = a.I > b.I
+			case fir.OpGe:
+				t = a.I >= b.I
+			}
+			frame[in.dst] = heap.IntVal(b2i(t))
+			exec += 2
+			if t {
+				pc += 3 // skip the two components
+			} else {
+				pc = int(in.target)
+			}
+
+		case jLoadRun:
+			n := uint64(in.nodes)
+			if n > budget-exec {
+				pc++
+				continue
+			}
+			base := frame[in.a.slot]
+			if base.Kind != heap.KPtr {
+				pc++
+				continue
+			}
+			for i := range in.run {
+				el := &in.run[i]
+				v, err := h.Load(base, el.off)
+				if err != nil {
+					m.pc = pc + 1 + i
+					return exec + uint64(i) + 1, m.rterr(err)
+				}
+				if v.Kind != el.want {
+					m.pc = pc + 1 + i
+					return exec + uint64(i) + 1, m.rterr(ops.CheckKind(v, el.ty))
+				}
+				frame[el.dst] = v
+			}
+			pc += 1 + len(in.run)
+			exec += n
+
+		case jStoreRun:
+			n := uint64(in.nodes)
+			if n > budget-exec {
+				pc++
+				continue
+			}
+			base := frame[in.a.slot]
+			if base.Kind != heap.KPtr {
+				pc++
+				continue
+			}
+			for i := range in.run {
+				el := &in.run[i]
+				// A store may trigger a collection (copy-on-write clone):
+				// point pc at the component so the root window matches.
+				m.pc = pc + 1 + i
+				v := ld(frame, &el.val)
+				if err := h.Store(base, el.off, v); err != nil {
+					return exec + uint64(i) + 1, m.rterr(err)
+				}
+				frame[el.dst] = heap.UnitVal()
+			}
+			pc += 1 + len(in.run)
+			exec += n
+
+		// --- control ---
+
+		case jExtern:
+			ext := &m.extVals[in.extIdx]
+			if ext.Fn == nil {
+				return exec + 1, m.rterrf("unknown extern %q", m.adopted.extNames[in.extIdx])
+			}
+			args := m.gather(in.args)
+			v, err := ext.Fn(m, args)
+			m.pins = m.pins[:0]
+			if err != nil {
+				return exec + 1, m.rterr(err)
+			}
+			if err := ops.CheckKind(v, ext.Sig.Result); err != nil {
+				return exec + 1, m.rterrf("extern %q result: %v", m.adopted.extNames[in.extIdx], err)
+			}
+			frame[in.dst] = v
+			pc++
+			exec++
+			if m.yield {
+				m.pc = pc
+				return exec, nil
+			}
+
+		case jIf:
+			c := ld(frame, &in.a)
+			if c.Kind != heap.KInt {
+				return exec + 1, m.rterrf("if condition is %s, want int", c.Kind)
+			}
+			if c.I != 0 {
+				pc++
+			} else {
+				pc = int(in.target)
+			}
+			exec++
+
+		case jCall:
+			fnv := ld(frame, &in.a)
+			if fnv.Kind != heap.KFun {
+				return exec + 1, m.rterrf("call target is %s, want fun", fnv)
+			}
+			if err := m.invoke(fnv.I, m.gather(in.args)); err != nil {
+				return exec + 1, m.rterr(err)
+			}
+			pc = m.pc
+			exec++
+
+		case jCallKnown:
+			// Arity and callee were validated at compile time; arguments
+			// write straight into the callee frame (knownCall guarantees
+			// no clobbered reads). Kind checks and their error text match
+			// invoke exactly.
+			f := &fns[in.target]
+			args := in.args
+			for i := range args {
+				v := ld(frame, &args[i])
+				if k := f.kinds[i]; v.Kind != k || k == kindSlow {
+					if err := ops.CheckKind(v, f.fn.Params[i].Type); err != nil {
+						return exec + 1, m.rterr(fmt.Errorf("jit: %s argument %d (%s): %w", f.fn.Name, i, f.fn.Params[i].Name, err))
+					}
+				}
+				frame[i] = v
+			}
+			m.curFn = f.fn.Name
+			pc = f.entry
+			exec++
+
+		case jHalt:
+			c := ld(frame, &in.a)
+			if c.Kind != heap.KInt {
+				return exec + 1, m.rterrf("halt code is %s, want int", c.Kind)
+			}
+			m.status = rt.StatusHalted
+			m.halt = c.I
+			return exec + 1, nil
+
+		case jSpeculate:
+			fnv := ld(frame, &in.a)
+			if fnv.Kind != heap.KFun {
+				return exec + 1, m.rterrf("speculate target is %s, want fun", fnv)
+			}
+			// The continuation's arguments outlive this step inside the
+			// speculation manager: fresh slice, never scratch.
+			saved := make([]heap.Value, len(in.args))
+			for i := range in.args {
+				saved[i] = ld(frame, &in.args[i])
+			}
+			m.mgr.Enter(spec.Continuation{FnIndex: fnv.I, Args: saved})
+			call := append(m.callbuf[:0], heap.IntVal(0))
+			call = append(call, saved...)
+			m.callbuf = call
+			if err := m.invoke(fnv.I, call); err != nil {
+				return exec + 1, m.rterr(err)
+			}
+			pc = m.pc
+			exec++
+
+		case jCommit:
+			lv := ld(frame, &in.a)
+			if lv.Kind != heap.KInt {
+				return exec + 1, m.rterrf("commit level is %s, want int", lv.Kind)
+			}
+			fnv := ld(frame, &in.b)
+			if fnv.Kind != heap.KFun {
+				return exec + 1, m.rterrf("commit target is %s, want fun", fnv)
+			}
+			args := m.gather(in.args)
+			if err := m.mgr.Commit(int(lv.I)); err != nil {
+				return exec + 1, m.rterr(err)
+			}
+			if err := m.invoke(fnv.I, args); err != nil {
+				return exec + 1, m.rterr(err)
+			}
+			pc = m.pc
+			exec++
+
+		case jRollback:
+			lv := ld(frame, &in.a)
+			cv := ld(frame, &in.b)
+			if lv.Kind != heap.KInt || cv.Kind != heap.KInt {
+				return exec + 1, m.rterrf("rollback operands must be int")
+			}
+			cont, err := m.mgr.Rollback(int(lv.I))
+			if err != nil {
+				return exec + 1, m.rterr(err)
+			}
+			call := append(m.callbuf[:0], cv)
+			call = append(call, cont.Args...)
+			m.callbuf = call
+			if err := m.invoke(cont.FnIndex, call); err != nil {
+				return exec + 1, m.rterr(err)
+			}
+			pc = m.pc
+			exec++
+
+		case jMigrate:
+			tp := ld(frame, &in.a)
+			toff := ld(frame, &in.b)
+			if tp.Kind != heap.KPtr || toff.Kind != heap.KInt {
+				return exec + 1, m.rterrf("migrate target must be (ptr, int)")
+			}
+			eff := tp
+			eff.Off += toff.I
+			target, err := m.loadTarget(eff)
+			if err != nil {
+				return exec + 1, m.rterr(err)
+			}
+			fnv := ld(frame, &in.c)
+			if fnv.Kind != heap.KFun {
+				return exec + 1, m.rterrf("migrate continuation is %s, want fun", fnv)
+			}
+			// Migration handlers may retain the arguments (pack, remote
+			// handoff): fresh slice, never scratch.
+			args := make([]heap.Value, len(in.args))
+			for i := range in.args {
+				args[i] = ld(frame, &in.args[i])
+			}
+			if m.migrate == nil {
+				return exec + 1, m.rterr(ErrNoMigration)
+			}
+			outcome, merr := m.migrate(&rt.MigrationRequest{
+				Rt: m, Label: int(in.target), Target: target, FnIndex: fnv.I, Args: args,
+			})
+			m.pins = m.pins[:0]
+			if merr != nil {
+				// Failed migrations continue locally, as on the interpreter.
+				outcome = rt.OutcomeContinueLocal
+			}
+			switch outcome {
+			case rt.OutcomeMigrated:
+				m.status = rt.StatusMigrated
+				return exec + 1, nil
+			case rt.OutcomeSuspended:
+				m.status = rt.StatusSuspended
+				return exec + 1, nil
+			default:
+				if err := m.invoke(fnv.I, args); err != nil {
+					return exec + 1, m.rterr(err)
+				}
+				pc = m.pc
+				exec++
+			}
+
+		default:
+			return exec + 1, m.rterrf("unknown opcode %d", in.op)
+		}
+	}
+	m.pc = pc
+	return exec, nil
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/engine"
@@ -84,10 +85,54 @@ func ParseTarget(s string) (Proto, string, error) {
 // Store is the reliable persistent storage checkpoints are written to.
 // The paper uses an NFS mount visible across the cluster; internal/cluster
 // provides in-memory and directory-backed implementations.
+//
+// Put must not retain data after it returns: the checkpoint hot path
+// reuses its encode buffer across intervals, so an implementation that
+// needs the bytes later has to copy them (as MemStore does) or write
+// them out before returning.
 type Store interface {
 	Put(name string, data []byte) error
 	Get(name string) ([]byte, error)
 	List() ([]string, error)
+}
+
+// encodedProgram memoizes fir.EncodeProgram per program identity, bounded
+// FIFO like the engine artifact caches. A checkpointing process re-packs
+// the same (immutable) program every interval; re-encoding it dominated
+// the capture pause. The cached bytes are shared by every image built
+// from the program — consumers treat Code.Program as read-only.
+var encodeCache struct {
+	mu    sync.Mutex
+	m     map[*fir.Program][]byte
+	order []*fir.Program
+}
+
+const encodeCacheMax = 16
+
+func encodedProgram(p *fir.Program) []byte {
+	encodeCache.mu.Lock()
+	if b, ok := encodeCache.m[p]; ok {
+		encodeCache.mu.Unlock()
+		return b
+	}
+	encodeCache.mu.Unlock()
+
+	b := fir.EncodeProgram(p)
+
+	encodeCache.mu.Lock()
+	defer encodeCache.mu.Unlock()
+	if _, ok := encodeCache.m[p]; !ok {
+		if encodeCache.m == nil {
+			encodeCache.m = make(map[*fir.Program][]byte)
+		}
+		encodeCache.m[p] = b
+		encodeCache.order = append(encodeCache.order, p)
+		for len(encodeCache.order) > encodeCacheMax {
+			delete(encodeCache.m, encodeCache.order[0])
+			encodeCache.order = encodeCache.order[1:]
+		}
+	}
+	return encodeCache.m[p]
 }
 
 // Pack captures the complete state of a running process as a migration
@@ -124,7 +169,7 @@ func Pack(r rt.Runtime, label int, fnIdx int64, args []heap.Value) (*wire.Image,
 	img := &wire.Image{
 		Code: wire.CodePart{
 			Name:      r.Name(),
-			Program:   fir.EncodeProgram(r.Program()),
+			Program:   encodedProgram(r.Program()),
 			Label:     label,
 			EnvIndex:  env.I,
 			TableLen:  snap.TableLen,

@@ -84,14 +84,18 @@ type BlockHooks struct {
 // buffers of tagged payloads, plus the node's rollback-epoch cursor.
 type mailbox struct {
 	mu    sync.Mutex
-	cond  *sync.Cond
+	cond  sync.Cond // embedded, L set to &mu at construction
 	links map[int64]map[int64][]heap.Value // src -> tag -> payload
 	seen  int64                            // last rollback epoch observed
+	// free holds payload buffers reclaimed by GC for reuse by later
+	// sends: a stepwise exchange retires one tag per step at the same
+	// size it sends the next, so steady state allocates nothing.
+	free [][]heap.Value
 }
 
 func newMailbox() *mailbox {
 	mb := &mailbox{links: make(map[int64]map[int64][]heap.Value)}
-	mb.cond = sync.NewCond(&mb.mu)
+	mb.cond.L = &mb.mu
 	return mb
 }
 
@@ -352,7 +356,58 @@ func (r *Router) Failed(node int64) bool {
 // replays. Only the destination's mailbox is locked and only its receiver
 // is woken.
 func (r *Router) Send(src, dst, tag int64, words []heap.Value) error {
-	return r.SendBatch(src, dst, []Batched{{Tag: tag, Words: words}})
+	if r.closed.Load() {
+		return r.closedErr()
+	}
+	if up := r.route(dst); up != nil {
+		r.sends.Add(1)
+		r.wordsSent.Add(uint64(len(words)))
+		return up.SendBatch(src, dst, []Batched{{Tag: tag, Words: words}})
+	}
+	mb := r.mbox(dst)
+	mb.mu.Lock()
+	// Same re-check-under-lock discipline as SendBatch.
+	if r.closed.Load() {
+		mb.mu.Unlock()
+		return r.closedErr()
+	}
+	link := mb.links[src]
+	if link == nil {
+		link = make(map[int64][]heap.Value)
+		mb.links[src] = link
+	}
+	mb.storeLocked(link, tag, words)
+	r.sends.Add(1)
+	r.wordsSent.Add(uint64(len(words)))
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+	return nil
+}
+
+// storeLocked stores a payload copy under (tag). A same-length re-send —
+// deterministic replay overwriting with identical content — reuses the
+// stored slice in place, and a fresh tag draws its buffer from the
+// GC-reclaimed free list when one fits: receivers copy out under the same
+// mailbox lock, so stored buffers are never shared outside it.
+func (mb *mailbox) storeLocked(link map[int64][]heap.Value, tag int64, words []heap.Value) {
+	if cp, ok := link[tag]; ok && len(cp) == len(words) {
+		copy(cp, words)
+		return
+	}
+	var cp []heap.Value
+	for i, f := range mb.free {
+		if cap(f) >= len(words) {
+			cp = f[:len(words)]
+			mb.free[i] = mb.free[len(mb.free)-1]
+			mb.free = mb.free[:len(mb.free)-1]
+			break
+		}
+	}
+	if cp == nil {
+		cp = make([]heap.Value, len(words))
+	}
+	copy(cp, words)
+	link[tag] = cp
 }
 
 // SendBatch delivers several tagged payloads from src to dst under one
@@ -385,9 +440,7 @@ func (r *Router) SendBatch(src, dst int64, batch []Batched) error {
 		mb.links[src] = link
 	}
 	for _, b := range batch {
-		cp := make([]heap.Value, len(b.Words))
-		copy(cp, b.Words)
-		link[b.Tag] = cp
+		mb.storeLocked(link, b.Tag, b.Words)
 		r.sends.Add(1)
 		r.wordsSent.Add(uint64(len(b.Words)))
 	}
@@ -422,6 +475,13 @@ func (r *Router) TryRecv(dst, src, tag int64) (words []heap.Value, status int64,
 // tryLocked checks the terminal conditions in priority order with the
 // mailbox lock held: shutdown, pending rollback epoch, matching message.
 func (r *Router) tryLocked(mb *mailbox, dst, src, tag int64) ([]heap.Value, int64, bool) {
+	return r.tryLockedInto(nil, mb, dst, src, tag)
+}
+
+// tryLockedInto is tryLocked copying the payload into buf when it has the
+// capacity (allocating otherwise). The stored slice may be overwritten in
+// place by a later send, so the copy-out always happens under the lock.
+func (r *Router) tryLockedInto(buf []heap.Value, mb *mailbox, dst, src, tag int64) ([]heap.Value, int64, bool) {
 	if r.closed.Load() {
 		return nil, StatusClosed, true
 	}
@@ -435,7 +495,11 @@ func (r *Router) tryLocked(mb *mailbox, dst, src, tag int64) ([]heap.Value, int6
 	}
 	if m, ok := mb.links[src][tag]; ok {
 		r.recvs.Add(1)
-		out := make([]heap.Value, len(m))
+		out := buf
+		if cap(out) < len(m) {
+			out = make([]heap.Value, len(m))
+		}
+		out = out[:len(m)]
 		copy(out, m)
 		return out, StatusOK, true
 	}
@@ -445,11 +509,19 @@ func (r *Router) tryLocked(mb *mailbox, dst, src, tag int64) ([]heap.Value, int6
 // RecvHooked is Recv with engine notifications around the park: see
 // BlockHooks. A nil hooks value makes it identical to Recv.
 func (r *Router) RecvHooked(dst, src, tag int64, hooks *BlockHooks) ([]heap.Value, int64) {
+	return r.recvHookedInto(nil, dst, src, tag, hooks)
+}
+
+// recvHookedInto is RecvHooked receiving into buf when it has the
+// capacity. The msg_recv extern threads a per-process scratch buffer
+// through here; a process's extern calls are serialized by its machine,
+// so the buffer is never shared.
+func (r *Router) recvHookedInto(buf []heap.Value, dst, src, tag int64, hooks *BlockHooks) ([]heap.Value, int64) {
 	mb := r.mbox(dst)
 	mb.mu.Lock()
 	blocked := false
 	for {
-		words, status, ok := r.tryLocked(mb, dst, src, tag)
+		words, status, ok := r.tryLockedInto(buf, mb, dst, src, tag)
 		if ok {
 			mb.mu.Unlock()
 			if blocked && hooks != nil && hooks.OnUnblock != nil {
@@ -479,9 +551,12 @@ func (r *Router) GC(node, below int64) {
 	mb := r.mbox(node)
 	mb.mu.Lock()
 	for _, link := range mb.links {
-		for tag := range link {
+		for tag, p := range link {
 			if tag < below {
 				delete(link, tag)
+				if len(mb.free) < 16 {
+					mb.free = append(mb.free, p)
+				}
 				r.gced.Add(1)
 			}
 		}
@@ -514,10 +589,23 @@ func (r *Router) Externs(node int64) rt.Registry {
 // ExternsHooked is Externs with BlockHooks threaded into msg_recv, used by
 // the cluster engine's bounded worker pool. The node's mailbox is
 // registered eagerly so epochs raised before its first receive are seen.
+// msgExternArgs is the shared (dst/src, tag, p, off, n) signature of
+// msg_send and msg_recv; msgGCArgs is msg_gc's. Shared across registries
+// so building one costs no signature allocations.
+var (
+	msgExternArgs = []fir.Type{fir.TyInt, fir.TyInt, fir.TyPtr, fir.TyInt, fir.TyInt}
+	msgGCArgs     = []fir.Type{fir.TyInt}
+)
+
 func (r *Router) ExternsHooked(node int64, hooks *BlockHooks) rt.Registry {
 	r.Register(node)
-	reg := make(rt.Registry)
-	ptrIntInt := []fir.Type{fir.TyInt, fir.TyInt, fir.TyPtr, fir.TyInt, fir.TyInt}
+	reg := make(rt.Registry, 4)
+	ptrIntInt := msgExternArgs
+
+	// Per-registry payload staging, reused across calls. A registry binds
+	// one node process whose extern calls its machine serializes; Send and
+	// the transport both copy the payload out before returning.
+	var sendBuf, recvBuf []heap.Value
 
 	reg["msg_send"] = rt.Extern{
 		Sig: fir.ExternSig{Args: ptrIntInt, Result: fir.TyInt},
@@ -527,7 +615,10 @@ func (r *Router) ExternsHooked(node int64, hooks *BlockHooks) rt.Registry {
 				return heap.Value{}, fmt.Errorf("msg_send: negative length %d", n)
 			}
 			h := rtx.Heap()
-			words := make([]heap.Value, n)
+			if int64(cap(sendBuf)) < n {
+				sendBuf = make([]heap.Value, n)
+			}
+			words := sendBuf[:n]
 			for i := int64(0); i < n; i++ {
 				w, err := h.Load(p, off+i)
 				if err != nil {
@@ -549,7 +640,10 @@ func (r *Router) ExternsHooked(node int64, hooks *BlockHooks) rt.Registry {
 		Sig: fir.ExternSig{Args: ptrIntInt, Result: fir.TyInt},
 		Fn: func(rtx rt.Runtime, a []heap.Value) (heap.Value, error) {
 			src, tag, p, off, n := a[0].I, a[1].I, a[2], a[3].I, a[4].I
-			words, status := r.RecvHooked(node, src, tag, hooks)
+			words, status := r.recvHookedInto(recvBuf, node, src, tag, hooks)
+			if cap(words) > cap(recvBuf) {
+				recvBuf = words
+			}
 			if status != StatusOK {
 				return heap.IntVal(status), nil
 			}
@@ -567,7 +661,7 @@ func (r *Router) ExternsHooked(node int64, hooks *BlockHooks) rt.Registry {
 	}
 
 	reg["msg_gc"] = rt.Extern{
-		Sig: fir.ExternSig{Args: []fir.Type{fir.TyInt}, Result: fir.TyInt},
+		Sig: fir.ExternSig{Args: msgGCArgs, Result: fir.TyInt},
 		Fn: func(rtx rt.Runtime, a []heap.Value) (heap.Value, error) {
 			r.GC(node, a[0].I)
 			return heap.IntVal(0), nil

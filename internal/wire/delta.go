@@ -218,6 +218,7 @@ func EncodeDeltaImage(d *DeltaImage) []byte {
 	code := EncodeCode(&d.Code)
 	delta := encodeDeltaPart(d)
 	var buf bytes.Buffer
+	buf.Grow(len(DeltaHeader) + 8 + len(code) + len(delta))
 	buf.WriteString(DeltaHeader)
 	var lens [8]byte
 	binary.BigEndian.PutUint32(lens[:4], uint32(len(code)))

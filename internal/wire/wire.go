@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"sync"
 
 	"repro/internal/heap"
 	"repro/internal/spec"
@@ -138,6 +139,16 @@ func (e *enc) finish() []byte {
 	binary.BigEndian.PutUint32(tail[:], sum)
 	e.buf.Write(tail[:])
 	return e.buf.Bytes()
+}
+
+// check appends the checksum of everything written since offset start,
+// so a part encoded mid-buffer carries the same trailer finish gives a
+// part encoded alone.
+func (e *enc) check(start int) {
+	sum := crc32.ChecksumIEEE(e.buf.Bytes()[start:])
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], sum)
+	e.buf.Write(tail[:])
 }
 
 type dec struct {
@@ -290,6 +301,14 @@ func (d *dec) done() error {
 // EncodeCode serializes the code part.
 func EncodeCode(c *CodePart) []byte {
 	e := &enc{}
+	e.codePart(c)
+	return e.buf.Bytes()
+}
+
+// codePart writes the code part (magic through checksum) to e.buf.
+func (e *enc) codePart(c *CodePart) {
+	start := e.buf.Len()
+	e.buf.Grow(64 + len(c.Name) + len(c.Program) + 10*len(c.Args))
 	e.buf.WriteString(codeMagic)
 	e.buf.WriteByte(version)
 	e.str(c.Name)
@@ -303,7 +322,7 @@ func EncodeCode(c *CodePart) []byte {
 		e.i(a)
 	}
 	e.i(c.Seed)
-	return e.finish()
+	e.check(start)
 }
 
 // DecodeCode parses a code part.
@@ -333,6 +352,32 @@ func DecodeCode(data []byte) (*CodePart, error) {
 // EncodeState serializes the state part.
 func EncodeState(s *StatePart) []byte {
 	e := &enc{}
+	e.statePart(s)
+	return e.buf.Bytes()
+}
+
+// statePart writes the state part (magic through checksum) to e.buf.
+func (e *enc) statePart(s *StatePart) {
+	start := e.buf.Len()
+	// Pre-size to the worst-case encoding (a value is a kind byte plus at
+	// most two 10-byte varints) so the buffer never regrows mid-encode.
+	words := 0
+	for _, en := range s.Heap.Entries {
+		words += len(en.Words)
+	}
+	for _, lv := range s.Heap.Levels {
+		for _, sh := range lv.Shadows {
+			words += len(sh.Words)
+		}
+		words += len(lv.Allocs)
+	}
+	for _, c := range s.Conts {
+		words += len(c.Args)
+	}
+	// Typical-case reservation: small varints dominate heap words, so
+	// budgeting the worst case (21 bytes/word) would allocate over twice
+	// the final size; one residual growth is cheaper than that.
+	e.buf.Grow(64 + 24*(len(s.Heap.Entries)+len(s.Conts)+len(s.Heap.Levels)) + 8*words)
 	e.buf.WriteString(statMagic)
 	e.buf.WriteByte(version)
 	snap := s.Heap
@@ -361,7 +406,7 @@ func EncodeState(s *StatePart) []byte {
 		e.i(c.FnIndex)
 		e.values(c.Args)
 	}
-	return e.finish()
+	e.check(start)
 }
 
 // DecodeState parses a state part.
@@ -408,18 +453,36 @@ func DecodeState(data []byte) (*StatePart, error) {
 // EncodeImage serializes a complete image as a checkpoint file: the
 // executable header followed by length-prefixed code and state parts.
 func EncodeImage(img *Image) []byte {
-	code := EncodeCode(&img.Code)
-	state := EncodeState(&img.State)
-	var buf bytes.Buffer
-	buf.WriteString(ExecHeader)
-	var lens [8]byte
-	binary.BigEndian.PutUint32(lens[:4], uint32(len(code)))
-	buf.Write(lens[:4])
-	buf.Write(code)
-	binary.BigEndian.PutUint32(lens[4:], uint32(len(state)))
-	buf.Write(lens[4:])
-	buf.Write(state)
-	return buf.Bytes()
+	return AppendImage(nil, img)
+}
+
+// imgEncPool recycles image encoders: a checkpointing process encodes
+// an image every interval, and migrate.Store forbids Put from retaining
+// the bytes, so the scratch buffer can be handed back immediately.
+var imgEncPool = sync.Pool{New: func() any { return new(enc) }}
+
+// AppendImage appends img's checkpoint-file encoding (EncodeImage's
+// layout) to buf and returns the extended slice. The checkpoint hot
+// path reuses buf across intervals; encoding scratch is pooled, so a
+// steady-state checkpoint loop allocates nothing here.
+func AppendImage(buf []byte, img *Image) []byte {
+	e := imgEncPool.Get().(*enc)
+	e.buf.Reset()
+	e.buf.WriteString(ExecHeader)
+	var lens [4]byte
+	// Each part's 4-byte length prefix is reserved up front and
+	// backfilled once the part is encoded in place.
+	e.buf.Write(lens[:])
+	start := e.buf.Len()
+	e.codePart(&img.Code)
+	binary.BigEndian.PutUint32(e.buf.Bytes()[start-4:start], uint32(e.buf.Len()-start))
+	e.buf.Write(lens[:])
+	start = e.buf.Len()
+	e.statePart(&img.State)
+	binary.BigEndian.PutUint32(e.buf.Bytes()[start-4:start], uint32(e.buf.Len()-start))
+	out := append(buf, e.buf.Bytes()...)
+	imgEncPool.Put(e)
+	return out
 }
 
 // DecodeImage parses a checkpoint file.

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -94,21 +95,21 @@ func TestDefaultsValidate(t *testing.T) {
 	}
 }
 
-// TestInProcessMatchesReference: every app, on both execution engines,
-// with worker-pool widths 0 (unbounded), 1, 2 and 4, produces halt codes
-// bit-identical to its sequential reference.
+// TestInProcessMatchesReference: every app, on every registered
+// execution engine, with worker-pool widths 0 (unbounded), 1, 2 and 4,
+// produces halt codes bit-identical to its sequential reference.
 func TestInProcessMatchesReference(t *testing.T) {
 	for _, w := range all(t) {
 		w := w
-		for _, engine := range []string{"vm", "risc"} {
-			engine := engine
+		for _, eng := range engine.Names() {
+			eng := eng
 			for _, workers := range []int{0, 1, 2, 4} {
 				workers := workers
-				t.Run(fmt.Sprintf("%s/%s/workers=%d", w.Name(), engine, workers), func(t *testing.T) {
+				t.Run(fmt.Sprintf("%s/%s/workers=%d", w.Name(), eng, workers), func(t *testing.T) {
 					t.Parallel()
 					p := smallParams(w)
 					p.Workers = workers
-					p.Engine = engine
+					p.Engine = eng
 					if _, err := workload.RunVerified(w, p, workload.RunConfig{Timeout: time.Minute}); err != nil {
 						t.Fatal(err)
 					}
@@ -125,28 +126,28 @@ func TestInProcessMatchesReference(t *testing.T) {
 func TestMultiFailureScriptConverges(t *testing.T) {
 	for _, w := range all(t) {
 		w := w
-		for _, tc := range []struct {
-			engine  string
-			workers int
-		}{{"vm", 0}, {"vm", 2}, {"risc", 0}, {"risc", 2}} {
-			engine, workers := tc.engine, tc.workers
-			t.Run(fmt.Sprintf("%s/%s/workers=%d", w.Name(), engine, workers), func(t *testing.T) {
-				t.Parallel()
-				p := smallParams(w)
-				p.Workers = workers
-				p.Engine = engine
-				script := multiFailureScript(w)
-				res, err := workload.RunVerified(w, p, workload.RunConfig{Script: script, Timeout: 2 * time.Minute})
-				if err != nil {
-					t.Fatal(err)
-				}
-				if res.Resurrections != len(script.Events) {
-					t.Fatalf("resurrections = %d, want %d", res.Resurrections, len(script.Events))
-				}
-				if res.Rollbacks == 0 {
-					t.Fatal("no MSG_ROLL deliveries: survivors never rolled back")
-				}
-			})
+		for _, eng := range engine.Names() {
+			eng := eng
+			for _, workers := range []int{0, 2} {
+				workers := workers
+				t.Run(fmt.Sprintf("%s/%s/workers=%d", w.Name(), eng, workers), func(t *testing.T) {
+					t.Parallel()
+					p := smallParams(w)
+					p.Workers = workers
+					p.Engine = eng
+					script := multiFailureScript(w)
+					res, err := workload.RunVerified(w, p, workload.RunConfig{Script: script, Timeout: 2 * time.Minute})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Resurrections != len(script.Events) {
+						t.Fatalf("resurrections = %d, want %d", res.Resurrections, len(script.Events))
+					}
+					if res.Rollbacks == 0 {
+						t.Fatal("no MSG_ROLL deliveries: survivors never rolled back")
+					}
+				})
+			}
 		}
 	}
 }
@@ -176,12 +177,12 @@ func goSpawn(t *testing.T, w workload.Workload, p workload.Params) workload.Spaw
 func TestDistributedMatchesReference(t *testing.T) {
 	for _, w := range all(t) {
 		w := w
-		for _, engine := range []string{"vm", "risc"} {
-			engine := engine
-			t.Run(w.Name()+"/"+engine, func(t *testing.T) {
+		for _, eng := range engine.Names() {
+			eng := eng
+			t.Run(w.Name()+"/"+eng, func(t *testing.T) {
 				t.Parallel()
 				p := smallParams(w)
-				p.Engine = engine
+				p.Engine = eng
 				res, err := workload.RunDistributed(w, p, nil,
 					workload.DistributedConfig{Spawn: goSpawn(t, w, p)}, time.Minute)
 				if err != nil {
@@ -205,12 +206,12 @@ func TestDistributedMatchesReference(t *testing.T) {
 func TestDistributedMultiFailureConverges(t *testing.T) {
 	for _, w := range all(t) {
 		w := w
-		for _, engine := range []string{"vm", "risc"} {
-			engine := engine
-			t.Run(w.Name()+"/"+engine, func(t *testing.T) {
+		for _, eng := range engine.Names() {
+			eng := eng
+			t.Run(w.Name()+"/"+eng, func(t *testing.T) {
 				t.Parallel()
 				p := smallParams(w)
-				p.Engine = engine
+				p.Engine = eng
 				script := multiFailureScript(w)
 				res, err := workload.RunDistributed(w, p, script,
 					workload.DistributedConfig{Spawn: goSpawn(t, w, p)}, 2*time.Minute)

@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,6 +57,7 @@ type options struct {
 	verbose bool
 	trace   string
 	metrics string
+	cpuprof string
 
 	distributed bool
 	coordOnly   bool
@@ -121,13 +123,14 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 	fs.IntVar(&opt.params.Workers, "workers", 0, "concurrently executing node quanta (0 = unbounded)")
 	fs.StringVar(&opt.params.Ckpt, "ckpt", "", `checkpoint pipeline mode: "full" (default), "delta", or "async"`)
 	fs.IntVar(&opt.params.CkptK, "ckptk", 0, "force a full image every K delta checkpoints (0 = pipeline default)")
-	fs.StringVar(&opt.params.Engine, "engine", "", `execution engine: "vm" (slot-resolved interpreter, default) or "risc" (compiled RISC simulator)`)
+	fs.StringVar(&opt.params.Engine, "engine", "", `execution engine: "vm" (slot-resolved interpreter, default), "risc" (compiled RISC simulator), or "jit" (threaded code with fused superinstructions); see -list`)
 	fs.Var(&opt.fails, "fail", `inject a failure: "node@checkpoints[@delay]", e.g. "1@2" (repeatable)`)
 	fs.StringVar(&opt.script, "script", "", "fault-scenario script file (fail/storekill lines; see README)")
 	fs.DurationVar(&opt.timeout, "timeout", 2*time.Minute, "run timeout")
 	fs.BoolVar(&opt.verbose, "v", false, "print per-node halt codes")
 	fs.StringVar(&opt.trace, "trace", "", `write the run's event trace as JSONL to this file ("-" for stdout; see cmd/mojtrace)`)
 	fs.StringVar(&opt.metrics, "metrics", "", `write the run's metrics snapshot as JSON to this file ("-" for stdout)`)
+	fs.StringVar(&opt.cpuprof, "cpuprofile", "", "write a CPU profile of the run to this file (flushed even when the run fails)")
 
 	fs.BoolVar(&opt.distributed, "distributed", false, "spawn one worker OS process per node over loopback TCP")
 	fs.BoolVar(&opt.coordOnly, "coordinator", false, "coordinate externally started -join workers")
@@ -149,6 +152,15 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 		opt.params.Aux = cols
 	}
 
+	// Reject an unknown -engine before any work starts; the error lists
+	// what is registered.
+	if opt.params.Engine != "" {
+		if _, err := engine.Get(opt.params.Engine); err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+			return 2
+		}
+	}
+
 	if opt.list {
 		for _, name := range workload.Names() {
 			w, err := workload.Get(name)
@@ -158,6 +170,18 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 			d := w.Defaults()
 			fmt.Fprintf(stdout, "%-10s %s\n%-10s defaults: nodes %d, size %d, aux %d, steps %d, ck %d\n",
 				name, w.Description(), "", d.Nodes, d.Size, d.Aux, d.Steps, d.CheckpointInterval)
+		}
+		fmt.Fprintf(stdout, "engines:\n")
+		for _, name := range engine.Names() {
+			f, err := engine.Get(name)
+			if err != nil {
+				continue
+			}
+			def := ""
+			if name == engine.DefaultName {
+				def = " (default)"
+			}
+			fmt.Fprintf(stdout, "%-10s %s%s\n", name, f.Description(), def)
 		}
 		return 0
 	}
@@ -239,6 +263,23 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 		gcStop = g.Stop
 	}
 
+	// The CPU profile brackets the run itself (not flag parsing or store
+	// setup) and is stopped — and therefore flushed — before any early
+	// error return below, so a failed run still leaves a usable profile.
+	if opt.cpuprof != "" {
+		f, perr := os.Create(opt.cpuprof)
+		if perr != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", prog, perr)
+			return 1
+		}
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "%s: %v\n", prog, perr)
+			return 1
+		}
+		defer f.Close()
+	}
+
 	var res *workload.Result
 	switch {
 	case opt.distributed, opt.coordOnly:
@@ -248,6 +289,9 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 			Script: script, Timeout: opt.timeout, Trace: tracer, Metrics: reg,
 			Store: st, NoInlinePrune: opt.storeGC > 0,
 		})
+	}
+	if opt.cpuprof != "" {
+		pprof.StopCPUProfile()
 	}
 	if gcStop != nil {
 		gcStop()

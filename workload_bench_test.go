@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -56,6 +57,11 @@ func benchWorkload(b *testing.B, w workload.Workload, p workload.Params, script 
 	var rollbacks, ckpts, ckBytes, ckPause, recNs, recoveries uint64
 	var mem memProbe
 	b.ReportAllocs()
+	// Collect garbage left by compilation and earlier sub-benchmarks so
+	// each row starts from the same heap state; otherwise rows late in
+	// the matrix pay extra scan work for their predecessors' floating
+	// garbage and ns/op drifts with benchmark order.
+	runtime.GC()
 	b.ResetTimer()
 	mem.start()
 	for i := 0; i < b.N; i++ {
