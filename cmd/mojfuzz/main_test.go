@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCampaignSmoke runs a tiny real campaign end to end: scenarios
+// execute, the bench JSON lands with coverage counters, and the exit
+// status reflects a clean run.
+func TestCampaignSmoke(t *testing.T) {
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "BENCH_chaos.json")
+	code := run([]string{"-seeds", "4", "-timeout", "30s", "-repro", dir, "-bench", bench})
+	if code != 0 {
+		t.Fatalf("campaign exit %d, want 0", code)
+	}
+	data, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bench JSON: %v\n%s", err, data)
+	}
+	if doc["scenarios"].(float64) != 4 {
+		t.Fatalf("bench scenarios = %v, want 4", doc["scenarios"])
+	}
+	if _, ok := doc["coverage"].(map[string]any); !ok {
+		t.Fatalf("bench missing coverage counters:\n%s", data)
+	}
+}
+
+// TestSeedReplay: -seed replays one scenario deterministically.
+func TestSeedReplay(t *testing.T) {
+	if code := run([]string{"-seed", "5", "-timeout", "30s"}); code != 0 {
+		t.Fatalf("seed replay exit %d, want 0", code)
+	}
+}
+
+// TestCorpusReplay: -corpus replays the committed regression corpus.
+func TestCorpusReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays the full corpus")
+	}
+	corpus := filepath.Join("..", "..", "internal", "chaos", "corpus")
+	if code := run([]string{"-corpus", corpus, "-timeout", "45s"}); code != 0 {
+		t.Fatalf("corpus replay exit %d, want 0", code)
+	}
+}
+
+// TestUsageErrors: bad flags and missing inputs exit 2, not 0/1.
+func TestUsageErrors(t *testing.T) {
+	if code := run([]string{"-nosuchflag"}); code != 2 {
+		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+	if code := run([]string{"-replay", filepath.Join(t.TempDir(), "missing.script")}); code != 2 {
+		t.Fatalf("missing repro exit %d, want 2", code)
+	}
+	if code := run([]string{"-corpus", t.TempDir()}); code != 2 {
+		t.Fatalf("empty corpus exit %d, want 2", code)
+	}
+}

@@ -24,8 +24,10 @@
 //	-ckpt MODE   checkpoint pipeline: full (default), delta, async
 //	-ckptk K     force a full image every K delta checkpoints
 //	-fail SPEC   inject a failure: "node@checkpoints[@delay]", e.g.
-//	             "1@2" or "0@4@50ms"; repeatable — events fire in order
-//	-script FILE fault-scenario script (fail lines; see README cookbook)
+//	             "1@2", "0@4@50ms" or "2@1@ck:2" (resurrect after 2 more
+//	             store writes); repeatable — events fire in order
+//	-script FILE fault-scenario script (fail, storekill, partition and
+//	             crashresurrect lines; see README cookbook)
 //	-timeout D   run timeout (default 2m)
 //	-v           print per-node halt codes
 //

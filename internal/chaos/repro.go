@@ -1,0 +1,185 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Repro files are fault-script files (directly loadable by mojrun
+// -script: every chaos-specific line is a '#' comment) with "#!"
+// directive comments that carry the rest of the scenario — app,
+// parameters, network profile, originating seed — so the chaos loader
+// replays the whole thing exactly:
+//
+//	#! app=kvserve nodes=4 size=4 steps=6 ck=2 aux=4 workers=2 engine=jit ckpt=async replicas=3
+//	#! net salt=42 drop=10 dup=20 hold=10 holdbudget=2 reorder=2
+//	#! seed=1234
+//	fail 1@1 delay=ck:1
+//	partition 0,1|2,3 after=2 heal=3
+
+// FormatRepro renders a scenario as a repro file.
+func FormatRepro(s *Scenario) string {
+	var b strings.Builder
+	p := s.Params
+	fmt.Fprintf(&b, "#! app=%s nodes=%d size=%d steps=%d ck=%d", s.App, p.Nodes, p.Size, p.Steps, p.CheckpointInterval)
+	if p.Aux != 0 {
+		fmt.Fprintf(&b, " aux=%d", p.Aux)
+	}
+	if p.Workers != 0 {
+		fmt.Fprintf(&b, " workers=%d", p.Workers)
+	}
+	if p.Engine != "" {
+		fmt.Fprintf(&b, " engine=%s", p.Engine)
+	}
+	if p.Ckpt != "" {
+		fmt.Fprintf(&b, " ckpt=%s", p.Ckpt)
+	}
+	if s.Replicas > 0 {
+		fmt.Fprintf(&b, " replicas=%d", s.Replicas)
+	}
+	b.WriteByte('\n')
+	if !s.Net.Zero() {
+		n := s.Net
+		fmt.Fprintf(&b, "#! net salt=%d drop=%d dup=%d hold=%d holdbudget=%d reorder=%d\n",
+			n.Salt, n.DropPct, n.DupPct, n.HoldPct, n.HoldBudget, n.Reorder)
+	}
+	if s.Seed != 0 {
+		fmt.Fprintf(&b, "#! seed=%d\n", s.Seed)
+	}
+	b.WriteString(workload.FormatScript(s.Script))
+	return b.String()
+}
+
+// WriteRepro writes the scenario's repro file.
+func WriteRepro(path string, s *Scenario) error {
+	return os.WriteFile(path, []byte(FormatRepro(s)), 0o644)
+}
+
+// ParseRepro loads a repro file: "#!" directives rebuild the scenario,
+// the remaining lines parse as a fault script.
+func ParseRepro(r io.Reader) (*Scenario, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scenario{}
+	var scriptLines []string
+	for lineno, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if d, ok := strings.CutPrefix(line, "#!"); ok {
+			if err := parseDirective(strings.TrimSpace(d), s); err != nil {
+				return nil, fmt.Errorf("repro line %d: %v", lineno+1, err)
+			}
+			continue
+		}
+		scriptLines = append(scriptLines, raw)
+	}
+	if s.App == "" {
+		return nil, fmt.Errorf("repro file has no \"#! app=...\" directive")
+	}
+	script, err := workload.ParseScriptString(strings.Join(scriptLines, "\n"))
+	if err != nil {
+		return nil, err
+	}
+	s.Script = script
+	return s, nil
+}
+
+// LoadRepro is ParseRepro over a file.
+func LoadRepro(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := ParseRepro(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// parseDirective applies one "#!" directive body to the scenario.
+func parseDirective(d string, s *Scenario) error {
+	fields := strings.Fields(d)
+	if len(fields) == 0 {
+		return fmt.Errorf("empty directive")
+	}
+	if fields[0] == "net" {
+		if s.Net == nil {
+			s.Net = &NetProfile{}
+		}
+		for _, f := range fields[1:] {
+			key, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return fmt.Errorf("malformed net option %q", f)
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("net option %q: %v", f, err)
+			}
+			switch key {
+			case "salt":
+				s.Net.Salt = n
+			case "drop":
+				s.Net.DropPct = int(n)
+			case "dup":
+				s.Net.DupPct = int(n)
+			case "hold":
+				s.Net.HoldPct = int(n)
+			case "holdbudget":
+				s.Net.HoldBudget = int(n)
+			case "reorder":
+				s.Net.Reorder = int(n)
+			default:
+				return fmt.Errorf("unknown net option %q", key)
+			}
+		}
+		return nil
+	}
+	for _, f := range fields {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("malformed option %q", f)
+		}
+		switch key {
+		case "app":
+			s.App = val
+		case "engine":
+			s.Params.Engine = val
+		case "ckpt":
+			s.Params.Ckpt = val
+		default:
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("option %q: %v", f, err)
+			}
+			switch key {
+			case "nodes":
+				s.Params.Nodes = int(n)
+			case "size":
+				s.Params.Size = int(n)
+			case "steps":
+				s.Params.Steps = int(n)
+			case "ck":
+				s.Params.CheckpointInterval = int(n)
+			case "aux":
+				s.Params.Aux = int(n)
+			case "workers":
+				s.Params.Workers = int(n)
+			case "replicas":
+				s.Replicas = int(n)
+			case "seed":
+				s.Seed = n
+			default:
+				return fmt.Errorf("unknown option %q", key)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,380 @@
+// Package chaos is the adversarial scenario fuzzer: from a single int64
+// seed it deterministically generates a Scenario — a workload, randomized
+// parameters, a randomized fault script mixing node kills, store-replica
+// kills, network partitions and resurrection-window re-kills, and
+// per-node frame-level network conditions — executes it against the
+// workload's bit-exact sequential reference, and when a run diverges,
+// hangs or panics, shrinks the scenario to a minimal reproducer in the
+// -script file format.
+//
+// Everything about a scenario derives from its seed via a private
+// math/rand stream and splitmix-style per-message hashes, so a failing
+// seed replays exactly (mojfuzz -seed S) and a committed repro file
+// replays forever (internal/chaos/corpus).
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// engineNames is the registered engine list (sorted by the registry).
+func engineNames() []string { return engine.Names() }
+
+// NetProfile is a deterministic, serializable description of per-link
+// network misbehaviour. It compiles to transport.FaultSpec predicates
+// driven by a splitmix hash of (salt, src, dst, tag, occurrence), so the
+// same profile always perturbs the same messages.
+//
+// DropPct applies only to occurrence >= 2 — duplicate transmissions and
+// replays. The first transmission of every message always passes, which
+// keeps every generated scenario live by construction: the keyed
+// idempotent delivery layer treats the lost duplicates as the no-ops
+// they are.
+type NetProfile struct {
+	Salt       int64 `json:"salt"`
+	DropPct    int   `json:"drop_pct"`    // drop duplicate transmissions (occ >= 2)
+	DupPct     int   `json:"dup_pct"`     // duplicate a frame
+	HoldPct    int   `json:"hold_pct"`    // withhold a frame (latency skew)
+	HoldBudget int   `json:"hold_budget"` // writes a held frame waits out
+	Reorder    int   `json:"reorder"`     // reorder window (0 or >= 2)
+}
+
+// Zero reports whether the profile perturbs nothing.
+func (n *NetProfile) Zero() bool {
+	return n == nil || (n.DropPct == 0 && n.DupPct == 0 && n.HoldPct == 0 && n.Reorder == 0)
+}
+
+// splitmix64 is the finalizer from the splitmix64 generator: a cheap,
+// well-mixed hash for per-message fault decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (n *NetProfile) roll(kind, src, dst, tag int64, occ int) int {
+	h := splitmix64(uint64(n.Salt) ^ uint64(kind)<<56 ^
+		uint64(src)<<40 ^ uint64(dst)<<24 ^ uint64(tag)<<8 ^ uint64(occ))
+	return int(h % 100)
+}
+
+// Spec compiles the profile into a fresh transport.FaultSpec for one
+// worker link. Each call returns a new spec (counters are per-link).
+func (n *NetProfile) Spec() *transport.FaultSpec {
+	if n.Zero() {
+		return nil
+	}
+	spec := &transport.FaultSpec{
+		ReorderWindow: n.Reorder,
+		// Tight wall-clock bound: a withheld trailing frame stalls its
+		// receiver until the safety flush, and chaos runs thousands of
+		// scenarios — keep each stall short.
+		MaxHold: 50 * time.Millisecond,
+	}
+	if n.DropPct > 0 {
+		spec.Drop = func(src, dst, tag int64, occ int) bool {
+			return occ >= 2 && n.roll(1, src, dst, tag, occ) < n.DropPct
+		}
+	}
+	if n.DupPct > 0 {
+		spec.Dup = func(src, dst, tag int64, occ int) bool {
+			return n.roll(2, src, dst, tag, occ) < n.DupPct
+		}
+	}
+	if n.HoldPct > 0 && n.HoldBudget > 0 {
+		spec.Hold = func(src, dst, tag int64, occ int) int {
+			if n.roll(3, src, dst, tag, occ) < n.HoldPct {
+				return n.HoldBudget
+			}
+			return 0
+		}
+	}
+	return spec
+}
+
+// Scenario is one fully-determined adversarial run: a workload, its
+// parameters, an ordered fault script, and (optionally) network
+// conditions. A scenario with a nil Net runs on the in-process cluster;
+// one with conditions runs distributed, every worker link wrapped in the
+// profile's fault injector.
+type Scenario struct {
+	Seed   int64
+	App    string
+	Params workload.Params
+	Script *workload.FaultScript
+	Net    *NetProfile
+	// Replicas, when > 0, backs the run with an N-way replicated
+	// in-memory store so storekill events have replicas to kill.
+	Replicas int
+}
+
+// String renders a one-line summary for logs.
+func (s *Scenario) String() string {
+	p := s.Params
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d %s nodes=%d size=%d steps=%d ck=%d", s.Seed, s.App, p.Nodes, p.Size, p.Steps, p.CheckpointInterval)
+	if p.Aux != 0 {
+		fmt.Fprintf(&b, " aux=%d", p.Aux)
+	}
+	if p.Workers != 0 {
+		fmt.Fprintf(&b, " workers=%d", p.Workers)
+	}
+	fmt.Fprintf(&b, " engine=%s ckpt=%s", engineName(p.Engine), ckptName(p.Ckpt))
+	if s.Replicas > 0 {
+		fmt.Fprintf(&b, " replicas=%d", s.Replicas)
+	}
+	if !s.Net.Zero() {
+		n := s.Net
+		fmt.Fprintf(&b, " net[drop=%d dup=%d hold=%d/%d reorder=%d]", n.DropPct, n.DupPct, n.HoldPct, n.HoldBudget, n.Reorder)
+	}
+	if s.Script != nil && len(s.Script.Events) > 0 {
+		fmt.Fprintf(&b, " events=%d", len(s.Script.Events))
+	}
+	return b.String()
+}
+
+func engineName(e string) string {
+	if e == "" {
+		return "vm"
+	}
+	return e
+}
+
+func ckptName(c string) string {
+	if c == "" {
+		return "full"
+	}
+	return c
+}
+
+// GenConfig bounds scenario generation.
+type GenConfig struct {
+	// Apps restricts generation to these workload names. Empty means
+	// every registered workload.
+	Apps []string
+	// Engines restricts the engine choice. Empty means every registered
+	// engine.
+	Engines []string
+}
+
+// migratingNode returns the node that live-migrates away mid-run for
+// apps that have one (its checkpoint name stops accumulating writes
+// after the handoff, so kills of it must trigger on its first
+// checkpoint), or -1.
+func migratingNode(app string) int64 {
+	switch app {
+	case "pipeline", "kvserve":
+		return 1
+	}
+	return -1
+}
+
+// Generate deterministically derives the scenario for a seed. The same
+// seed, app list and engine list always produce the same scenario.
+func Generate(seed int64, cfg GenConfig) (*Scenario, error) {
+	apps := cfg.Apps
+	if len(apps) == 0 {
+		apps = workload.Names()
+	}
+	engines := cfg.Engines
+	if len(engines) == 0 {
+		engines = engineNames()
+	}
+	sort.Strings(apps)
+	sort.Strings(engines)
+
+	rng := rand.New(rand.NewSource(seed))
+	app := apps[rng.Intn(len(apps))]
+	w, err := workload.Get(app)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Scenario{Seed: seed, App: app}
+	s.Params = genParams(rng, app)
+	s.Params.Engine = genEngine(rng, engines)
+	if _, err := workload.Normalize(w, s.Params); err != nil {
+		return nil, fmt.Errorf("chaos: seed %d generated invalid params for %s: %w", seed, app, err)
+	}
+
+	// Half the scenarios run distributed with network conditions; the
+	// other half run in-process (which is where the worker-pool widths
+	// and speculation scheduling get shaken).
+	if rng.Intn(2) == 0 {
+		s.Net = genNet(rng)
+	}
+
+	wantStoreKill := rng.Intn(4) == 0 && s.Net.Zero()
+	if wantStoreKill {
+		s.Replicas = 3
+	}
+	s.Script = genScript(rng, w, s.Params, wantStoreKill)
+	return s, nil
+}
+
+// genParams randomizes the workload parameters within each app's valid
+// envelope.
+func genParams(rng *rand.Rand, app string) workload.Params {
+	var p workload.Params
+	p.CheckpointInterval = 1 + rng.Intn(3) // 1..3
+	rounds := 2 + rng.Intn(3)              // checkpoint rounds: 2..4
+	p.Steps = p.CheckpointInterval * rounds
+	p.Size = 2 + rng.Intn(4) // 2..5
+	p.Workers = []int{0, 1, 2, 4}[rng.Intn(4)]
+	p.Ckpt = []string{"", "delta", "async"}[rng.Intn(3)]
+
+	switch app {
+	case "grid":
+		p.Nodes = 2 + rng.Intn(3) // 2..4
+		p.Aux = 4 + rng.Intn(5)   // columns
+	case "allreduce":
+		p.Nodes = 2 + rng.Intn(3)
+	case "taskfarm":
+		p.Nodes = 3 + rng.Intn(2) // master + >= 2 workers
+	case "pipeline":
+		p.Nodes = 4 + rng.Intn(2) // >= 3 stages + spare
+		// The migration batch must be a checkpoint boundary within Steps.
+		p.Aux = p.CheckpointInterval * (1 + rng.Intn(rounds))
+	case "kvserve":
+		p.Nodes = 4 + rng.Intn(2) // front-end + >= 2 shards + spare
+		p.Aux = p.CheckpointInterval * (1 + rng.Intn(rounds))
+	}
+	return p
+}
+
+// genEngine picks the engine after params (kept separate so the param
+// stream is engine-independent).
+func genEngine(rng *rand.Rand, engines []string) string {
+	return engines[rng.Intn(len(engines))]
+}
+
+// genNet randomizes a network profile. At least one condition is always
+// active (a zero profile would be a plain in-process-equivalent run).
+func genNet(rng *rand.Rand) *NetProfile {
+	n := &NetProfile{Salt: rng.Int63()}
+	for n.Zero() {
+		if rng.Intn(2) == 0 {
+			n.DupPct = 5 + rng.Intn(45)
+		}
+		if rng.Intn(2) == 0 {
+			n.DropPct = 5 + rng.Intn(45) // duplicates only; see NetProfile
+		}
+		if rng.Intn(2) == 0 {
+			n.HoldPct = 5 + rng.Intn(25)
+			n.HoldBudget = 1 + rng.Intn(3)
+		}
+		if rng.Intn(3) == 0 {
+			n.Reorder = 2 + rng.Intn(2)
+		}
+	}
+	return n
+}
+
+// genScript randomizes the fault script: 0..3 events drawn from the full
+// event mix, each constrained so it can actually fire against the
+// generated topology.
+func genScript(rng *rand.Rand, w workload.Workload, p workload.Params, storeKill bool) *workload.FaultScript {
+	script := &workload.FaultScript{}
+	nEvents := rng.Intn(4) // 0..3
+	if storeKill && nEvents == 0 {
+		nEvents = 1
+	}
+	starts := w.StartNodes(p)
+	rounds := p.Steps / p.CheckpointInterval
+	mig := migratingNode(w.Name())
+	usedNoRevive := false
+	for i := 0; i < nEvents; i++ {
+		kind := rng.Intn(4)
+		if !storeKill && kind == 1 {
+			kind = 0 // storekill needs the replicated backing store
+		}
+		switch kind {
+		case 1: // storekill
+			ev := workload.FaultEvent{
+				Kind:             workload.KindStoreKill,
+				Node:             int64(rng.Intn(3)),
+				AfterCheckpoints: 1 + rng.Intn(3),
+				Delay:            time.Duration(1+rng.Intn(10)) * time.Millisecond,
+			}
+			// At most one permanently-down replica: a 3-way quorum
+			// tolerates exactly one.
+			if !usedNoRevive && rng.Intn(3) == 0 {
+				ev.NoRevive = true
+				ev.Delay = 0
+				usedNoRevive = true
+			}
+			script.Events = append(script.Events, ev)
+		case 2: // partition
+			nodes := allNodes(w, p)
+			if len(nodes) < 2 {
+				continue
+			}
+			cut := 1 + rng.Intn(len(nodes)-1)
+			perm := rng.Perm(len(nodes))
+			var a, b []int64
+			for j, idx := range perm {
+				if j < cut {
+					a = append(a, nodes[idx])
+				} else {
+					b = append(b, nodes[idx])
+				}
+			}
+			// Sort both sides so the scenario round-trips bit-exactly
+			// through the repro-file grammar (the parser emits sorted sets).
+			sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+			sort.Slice(b, func(x, y int) bool { return b[x] < b[y] })
+			script.Events = append(script.Events, workload.FaultEvent{
+				Kind:             workload.KindPartition,
+				SetA:             a,
+				SetB:             b,
+				AfterCheckpoints: 1 + rng.Intn(3),
+				HealWrites:       1 + rng.Intn(3),
+			})
+		default: // fail / crashresurrect
+			node := starts[rng.Intn(len(starts))]
+			after := 1 + rng.Intn(rounds)
+			if node == mig {
+				// The migrating node writes exactly one checkpoint under
+				// its own name before handing off, and trigger counts are
+				// cumulative since run start — so its kill only hits the
+				// pre-migration window when it is the script's FIRST event
+				// (armed from the start). A later slot would arm after the
+				// hand-off and resurrect a stale pre-migration copy, which
+				// is a script-authoring error, not a runtime bug.
+				if i != 0 {
+					node = starts[0] // front-end / non-migrating fallback
+				} else {
+					after = 1
+				}
+			}
+			ev := workload.FaultEvent{Node: node, AfterCheckpoints: after}
+			if kind == 3 {
+				ev.Kind = workload.KindCrashResurrect
+			}
+			switch rng.Intn(3) {
+			case 0:
+				ev.DelayCk = 1 + rng.Intn(2)
+			default:
+				ev.Delay = time.Duration(1+rng.Intn(20)) * time.Millisecond
+			}
+			script.Events = append(script.Events, ev)
+		}
+	}
+	return script
+}
+
+func allNodes(w workload.Workload, p workload.Params) []int64 {
+	nodes := append([]int64{}, w.StartNodes(p)...)
+	nodes = append(nodes, w.SpareNodes(p)...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}

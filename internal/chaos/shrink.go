@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Shrink minimizes a failing scenario: it repeatedly proposes simpler
+// candidates — drop a script event, strip or narrow the network
+// conditions, shrink parameters — re-executes each, keeps any candidate
+// that still fails, and loops to a fixpoint. The result is the smallest
+// scenario the shrinker could confirm still reproduces a failure, ready
+// to be written as a repro file.
+//
+// Re-execution is inherently timing-dependent (kills race checkpoint
+// boundaries), so a candidate is only accepted when it fails; a
+// candidate that passes may still be flaky, but the shrinker errs
+// toward keeping reproducers that actually fired. Attempts counts every
+// candidate execution, so callers can budget shrinking.
+func Shrink(s *Scenario, cfg ExecConfig, maxAttempts int) (*Scenario, int) {
+	if maxAttempts <= 0 {
+		maxAttempts = 40
+	}
+	// Shrinking re-runs many candidates; don't let each one burn the
+	// full scenario deadline.
+	if cfg.Timeout == 0 || cfg.Timeout > 10*time.Second {
+		cfg.Timeout = 10 * time.Second
+	}
+	cfg.Metrics = nil // candidate runs must not pollute coverage counters
+
+	cur := cloneScenario(s)
+	attempts := 0
+	stillFails := func(c *Scenario) bool {
+		if attempts >= maxAttempts {
+			return false
+		}
+		attempts++
+		return Execute(c, cfg).Outcome.Failed()
+	}
+
+	for changed := true; changed && attempts < maxAttempts; {
+		changed = false
+		for _, cand := range candidates(cur) {
+			if stillFails(cand) {
+				cur = cand
+				changed = true
+				break // restart candidate generation from the smaller scenario
+			}
+		}
+	}
+	return cur, attempts
+}
+
+// candidates proposes one-step simplifications, most aggressive first.
+func candidates(s *Scenario) []*Scenario {
+	var out []*Scenario
+	add := func(mutate func(*Scenario) bool) {
+		c := cloneScenario(s)
+		if mutate(c) && validScenario(c) {
+			out = append(out, c)
+		}
+	}
+
+	// Drop the whole network profile (moves the run in-process).
+	add(func(c *Scenario) bool {
+		if c.Net.Zero() {
+			return false
+		}
+		c.Net = nil
+		return true
+	})
+	// Drop each script event.
+	if s.Script != nil {
+		for i := range s.Script.Events {
+			i := i
+			add(func(c *Scenario) bool {
+				evs := c.Script.Events
+				c.Script.Events = append(append([]workload.FaultEvent{}, evs[:i]...), evs[i+1:]...)
+				if !hasStoreKill(c.Script) {
+					c.Replicas = 0
+				}
+				return true
+			})
+		}
+	}
+	// Narrow individual network conditions.
+	for _, f := range []func(*NetProfile) bool{
+		func(n *NetProfile) bool { old := n.Reorder; n.Reorder = 0; return old != 0 },
+		func(n *NetProfile) bool { old := n.HoldPct; n.HoldPct, n.HoldBudget = 0, 0; return old != 0 },
+		func(n *NetProfile) bool { old := n.DropPct; n.DropPct = 0; return old != 0 },
+		func(n *NetProfile) bool { old := n.DupPct; n.DupPct = 0; return old != 0 },
+	} {
+		f := f
+		add(func(c *Scenario) bool {
+			if c.Net == nil {
+				return false
+			}
+			if !f(c.Net) {
+				return false
+			}
+			if c.Net.Zero() {
+				c.Net = nil
+			}
+			return true
+		})
+	}
+	// Simplify parameters.
+	add(func(c *Scenario) bool {
+		if c.Params.Workers == 0 {
+			return false
+		}
+		c.Params.Workers = 0
+		return true
+	})
+	add(func(c *Scenario) bool {
+		if c.Params.Ckpt == "" {
+			return false
+		}
+		c.Params.Ckpt = ""
+		return true
+	})
+	add(func(c *Scenario) bool {
+		if c.Params.Steps <= 2*c.Params.CheckpointInterval {
+			return false
+		}
+		c.Params.Steps -= c.Params.CheckpointInterval
+		if c.Params.Aux > c.Params.Steps {
+			c.Params.Aux = c.Params.Steps
+		}
+		return true
+	})
+	add(func(c *Scenario) bool {
+		if c.Params.Size <= 1 {
+			return false
+		}
+		c.Params.Size = c.Params.Size / 2
+		if c.Params.Size < 1 {
+			c.Params.Size = 1
+		}
+		return true
+	})
+	return out
+}
+
+func hasStoreKill(s *workload.FaultScript) bool {
+	if s == nil {
+		return false
+	}
+	for _, ev := range s.Events {
+		if ev.Kind == workload.KindStoreKill {
+			return true
+		}
+	}
+	return false
+}
+
+// validScenario rejects candidates whose mutated parameters the
+// workload's own validation refuses, and scripts that reference nodes
+// the shrunken topology no longer has.
+func validScenario(s *Scenario) bool {
+	w, err := workload.Get(s.App)
+	if err != nil {
+		return false
+	}
+	if _, err := workload.Normalize(w, s.Params); err != nil {
+		return false
+	}
+	if hasStoreKill(s.Script) && s.Replicas == 0 {
+		return false
+	}
+	return true
+}
+
+func cloneScenario(s *Scenario) *Scenario {
+	c := *s
+	if s.Net != nil {
+		n := *s.Net
+		c.Net = &n
+	}
+	if s.Script != nil {
+		evs := make([]workload.FaultEvent, len(s.Script.Events))
+		copy(evs, s.Script.Events)
+		for i := range evs {
+			evs[i].SetA = append([]int64{}, evs[i].SetA...)
+			evs[i].SetB = append([]int64{}, evs[i].SetB...)
+		}
+		c.Script = &workload.FaultScript{Events: evs}
+	}
+	return &c
+}

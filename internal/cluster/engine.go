@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ckpt"
@@ -113,6 +114,11 @@ type Engine struct {
 	active     int
 
 	handoffMu sync.Mutex // serializes node://K handoffs
+
+	// resurrectHook, when set, runs inside Resurrect after the checkpoint
+	// image is unpacked but before the new incarnation's driver starts —
+	// the re-kill window fault scripts aim crashresurrect events at.
+	resurrectHook atomic.Value // func(node int64, checkpoint string)
 }
 
 // lockedWriter serializes process output: every node goroutine shares the
@@ -810,6 +816,15 @@ func (e *Engine) Step(node int64, quanta int) (rt.Status, error) {
 	return st, nil
 }
 
+// SetResurrectWindowHook installs fn, invoked on every Resurrect after the
+// checkpoint image is unpacked and before the new incarnation starts. A
+// hook calling Fail(node) in that window — a failure landing during the
+// node's own resurrection — leaves the fresh incarnation dead on arrival,
+// to be revived by a later Resurrect. Pass nil to clear.
+func (e *Engine) SetResurrectWindowHook(fn func(node int64, checkpoint string)) {
+	e.resurrectHook.Store(&fn)
+}
+
 // Resurrect loads a checkpoint from the shared store and revives it as the
 // process for `node` — on a "different machine", which in this simulation
 // means a fresh driver goroutine and heap. The router clears the node's
@@ -830,6 +845,13 @@ func (e *Engine) Resurrect(node int64, checkpoint string, extra rt.Registry) err
 	// name read below is stable, then resolve it (transparently across a
 	// delta chain) to the last durable checkpoint.
 	e.committer.DrainOwner(node)
+	// Clear the failed mark before the restore work begins, not after: a
+	// new Fail landing anywhere in the resurrection window must mark THIS
+	// incarnation dead (startDriver re-reads the mark), not be erased by a
+	// clear that happens later.
+	e.mu.Lock()
+	delete(e.killed, node)
+	e.mu.Unlock()
 	t0 := time.Now()
 	img, err := migrate.FetchImage(e.Store, checkpoint)
 	if err != nil {
@@ -846,11 +868,20 @@ func (e *Engine) Resurrect(node int64, checkpoint string, extra rt.Registry) err
 	e.committer.ResumeOwner(node)
 	e.ctl.Emit(obs.EvResurrect, int(node), uint64(e.Router.Epoch()), 0,
 		0, time.Since(t0).Nanoseconds(), checkpoint)
+	if p := e.resurrectHook.Load(); p != nil {
+		if fn := *p.(*func(node int64, checkpoint string)); fn != nil {
+			fn(node, checkpoint)
+		}
+	}
 	e.mu.Lock()
-	delete(e.killed, node) // the new incarnation is alive again
 	e.extras[node] = extra // remembered for a later handoff or resurrect
+	rekilled := e.killed[node]
 	e.mu.Unlock()
-	e.Router.Restore(node)
+	if !rekilled {
+		// A node re-failed during its own resurrection keeps its router
+		// failed mark; the next Resurrect restores it.
+		e.Router.Restore(node)
+	}
 	e.startDriver(node, proc)
 	return nil
 }

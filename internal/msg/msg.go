@@ -120,8 +120,20 @@ type Router struct {
 
 	sends, recvs, rolls, failures, gced, wordsSent atomic.Uint64
 
+	// partMu guards the scripted network partition: local deliveries
+	// crossing the cut are withheld here (not lost) until HealPartition.
+	partMu   sync.Mutex
+	partCut  func(src, dst int64) bool
+	partHeld []partHeldBatch
+
 	// onRoll, when set, observes every MSG_ROLL delivery (SetRollHook).
 	onRoll atomic.Value // func(node, epoch int64)
+}
+
+// partHeldBatch is one delivery withheld by an active partition.
+type partHeldBatch struct {
+	src, dst int64
+	batch    []Batched
 }
 
 // Stats counts router activity.
@@ -344,6 +356,61 @@ func (r *Router) SetRollHook(fn func(node, epoch int64)) {
 	r.onRoll.Store(fn)
 }
 
+// Partition installs a network cut between node sets a and b: every local
+// delivery crossing the cut (either direction) is withheld — held, not
+// dropped — until HealPartition releases it. Senders keep making progress
+// (sends are non-blocking); receivers on the far side simply park until
+// the heal. Keyed idempotent delivery makes the late release harmless even
+// across intervening failures and rollbacks. A second Partition replaces
+// the first (healing nothing); fault scripts fire one at a time.
+func (r *Router) Partition(a, b []int64) {
+	inA := make(map[int64]bool, len(a))
+	inB := make(map[int64]bool, len(b))
+	for _, n := range a {
+		inA[n] = true
+	}
+	for _, n := range b {
+		inB[n] = true
+	}
+	r.partMu.Lock()
+	r.partCut = func(src, dst int64) bool {
+		return (inA[src] && inB[dst]) || (inB[src] && inA[dst])
+	}
+	r.partMu.Unlock()
+}
+
+// HealPartition removes the cut and delivers every withheld message
+// through the normal send path, in the order it was originally sent.
+func (r *Router) HealPartition() {
+	r.partMu.Lock()
+	r.partCut = nil
+	held := r.partHeld
+	r.partHeld = nil
+	r.partMu.Unlock()
+	for _, h := range held {
+		_ = r.SendBatch(h.src, h.dst, h.batch)
+	}
+}
+
+// holdPartitioned withholds a delivery when an active partition cuts the
+// (src, dst) link, reporting whether it did. The batch payloads are deep
+// copied: senders reuse their staging buffers.
+func (r *Router) holdPartitioned(src, dst int64, batch []Batched) bool {
+	r.partMu.Lock()
+	defer r.partMu.Unlock()
+	if r.partCut == nil || !r.partCut(src, dst) {
+		return false
+	}
+	cp := make([]Batched, len(batch))
+	for i, b := range batch {
+		words := make([]heap.Value, len(b.Words))
+		copy(words, b.Words)
+		cp[i] = Batched{Tag: b.Tag, Words: words}
+	}
+	r.partHeld = append(r.partHeld, partHeldBatch{src: src, dst: dst, batch: cp})
+	return true
+}
+
 // Failed reports whether a node is currently failed.
 func (r *Router) Failed(node int64) bool {
 	r.failMu.Lock()
@@ -363,6 +430,11 @@ func (r *Router) Send(src, dst, tag int64, words []heap.Value) error {
 		r.sends.Add(1)
 		r.wordsSent.Add(uint64(len(words)))
 		return up.SendBatch(src, dst, []Batched{{Tag: tag, Words: words}})
+	}
+	if r.holdPartitioned(src, dst, []Batched{{Tag: tag, Words: words}}) {
+		r.sends.Add(1)
+		r.wordsSent.Add(uint64(len(words)))
+		return nil
 	}
 	mb := r.mbox(dst)
 	mb.mu.Lock()
@@ -423,6 +495,13 @@ func (r *Router) SendBatch(src, dst int64, batch []Batched) error {
 			r.wordsSent.Add(uint64(len(b.Words)))
 		}
 		return up.SendBatch(src, dst, batch)
+	}
+	if r.holdPartitioned(src, dst, batch) {
+		for _, b := range batch {
+			r.sends.Add(1)
+			r.wordsSent.Add(uint64(len(b.Words)))
+		}
+		return nil
 	}
 	mb := r.mbox(dst)
 	mb.mu.Lock()

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -170,6 +171,12 @@ func (c *Client) Close() {
 // (their callers retry on the next connection).
 func (c *Client) teardownLocked() {
 	if c.raw != nil {
+		// Close the wrapped framing first: a fault injector holding frames
+		// (reorder window, latency skew) flushes them into the still-open
+		// socket instead of silently losing them with the link.
+		if cl, ok := c.conn.(io.Closer); ok {
+			_ = cl.Close()
+		}
 		_ = c.raw.Close()
 		c.raw = nil
 		c.conn = nil

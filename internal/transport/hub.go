@@ -54,6 +54,8 @@ type Hub struct {
 	mu        sync.Mutex
 	sessions  map[int64]*session
 	buf       map[int64]map[int64]map[int64][]heap.Value // dst -> src -> tag -> words
+	partCut   func(src, dst int64) bool                  // active partition, nil when healed
+	partDsts  map[int64]bool                             // nodes with withheld inbound traffic
 	epoch     int64
 	failed    map[int64]bool
 	results   map[int64]Result
@@ -276,6 +278,58 @@ func (h *Hub) sessionSetLocked() []*session {
 		}
 	}
 	return out
+}
+
+// Partition installs a network cut between node sets a and b: message
+// frames crossing the cut land in the hub's keyed store-and-forward buffer
+// as usual but are not forwarded until HealPartition. Nothing is lost —
+// the partition is a delay, exactly like a worker that is slow to rejoin,
+// and the heal replays through the same keyed buffer a rejoin would.
+func (h *Hub) Partition(a, b []int64) {
+	inA := make(map[int64]bool, len(a))
+	inB := make(map[int64]bool, len(b))
+	for _, n := range a {
+		inA[n] = true
+	}
+	for _, n := range b {
+		inB[n] = true
+	}
+	h.mu.Lock()
+	h.partCut = func(src, dst int64) bool {
+		return (inA[src] && inB[dst]) || (inB[src] && inA[dst])
+	}
+	h.partDsts = make(map[int64]bool)
+	h.mu.Unlock()
+}
+
+// HealPartition removes the cut and replays each affected destination's
+// buffered frames to its live session — the same replay a reconnecting
+// worker gets. Keyed idempotent delivery makes the re-send of frames that
+// did arrive before the cut harmless.
+func (h *Hub) HealPartition() {
+	h.mu.Lock()
+	h.partCut = nil
+	dsts := h.partDsts
+	h.partDsts = nil
+	type replayTo struct {
+		s      *session
+		frames [][]byte
+	}
+	var replays []replayTo
+	for dst := range dsts {
+		if s := h.sessions[dst]; s != nil && !h.failed[dst] {
+			replays = append(replays, replayTo{s, h.bufferedFramesLocked(dst)})
+		}
+	}
+	h.mu.Unlock()
+	for _, r := range replays {
+		if len(r.frames) > 0 {
+			h.ev().Emit(obs.EvFrameReplay, 0, 0, 0, int64(len(r.frames)), 0, "heal")
+		}
+		for _, f := range r.frames {
+			_ = r.s.write(f)
+		}
+	}
 }
 
 // WaitResults blocks until n distinct nodes have reported final states or
@@ -529,6 +583,10 @@ func (h *Hub) relayMsg(src, dst int64, batch []msg.Batched, raw []byte) {
 	target := h.sessions[dst]
 	if h.failed[dst] {
 		target = nil // the node is dead; its resurrection will replay
+	}
+	if h.partCut != nil && h.partCut(src, dst) {
+		target = nil // partitioned: buffered above, replayed at heal
+		h.partDsts[dst] = true
 	}
 	h.mu.Unlock()
 	if s := h.ev(); s != nil {

@@ -18,6 +18,10 @@
 //   - pipeline: a multi-stage dataflow pipeline whose middle stage
 //     executes migrate("node://K") mid-run, handing itself off to a spare
 //     node while both neighbours reroute at the same batch boundary.
+//   - kvserve: a replicated key-value serving tier — a front-end drives
+//     a deterministic request stream at shard servers that replicate
+//     every write to a ring-successor backup, and the hot shard
+//     live-migrates to a spare mid-run.
 package apps
 
 import (
@@ -32,6 +36,7 @@ func init() {
 	workload.Register(allreduce{})
 	workload.Register(taskfarm{})
 	workload.Register(pipeline{})
+	workload.Register(kvserve{})
 }
 
 // externSigs returns the cluster extern signatures plus ck_name and any

@@ -15,8 +15,8 @@ import (
 func all(t *testing.T) []workload.Workload {
 	t.Helper()
 	names := workload.Names()
-	if len(names) < 4 {
-		t.Fatalf("registry has %v, want at least grid, allreduce, taskfarm, pipeline", names)
+	if len(names) < 5 {
+		t.Fatalf("registry has %v, want at least grid, allreduce, taskfarm, pipeline, kvserve", names)
 	}
 	out := make([]workload.Workload, 0, len(names))
 	for _, n := range names {
@@ -40,6 +40,8 @@ func smallParams(w workload.Workload) workload.Params {
 		return workload.Params{Nodes: 3, Size: 4, Steps: 6, CheckpointInterval: 2}
 	case "pipeline":
 		return workload.Params{Nodes: 4, Size: 3, Aux: 4, Steps: 8, CheckpointInterval: 2}
+	case "kvserve":
+		return workload.Params{Nodes: 4, Size: 4, Aux: 4, Steps: 6, CheckpointInterval: 2}
 	}
 	return workload.Params{}
 }
@@ -69,6 +71,13 @@ func multiFailureScript(w workload.Workload) *workload.FaultScript {
 		// Kill the source, then the spare after the stage migrated to it.
 		return &workload.FaultScript{Events: []workload.FaultEvent{
 			{Node: 0, AfterCheckpoints: 1, Delay: d},
+			{Node: 3, AfterCheckpoints: 1, Delay: d},
+		}}
+	case "kvserve":
+		// Kill the hot shard before it migrates, then the spare hosting it
+		// afterwards.
+		return &workload.FaultScript{Events: []workload.FaultEvent{
+			{Node: 1, AfterCheckpoints: 1, Delay: d},
 			{Node: 3, AfterCheckpoints: 1, Delay: d},
 		}}
 	}

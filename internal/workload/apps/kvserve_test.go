@@ -1,0 +1,235 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+func kvserveW(t *testing.T) workload.Workload {
+	t.Helper()
+	w, err := workload.Get("kvserve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestKvservePartitionScriptConverges: the serving tier rides out a
+// network partition that cuts the front-end off from half the shards.
+// Deliveries crossing the cut are held, the cluster stalls, the heal
+// releases them, and the result is still bit-identical to the reference.
+func TestKvservePartitionScriptConverges(t *testing.T) {
+	w := kvserveW(t)
+	for _, eng := range engine.Names() {
+		eng := eng
+		t.Run(eng, func(t *testing.T) {
+			t.Parallel()
+			p := smallParams(w)
+			p.Engine = eng
+			script, err := workload.ParseScriptString("partition 0,1|2,3 after=2 heal=3\n")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := workload.RunVerified(w, p, workload.RunConfig{
+				Script: script, Timeout: 2 * time.Minute,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestKvservePartitionPlusFailureConverges: a partition and a shard
+// kill in the same script — the partition heals, then the hot shard
+// dies and resurrects from its checkpoint.
+func TestKvservePartitionPlusFailureConverges(t *testing.T) {
+	w := kvserveW(t)
+	p := smallParams(w)
+	// The hot shard writes only one checkpoint under its own name before
+	// migrating to the spare, so the kill must trigger on its first.
+	script, err := workload.ParseScriptString(
+		"partition 0,2|1,3 after=1 heal=2\n" +
+			"fail 1@1 delay=10ms\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := workload.RunVerified(w, p, workload.RunConfig{
+		Script: script, Timeout: 2 * time.Minute, StallTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resurrections != 1 {
+		t.Fatalf("resurrections = %d, want 1", res.Resurrections)
+	}
+}
+
+// TestKvserveCrashResurrectConverges: the hot shard is re-killed inside
+// its own resurrection window — the first revived incarnation is dead on
+// arrival and a second resurrection completes the run bit-exactly.
+func TestKvserveCrashResurrectConverges(t *testing.T) {
+	w := kvserveW(t)
+	for _, eng := range engine.Names() {
+		eng := eng
+		t.Run(eng, func(t *testing.T) {
+			t.Parallel()
+			p := smallParams(w)
+			p.Engine = eng
+			script, err := workload.ParseScriptString("crashresurrect 1@1 delay=10ms\n")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := workload.RunVerified(w, p, workload.RunConfig{
+				Script: script, Timeout: 2 * time.Minute,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Resurrections != 1 {
+				t.Fatalf("resurrections = %d, want 1", res.Resurrections)
+			}
+		})
+	}
+}
+
+// TestKvserveCkDelayConverges: a kill whose resurrection is triggered by
+// checkpoint progress (delay=ck:2) instead of wall-clock time — the
+// fuzzer's scheduling-insensitive revive trigger.
+func TestKvserveCkDelayConverges(t *testing.T) {
+	w := kvserveW(t)
+	p := smallParams(w)
+	script, err := workload.ParseScriptString("fail 2@1 delay=ck:2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := workload.RunVerified(w, p, workload.RunConfig{
+		Script: script, Timeout: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resurrections != 1 {
+		t.Fatalf("resurrections = %d, want 1", res.Resurrections)
+	}
+}
+
+// TestKvserveDistributedPartitionConverges: the same partition scenario
+// over the TCP transport — the hub suppresses forwarding across the cut
+// (its keyed buffer retains the frames) and the heal replays them.
+func TestKvserveDistributedPartitionConverges(t *testing.T) {
+	w := kvserveW(t)
+	p := smallParams(w)
+	script, err := workload.ParseScriptString("partition 0,1|2,3 after=2 heal=3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := workload.RunDistributed(w, p, script,
+		workload.DistributedConfig{Spawn: goSpawn(t, w, p)}, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(p, res.Nodes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKvserveDistributedCrashResurrectConverges: the crash-resurrect
+// event over the TCP transport — the resurrection worker is re-killed
+// right after it joins and a second worker finishes the run.
+func TestKvserveDistributedCrashResurrectConverges(t *testing.T) {
+	w := kvserveW(t)
+	p := smallParams(w)
+	script, err := workload.ParseScriptString("crashresurrect 1@1 delay=10ms\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := workload.RunDistributed(w, p, script,
+		workload.DistributedConfig{Spawn: goSpawn(t, w, p)}, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(p, res.Nodes); err != nil {
+		t.Fatal(err)
+	}
+	if res.Resurrections != 1 {
+		t.Fatalf("resurrections = %d, want 1", res.Resurrections)
+	}
+}
+
+// TestKvserveDistributedKillWithHeldFrames: a scripted worker kill lands
+// while that worker's fault injector is withholding frames (reorder
+// window + latency skew on every link). Close-time flushing pushes the
+// held frames into the socket before teardown; keyed idempotent delivery
+// and the resurrection make the run converge bit-exactly anyway.
+func TestKvserveDistributedKillWithHeldFrames(t *testing.T) {
+	w := kvserveW(t)
+	p := smallParams(w)
+	specs := make(map[int64]*transport.FaultSpec)
+	spawn := func(join string, node int64, resume string) error {
+		spec := &transport.FaultSpec{
+			ReorderWindow: 2,
+			Hold: func(src, dst, tag int64, occ int) int {
+				if tag%5 == 0 {
+					return 2
+				}
+				return 0
+			},
+		}
+		specs[node] = spec
+		go func() {
+			cfg := workload.WorkerConfig{
+				Join: join, Node: node, Params: p, Resume: resume,
+				Timeout: time.Minute, RetryBase: 5 * time.Millisecond,
+				Fault: spec,
+			}
+			if _, err := workload.RunWorker(w, cfg); err != nil && err != workload.ErrNodeFailed {
+				t.Errorf("kvserve worker %d (resume %q): %v", node, resume, err)
+			}
+		}()
+		return nil
+	}
+	script, err := workload.ParseScriptString("fail 1@1 delay=5ms\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := workload.RunDistributed(w, p, script,
+		workload.DistributedConfig{Spawn: spawn}, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(p, res.Nodes); err != nil {
+		t.Fatal(err)
+	}
+	held := 0
+	for _, s := range specs {
+		held += s.Held()
+	}
+	if held == 0 {
+		t.Fatal("no frames were ever held: the latency-skew leg did not engage")
+	}
+}
+
+// TestKvserveHotShardStaysHot sanity-checks the generator skew the
+// workload's migration story depends on: shard 1 owns the majority
+// request share.
+func TestKvserveHotShardStaysHot(t *testing.T) {
+	w := kvserveW(t)
+	p, err := workload.Normalize(w, workload.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := int64(p.Nodes - 2)
+	perShard := make(map[int64]int)
+	total := p.Steps * p.Size
+	for tt := int64(0); tt < int64(total); tt++ {
+		key, _, _ := kvReq(tt, shards)
+		perShard[1+key%shards]++
+	}
+	if hot := perShard[1]; hot*2 < total {
+		t.Fatalf("shard 1 served %d of %d requests (%v): not hot", hot, total, perShard)
+	}
+}

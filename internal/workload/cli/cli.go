@@ -125,7 +125,7 @@ func Main(argv []string, prog, defaultApp string, stdout, stderr io.Writer) int 
 	fs.IntVar(&opt.params.CkptK, "ckptk", 0, "force a full image every K delta checkpoints (0 = pipeline default)")
 	fs.StringVar(&opt.params.Engine, "engine", "", `execution engine: "vm" (slot-resolved interpreter, default), "risc" (compiled RISC simulator), or "jit" (threaded code with fused superinstructions); see -list`)
 	fs.Var(&opt.fails, "fail", `inject a failure: "node@checkpoints[@delay]", e.g. "1@2" (repeatable)`)
-	fs.StringVar(&opt.script, "script", "", "fault-scenario script file (fail/storekill lines; see README)")
+	fs.StringVar(&opt.script, "script", "", "fault-scenario script file (fail/storekill/partition/crashresurrect lines; see README)")
 	fs.DurationVar(&opt.timeout, "timeout", 2*time.Minute, "run timeout")
 	fs.BoolVar(&opt.verbose, "v", false, "print per-node halt codes")
 	fs.StringVar(&opt.trace, "trace", "", `write the run's event trace as JSONL to this file ("-" for stdout; see cmd/mojtrace)`)

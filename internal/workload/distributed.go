@@ -284,6 +284,27 @@ func RunDistributed(w Workload, p Params, script *FaultScript, cfg DistributedCo
 		})
 	hub.OnPut = driver.OnPut
 	wireStoreFaults(driver, cfg.Store)
+	driver.setPartitioner(hub.Partition, hub.HealPartition)
+	driver.setCrashResurrect(func(node int64, checkpoint string) error {
+		logf("coordinator: crash-resurrecting node %d from %q", node, checkpoint)
+		hub.ClearResult(node)
+		if err := cfg.Spawn(hub.Addr(), node, checkpoint); err != nil {
+			return err
+		}
+		// Re-kill the resurrection worker once it has joined — the closest
+		// a coordinator gets to the in-process engine's unpack window. If
+		// it never joins in time, fall through to a plain resurrect.
+		deadline := time.Now().Add(DefaultStallTimeout)
+		for !hub.HasSession(node) && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if !hub.HasSession(node) {
+			return nil
+		}
+		hub.Fail(node)
+		hub.ClearResult(node)
+		return cfg.Spawn(hub.Addr(), node, checkpoint)
+	})
 
 	starts := w.StartNodes(p)
 	spares := w.SpareNodes(p)

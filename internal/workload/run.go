@@ -68,6 +68,9 @@ type RunConfig struct {
 	// NoInlinePrune disables the committer's best-effort inline prune —
 	// set when the store tier's retention GC owns dead-object cleanup.
 	NoInlinePrune bool
+	// StallTimeout overrides the fault script's put-count trigger
+	// fallback bound (see DefaultStallTimeout).
+	StallTimeout time.Duration
 }
 
 // observableStore wraps a checkpoint store with a put callback: the
@@ -163,6 +166,26 @@ func Run(w Workload, p Params, cfg RunConfig) (*Result, error) {
 		})
 	store.onPut = driver.OnPut
 	wireStoreFaults(driver, backing)
+	driver.setPartitioner(eng.Router.Partition, eng.Router.HealPartition)
+	driver.setCrashResurrect(func(node int64, checkpoint string) error {
+		// Re-kill the node inside its own resurrection window — after the
+		// checkpoint image is unpacked, before the new incarnation runs a
+		// step — then resurrect the dead-on-arrival incarnation again.
+		eng.SetResurrectWindowHook(func(n int64, _ string) {
+			if n == node {
+				eng.Fail(n)
+			}
+		})
+		err := eng.Resurrect(node, checkpoint, w.Externs(p, node))
+		eng.SetResurrectWindowHook(nil)
+		if err != nil {
+			return err
+		}
+		return eng.Resurrect(node, checkpoint, w.Externs(p, node))
+	})
+	if cfg.StallTimeout > 0 {
+		driver.setStallTimeout(cfg.StallTimeout)
+	}
 
 	start := time.Now()
 	deadline := start.Add(cfg.Timeout)

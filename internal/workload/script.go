@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -14,31 +15,57 @@ import (
 
 // DefaultRestartDelay is the restart delay a fault event without an
 // explicit delay uses: the time a failure detector plus resurrection
-// daemon would need.
+// daemon would need. Timing-sensitive scripts (fuzzer repros, CI) should
+// prefer the checkpoint-count trigger (delay=ck:<n>) instead, which is
+// independent of wall-clock speed.
 const DefaultRestartDelay = 25 * time.Millisecond
+
+// DefaultStallTimeout bounds how long a put-count trigger (delay=ck:<n>,
+// partition heal) waits for further checkpoint writes before firing
+// anyway. It is an anti-wedge fallback only: if every survivor is parked
+// on the dead node (or inside the partition), no more checkpoints land
+// and the trigger would otherwise never fire.
+const DefaultStallTimeout = 2 * time.Second
 
 // FaultEvent is one scripted failure. The default kind kills Node after
 // it has written AfterCheckpoints checkpoints (cumulative since run
-// start), then resurrects it from its latest checkpoint after Delay.
-// KindStoreKill instead kills store replica Node (an index into the
-// replicated store's replica set) after AfterCheckpoints total store
-// writes, reviving it after Delay unless NoRevive is set.
+// start), then resurrects it from its latest checkpoint after Delay (or
+// after DelayCk further store writes, when set). KindStoreKill instead
+// kills store replica Node (an index into the replicated store's replica
+// set) after AfterCheckpoints total store writes, reviving it after Delay
+// unless NoRevive is set. KindCrashResurrect is a fail whose node is
+// killed a second time during its own resurrection — before the revived
+// incarnation runs a single step — and then resurrected again.
+// KindPartition cuts the network between SetA and SetB after
+// AfterCheckpoints total store writes and heals it HealWrites store
+// writes later; frames crossing the cut are withheld, not lost.
 type FaultEvent struct {
 	Node             int64
 	AfterCheckpoints int
 	Delay            time.Duration
-	// Kind is "" / KindFail for a node kill, KindStoreKill for a store
-	// replica kill.
+	// Kind is "" / KindFail for a node kill, or one of the kinds below.
 	Kind string
 	// NoRevive leaves a killed store replica down for the rest of the
 	// run — the surviving quorum must carry it.
 	NoRevive bool
+	// DelayCk, when > 0, replaces the wall-clock Delay with a
+	// store-write-count trigger: the resurrection starts after this many
+	// further checkpoint-store writes (script form delay=ck:<n>). Repros
+	// using it are timing-independent and CI-stable.
+	DelayCk int
+	// SetA, SetB are a partition event's node sets.
+	SetA, SetB []int64
+	// HealWrites is a partition's heal trigger: heal after this many
+	// further checkpoint-store writes.
+	HealWrites int
 }
 
 // Fault event kinds.
 const (
-	KindFail      = "fail"
-	KindStoreKill = "storekill"
+	KindFail           = "fail"
+	KindStoreKill      = "storekill"
+	KindPartition      = "partition"
+	KindCrashResurrect = "crashresurrect"
 )
 
 // FaultScript is a declarative fault scenario: an ordered list of
@@ -58,7 +85,7 @@ func OneFailure(node int64, afterCheckpoints int, delay time.Duration) *FaultScr
 // ParseFailSpec parses one -fail specification:
 //
 //	"node@checkpoints"          e.g. "1@2"
-//	"node@checkpoints@delay"    e.g. "0@4@50ms"
+//	"node@checkpoints@delay"    e.g. "0@4@50ms" or "0@4@ck:2"
 //
 // It returns an error instead of exiting, so callers (flag parsing,
 // script files) can report context.
@@ -77,25 +104,124 @@ func ParseFailSpec(spec string) (FaultEvent, error) {
 	}
 	ev := FaultEvent{Node: node, AfterCheckpoints: after, Delay: DefaultRestartDelay}
 	if len(parts) == 3 {
-		d, err := time.ParseDuration(parts[2])
-		if err != nil {
-			return FaultEvent{}, fmt.Errorf("bad fail spec %q: delay %q: %v", spec, parts[2], err)
+		if err := parseDelayArg(parts[2], &ev); err != nil {
+			return FaultEvent{}, fmt.Errorf("bad fail spec %q: %v", spec, err)
 		}
-		if d < 0 {
-			return FaultEvent{}, fmt.Errorf("bad fail spec %q: delay %q must be non-negative", spec, parts[2])
+	}
+	return ev, nil
+}
+
+// parseDelayArg parses the value of a delay= option ("50ms" or "ck:<n>")
+// into ev. "never" is handled by the caller (it is storekill-only).
+func parseDelayArg(val string, ev *FaultEvent) error {
+	if n, ok := strings.CutPrefix(val, "ck:"); ok {
+		k, err := strconv.Atoi(n)
+		if err != nil || k < 1 {
+			return fmt.Errorf("delay %q: checkpoint count after \"ck:\" must be a positive integer", val)
 		}
-		ev.Delay = d
+		ev.DelayCk = k
+		ev.Delay = 0
+		return nil
+	}
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return fmt.Errorf("delay %q: %v", val, err)
+	}
+	if d < 0 {
+		return fmt.Errorf("delay %q must be non-negative", val)
+	}
+	ev.Delay = d
+	return nil
+}
+
+// parseNodeSet parses a comma-separated node list ("0,1,3").
+func parseNodeSet(s string) ([]int64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty node set")
+	}
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.ParseInt(part, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("node %q must be a non-negative integer", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parsePartition parses a partition event's arguments:
+//
+//	partition A|B [after=N] heal=M
+//
+// A and B are comma-separated node sets; the cut starts after N total
+// store writes (default 1) and heals M store writes later.
+func parsePartition(fields []string) (FaultEvent, error) {
+	if len(fields) < 3 || len(fields) > 4 {
+		return FaultEvent{}, fmt.Errorf(`want "partition A|B [after=N] heal=M" (A, B comma-separated node sets)`)
+	}
+	halves := strings.Split(fields[1], "|")
+	if len(halves) != 2 {
+		return FaultEvent{}, fmt.Errorf(`node sets %q: want two sets separated by "|", e.g. "0,1|2"`, fields[1])
+	}
+	a, err := parseNodeSet(halves[0])
+	if err != nil {
+		return FaultEvent{}, fmt.Errorf("node sets %q: %v", fields[1], err)
+	}
+	b, err := parseNodeSet(halves[1])
+	if err != nil {
+		return FaultEvent{}, fmt.Errorf("node sets %q: %v", fields[1], err)
+	}
+	seen := make(map[int64]bool)
+	for _, n := range a {
+		seen[n] = true
+	}
+	for _, n := range b {
+		if seen[n] {
+			return FaultEvent{}, fmt.Errorf("node sets %q: node %d appears on both sides", fields[1], n)
+		}
+	}
+	ev := FaultEvent{Kind: KindPartition, AfterCheckpoints: 1, SetA: a, SetB: b}
+	healSet := false
+	for _, f := range fields[2:] {
+		switch {
+		case strings.HasPrefix(f, "after="):
+			n, err := strconv.Atoi(f[len("after="):])
+			if err != nil || n < 1 {
+				return FaultEvent{}, fmt.Errorf("malformed %q: after= wants a positive integer (total store writes)", f)
+			}
+			ev.AfterCheckpoints = n
+		case strings.HasPrefix(f, "heal="):
+			n, err := strconv.Atoi(f[len("heal="):])
+			if err != nil || n < 1 {
+				return FaultEvent{}, fmt.Errorf("malformed %q: heal= wants a positive integer (store writes until heal)", f)
+			}
+			ev.HealWrites = n
+			healSet = true
+		default:
+			return FaultEvent{}, fmt.Errorf("unknown option %q", f)
+		}
+	}
+	if !healSet {
+		return FaultEvent{}, fmt.Errorf(`missing heal= (a partition that never heals would wedge the run)`)
 	}
 	return ev, nil
 }
 
 // ParseScript reads a scenario script: one event per line, in firing
-// order. Blank lines and '#' comments are skipped.
+// order. Blank lines and '#' comments are skipped. Errors carry the line
+// number.
 //
 //	# kill node 1 after its 2nd checkpoint, resurrect after the default delay
 //	fail 1@2
 //	# then kill node 0 after its 4th checkpoint, resurrect after 50ms
 //	fail 0@4 delay=50ms
+//	# kill node 2 after its 1st checkpoint, resurrect after 2 more store writes
+//	fail 2@1 delay=ck:2
+//	# kill node 1 again DURING its own resurrection, then resurrect again
+//	crashresurrect 1@3 delay=ck:1
+//	# cut nodes {0,1} off from {2} after 2 store writes, heal 4 writes later
+//	partition 0,1|2 after=2 heal=4
 //	# kill store replica 2 after the 3rd store write, revive after 10ms
 //	storekill 2@3 delay=10ms
 //	# kill store replica 1 after the 5th store write, leave it down
@@ -114,33 +240,18 @@ func ParseScript(r io.Reader) (*FaultScript, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if (fields[0] != "fail" && fields[0] != "storekill") || len(fields) < 2 || len(fields) > 3 {
-			return nil, fmt.Errorf("script line %d: want \"fail node@checkpoints [delay=D]\" or \"storekill replica@puts [delay=D|delay=never]\", got %q", lineno, line)
+		var ev FaultEvent
+		var err error
+		switch fields[0] {
+		case KindFail, KindStoreKill, KindCrashResurrect:
+			ev, err = parseKillLine(fields)
+		case KindPartition:
+			ev, err = parsePartition(fields)
+		default:
+			err = fmt.Errorf("unknown event kind %q (want fail, storekill, crashresurrect or partition)", fields[0])
 		}
-		ev, err := ParseFailSpec(fields[1])
 		if err != nil {
 			return nil, fmt.Errorf("script line %d: %v", lineno, err)
-		}
-		if fields[0] == "storekill" {
-			ev.Kind = KindStoreKill
-		}
-		if len(fields) == 3 {
-			val, ok := strings.CutPrefix(fields[2], "delay=")
-			if !ok {
-				return nil, fmt.Errorf("script line %d: unknown option %q", lineno, fields[2])
-			}
-			if val == "never" {
-				if ev.Kind != KindStoreKill {
-					return nil, fmt.Errorf("script line %d: delay=never only applies to storekill (a dead node would hang the run)", lineno)
-				}
-				ev.NoRevive = true
-			} else {
-				d, err := time.ParseDuration(val)
-				if err != nil || d < 0 {
-					return nil, fmt.Errorf("script line %d: bad delay %q", lineno, val)
-				}
-				ev.Delay = d
-			}
 		}
 		s.Events = append(s.Events, ev)
 	}
@@ -150,9 +261,99 @@ func ParseScript(r io.Reader) (*FaultScript, error) {
 	return s, nil
 }
 
+// parseKillLine parses a fail/storekill/crashresurrect line.
+func parseKillLine(fields []string) (FaultEvent, error) {
+	kind := fields[0]
+	if len(fields) < 2 || len(fields) > 3 {
+		usage := kind + " node@checkpoints [delay=D|delay=ck:N]"
+		if kind == KindStoreKill {
+			usage = "storekill replica@puts [delay=D|delay=never]"
+		}
+		return FaultEvent{}, fmt.Errorf("want %q", usage)
+	}
+	ev, err := ParseFailSpec(fields[1])
+	if err != nil {
+		return FaultEvent{}, err
+	}
+	if kind != KindFail {
+		ev.Kind = kind
+	}
+	if len(fields) == 3 {
+		val, ok := strings.CutPrefix(fields[2], "delay=")
+		if !ok {
+			return FaultEvent{}, fmt.Errorf("unknown option %q", fields[2])
+		}
+		switch {
+		case val == "never":
+			if ev.Kind != KindStoreKill {
+				return FaultEvent{}, fmt.Errorf("delay=never only applies to storekill (a dead node would hang the run)")
+			}
+			ev.NoRevive = true
+		default:
+			if err := parseDelayArg(val, &ev); err != nil {
+				return FaultEvent{}, err
+			}
+			if ev.DelayCk > 0 && ev.Kind == KindStoreKill {
+				return FaultEvent{}, fmt.Errorf("delay=ck: does not apply to storekill (replica revival is not checkpoint-triggered)")
+			}
+		}
+	}
+	return ev, nil
+}
+
 // ParseScriptString is ParseScript over a string.
 func ParseScriptString(text string) (*FaultScript, error) {
 	return ParseScript(strings.NewReader(text))
+}
+
+// String renders the event in script-line form, round-trippable through
+// ParseScript.
+func (ev FaultEvent) String() string {
+	switch ev.Kind {
+	case KindPartition:
+		return fmt.Sprintf("partition %s|%s after=%d heal=%d",
+			joinNodes(ev.SetA), joinNodes(ev.SetB), ev.AfterCheckpoints, ev.HealWrites)
+	case KindStoreKill:
+		d := "delay=" + ev.Delay.String()
+		if ev.NoRevive {
+			d = "delay=never"
+		}
+		return fmt.Sprintf("storekill %d@%d %s", ev.Node, ev.AfterCheckpoints, d)
+	default:
+		kind := ev.Kind
+		if kind == "" {
+			kind = KindFail
+		}
+		d := "delay=" + ev.Delay.String()
+		if ev.DelayCk > 0 {
+			d = fmt.Sprintf("delay=ck:%d", ev.DelayCk)
+		}
+		return fmt.Sprintf("%s %d@%d %s", kind, ev.Node, ev.AfterCheckpoints, d)
+	}
+}
+
+func joinNodes(nodes []int64) string {
+	sorted := append([]int64{}, nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	parts := make([]string, len(sorted))
+	for i, n := range sorted {
+		parts[i] = strconv.FormatInt(n, 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+// FormatScript renders a script in the -script file format, one event per
+// line.
+func FormatScript(s *FaultScript) string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, ev := range s.Events {
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // ---------------------------------------------------------------------------
@@ -176,6 +377,21 @@ type scriptDriver struct {
 	killReplica   func(replica int) error
 	reviveReplica func(replica int) error
 
+	// partition/heal drive partition events; runners wire them to the
+	// router (in-process) or the hub (distributed).
+	partition func(a, b []int64)
+	heal      func()
+
+	// crashResurrect performs a resurrect-with-rekill: the node is failed
+	// again during its own resurrection, then resurrected a second time.
+	// Runners wire it (run.go arms the engine's resurrection-window hook;
+	// distributed.go re-kills the resurrection worker after it joins).
+	crashResurrect func(node int64, checkpoint string) error
+
+	// stall bounds put-count triggers (delay=ck:, partition heal): if no
+	// further store writes land within it, the trigger fires anyway.
+	stall time.Duration
+
 	mu        sync.Mutex
 	events    []FaultEvent
 	next      int  // index of the armed event
@@ -193,6 +409,7 @@ func newScriptDriver(script *FaultScript, ckName func(int64) string,
 		fail:      fail,
 		resurrect: resurrect,
 		counts:    make(map[string]int),
+		stall:     DefaultStallTimeout,
 	}
 	if script != nil {
 		d.events = script.Events
@@ -260,6 +477,31 @@ func (d *scriptDriver) setStoreFaults(kill, revive func(replica int) error) {
 	d.mu.Unlock()
 }
 
+// setPartitioner hands the driver the runner's partition controls.
+func (d *scriptDriver) setPartitioner(partition func(a, b []int64), heal func()) {
+	d.mu.Lock()
+	d.partition = partition
+	d.heal = heal
+	d.mu.Unlock()
+}
+
+// setCrashResurrect hands the driver the runner's resurrect-with-rekill
+// implementation.
+func (d *scriptDriver) setCrashResurrect(fn func(node int64, checkpoint string) error) {
+	d.mu.Lock()
+	d.crashResurrect = fn
+	d.mu.Unlock()
+}
+
+// setStallTimeout overrides the put-count trigger fallback bound.
+func (d *scriptDriver) setStallTimeout(t time.Duration) {
+	d.mu.Lock()
+	if t > 0 {
+		d.stall = t
+	}
+	d.mu.Unlock()
+}
+
 // OnPut observes one successful checkpoint write. Safe for concurrent
 // use; may fire an event.
 func (d *scriptDriver) OnPut(name string, count int) {
@@ -272,6 +514,34 @@ func (d *scriptDriver) OnPut(name string, count int) {
 	d.mu.Unlock()
 }
 
+// waitPuts blocks until the cumulative store-write count reaches target
+// or the stall deadline passes (the anti-wedge fallback: survivors may
+// all be parked on the event's victim, writing nothing).
+func (d *scriptDriver) waitPuts(target int, deadline time.Time) {
+	for {
+		d.mu.Lock()
+		n := d.totalPuts
+		d.mu.Unlock()
+		if n >= target || !time.Now().Before(deadline) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitDelay waits out an event's resurrection delay: DelayCk further
+// store writes when set, the wall-clock Delay otherwise.
+func (d *scriptDriver) waitDelay(ev FaultEvent, basePuts int) {
+	if ev.DelayCk > 0 {
+		d.mu.Lock()
+		stall := d.stall
+		d.mu.Unlock()
+		d.waitPuts(basePuts+ev.DelayCk, time.Now().Add(stall))
+		return
+	}
+	time.Sleep(ev.Delay)
+}
+
 // maybeFireLocked fires the armed event if its trigger is satisfied and
 // no earlier event is still resurrecting.
 func (d *scriptDriver) maybeFireLocked() {
@@ -279,8 +549,12 @@ func (d *scriptDriver) maybeFireLocked() {
 		return
 	}
 	ev := d.events[d.next]
-	if ev.Kind == KindStoreKill {
+	switch ev.Kind {
+	case KindStoreKill:
 		d.maybeFireStoreKillLocked(ev)
+		return
+	case KindPartition:
+		d.maybeFirePartitionLocked(ev)
 		return
 	}
 	name := d.ckName(ev.Node)
@@ -288,19 +562,60 @@ func (d *scriptDriver) maybeFireLocked() {
 		return
 	}
 	d.inFlight = true
+	basePuts := d.totalPuts
+	eventIdx := d.next
+	revive := d.resurrect
+	if ev.Kind == KindCrashResurrect {
+		if d.crashResurrect == nil {
+			d.errs = append(d.errs, fmt.Errorf("workload: crashresurrect event %d: this runner has no resurrect-with-rekill control", d.next))
+			d.inFlight = false
+			d.next++
+			return
+		}
+		revive = d.crashResurrect
+	}
 	d.fail(ev.Node)
 	go func() {
-		time.Sleep(ev.Delay)
-		err := d.resurrect(ev.Node, name)
+		d.waitDelay(ev, basePuts)
+		err := revive(ev.Node, name)
 		d.mu.Lock()
 		d.fired++
 		if err != nil {
-			d.errs = append(d.errs, fmt.Errorf("workload: resurrecting node %d (event %d): %w", ev.Node, d.next, err))
+			d.errs = append(d.errs, fmt.Errorf("workload: resurrecting node %d (event %d): %w", ev.Node, eventIdx, err))
 		}
 		d.next++
 		d.inFlight = false
 		// The next event's trigger may already be satisfied by
 		// checkpoints written while this one was resurrecting.
+		d.maybeFireLocked()
+		d.mu.Unlock()
+	}()
+}
+
+// maybeFirePartitionLocked fires an armed partition event once enough
+// total store writes have landed; the heal fires HealWrites writes later
+// (or at the stall fallback).
+func (d *scriptDriver) maybeFirePartitionLocked(ev FaultEvent) {
+	if d.totalPuts < ev.AfterCheckpoints {
+		return
+	}
+	if d.partition == nil || d.heal == nil {
+		d.errs = append(d.errs, fmt.Errorf("workload: partition event %d: this runner has no partition control", d.next))
+		d.next++
+		return
+	}
+	d.inFlight = true
+	healAt := d.totalPuts + ev.HealWrites
+	stall := d.stall
+	d.partition(ev.SetA, ev.SetB)
+	// Not counted in fired: a partition heals, it does not restore a
+	// checkpoint, and fired is the run's resurrection count.
+	go func() {
+		d.waitPuts(healAt, time.Now().Add(stall))
+		d.heal()
+		d.mu.Lock()
+		d.next++
+		d.inFlight = false
 		d.maybeFireLocked()
 		d.mu.Unlock()
 	}()
@@ -384,9 +699,14 @@ func (d *scriptDriver) finish() (fired int, err error) {
 	}
 	if d.next < len(d.events) || d.inFlight {
 		ev := d.events[d.next]
-		what := fmt.Sprintf("node %d after %d checkpoints", ev.Node, ev.AfterCheckpoints)
-		if ev.Kind == KindStoreKill {
+		var what string
+		switch ev.Kind {
+		case KindStoreKill:
 			what = fmt.Sprintf("store replica %d after %d puts", ev.Node, ev.AfterCheckpoints)
+		case KindPartition:
+			what = fmt.Sprintf("partition %s|%s after %d puts", joinNodes(ev.SetA), joinNodes(ev.SetB), ev.AfterCheckpoints)
+		default:
+			what = fmt.Sprintf("node %d after %d checkpoints", ev.Node, ev.AfterCheckpoints)
 		}
 		return d.fired, fmt.Errorf("workload: fault event %d never completed (%s; run too short for the script?)",
 			d.next, what)
